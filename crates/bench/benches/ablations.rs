@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the EM
+//! multi-start and pA-grid resolution (cost vs the closed-form speed the
+//! paper claims), the NLP parser on each sentence family, and the
+//! negation-path polarity walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use surveyor::extract::polarity::statement_polarity;
+use surveyor::nlp::{parse, tokenize, Lexicon};
+use surveyor_model::{fit, EmConfig, ObservedCounts};
+use surveyor_prob::Poisson;
+
+fn synth_counts(m: usize, seed: u64) -> Vec<ObservedCounts> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|i| {
+            let (lp, ln) = if i % 4 == 0 { (25.0, 1.0) } else { (1.5, 0.4) };
+            ObservedCounts::new(
+                Poisson::new(lp).sample(&mut rng),
+                Poisson::new(ln).sample(&mut rng),
+            )
+        })
+        .collect()
+}
+
+/// EM cost vs multi-start count: the restart strategy triples the work —
+/// is the closed-form step cheap enough to afford it? (Yes.)
+fn bench_em_restarts(c: &mut Criterion) {
+    let counts = synth_counts(20_000, 3);
+    let mut group = c.benchmark_group("ablation_em_restarts");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for restarts in [1usize, 3, 6] {
+        let config = EmConfig {
+            restart_shares: (0..restarts).map(|i| 0.5 / (i + 1) as f64).collect(),
+            ..EmConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(restarts),
+            &config,
+            |b, config| {
+                b.iter(|| fit(black_box(&counts), config));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// EM cost vs pA-grid resolution (the paper fixes a grid "to speed up
+/// computations"; this measures what finer grids would cost).
+fn bench_em_grid(c: &mut Criterion) {
+    let counts = synth_counts(20_000, 9);
+    let mut group = c.benchmark_group("ablation_em_grid");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for points in [5usize, 25, 125] {
+        let grid: Vec<f64> = (0..points)
+            .map(|i| 0.5 + 0.49 * (i as f64) / (points.max(2) - 1) as f64)
+            .collect();
+        let config = EmConfig {
+            pa_grid: grid,
+            ..EmConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(points),
+            &config,
+            |b, config| {
+                b.iter(|| fit(black_box(&counts), config));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Parser cost per sentence family (Figure 4's pattern inputs).
+fn bench_parser_families(c: &mut Criterion) {
+    let families = [
+        ("acomp", "San Francisco is very big"),
+        ("pred_nominal", "San Francisco is not a very big city"),
+        ("embedded", "I don't think that snakes are never dangerous"),
+        ("conjunction", "Soccer is a fast and exciting sport"),
+        ("attributive", "I love the cute kitten"),
+        ("constriction", "New York is bad for parking in the winter"),
+    ];
+    let lexicon = Lexicon::new();
+    let mut group = c.benchmark_group("ablation_parser");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (name, sentence) in families {
+        let mut tokens = tokenize(sentence);
+        lexicon.tag(&mut tokens);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tokens, |b, tokens| {
+            b.iter(|| parse(black_box(tokens)));
+        });
+    }
+    group.finish();
+}
+
+/// The negation-path polarity walk of Figure 5.
+fn bench_polarity(c: &mut Criterion) {
+    let lexicon = Lexicon::new();
+    let mut tokens = tokenize("I don't think that snakes are never dangerous");
+    lexicon.tag(&mut tokens);
+    let tree = parse(&tokens).unwrap();
+    let property = tokens.iter().position(|t| t.lower == "dangerous").unwrap();
+    let mut group = c.benchmark_group("ablation_polarity");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("negation_path_walk", |b| {
+        b.iter(|| statement_polarity(black_box(&tree), property));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_em_restarts,
+    bench_em_grid,
+    bench_parser_families,
+    bench_polarity
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 3 bench: the §2 empirical study end to end — 461 Californian
+//! cities from text generation through model decisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use surveyor::kb::seed::ATTR_POPULATION;
+use surveyor::prelude::*;
+use surveyor_corpus::presets;
+use surveyor_eval::empirical::run_empirical;
+
+fn bench_fig3(c: &mut Criterion) {
+    let world = presets::big_cities_world(5);
+    let mut group = c.benchmark_group("fig3");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    group.bench_function("big_cities_study", |b| {
+        b.iter(|| {
+            run_empirical(
+                black_box(&world),
+                ATTR_POPULATION,
+                CorpusConfig {
+                    num_shards: 4,
+                    ..CorpusConfig::default()
+                },
+                SurveyorConfig {
+                    rho: 50,
+                    threads: 1,
+                    ..SurveyorConfig::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The model-interpretation half alone (counts → EM → decisions) — the
+/// part the paper timed at 10 minutes for 4B pairs.
+fn bench_fig3_interpretation(c: &mut Criterion) {
+    let world = presets::big_cities_world(5);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: 4,
+            ..CorpusConfig::default()
+        },
+    );
+    let surveyor = Surveyor::new(
+        world.kb().clone(),
+        SurveyorConfig {
+            rho: 50,
+            threads: 1,
+            ..SurveyorConfig::default()
+        },
+    );
+    let output = surveyor.run(&surveyor::CorpusSource::new(&generator));
+    let evidence = output.evidence;
+    let mut group = c.benchmark_group("fig3");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("interpretation_only", |b| {
+        b.iter(|| surveyor.run_on_evidence(black_box(evidence.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_fig3_interpretation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! EM scaling benches (§6/§7.1): each iteration is O(m) in the number of
+//! entities and independent of how many mentions produced the counts —
+//! the property that let the paper run EM over 4 billion pairs in ten
+//! minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use surveyor_model::{fit, posterior_positive, EmConfig, ModelParams, ObservedCounts};
+use surveyor_prob::Poisson;
+
+fn synth_counts(m: usize, scale: f64, seed: u64) -> Vec<ObservedCounts> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|i| {
+            let (lp, ln) = if i % 4 == 0 {
+                (30.0 * scale, 1.0 * scale)
+            } else {
+                (2.0 * scale, 0.6 * scale)
+            };
+            ObservedCounts::new(
+                Poisson::new(lp).sample(&mut rng),
+                Poisson::new(ln).sample(&mut rng),
+            )
+        })
+        .collect()
+}
+
+/// EM runtime must grow linearly with the entity count.
+fn bench_em_entities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fit_entities");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for m in [1_000usize, 10_000, 100_000] {
+        let counts = synth_counts(m, 1.0, 7);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &counts, |b, counts| {
+            b.iter(|| fit(black_box(counts), &EmConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+/// EM runtime must be flat in the *mention* volume: scaling every count
+/// by 10x changes the numbers inside the tuples, not the work.
+fn bench_em_mention_independence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fit_mention_volume");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for scale in [1u32, 10, 100] {
+        let counts = synth_counts(20_000, scale as f64, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &counts, |b, counts| {
+            b.iter(|| fit(black_box(counts), &EmConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+/// Posterior inference throughput (Algorithm 1's inner loop over 4B pairs).
+fn bench_posterior(c: &mut Criterion) {
+    let params = ModelParams::new(0.9, 30.0, 3.0);
+    let counts = synth_counts(10_000, 1.0, 3);
+    let mut group = c.benchmark_group("posterior");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(counts.len() as u64));
+    group.bench_function("posterior_10k_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &c in &counts {
+                acc += posterior_positive(black_box(c), &params);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_em_entities,
+    bench_em_mention_independence,
+    bench_posterior
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Table 3 / Figure 12 bench: the full §7.4 comparison (corpus → pipeline
+//! → crowd judging → four methods scored) plus the per-method decision
+//! phase in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use surveyor::prelude::*;
+use surveyor::CorpusSource;
+use surveyor_corpus::presets;
+use surveyor_eval::comparison::{method_decisions, run_comparison, WebChildConfig};
+use surveyor_eval::EvalSuite;
+
+fn bench_full_comparison(c: &mut Criterion) {
+    let world = presets::table2_world(5);
+    let mut group = c.benchmark_group("table3");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.sample_size(10);
+    group.bench_function("full_comparison", |b| {
+        b.iter(|| {
+            run_comparison(
+                black_box(&world),
+                CorpusConfig {
+                    num_shards: 4,
+                    ..CorpusConfig::default()
+                },
+                SurveyorConfig {
+                    rho: 100,
+                    threads: 1,
+                    ..SurveyorConfig::default()
+                },
+                WebChildConfig::default(),
+                500,
+                Some(20),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_method_decisions(c: &mut Criterion) {
+    let world = presets::table2_world(5);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: 4,
+            ..CorpusConfig::default()
+        },
+    );
+    let surveyor = Surveyor::new(
+        world.kb().clone(),
+        SurveyorConfig {
+            rho: 100,
+            threads: 1,
+            ..SurveyorConfig::default()
+        },
+    );
+    let output = surveyor.run(&CorpusSource::new(&generator));
+    let suite = EvalSuite::from_world_limited(&world, 500, Some(20));
+    let mut group = c.benchmark_group("table3");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("score_four_methods", |b| {
+        b.iter(|| method_decisions(black_box(&suite), &output, WebChildConfig::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_comparison, bench_method_decisions);
+criterion_main!(benches);

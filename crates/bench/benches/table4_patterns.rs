@@ -1,0 +1,45 @@
+//! Table 4 bench: each extraction pattern version over the same
+//! materialized snapshot — the cost of the version matrix of Appendix B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use surveyor::extract::{extract_documents, PatternVersion};
+use surveyor::nlp::AnnotatedDocument;
+use surveyor::prelude::*;
+use surveyor_corpus::presets;
+
+fn bench_versions(c: &mut Criterion) {
+    let world = presets::table2_world(5);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: 2,
+            ..CorpusConfig::default()
+        },
+    );
+    let lexicon = generator.lexicon();
+    let docs: Vec<AnnotatedDocument> = (0..generator.shard_count())
+        .flat_map(|s| generator.shard_annotated(s, &lexicon, None))
+        .collect();
+    let kb = world.kb().clone();
+
+    let mut group = c.benchmark_group("table4_versions");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    for version in PatternVersion::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{version:?}")),
+            &version,
+            |b, v| {
+                let config = v.config();
+                b.iter(|| extract_documents(black_box(&docs), &kb, &config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

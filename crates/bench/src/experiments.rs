@@ -1,0 +1,753 @@
+//! One driver per paper artifact; each returns rendered text plus a JSON
+//! value for machine-readable archiving.
+
+use crate::render;
+use serde_json::{json, Value};
+use std::time::Instant;
+use surveyor::prelude::*;
+use surveyor::CorpusSource;
+use surveyor_corpus::presets;
+use surveyor_corpus::CorpusGenerator;
+use surveyor_eval::comparison::WebChildConfig;
+use surveyor_eval::empirical::run_empirical;
+use surveyor_eval::random_sample::run_random_sample;
+use surveyor_eval::snapshot_stats::snapshot_stats;
+use surveyor_eval::versions::run_versions;
+use surveyor_eval::{ablation, EvalSuite};
+use surveyor_extract::run_sharded;
+use surveyor_kb::seed as kbseed;
+use surveyor_model::{posterior_positive, fit, EmConfig, ModelParams, ObservedCounts};
+use surveyor::nlp::{annotate, Lexicon};
+
+/// Configuration shared by all experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Corpus shards.
+    pub shards: usize,
+    /// Extraction worker threads.
+    pub threads: usize,
+    /// Occurrence threshold ρ.
+    pub rho: u64,
+    /// Crowd panel seed.
+    pub panel_seed: u64,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2015,
+            shards: 8,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            rho: 100,
+            panel_seed: 500,
+        }
+    }
+}
+
+impl ReproConfig {
+    fn corpus(&self) -> CorpusConfig {
+        CorpusConfig {
+            num_shards: self.shards,
+            ..CorpusConfig::default()
+        }
+    }
+
+    fn surveyor(&self) -> SurveyorConfig {
+        SurveyorConfig {
+            rho: self.rho,
+            threads: self.threads,
+            ..SurveyorConfig::default()
+        }
+    }
+}
+
+/// Table 1: example extractions for the three patterns of Figure 4.
+pub fn table1(_cfg: &ReproConfig) -> (String, Value) {
+    let mut b = surveyor_kb::KnowledgeBaseBuilder::new();
+    let animal = b.add_type("animal", &["animal"], &[]);
+    let city = b.add_type("city", &["city"], &[]);
+    let sport = b.add_type("sport", &["sport"], &[]);
+    b.add_entity("Snake", animal).finish();
+    b.add_entity("Chicago", city).finish();
+    b.add_entity("Soccer", sport).finish();
+    let kb = b.build();
+    let lexicon = Lexicon::new();
+
+    let sentences = [
+        ("Snakes are dangerous animals.", "Adjectival modifier"),
+        ("Chicago is very big.", "Adjectival complement"),
+        ("Soccer is a fast and exciting sport.", "Conjunction"),
+    ];
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for (text, pattern) in sentences {
+        let doc = annotate(0, text, &kb, &lexicon);
+        for s in &doc.sentences {
+            for st in surveyor_extract::extract_sentence(
+                s,
+                &kb,
+                &surveyor_extract::ExtractionConfig::paper_final(),
+            ) {
+                let entity = kb.entity(st.entity).name().to_owned();
+                let property = st.property.to_string();
+                rows.push(vec![
+                    text.to_owned(),
+                    pattern.to_owned(),
+                    entity.clone(),
+                    property.clone(),
+                ]);
+                artifacts.push(json!({
+                    "statement": text, "pattern": pattern,
+                    "entity": entity, "property": property,
+                    "polarity": format!("{:?}", st.polarity),
+                }));
+            }
+        }
+    }
+    let text = format!(
+        "Table 1 — example extractions\n{}",
+        render::table(&["Statement", "Pattern", "Entity", "Property"], &rows)
+    );
+    (text, Value::Array(artifacts))
+}
+
+/// Table 2: the evaluated property-type matrix.
+pub fn table2(_cfg: &ReproConfig) -> (String, Value) {
+    let rows: Vec<Vec<String>> = kbseed::table2_matrix()
+        .into_iter()
+        .map(|(t, props)| vec![t.to_owned(), props.join(", ")])
+        .collect();
+    let text = format!(
+        "Table 2 — evaluated property-type combinations\n{}",
+        render::table(&["Entity Type", "Properties"], &rows)
+    );
+    let value = json!(kbseed::table2_matrix()
+        .into_iter()
+        .map(|(t, p)| json!({"type": t, "properties": p}))
+        .collect::<Vec<_>>());
+    (text, value)
+}
+
+/// Figure 5: negation-path polarity on the paper's example sentence.
+pub fn fig5(_cfg: &ReproConfig) -> (String, Value) {
+    let mut b = surveyor_kb::KnowledgeBaseBuilder::new();
+    let animal = b.add_type("animal", &["animal"], &[]);
+    b.add_entity("Snake", animal).finish();
+    let kb = b.build();
+    let lexicon = Lexicon::new();
+    let sentence = "I don't think that snakes are never dangerous.";
+    let doc = annotate(0, sentence, &kb, &lexicon);
+    let s = &doc.sentences[0];
+    let mut lines = vec![format!("Figure 5 — \"{sentence}\"")];
+    for line in s.tree.render(&s.tokens).lines() {
+        lines.push(format!("  {line}"));
+    }
+    let stmts = surveyor_extract::extract_sentence(
+        s,
+        &kb,
+        &surveyor_extract::ExtractionConfig::paper_final(),
+    );
+    for st in &stmts {
+        lines.push(format!(
+            "  extraction: ({}, {}) polarity {:?}  [two negations cancel]",
+            kb.entity(st.entity).name(),
+            st.property,
+            st.polarity
+        ));
+    }
+    let value = json!({
+        "sentence": sentence,
+        "extractions": stmts.len(),
+        "polarity": stmts.first().map(|s| format!("{:?}", s.polarity)),
+    });
+    (lines.join("\n") + "\n", value)
+}
+
+/// Figure 6: the two count distributions of Example 3 and the ⟨60,3⟩
+/// posterior.
+pub fn fig6(_cfg: &ReproConfig) -> (String, Value) {
+    let params = ModelParams::new(0.9, 100.0, 5.0);
+    let mut lines = vec![
+        "Figure 6 — log-probabilities under Example 3 (pA=0.9, np+S=100, np-S=5)".to_owned(),
+        "posterior Pr(D=+ | c+, c-) over a grid:".to_owned(),
+        "        c+:   0     20     40     60     80    100".to_owned(),
+    ];
+    for c_neg in [0u64, 2, 4, 6, 8, 10] {
+        let mut row = format!("  c-={c_neg:>2}  ");
+        for c_pos in [0u64, 20, 40, 60, 80, 100] {
+            let p = posterior_positive(ObservedCounts::new(c_pos, c_neg), &params);
+            row.push_str(&format!("{p:>7.3}"));
+        }
+        lines.push(row);
+    }
+    let p63 = posterior_positive(ObservedCounts::new(60, 3), &params);
+    lines.push(format!(
+        "tuple X = (60, 3): Pr(positive dominant opinion) = {p63:.6} (paper: clearly positive)"
+    ));
+    let value = json!({"pa": 0.9, "np_pos": 100.0, "np_neg": 5.0, "posterior_60_3": p63});
+    (lines.join("\n") + "\n", value)
+}
+
+/// Figure 3: the Californian big-cities empirical study.
+pub fn fig3(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::big_cities_world(cfg.seed);
+    let study = run_empirical(
+        &world,
+        kbseed::ATTR_POPULATION,
+        cfg.corpus(),
+        SurveyorConfig {
+            rho: 50,
+            threads: cfg.threads,
+            ..SurveyorConfig::default()
+        },
+    );
+    let mut text = String::from("Figure 3 — 461 Californian cities, property `big`\n");
+    text.push_str("\n(a) positive statements vs population (log x):\n");
+    let pos_points: Vec<(f64, f64)> = study
+        .points
+        .iter()
+        .map(|p| (p.attribute, p.positive as f64))
+        .collect();
+    text.push_str(&render::scatter_logx(&pos_points, 10, 56));
+    text.push_str("\n(b) negative statements vs population (log x):\n");
+    let neg_points: Vec<(f64, f64)> = study
+        .points
+        .iter()
+        .map(|p| (p.attribute, p.negative as f64))
+        .collect();
+    text.push_str(&render::scatter_logx(&neg_points, 8, 56));
+    let polarity_points = |value: fn(&surveyor_eval::EmpiricalPoint) -> f64| -> Vec<(f64, f64)> {
+        study.points.iter().map(|p| (p.attribute, value(p))).collect()
+    };
+    text.push_str("\n(c) majority-vote polarity (+1 / 0=N / -1) vs population:\n");
+    text.push_str(&render::scatter_logx(
+        &polarity_points(|p| match p.majority {
+            Decision::Positive => 1.0,
+            Decision::Unsolved => 0.0,
+            Decision::Negative => -1.0,
+        }),
+        7,
+        56,
+    ));
+    text.push_str("\n(d) probabilistic-model polarity vs population:\n");
+    text.push_str(&render::scatter_logx(
+        &polarity_points(|p| match p.model {
+            Decision::Positive => 1.0,
+            Decision::Unsolved => 0.0,
+            Decision::Negative => -1.0,
+        }),
+        7,
+        56,
+    ));
+    text.push_str(&format!(
+        "\nSpearman(population, polarity): majority vote {:.3}, model {:.3}\n\
+         coverage: majority vote {:.3}, model {:.3}\n\
+         accuracy vs planted opinion: majority vote {:.3}, model {:.3}\n",
+        study.majority_spearman.unwrap_or(0.0),
+        study.model_spearman.unwrap_or(0.0),
+        study.majority_coverage,
+        study.model_coverage,
+        study.majority_accuracy,
+        study.model_accuracy,
+    ));
+    let value = serde_json::to_value(&study).expect("serializable study");
+    (text, value)
+}
+
+/// Figure 13: the Appendix A studies (countries / lakes / mountains).
+pub fn fig13(cfg: &ReproConfig) -> (String, Value) {
+    let studies = [
+        (
+            "Wealthy countries (GDP per capita)",
+            presets::wealthy_countries_world(cfg.seed),
+            kbseed::ATTR_GDP_PER_CAPITA,
+        ),
+        (
+            "Big lakes in Switzerland (area km2)",
+            presets::big_lakes_world(cfg.seed),
+            kbseed::ATTR_AREA_KM2,
+        ),
+        (
+            "High mountains on the British Isles (relative height m)",
+            presets::high_mountains_world(cfg.seed),
+            kbseed::ATTR_RELATIVE_HEIGHT_M,
+        ),
+    ];
+    let mut text = String::from("Figure 13 — Appendix A empirical studies\n");
+    let mut rows = Vec::new();
+    let mut values = Vec::new();
+    for (label, world, attr) in studies {
+        let study = run_empirical(
+            &world,
+            attr,
+            cfg.corpus(),
+            SurveyorConfig {
+                rho: 20,
+                threads: cfg.threads,
+                ..SurveyorConfig::default()
+            },
+        );
+        rows.push(vec![
+            label.to_owned(),
+            render::f3(study.majority_spearman.unwrap_or(0.0)),
+            render::f3(study.model_spearman.unwrap_or(0.0)),
+            render::f3(study.majority_coverage),
+            render::f3(study.model_coverage),
+        ]);
+        values.push(serde_json::to_value(&study).expect("serializable"));
+    }
+    text.push_str(&render::table(
+        &[
+            "Scenario",
+            "MV corr",
+            "Model corr",
+            "MV coverage",
+            "Model coverage",
+        ],
+        &rows,
+    ));
+    (text, Value::Array(values))
+}
+
+/// Figure 9: extraction statistics over a large synthetic snapshot.
+pub fn fig9(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::long_tail_world(40, 120, 8, cfg.seed);
+    let generator = CorpusGenerator::new(world.clone(), cfg.corpus());
+    let source = CorpusSource::new(&generator);
+    let evidence = run_sharded(
+        &source,
+        world.kb(),
+        &surveyor_extract::ExtractionConfig::paper_final(),
+        cfg.threads,
+    );
+    let stats = snapshot_stats(&evidence, world.kb(), cfg.rho.min(25));
+    let series = |name: &str, data: &[(u8, f64)]| -> String {
+        let items: Vec<(String, f64)> = data
+            .iter()
+            .map(|(q, v)| (format!("p{q}"), *v))
+            .collect();
+        format!("{name}\n{}", render::bars(&items, 40))
+    };
+    let text = format!(
+        "Figure 9 — extraction statistics ({} statements, {} pairs, {} combinations, {} above threshold)\n\n{}\n{}\n{}",
+        stats.statements_total,
+        stats.pairs_with_evidence,
+        stats.combinations_total,
+        stats.combinations_above_rho,
+        series("(a) statements per KB entity (percentiles):", &stats.per_entity),
+        series(
+            "(b) statements per property-type combination (percentiles):",
+            &stats.per_combination
+        ),
+        series(
+            "(c) properties above threshold per type (percentiles):",
+            &stats.properties_per_type
+        ),
+    );
+    let value = serde_json::to_value(&stats).expect("serializable stats");
+    (text, value)
+}
+
+/// Figures 10 and 11: the crowd data.
+pub fn fig10_11(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::table2_world(cfg.seed);
+    let suite = EvalSuite::from_world_limited(&world, cfg.panel_seed, Some(20));
+    let votes = suite.votes_for("animal", &Property::adjective("cute"));
+    let mut text = String::from("Figure 10 — workers calling the animal \"cute\" (of 20):\n");
+    let items: Vec<(String, f64)> = votes
+        .iter()
+        .map(|(name, v)| (name.clone(), *v as f64))
+        .collect();
+    text.push_str(&render::bars(&items, 20));
+    text.push_str(&format!(
+        "\nFigure 11 — test cases with agreement above threshold (of {} cases, {} ties removed, mean agreement {:.1}, {} unanimous):\n",
+        suite.cases.len(),
+        suite.ties_removed,
+        suite.mean_agreement(),
+        suite.unanimous_cases(),
+    ));
+    let hist: Vec<(String, f64)> = (11..=20)
+        .map(|t| (format!(">= {t}"), suite.at_agreement(t).len() as f64))
+        .collect();
+    text.push_str(&render::bars(&hist, 40));
+    let value = json!({
+        "figure10_votes": votes,
+        "figure11_histogram": (11..=20)
+            .map(|t| json!({"threshold": t, "cases": suite.at_agreement(t).len()}))
+            .collect::<Vec<_>>(),
+        "mean_agreement": suite.mean_agreement(),
+        "unanimous": suite.unanimous_cases(),
+        "ties_removed": suite.ties_removed,
+    });
+    (text, value)
+}
+
+/// Table 3 and Figure 12: the method comparison (with bootstrap 95% CIs).
+pub fn table3_fig12(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::table2_world(cfg.seed);
+    let generator = CorpusGenerator::new(world.clone(), cfg.corpus());
+    let surveyor = Surveyor::new(world.kb().clone(), cfg.surveyor());
+    let output = surveyor.run(&CorpusSource::new(&generator));
+    let suite = surveyor_eval::EvalSuite::from_world_limited(&world, cfg.panel_seed, Some(20));
+    let report = surveyor_eval::comparison::report_from_parts(
+        &suite,
+        &output,
+        WebChildConfig::default(),
+    );
+    // Bootstrap 95% CIs on precision per method.
+    let decisions = surveyor_eval::comparison::method_decisions(
+        &suite,
+        &output,
+        WebChildConfig::default(),
+    );
+    let truths: Vec<bool> = suite.cases.iter().map(|c| c.crowd_majority).collect();
+    let mut text = format!(
+        "Table 3 — comparison on {} judged test cases ({} ties removed)\n",
+        report.cases, report.ties_removed
+    );
+    let rows: Vec<Vec<String>> = report
+        .table3
+        .iter()
+        .map(|r| {
+            let d = &decisions
+                .per_method
+                .iter()
+                .find(|(n, _)| n == &r.method)
+                .expect("method decisions")
+                .1;
+            let ci = surveyor_eval::bootstrap::bootstrap_metrics(d, &truths, 500, 0.95, 99);
+            vec![
+                r.method.clone(),
+                render::f3(r.metrics.coverage),
+                render::f3(r.metrics.precision),
+                format!("[{}, {}]", render::f3(ci.precision.lower), render::f3(ci.precision.upper)),
+                render::f3(r.metrics.f1),
+            ]
+        })
+        .collect();
+    text.push_str(&render::table(
+        &["Approach", "Coverage", "Precision", "95% CI (prec)", "F1"],
+        &rows,
+    ));
+    text.push_str("\nFigure 12 — precision (top) and coverage (bottom) vs worker-agreement threshold:\n");
+    let methods: Vec<&str> = report.table3.iter().map(|r| r.method.as_str()).collect();
+    for metric in ["precision", "coverage"] {
+        text.push_str(&format!("\n{metric}:\n  threshold:"));
+        for p in &report.figure12 {
+            text.push_str(&format!("{:>7}", p.threshold));
+        }
+        text.push('\n');
+        for method in &methods {
+            text.push_str(&format!("  {method:<20}"));
+            for p in &report.figure12 {
+                let m = p.rows.iter().find(|r| &r.method == method).expect("method row");
+                let v = if metric == "precision" {
+                    m.metrics.precision
+                } else {
+                    m.metrics.coverage
+                };
+                text.push_str(&format!("{v:>7.3}"));
+            }
+            text.push('\n');
+        }
+    }
+    let value = serde_json::to_value(&report).expect("serializable report");
+    (text, value)
+}
+
+/// Table 4: the extraction pattern versions.
+pub fn table4(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::table2_world(cfg.seed);
+    let rows_data = run_versions(&world, cfg.corpus());
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.version),
+                r.modifiers.clone(),
+                r.verbs.clone(),
+                if r.checks { "yes" } else { "no" }.to_owned(),
+                r.statements.to_string(),
+                r.pairs.to_string(),
+                render::f3(r.on_target_share),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Table 4 — extraction pattern versions\n{}",
+        render::table(
+            &["Vers.", "Modifiers", "Verbs", "Check", "Statements", "Pairs", "On-target"],
+            &rows,
+        )
+    );
+    let value = serde_json::to_value(&rows_data).expect("serializable rows");
+    (text, value)
+}
+
+/// Table 5: the random-sample comparison.
+pub fn table5(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::long_tail_world(40, 120, 8, cfg.seed);
+    let report = run_random_sample(
+        &world,
+        cfg.corpus(),
+        SurveyorConfig {
+            rho: 25,
+            threads: cfg.threads,
+            ..SurveyorConfig::default()
+        },
+        WebChildConfig::default(),
+        100,
+        7,
+        80,
+        cfg.seed ^ 0xD,
+    );
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                render::f3(r.coverage),
+                render::f3(r.precision),
+                render::f3(r.f1),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Table 5 — random sample ({} cases, {} judged)\n{}",
+        report.sampled_cases,
+        report.judged_cases,
+        render::table(&["Approach", "Coverage", "Precision", "F1"], &rows)
+    );
+    let value = serde_json::to_value(&report).expect("serializable report");
+    (text, value)
+}
+
+/// Ablations of the design choices.
+pub fn ablations(cfg: &ReproConfig) -> (String, Value) {
+    let world = presets::table2_world(cfg.seed);
+    let report = ablation::run_ablations(&world, cfg.corpus(), cfg.surveyor(), cfg.panel_seed);
+    let m = |m: &surveyor_eval::Metrics| {
+        vec![render::f3(m.coverage), render::f3(m.precision), render::f3(m.f1)]
+    };
+    let mut rows = vec![
+        [vec!["Surveyor (standard)".to_owned()], m(&report.standard)].concat(),
+        [vec!["negation-blind".to_owned()], m(&report.negation_blind)].concat(),
+        [vec!["global parameters".to_owned()], m(&report.global_params)].concat(),
+        [
+            vec!["standard (inverted-bias combos)".to_owned()],
+            m(&report.standard_inverted),
+        ]
+        .concat(),
+        [
+            vec!["negation-blind (inverted-bias combos)".to_owned()],
+            m(&report.negation_blind_inverted),
+        ]
+        .concat(),
+    ];
+    for (tau, metrics) in &report.thresholds {
+        rows.push([vec![format!("threshold tau={tau}")], m(metrics)].concat());
+    }
+    for (iters, metrics) in &report.em_iterations {
+        rows.push([vec![format!("EM iterations={iters}")], m(metrics)].concat());
+    }
+    // The §4 antonym alternative, on its dedicated two-property world.
+    let antonym = surveyor_eval::antonym::run_antonym_ablation(cfg.seed, 400);
+    rows.push(
+        [
+            vec!["antonym world: raw evidence".to_owned()],
+            m(&antonym.without_folding),
+        ]
+        .concat(),
+    );
+    rows.push(
+        [
+            vec!["antonym world: small folded into not-big".to_owned()],
+            m(&antonym.with_folding),
+        ]
+        .concat(),
+    );
+    let text = format!(
+        "Ablations — design choices of Sections 4 and 5\n{}\n\
+         (antonym world: {} of {} entities are neither big nor small — the\n\
+          band that antonym folding misreads, paper Section 4)\n",
+        render::table(&["Variant", "Coverage", "Precision", "F1"], &rows),
+        antonym.medium_entities,
+        antonym.entities,
+    );
+    let value = serde_json::json!({
+        "design_choices": serde_json::to_value(&report).expect("serializable report"),
+        "antonym": serde_json::to_value(&antonym).expect("serializable antonym report"),
+    });
+    (text, value)
+}
+
+/// Region-specific mining (§2 extension): divergence and per-region
+/// accuracy as the second region's opinion-flip probability grows.
+pub fn regions(cfg: &ReproConfig) -> (String, Value) {
+    // A dense world: each region sees only half the corpus, so rates are
+    // high enough that per-region decisions stay well determined.
+    let mut b = surveyor::kb::KnowledgeBaseBuilder::new();
+    let animal = b.add_type("animal", &["animal"], &[]);
+    let city = b.add_type("city", &["city"], &[]);
+    for i in 0..80 {
+        b.add_entity(&format!("Critter{i}"), animal).finish();
+        b.add_entity(&format!("Metroville{i}"), city).finish();
+    }
+    let kb = std::sync::Arc::new(b.build());
+    let dense = |share: f64| surveyor::prelude::DomainParams {
+        p_agree: 0.92,
+        rate_pos: 30.0,
+        rate_neg: 5.0,
+        opinions: surveyor::prelude::OpinionRule::RandomShare(share),
+        ..surveyor::prelude::DomainParams::default()
+    };
+    let world = surveyor::prelude::WorldBuilder::new(kb, cfg.seed)
+        .domain("animal", Property::adjective("cute"), dense(0.5))
+        .domain("animal", Property::adjective("dangerous"), dense(0.4))
+        .domain("city", Property::adjective("big"), dense(0.3))
+        .build();
+    let mut rows = Vec::new();
+    let mut values = Vec::new();
+    for flip in [0.0, 0.2, 0.4, 0.6] {
+        let report = surveyor_eval::region::run_region_experiment(
+            &world,
+            flip,
+            cfg.shards,
+            40,
+            cfg.threads,
+        );
+        rows.push(vec![
+            format!("{flip:.1}"),
+            render::f3(report.divergence),
+            render::f3(report.accuracy_a),
+            render::f3(report.accuracy_b),
+            report.compared_pairs.to_string(),
+        ]);
+        values.push(serde_json::to_value(&report).expect("serializable report"));
+    }
+    let text = format!(
+        "Region-specific mining (§2) — two author regions, region B flips a\n\
+         fraction of region A's dominant opinions; each region's corpus slice\n\
+         is mined separately\n{}",
+        render::table(
+            &["Flip prob", "Divergence", "Accuracy A", "Accuracy B", "Pairs"],
+            &rows,
+        )
+    );
+    (text, Value::Array(values))
+}
+
+/// Scale experiment (§7.1): extraction and EM throughput, and the EM's
+/// O(m) claim (runtime vs entities, independent of mention counts).
+pub fn scale(cfg: &ReproConfig) -> (String, Value) {
+    // Extraction throughput vs worker threads; a larger sharded corpus so
+    // per-shard work dominates scheduling overhead.
+    let world = presets::table2_world(cfg.seed);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: 64,
+            ..CorpusConfig::default()
+        },
+    );
+    let source = CorpusSource::new(&generator);
+    let mut rows = Vec::new();
+    let mut values = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let table = run_sharded(
+            &source,
+            world.kb(),
+            &surveyor_extract::ExtractionConfig::paper_final(),
+            threads,
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("extraction, {threads} threads"),
+            format!("{:.2}s", elapsed),
+            format!("{} statements", table.total_statements()),
+        ]);
+        values.push(json!({"phase": "extraction", "threads": threads, "seconds": elapsed,
+                           "statements": table.total_statements()}));
+    }
+    // EM runtime vs entity count (fixed per-entity rates — mention counts
+    // grow linearly but EM cost must stay O(m)).
+    use rand::{rngs::StdRng, SeedableRng};
+    use surveyor_prob::Poisson;
+    for m in [1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let counts: Vec<ObservedCounts> = (0..m)
+            .map(|i| {
+                let (lp, ln) = if i % 5 == 0 { (40.0, 1.0) } else { (2.0, 0.5) };
+                ObservedCounts::new(
+                    Poisson::new(lp).sample(&mut rng),
+                    Poisson::new(ln).sample(&mut rng),
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        let fitted = fit(&counts, &EmConfig::default());
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("EM, {m} entities"),
+            format!("{:.3}s", elapsed),
+            format!("{} iterations", fitted.iterations),
+        ]);
+        values.push(json!({"phase": "em", "entities": m, "seconds": elapsed,
+                           "iterations": fitted.iterations}));
+    }
+    let text = format!(
+        "Scale (§7.1) — pipeline throughput\n{}",
+        render::table(&["Stage", "Time", "Detail"], &rows)
+    );
+    (text, Value::Array(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReproConfig {
+        ReproConfig {
+            seed: 5,
+            shards: 2,
+            threads: 2,
+            rho: 40,
+            panel_seed: 9,
+        }
+    }
+
+    #[test]
+    fn table1_extracts_all_three_patterns() {
+        let (text, value) = table1(&tiny());
+        assert!(text.contains("Snake"));
+        assert!(text.contains("very big"));
+        assert!(text.contains("exciting"));
+        assert!(value.as_array().unwrap().len() >= 4);
+    }
+
+    #[test]
+    fn fig5_detects_double_negation() {
+        let (text, value) = fig5(&tiny());
+        assert!(text.contains("Positive"), "{text}");
+        assert_eq!(value["polarity"], "Positive");
+    }
+
+    #[test]
+    fn fig6_posterior_is_positive_for_60_3() {
+        let (_, value) = fig6(&tiny());
+        assert!(value["posterior_60_3"].as_f64().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn table2_lists_five_types() {
+        let (text, value) = table2(&tiny());
+        assert!(text.contains("animal"));
+        assert_eq!(value.as_array().unwrap().len(), 5);
+    }
+}

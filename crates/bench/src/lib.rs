@@ -1,0 +1,11 @@
+//! Benchmark-harness support library: experiment drivers and plain-text
+//! rendering for the `repro` binary, which regenerates every table and
+//! figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::ReproConfig;

@@ -1,0 +1,337 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Mine a preset world into a subjective knowledge base.
+    Mine {
+        /// Preset name: `table2`, `cities`, or `longtail`.
+        preset: String,
+        /// Output JSON path (stdout when absent).
+        out: Option<String>,
+        /// Master seed.
+        seed: u64,
+        /// Occurrence threshold ρ.
+        rho: u64,
+        /// Corpus shards.
+        shards: usize,
+    },
+    /// Query a mined store.
+    Query {
+        /// Store JSON path.
+        store: String,
+        /// Entity type name.
+        type_name: String,
+        /// Property surface form (e.g. `big` or `very big`).
+        property: String,
+        /// Return entities the property does *not* apply to.
+        negative: bool,
+        /// Maximum hits printed.
+        limit: usize,
+    },
+    /// List the combinations in a store with their fitted parameters.
+    Combos {
+        /// Store JSON path.
+        store: String,
+    },
+    /// Print sample documents from a preset corpus.
+    Corpus {
+        /// Preset name.
+        preset: String,
+        /// Master seed.
+        seed: u64,
+        /// Shard index.
+        shard: usize,
+        /// Documents printed.
+        limit: usize,
+    },
+    /// Mine a preset and link a subjective property to an objective
+    /// attribute (§9 future work).
+    Link {
+        /// Preset name (currently `cities`).
+        preset: String,
+        /// Attribute key (e.g. `population`).
+        attribute: String,
+        /// Master seed.
+        seed: u64,
+        /// Occurrence threshold ρ.
+        rho: u64,
+    },
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// Flag given without a value.
+    MissingValue(String),
+    /// Value failed to parse.
+    BadValue(String, String),
+    /// A required flag is absent.
+    MissingFlag(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingCommand => write!(f, "missing subcommand\n{USAGE}"),
+            Self::UnknownCommand(c) => write!(f, "unknown subcommand: {c}\n{USAGE}"),
+            Self::UnknownFlag(flag) => write!(f, "unknown flag: {flag}"),
+            Self::MissingValue(flag) => write!(f, "missing value for {flag}"),
+            Self::BadValue(flag, v) => write!(f, "invalid value for {flag}: {v}"),
+            Self::MissingFlag(flag) => write!(f, "required flag missing: {flag}"),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  surveyor mine   --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N]
+  surveyor query  --store FILE --type NAME --property ADJ [--negative] [--limit N]
+  surveyor combos --store FILE
+  surveyor corpus --preset NAME [--seed N] [--shard N] [--limit N]
+  surveyor link   --preset cities --attribute KEY [--seed N] [--rho N]";
+
+/// Simple flag scanner: collects `--flag value` pairs and boolean flags.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], booleans: &[&str]) -> Result<Self, ParseError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if !arg.starts_with("--") {
+                return Err(ParseError::UnknownFlag(arg.clone()));
+            }
+            if booleans.contains(&arg.as_str()) {
+                pairs.push((arg.clone(), None));
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError::MissingValue(arg.clone()))?;
+                pairs.push((arg.clone(), Some(value.clone())));
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    fn take(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.pairs.iter().any(|(f, _)| f == flag)
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ParseError> {
+        match self.take(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError::BadValue(flag.to_owned(), v.to_owned())),
+        }
+    }
+
+    fn required(&self, flag: &'static str) -> Result<String, ParseError> {
+        self.take(flag)
+            .map(str::to_owned)
+            .ok_or(ParseError::MissingFlag(flag))
+    }
+
+    fn validate_known(&self, known: &[&str]) -> Result<(), ParseError> {
+        for (flag, _) in &self.pairs {
+            if !known.contains(&flag.as_str()) {
+                return Err(ParseError::UnknownFlag(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Cli {
+    /// Parses a full argument list (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, ParseError> {
+        let (command, rest) = args
+            .split_first()
+            .ok_or(ParseError::MissingCommand)?;
+        let command = match command.as_str() {
+            "mine" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&["--preset", "--out", "--seed", "--rho", "--shards"])?;
+                Command::Mine {
+                    preset: flags.required("--preset")?,
+                    out: flags.take("--out").map(str::to_owned),
+                    seed: flags.numeric("--seed", 2015)?,
+                    rho: flags.numeric("--rho", 100)?,
+                    shards: flags.numeric("--shards", 8)?,
+                }
+            }
+            "query" => {
+                let flags = Flags::parse(rest, &["--negative"])?;
+                flags.validate_known(&[
+                    "--store",
+                    "--type",
+                    "--property",
+                    "--negative",
+                    "--limit",
+                ])?;
+                Command::Query {
+                    store: flags.required("--store")?,
+                    type_name: flags.required("--type")?,
+                    property: flags.required("--property")?,
+                    negative: flags.has("--negative"),
+                    limit: flags.numeric("--limit", 10)?,
+                }
+            }
+            "combos" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&["--store"])?;
+                Command::Combos {
+                    store: flags.required("--store")?,
+                }
+            }
+            "corpus" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&["--preset", "--seed", "--shard", "--limit"])?;
+                Command::Corpus {
+                    preset: flags.required("--preset")?,
+                    seed: flags.numeric("--seed", 2015)?,
+                    shard: flags.numeric("--shard", 0)?,
+                    limit: flags.numeric("--limit", 10)?,
+                }
+            }
+            "link" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&["--preset", "--attribute", "--seed", "--rho"])?;
+                Command::Link {
+                    preset: flags.required("--preset")?,
+                    attribute: flags.required("--attribute")?,
+                    seed: flags.numeric("--seed", 2015)?,
+                    rho: flags.numeric("--rho", 50)?,
+                }
+            }
+            other => return Err(ParseError::UnknownCommand(other.to_owned())),
+        };
+        Ok(Self { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, ParseError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Cli::parse(&owned)
+    }
+
+    #[test]
+    fn mine_with_defaults() {
+        let cli = parse(&["mine", "--preset", "table2"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Mine {
+                preset: "table2".into(),
+                out: None,
+                seed: 2015,
+                rho: 100,
+                shards: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn mine_with_overrides() {
+        let cli = parse(&[
+            "mine", "--preset", "cities", "--out", "s.json", "--seed", "7", "--rho", "40",
+            "--shards", "2",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Mine {
+                preset,
+                out,
+                seed,
+                rho,
+                shards,
+            } => {
+                assert_eq!(preset, "cities");
+                assert_eq!(out.as_deref(), Some("s.json"));
+                assert_eq!((seed, rho, shards), (7, 40, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_requires_core_flags() {
+        assert_eq!(
+            parse(&["query", "--store", "s.json", "--type", "city"]),
+            Err(ParseError::MissingFlag("--property"))
+        );
+        let cli = parse(&[
+            "query", "--store", "s.json", "--type", "city", "--property", "big", "--negative",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Query {
+                negative, limit, ..
+            } => {
+                assert!(negative);
+                assert_eq!(limit, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert_eq!(parse(&[]), Err(ParseError::MissingCommand));
+        assert_eq!(
+            parse(&["explode"]),
+            Err(ParseError::UnknownCommand("explode".into()))
+        );
+        assert_eq!(
+            parse(&["mine", "--preset", "table2", "--bogus", "1"]),
+            Err(ParseError::UnknownFlag("--bogus".into()))
+        );
+        assert_eq!(
+            parse(&["mine", "--preset", "table2", "--seed"]),
+            Err(ParseError::MissingValue("--seed".into()))
+        );
+        assert_eq!(
+            parse(&["mine", "--preset", "table2", "--seed", "abc"]),
+            Err(ParseError::BadValue("--seed".into(), "abc".into()))
+        );
+    }
+
+    #[test]
+    fn last_flag_occurrence_wins() {
+        let cli = parse(&["mine", "--preset", "a", "--preset", "b"]).unwrap();
+        match cli.command {
+            Command::Mine { preset, .. } => assert_eq!(preset, "b"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

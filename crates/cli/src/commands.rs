@@ -1,0 +1,253 @@
+//! Command implementations.
+
+use std::sync::Arc;
+use surveyor::prelude::*;
+use surveyor::{link_objective, CorpusSource, LinkDirection, SubjectiveKb};
+use surveyor_corpus::{presets, World};
+
+/// Builds a preset world by name.
+fn preset_world(preset: &str, seed: u64) -> Result<World, String> {
+    match preset {
+        "table2" => Ok(presets::table2_world(seed)),
+        "cities" => Ok(presets::big_cities_world(seed)),
+        "longtail" => Ok(presets::long_tail_world(40, 120, 8, seed)),
+        other => Err(format!(
+            "unknown preset: {other} (expected table2, cities, or longtail)"
+        )),
+    }
+}
+
+fn mine_store(
+    preset: &str,
+    seed: u64,
+    rho: u64,
+    shards: usize,
+) -> Result<(SubjectiveKb, surveyor::SurveyorOutput, Arc<KnowledgeBase>, World), String> {
+    let world = preset_world(preset, seed)?;
+    let kb = world.kb().clone();
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: shards.max(1),
+            ..CorpusConfig::default()
+        },
+    );
+    let surveyor = Surveyor::new(
+        kb.clone(),
+        SurveyorConfig {
+            rho,
+            ..SurveyorConfig::default()
+        },
+    );
+    let output = surveyor.run(&CorpusSource::new(&generator));
+    let store = SubjectiveKb::from_output(&output, &kb);
+    Ok((store, output, kb, world))
+}
+
+/// `surveyor mine`
+pub fn mine(
+    preset: &str,
+    out: Option<&str>,
+    seed: u64,
+    rho: u64,
+    shards: usize,
+) -> Result<String, String> {
+    let (store, output, _, _) = mine_store(preset, seed, rho, shards)?;
+    let json = store.to_json();
+    let summary = format!(
+        "mined {} statements into {} associations over {} combinations (rho = {rho})",
+        output.evidence.total_statements(),
+        store.len(),
+        store.blocks().len(),
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("{summary}\nwrote {path}"))
+        }
+        None => Ok(format!("{summary}\n{json}")),
+    }
+}
+
+fn load_store(path: &str) -> Result<SubjectiveKb, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SubjectiveKb::from_json(&json).map_err(|e| format!("invalid store {path}: {e}"))
+}
+
+/// `surveyor query`
+pub fn query(
+    store_path: &str,
+    type_name: &str,
+    property: &str,
+    negative: bool,
+    limit: usize,
+) -> Result<String, String> {
+    let store = load_store(store_path)?;
+    let property = Property::parse(property).ok_or("empty property")?;
+    let hits = if negative {
+        store.query_negative(type_name, &property)
+    } else {
+        store.query(type_name, &property)
+    };
+    if hits.is_empty() {
+        return Ok(format!(
+            "no results for \"{property} {type_name}\" (combination not modeled or no {} opinions)",
+            if negative { "negative" } else { "positive" },
+        ));
+    }
+    let mut out = format!(
+        "{} {} of type `{type_name}` the dominant opinion calls{} `{property}`:\n",
+        hits.len().min(limit),
+        if hits.len() == 1 { "entity" } else { "entities" },
+        if negative { " NOT" } else { "" },
+    );
+    for hit in hits.into_iter().take(limit.max(1)) {
+        let docs = if hit.supporting_documents.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "  docs {}",
+                hit.supporting_documents
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        out.push_str(&format!(
+            "  {:<24} Pr = {:.3}  evidence +{}/-{}{docs}\n",
+            hit.entity_name, hit.probability, hit.positive_statements, hit.negative_statements
+        ));
+    }
+    Ok(out)
+}
+
+/// `surveyor combos`
+pub fn combos(store_path: &str) -> Result<String, String> {
+    let store = load_store(store_path)?;
+    let mut out = format!("{} combinations:\n", store.blocks().len());
+    for block in store.blocks() {
+        let positives = block.opinions.iter().filter(|o| o.positive).count();
+        out.push_str(&format!(
+            "  {:<12} {:<16} pA = {:.2}  np+S = {:>6.1}  np-S = {:>5.1}  ({} entities, {} positive)\n",
+            block.type_name,
+            block.property.to_string(),
+            block.p_agree,
+            block.rate_pos,
+            block.rate_neg,
+            block.opinions.len(),
+            positives,
+        ));
+    }
+    Ok(out)
+}
+
+/// `surveyor corpus`
+pub fn corpus(preset: &str, seed: u64, shard: usize, limit: usize) -> Result<String, String> {
+    let world = preset_world(preset, seed)?;
+    let generator = CorpusGenerator::new(world, CorpusConfig::default());
+    if shard >= generator.shard_count() {
+        return Err(format!(
+            "shard {shard} out of range (corpus has {} shards)",
+            generator.shard_count()
+        ));
+    }
+    let docs = generator.shard_text(shard);
+    let mut out = format!(
+        "shard {shard} of {} holds {} documents; first {}:\n",
+        generator.shard_count(),
+        docs.len(),
+        limit.min(docs.len()),
+    );
+    for doc in docs.iter().take(limit.max(1)) {
+        out.push_str(&format!("  [{}] {}\n", doc.id, doc.text));
+    }
+    Ok(out)
+}
+
+/// `surveyor link`
+pub fn link(preset: &str, attribute: &str, seed: u64, rho: u64) -> Result<String, String> {
+    if preset != "cities" {
+        return Err("`link` currently supports --preset cities (population)".to_owned());
+    }
+    let (_, output, kb, world) = mine_store(preset, seed, rho, 8)?;
+    let domain = &world.domains()[0];
+    let link = link_objective(&output, &kb, domain.type_id, &domain.property, attribute, 10)
+        .ok_or_else(|| {
+            format!("no {attribute} link found for `{}`", domain.property)
+        })?;
+    Ok(format!(
+        "`{} {}` aligns with {attribute} {} {:.0}\n\
+         agreement {:.1}% over {} decided entities\n\
+         (the paper's section 9: \"a lower bound on the population count of a city\n\
+          starting from which an average user would call that city big\")",
+        domain.property,
+        kb.entity_type(domain.type_id).name(),
+        match link.direction {
+            LinkDirection::Above => ">=",
+            LinkDirection::Below => "<",
+        },
+        link.threshold,
+        link.agreement * 100.0,
+        link.samples,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        assert!(preset_world("mars", 1).is_err());
+        assert!(corpus("mars", 1, 0, 3).is_err());
+    }
+
+    #[test]
+    fn corpus_prints_documents() {
+        let out = corpus("table2", 3, 0, 3).unwrap();
+        assert!(out.contains("documents"));
+        assert!(out.lines().count() >= 2);
+    }
+
+    #[test]
+    fn corpus_rejects_out_of_range_shard() {
+        assert!(corpus("table2", 3, 99, 3).is_err());
+    }
+
+    #[test]
+    fn mine_and_query_round_trip() {
+        let dir = std::env::temp_dir().join("surveyor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let path_str = path.to_str().unwrap();
+
+        // Small, fast configuration.
+        let summary = mine("cities", Some(path_str), 5, 40, 2).unwrap();
+        assert!(summary.contains("mined"), "{summary}");
+
+        let out = query(path_str, "city", "big", false, 5).unwrap();
+        assert!(out.contains("Pr ="), "{out}");
+        let neg = query(path_str, "city", "big", true, 5).unwrap();
+        assert!(neg.contains("NOT"), "{neg}");
+        let listing = combos(path_str).unwrap();
+        assert!(listing.contains("pA"), "{listing}");
+
+        // Unknown combination reports cleanly.
+        let none = query(path_str, "city", "purple", false, 5).unwrap();
+        assert!(none.contains("no results"), "{none}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn link_discovers_population_boundary() {
+        let out = link("cities", "population", 5, 40).unwrap();
+        assert!(out.contains("population >="), "{out}");
+        assert!(out.contains("agreement"), "{out}");
+    }
+
+    #[test]
+    fn query_missing_store_is_an_error() {
+        assert!(query("/nonexistent/store.json", "city", "big", false, 5).is_err());
+    }
+}

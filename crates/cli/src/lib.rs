@@ -1,0 +1,53 @@
+//! Command-line interface for the Surveyor subjective-property miner.
+//!
+//! ```text
+//! surveyor mine   --preset table2 --out store.json [--seed N] [--rho N] [--shards N]
+//! surveyor query  --store store.json --type city --property big [--negative] [--limit N]
+//! surveyor combos --store store.json
+//! surveyor corpus --preset table2 [--seed N] [--shard N] [--limit N]
+//! surveyor link   --preset cities --attribute population [--seed N] [--rho N]
+//! ```
+//!
+//! Argument parsing and command execution live here so they are unit
+//! testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, ParseError};
+
+/// Runs a parsed command, returning the text to print.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Mine {
+            preset,
+            out,
+            seed,
+            rho,
+            shards,
+        } => commands::mine(preset, out.as_deref(), *seed, *rho, *shards),
+        Command::Query {
+            store,
+            type_name,
+            property,
+            negative,
+            limit,
+        } => commands::query(store, type_name, property, *negative, *limit),
+        Command::Combos { store } => commands::combos(store),
+        Command::Corpus {
+            preset,
+            seed,
+            shard,
+            limit,
+        } => commands::corpus(preset, *seed, *shard, *limit),
+        Command::Link {
+            preset,
+            attribute,
+            seed,
+            rho,
+        } => commands::link(preset, attribute, *seed, *rho),
+    }
+}

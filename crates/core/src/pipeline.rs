@@ -1,0 +1,311 @@
+//! Algorithm 1: the end-to-end Surveyor pipeline.
+//!
+//! ```text
+//! function Surveyor(W, KB, ρ):
+//!     iterate over documents in W to extract evidence
+//!     for ⟨type, property⟩ with at least ρ extractions:
+//!         learn model parameters (EM)
+//!         for entity of type:
+//!             prb = Pr(property applies)
+//!             emit ⟨entity, property, +⟩ if prb > ½
+//!             emit ⟨entity, property, −⟩ if prb < ½
+//! ```
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use surveyor_extract::{
+    run_sharded_full, EvidenceTable, ExtractionConfig, GroupKey, GroupedEvidence,
+    ProvenanceTable, ShardSource,
+};
+use surveyor_kb::{EntityId, KnowledgeBase, Property};
+use surveyor_model::{
+    decide, posterior_positive, Decision, EmConfig, EmFit, ModelDecision, ObservedCounts,
+    SurveyorModel,
+};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyorConfig {
+    /// Occurrence threshold ρ: minimum extracted statements for a
+    /// (type, property) combination to be modeled (the paper used 100).
+    pub rho: u64,
+    /// EM configuration.
+    pub em: EmConfig,
+    /// Extraction pattern configuration (defaults to the shipped V4).
+    pub extraction: ExtractionConfig,
+    /// Worker threads for the sharded extraction phase.
+    pub threads: usize,
+}
+
+impl Default for SurveyorConfig {
+    fn default() -> Self {
+        Self {
+            rho: 100,
+            em: EmConfig::default(),
+            extraction: ExtractionConfig::paper_final(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// A decided entity-property association — one output row of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpinionTriple {
+    /// The entity's canonical name.
+    pub entity: String,
+    /// The property surface form.
+    pub property: String,
+    /// `+` or `-`.
+    pub polarity: char,
+    /// The posterior probability behind the decision.
+    pub probability: f64,
+}
+
+/// Per-combination result: the fitted model and all entity decisions.
+#[derive(Debug, Clone)]
+pub struct DomainResult {
+    /// The (type, property) combination.
+    pub key: GroupKey,
+    /// The EM fit for the combination.
+    pub fit: EmFit,
+    /// Decisions for every entity of the type (not just mentioned ones),
+    /// parallel to `kb.entities_of_type(key.type_id)`.
+    pub decisions: Vec<(EntityId, ModelDecision)>,
+}
+
+/// Full pipeline output.
+#[derive(Debug, Clone)]
+pub struct SurveyorOutput {
+    /// The merged evidence table from extraction.
+    pub evidence: EvidenceTable,
+    /// Supporting-document samples per pair (empty when the output was
+    /// built from pre-extracted evidence).
+    pub provenance: ProvenanceTable,
+    /// Evidence grouped by (type, property).
+    pub grouped: GroupedEvidence,
+    /// One result per combination above the threshold.
+    pub results: Vec<DomainResult>,
+    index: FxHashMap<(EntityId, Property), ModelDecision>,
+}
+
+impl SurveyorOutput {
+    /// The decision for an entity-property pair, if its combination was
+    /// modeled.
+    pub fn opinion(&self, entity: EntityId, property: &Property) -> Option<ModelDecision> {
+        self.index.get(&(entity, property.clone())).copied()
+    }
+
+    /// All decided triples (skips unsolved entities), in deterministic
+    /// order.
+    pub fn triples(&self) -> Vec<OpinionTriple> {
+        let mut out = Vec::new();
+        for result in &self.results {
+            for (entity, decision) in &result.decisions {
+                let polarity = match decision.decision {
+                    Decision::Positive => '+',
+                    Decision::Negative => '-',
+                    Decision::Unsolved => continue,
+                };
+                out.push(OpinionTriple {
+                    entity: format!("{entity}"),
+                    property: result.key.property.to_string(),
+                    polarity,
+                    probability: decision.probability.unwrap_or(0.5),
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of modeled combinations.
+    pub fn modeled_combinations(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Total decided entity-property pairs.
+    pub fn decided_pairs(&self) -> usize {
+        self.results
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|(_, d)| d.decision.is_solved())
+            .count()
+    }
+}
+
+/// The Surveyor pipeline over a fixed knowledge base.
+#[derive(Debug, Clone)]
+pub struct Surveyor {
+    kb: Arc<KnowledgeBase>,
+    config: SurveyorConfig,
+}
+
+impl Surveyor {
+    /// Creates a pipeline.
+    pub fn new(kb: Arc<KnowledgeBase>, config: SurveyorConfig) -> Self {
+        Self { kb, config }
+    }
+
+    /// The knowledge base.
+    pub fn kb(&self) -> &Arc<KnowledgeBase> {
+        &self.kb
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SurveyorConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline: sharded extraction over `source`, grouping,
+    /// threshold filtering, per-combination EM, and decisions.
+    pub fn run<S: ShardSource>(&self, source: &S) -> SurveyorOutput {
+        let extraction =
+            run_sharded_full(source, &self.kb, &self.config.extraction, self.config.threads);
+        let mut output = self.run_on_evidence(extraction.evidence);
+        output.provenance = extraction.provenance;
+        output
+    }
+
+    /// Runs the interpretation phase on pre-extracted evidence (Algorithm 1
+    /// lines 5–12). Useful when the same evidence is interpreted under
+    /// several model configurations.
+    pub fn run_on_evidence(&self, evidence: EvidenceTable) -> SurveyorOutput {
+        let grouped = GroupedEvidence::from_table(&evidence, &self.kb);
+        let model = SurveyorModel::with_config(self.config.em.clone());
+        let mut results = Vec::new();
+        let mut index = FxHashMap::default();
+
+        for (key, group) in grouped.above_threshold(self.config.rho) {
+            let entities = self.kb.entities_of_type(key.type_id);
+            let counts: Vec<ObservedCounts> = entities
+                .iter()
+                .map(|&e| {
+                    let c = group.counts(e);
+                    ObservedCounts::new(c.positive, c.negative)
+                })
+                .collect();
+            let fit = model.fit_group(&counts);
+            let decisions: Vec<(EntityId, ModelDecision)> = entities
+                .iter()
+                .zip(&counts)
+                .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
+                .collect();
+            for (e, d) in &decisions {
+                index.insert((*e, key.property.clone()), *d);
+            }
+            results.push(DomainResult {
+                key: key.clone(),
+                fit,
+                decisions,
+            });
+        }
+
+        SurveyorOutput {
+            evidence,
+            provenance: ProvenanceTable::default(),
+            grouped,
+            results,
+            index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surveyor_extract::{Polarity, Statement};
+    use surveyor_kb::KnowledgeBaseBuilder;
+
+    fn kb() -> Arc<KnowledgeBase> {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        for name in ["Kitten", "Tiger", "Spider", "Puppy", "Rock"] {
+            b.add_entity(name, animal).finish();
+        }
+        Arc::new(b.build())
+    }
+
+    fn evidence(kb: &KnowledgeBase) -> EvidenceTable {
+        let cute = Property::adjective("cute");
+        let mut table = EvidenceTable::new();
+        let add = |table: &mut EvidenceTable, name: &str, pos: u64, neg: u64| {
+            let e = kb.entity_by_name(name).unwrap();
+            for _ in 0..pos {
+                table.add(&Statement {
+                    entity: e,
+                    property: cute.clone(),
+                    polarity: Polarity::Positive,
+                });
+            }
+            for _ in 0..neg {
+                table.add(&Statement {
+                    entity: e,
+                    property: cute.clone(),
+                    polarity: Polarity::Negative,
+                });
+            }
+        };
+        add(&mut table, "Kitten", 50, 2);
+        add(&mut table, "Puppy", 40, 1);
+        add(&mut table, "Tiger", 4, 8);
+        add(&mut table, "Spider", 1, 10);
+        // "Rock" never mentioned.
+        table
+    }
+
+    #[test]
+    fn algorithm1_decides_all_entities_above_threshold() {
+        let kb = kb();
+        let config = SurveyorConfig {
+            rho: 50,
+            ..Default::default()
+        };
+        let surveyor = Surveyor::new(kb.clone(), config);
+        let output = surveyor.run_on_evidence(evidence(&kb));
+        assert_eq!(output.modeled_combinations(), 1);
+        let cute = Property::adjective("cute");
+        let kitten = kb.entity_by_name("Kitten").unwrap();
+        let spider = kb.entity_by_name("Spider").unwrap();
+        let rock = kb.entity_by_name("Rock").unwrap();
+        assert_eq!(output.opinion(kitten, &cute).unwrap().decision, Decision::Positive);
+        assert_eq!(output.opinion(spider, &cute).unwrap().decision, Decision::Negative);
+        // The never-mentioned entity still gets a decision (negative: cute
+        // entities are chatty in this evidence).
+        assert_eq!(output.opinion(rock, &cute).unwrap().decision, Decision::Negative);
+        assert_eq!(output.decided_pairs(), 5);
+    }
+
+    #[test]
+    fn threshold_suppresses_sparse_combinations() {
+        let kb = kb();
+        let config = SurveyorConfig {
+            rho: 1_000,
+            ..Default::default()
+        };
+        let surveyor = Surveyor::new(kb.clone(), config);
+        let output = surveyor.run_on_evidence(evidence(&kb));
+        assert_eq!(output.modeled_combinations(), 0);
+        let cute = Property::adjective("cute");
+        let kitten = kb.entity_by_name("Kitten").unwrap();
+        assert!(output.opinion(kitten, &cute).is_none());
+    }
+
+    #[test]
+    fn triples_skip_unsolved_and_format_polarity() {
+        let kb = kb();
+        let surveyor = Surveyor::new(
+            kb.clone(),
+            SurveyorConfig {
+                rho: 10,
+                ..Default::default()
+            },
+        );
+        let output = surveyor.run_on_evidence(evidence(&kb));
+        let triples = output.triples();
+        assert_eq!(triples.len(), output.decided_pairs());
+        assert!(triples.iter().all(|t| t.polarity == '+' || t.polarity == '-'));
+        assert!(triples.iter().all(|t| t.property == "cute"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Adapter exposing a [`CorpusGenerator`] as an extraction
+//! [`ShardSource`].
+//!
+//! The corpus crate deliberately knows nothing about extraction; this thin
+//! adapter generates and annotates shards on demand so the parallel runner
+//! can pull them without materializing the whole snapshot.
+
+use surveyor_corpus::CorpusGenerator;
+use surveyor_extract::ShardSource;
+use surveyor_nlp::{AnnotatedDocument, Lexicon};
+
+/// Shard source over a corpus generator, optionally restricted to one
+/// region (the §2 region-specific mode).
+#[derive(Debug)]
+pub struct CorpusSource<'a> {
+    generator: &'a CorpusGenerator,
+    lexicon: Lexicon,
+    region: Option<u32>,
+}
+
+impl<'a> CorpusSource<'a> {
+    /// A source over all regions.
+    pub fn new(generator: &'a CorpusGenerator) -> Self {
+        Self {
+            generator,
+            lexicon: generator.lexicon(),
+            region: None,
+        }
+    }
+
+    /// A source restricted to the named region.
+    ///
+    /// # Panics
+    /// Panics if the region does not exist in the generator's config.
+    pub fn for_region(generator: &'a CorpusGenerator, region: &str) -> Self {
+        let region_index = generator
+            .region_index(region)
+            .unwrap_or_else(|| panic!("unknown region: {region}"));
+        Self {
+            generator,
+            lexicon: generator.lexicon(),
+            region: Some(region_index),
+        }
+    }
+}
+
+impl ShardSource for CorpusSource<'_> {
+    fn shard_count(&self) -> usize {
+        self.generator.shard_count()
+    }
+
+    fn shard(&self, index: usize) -> Vec<AnnotatedDocument> {
+        self.generator.shard_annotated(index, &self.lexicon, self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use surveyor_corpus::{CorpusConfig, DomainParams, WorldBuilder};
+    use surveyor_kb::{KnowledgeBaseBuilder, Property};
+
+    fn generator() -> CorpusGenerator {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        b.add_entity("Kitten", animal).finish();
+        b.add_entity("Tiger", animal).finish();
+        let kb = Arc::new(b.build());
+        let world = WorldBuilder::new(kb, 3)
+            .domain("animal", Property::adjective("cute"), DomainParams::default())
+            .build();
+        CorpusGenerator::new(world, CorpusConfig::default())
+    }
+
+    #[test]
+    fn adapter_exposes_all_shards() {
+        let g = generator();
+        let source = CorpusSource::new(&g);
+        assert_eq!(source.shard_count(), g.shard_count());
+        let docs = source.shard(0);
+        assert!(!docs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_panics() {
+        let g = generator();
+        let _ = CorpusSource::for_region(&g, "atlantis");
+    }
+}

@@ -1,0 +1,324 @@
+//! The subjective knowledge base: Surveyor's downstream deliverable.
+//!
+//! "The purpose is to build a knowledge base of subjective properties and
+//! entities … Upon receipt of a subjective query, the search engine can
+//! exploit high-confidence entity-property associations" (paper §1–§2).
+//! This module materializes pipeline output into a queryable, persistable
+//! store answering exactly those queries: *safe cities*, *cute animals*.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use surveyor_kb::{EntityId, KnowledgeBase, Property, TypeId};
+use surveyor_model::Decision;
+
+use crate::pipeline::SurveyorOutput;
+
+/// One stored association.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredOpinion {
+    /// The entity.
+    pub entity: EntityId,
+    /// Canonical entity name (denormalized for display).
+    pub entity_name: String,
+    /// `true` = the dominant opinion applies the property.
+    pub positive: bool,
+    /// Posterior probability that the property applies.
+    pub probability: f64,
+    /// Evidence counts behind the decision.
+    pub positive_statements: u64,
+    /// Negative statement count.
+    pub negative_statements: u64,
+    /// Sample of supporting document ids — the "links to supporting
+    /// content on the Web" the paper's search scenario offers (§2).
+    pub supporting_documents: Vec<u64>,
+}
+
+/// Per-combination block of the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinationBlock {
+    /// The entity type.
+    pub type_id: TypeId,
+    /// Type name.
+    pub type_name: String,
+    /// The subjective property.
+    pub property: Property,
+    /// Fitted model parameters (pA, np+S, np-S).
+    pub p_agree: f64,
+    /// Fitted positive statement rate.
+    pub rate_pos: f64,
+    /// Fitted negative statement rate.
+    pub rate_neg: f64,
+    /// All decided entities, positives first, by descending probability.
+    pub opinions: Vec<StoredOpinion>,
+}
+
+/// A queryable, serializable knowledge base of subjective properties.
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use surveyor::prelude::*;
+/// # use surveyor::{CorpusSource, SubjectiveKb};
+/// # let mut b = KnowledgeBaseBuilder::new();
+/// # let animal = b.add_type("animal", &["animal"], &[]);
+/// # b.add_entity("Kitten", animal).finish();
+/// # b.add_entity("Tiger", animal).finish();
+/// # let kb = Arc::new(b.build());
+/// # let world = WorldBuilder::new(kb.clone(), 42)
+/// #     .domain("animal", Property::adjective("cute"), DomainParams::default())
+/// #     .build();
+/// # let generator = CorpusGenerator::new(world, CorpusConfig::default());
+/// # let surveyor = Surveyor::new(kb.clone(), SurveyorConfig { rho: 5, ..Default::default() });
+/// # let output = surveyor.run(&CorpusSource::new(&generator));
+/// let store = SubjectiveKb::from_output(&output, &kb);
+/// // The search-engine use case: answer the subjective query "cute animals".
+/// for hit in store.query("animal", &Property::adjective("cute")) {
+///     println!("{} ({:.2})", hit.entity_name, hit.probability);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectiveKb {
+    blocks: Vec<CombinationBlock>,
+    #[serde(skip)]
+    index: FxHashMap<(String, Property), usize>,
+}
+
+impl SubjectiveKb {
+    /// Materializes pipeline output into a store.
+    pub fn from_output(output: &SurveyorOutput, kb: &Arc<KnowledgeBase>) -> Self {
+        let mut blocks = Vec::with_capacity(output.results.len());
+        for result in &output.results {
+            let type_name = kb.entity_type(result.key.type_id).name().to_owned();
+            let mut opinions: Vec<StoredOpinion> = result
+                .decisions
+                .iter()
+                .filter(|(_, d)| d.decision.is_solved())
+                .map(|(entity, d)| {
+                    let counts = output.evidence.counts(*entity, &result.key.property);
+                    StoredOpinion {
+                        entity: *entity,
+                        entity_name: kb.entity(*entity).name().to_owned(),
+                        positive: d.decision == Decision::Positive,
+                        probability: d.probability.unwrap_or(0.5),
+                        positive_statements: counts.positive,
+                        negative_statements: counts.negative,
+                        supporting_documents: output
+                            .provenance
+                            .documents(*entity, &result.key.property)
+                            .to_vec(),
+                    }
+                })
+                .collect();
+            opinions.sort_by(|a, b| {
+                b.probability
+                    .partial_cmp(&a.probability)
+                    .expect("finite probabilities")
+                    .then_with(|| b.positive_statements.cmp(&a.positive_statements))
+                    .then_with(|| a.entity.cmp(&b.entity))
+            });
+            blocks.push(CombinationBlock {
+                type_id: result.key.type_id,
+                type_name,
+                property: result.key.property.clone(),
+                p_agree: result.fit.params.p_agree,
+                rate_pos: result.fit.params.rate_pos,
+                rate_neg: result.fit.params.rate_neg,
+                opinions,
+            });
+        }
+        Self::from_blocks(blocks)
+    }
+
+    fn from_blocks(blocks: Vec<CombinationBlock>) -> Self {
+        let index = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| ((b.type_name.clone(), b.property.clone()), i))
+            .collect();
+        Self { blocks, index }
+    }
+
+    /// All stored combinations.
+    pub fn blocks(&self) -> &[CombinationBlock] {
+        &self.blocks
+    }
+
+    /// Number of stored entity-property associations.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.opinions.len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Answers a subjective query: entities of `type_name` for which the
+    /// dominant opinion applies `property`, ranked by probability.
+    ///
+    /// This is the paper's motivating search-engine scenario ("queries
+    /// such as `safe cities` would not trigger search results from
+    /// structured data" — now they can).
+    pub fn query(&self, type_name: &str, property: &Property) -> Vec<&StoredOpinion> {
+        self.combination(type_name, property)
+            .map(|b| b.opinions.iter().filter(|o| o.positive).collect())
+            .unwrap_or_default()
+    }
+
+    /// The negated query: entities the dominant opinion says are *not*
+    /// `property`, most confident first.
+    pub fn query_negative(&self, type_name: &str, property: &Property) -> Vec<&StoredOpinion> {
+        let Some(block) = self.combination(type_name, property) else {
+            return Vec::new();
+        };
+        let mut hits: Vec<&StoredOpinion> =
+            block.opinions.iter().filter(|o| !o.positive).collect();
+        hits.reverse(); // ascending probability = descending confidence in ¬P
+        hits
+    }
+
+    /// The block for one combination, if modeled.
+    pub fn combination(&self, type_name: &str, property: &Property) -> Option<&CombinationBlock> {
+        self.index
+            .get(&(type_name.to_lowercase(), property.clone()))
+            .map(|&i| &self.blocks[i])
+    }
+
+    /// All properties stored for a type.
+    pub fn properties_of(&self, type_name: &str) -> Vec<&Property> {
+        let lower = type_name.to_lowercase();
+        self.blocks
+            .iter()
+            .filter(|b| b.type_name == lower)
+            .map(|b| &b.property)
+            .collect()
+    }
+
+    /// The opinion on one entity-property pair, if stored.
+    pub fn opinion(&self, type_name: &str, property: &Property, entity_name: &str) -> Option<&StoredOpinion> {
+        self.combination(type_name, property)?
+            .opinions
+            .iter()
+            .find(|o| o.entity_name.eq_ignore_ascii_case(entity_name))
+    }
+
+    /// Serializes the store to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.blocks).expect("store serializes")
+    }
+
+    /// Restores a store from JSON produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let blocks: Vec<CombinationBlock> = serde_json::from_str(json)?;
+        Ok(Self::from_blocks(blocks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Surveyor, SurveyorConfig};
+    use surveyor_extract::{EvidenceTable, Polarity, Statement};
+    use surveyor_kb::KnowledgeBaseBuilder;
+
+    fn output_fixture() -> (Arc<KnowledgeBase>, SurveyorOutput) {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        b.add_entity("Kitten", animal).finish();
+        b.add_entity("Puppy", animal).finish();
+        b.add_entity("Spider", animal).finish();
+        b.add_entity("Rock", animal).finish();
+        let kb = Arc::new(b.build());
+        let cute = Property::adjective("cute");
+        let mut table = EvidenceTable::new();
+        let mut add = |name: &str, pos: u64, neg: u64| {
+            let e = kb.entity_by_name(name).unwrap();
+            for _ in 0..pos {
+                table.add(&Statement {
+                    entity: e,
+                    property: cute.clone(),
+                    polarity: Polarity::Positive,
+                });
+            }
+            for _ in 0..neg {
+                table.add(&Statement {
+                    entity: e,
+                    property: cute.clone(),
+                    polarity: Polarity::Negative,
+                });
+            }
+        };
+        add("Kitten", 40, 1);
+        add("Puppy", 25, 1);
+        add("Spider", 1, 9);
+        let surveyor = Surveyor::new(
+            kb.clone(),
+            SurveyorConfig {
+                rho: 10,
+                ..SurveyorConfig::default()
+            },
+        );
+        let output = surveyor.run_on_evidence(table);
+        (kb, output)
+    }
+
+    #[test]
+    fn query_returns_ranked_positives() {
+        let (kb, output) = output_fixture();
+        let store = SubjectiveKb::from_output(&output, &kb);
+        let cute = Property::adjective("cute");
+        let hits = store.query("animal", &cute);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].entity_name, "Kitten");
+        assert_eq!(hits[1].entity_name, "Puppy");
+        assert!(hits[0].probability >= hits[1].probability);
+        // Negative query surfaces the confident non-cute entities.
+        let negs = store.query_negative("animal", &cute);
+        assert!(negs.iter().any(|o| o.entity_name == "Spider"));
+        // The never-mentioned entity is decided too (negative here).
+        assert!(negs.iter().any(|o| o.entity_name == "Rock"));
+    }
+
+    #[test]
+    fn store_lookup_and_metadata() {
+        let (kb, output) = output_fixture();
+        let store = SubjectiveKb::from_output(&output, &kb);
+        let cute = Property::adjective("cute");
+        let block = store.combination("animal", &cute).unwrap();
+        assert!(block.p_agree >= 0.5);
+        assert_eq!(store.properties_of("animal"), vec![&cute]);
+        let kitten = store.opinion("animal", &cute, "kitten").unwrap();
+        assert!(kitten.positive);
+        assert_eq!(kitten.positive_statements, 40);
+        assert!(store.opinion("animal", &cute, "ghost").is_none());
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (kb, output) = output_fixture();
+        let store = SubjectiveKb::from_output(&output, &kb);
+        let json = store.to_json();
+        let restored = SubjectiveKb::from_json(&json).unwrap();
+        // JSON round-trips floats up to the last ULP; compare structure.
+        assert_eq!(store.len(), restored.len());
+        assert_eq!(store.blocks().len(), restored.blocks().len());
+        let cute = Property::adjective("cute");
+        let a = store.query("animal", &cute);
+        let b = restored.query("animal", &cute);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.entity_name, y.entity_name);
+            assert_eq!(x.positive, y.positive);
+            assert!((x.probability - y.probability).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unknown_combination_is_empty() {
+        let (kb, output) = output_fixture();
+        let store = SubjectiveKb::from_output(&output, &kb);
+        assert!(store.query("animal", &Property::adjective("safe")).is_empty());
+        assert!(store.query("city", &Property::adjective("cute")).is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Sentence realization: turning abstract statements into English text.
+//!
+//! Every realized sentence is designed to round-trip through the NLP
+//! pipeline: the dependency parser recognizes the construction, the entity
+//! tagger links the mention, and the extraction patterns recover the
+//! statement with the intended polarity. Some constructions are
+//! intentionally *only* recoverable by the permissive pattern versions
+//! (small clauses, extended copulas) or intentionally *rejected* by the
+//! intrinsicness filters (aspect and part-of distractors) — that contrast
+//! is what reproduces Table 4.
+
+use rand::Rng;
+
+/// Realization context for one domain.
+#[derive(Debug, Clone)]
+pub struct Realizer {
+    head_noun: String,
+    /// Whether plural-subject realizations are natural for the type
+    /// ("Kittens are cute" — yes for animals, no for city names).
+    plural_ok: bool,
+}
+
+/// Aspects for non-intrinsic distractors ("bad *for parking*").
+const ASPECTS: &[&str] = &["parking", "tourists", "families", "beginners", "children", "business"];
+
+/// Directional adjectives for part-of distractors ("*southern* France").
+const DIRECTIONS: &[&str] = &["southern", "northern", "eastern", "western"];
+
+/// Pluralizes a (possibly multi-word) name: last word gains an `s`
+/// (`y` → `ies` after a consonant).
+pub fn pluralize(name: &str) -> String {
+    let (head, last) = match name.rfind(' ') {
+        Some(i) => (&name[..=i], &name[i + 1..]),
+        None => ("", name),
+    };
+    let lower = last.to_lowercase();
+    let plural = if lower.ends_with('s') || lower.ends_with('x') || lower.ends_with("ch") {
+        format!("{last}es")
+    } else if lower.ends_with('y')
+        && !matches!(lower.as_bytes().get(lower.len().wrapping_sub(2)), Some(b'a' | b'e' | b'i' | b'o' | b'u'))
+    {
+        format!("{}ies", &last[..last.len() - 1])
+    } else {
+        format!("{last}s")
+    };
+    format!("{head}{plural}")
+}
+
+impl Realizer {
+    /// Creates a realizer for a type with the given head noun.
+    pub fn new(head_noun: &str, plural_ok: bool) -> Self {
+        Self {
+            head_noun: head_noun.to_owned(),
+            plural_ok,
+        }
+    }
+
+    /// Realizes one evidence statement.
+    ///
+    /// `positive` is the *intended extracted polarity*; the realization may
+    /// use a double negation (probability `double_negation_share`) or a
+    /// construction only the extended verb class recognizes (probability
+    /// `extended_verb_share`).
+    pub fn statement<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        property: &str,
+        positive: bool,
+        extended_verb_share: f64,
+        double_negation_share: f64,
+    ) -> String {
+        if rng.gen_bool(extended_verb_share.clamp(0.0, 1.0)) {
+            return self.extended_verb_statement(rng, entity, property, positive);
+        }
+        if rng.gen_bool(double_negation_share.clamp(0.0, 1.0)) {
+            return self.double_negation_statement(rng, entity, property, positive);
+        }
+        if positive {
+            self.plain_positive(rng, entity, property)
+        } else {
+            self.plain_negative(rng, entity, property)
+        }
+    }
+
+    /// Positive realizations lean attributive/predicate-nominal (the
+    /// `amod` pattern) the way Web text does — Table 4's V1 (amod-only)
+    /// extracts more than V3 (complement-only) on the real snapshot.
+    fn plain_positive<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str, property: &str) -> String {
+        let noun = &self.head_noun;
+        // Weighted choice: (weight, template id). Plural variants are only
+        // natural for some types.
+        let weights: &[(u32, u8)] = if self.plural_ok {
+            &[(14, 0), (22, 1), (8, 2), (6, 3), (16, 4), (10, 5), (6, 6), (12, 7), (6, 8)]
+        } else {
+            &[(16, 0), (26, 1), (10, 2), (8, 3), (18, 4), (14, 7), (8, 8)]
+        };
+        let total: u32 = weights.iter().map(|(w, _)| w).sum();
+        let mut roll = rng.gen_range(0..total);
+        let mut id = 0u8;
+        for &(w, t) in weights {
+            if roll < w {
+                id = t;
+                break;
+            }
+            roll -= w;
+        }
+        match id {
+            0 => format!("{entity} is {property}."),
+            1 => format!("{entity} is a {property} {noun}."),
+            2 => format!("I think that {entity} is {property}."),
+            3 => format!("I think {entity} is {property}."),
+            4 => format!("I love the {property} {entity}."),
+            5 => format!("{} are {property}.", pluralize(entity)),
+            6 => format!(
+                "{} are {property} {}.",
+                pluralize(entity),
+                pluralize(noun)
+            ),
+            7 => format!("We saw the {property} {entity}."),
+            _ => format!("{entity} is a {noun} that is {property}."),
+        }
+    }
+
+    fn plain_negative<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str, property: &str) -> String {
+        let noun = &self.head_noun;
+        let choice = if self.plural_ok {
+            rng.gen_range(0..6)
+        } else {
+            rng.gen_range(0..5)
+        };
+        match choice {
+            0 => format!("{entity} is not {property}."),
+            1 => format!("{entity} is not a {property} {noun}."),
+            2 => format!("I don't think that {entity} is {property}."),
+            3 => format!("I do not believe {entity} is {property}."),
+            4 => format!("{entity} is never {property}."),
+            _ => format!("{} are not {property}.", pluralize(entity)),
+        }
+    }
+
+    /// A realization only the extended verb class (Table 4 V1/V2)
+    /// extracts.
+    fn extended_verb_statement<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        property: &str,
+        positive: bool,
+    ) -> String {
+        match (positive, rng.gen_range(0..3)) {
+            (true, 0) => format!("I find {entity} {property}."),
+            (true, 1) => format!("{entity} is considered {property}."),
+            (true, _) => format!("{entity} seems {property}."),
+            (false, 0) => format!("{entity} does not seem {property}."),
+            (false, 1) => format!("{entity} is not considered {property}."),
+            (false, _) => format!("I don't find {entity} {property}."),
+        }
+    }
+
+    /// A double-negation realization (Figure 5): the surface carries two
+    /// negations but the extracted polarity matches `positive`.
+    fn double_negation_statement<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        property: &str,
+        positive: bool,
+    ) -> String {
+        if positive {
+            if rng.gen_bool(0.5) {
+                format!("I don't think that {entity} is never {property}.")
+            } else {
+                format!("I do not believe {entity} is never {property}.")
+            }
+        } else {
+            // Negative statements have no natural even-negation surface;
+            // fall back to the single-negation embedded form.
+            format!("I don't think that {entity} is {property}.")
+        }
+    }
+
+    /// A non-intrinsic aspect distractor: "X is good/bad for parking".
+    /// Filtered by the intrinsicness check; counted by V1/V2.
+    pub fn aspect_noise<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
+        let aspect = ASPECTS[rng.gen_range(0..ASPECTS.len())];
+        let adjective = if rng.gen_bool(0.5) { "good" } else { "bad" };
+        format!("{entity} is {adjective} for {aspect}.")
+    }
+
+    /// A part-of distractor: "southern X is warm". The amod lands on the
+    /// subject mention, which V1/V2 extract and V4's coreference
+    /// requirement rejects.
+    pub fn part_of_noise<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
+        let direction = DIRECTIONS[rng.gen_range(0..DIRECTIONS.len())];
+        let predicate = if rng.gen_bool(0.5) { "warm" } else { "cold" };
+        let season = if rng.gen_bool(0.5) { "summer" } else { "winter" };
+        // The prepositional tail makes the predicate non-intrinsic, so the
+        // checked versions also reject the acomp reading; only the
+        // spurious amod on the subject survives for V1/V2.
+        format!("{direction} {entity} is {predicate} in the {season}.")
+    }
+
+    /// Neutral filler mentioning the entity without claiming a property.
+    pub fn filler<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
+        match rng.gen_range(0..4) {
+            0 => format!("I visited {entity} during the summer."),
+            1 => format!("People love {entity}."),
+            2 => format!("We saw {entity} at the weekend."),
+            _ => format!("{entity} is in the north."),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("Kitten"), "Kittens");
+        assert_eq!(pluralize("Grizzly bear"), "Grizzly bears");
+        assert_eq!(pluralize("City"), "Cities");
+        assert_eq!(pluralize("Fox"), "Foxes");
+        assert_eq!(pluralize("Bus"), "Buses");
+        assert_eq!(pluralize("Monkey"), "Monkeys");
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn statements_mention_entity_and_property() {
+        let r = Realizer::new("animal", true);
+        let mut rng = rng();
+        for positive in [true, false] {
+            for _ in 0..50 {
+                let s = r.statement(&mut rng, "Kitten", "cute", positive, 0.2, 0.05);
+                assert!(s.to_lowercase().contains("kitten"), "{s}");
+                assert!(s.contains("cute"), "{s}");
+                assert!(s.ends_with('.'), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_negative_contains_negation() {
+        let r = Realizer::new("city", false);
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = r.statement(&mut rng, "Chicago", "big", false, 0.0, 0.0);
+            let lower = s.to_lowercase();
+            assert!(
+                lower.contains("not") || lower.contains("n't") || lower.contains("never"),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_negation_has_two_negations() {
+        let r = Realizer::new("animal", true);
+        let mut rng = rng();
+        for _ in 0..20 {
+            let s = r.statement(&mut rng, "Snake", "dangerous", true, 0.0, 1.0);
+            let negs = s.matches("n't").count()
+                + s.matches(" not ").count()
+                + s.matches("never").count();
+            assert!(negs >= 2, "{s}");
+        }
+    }
+
+    #[test]
+    fn aspect_noise_has_prepositional_constriction() {
+        let r = Realizer::new("city", false);
+        let mut rng = rng();
+        let s = r.aspect_noise(&mut rng, "Chicago");
+        assert!(s.contains(" for "), "{s}");
+    }
+
+    #[test]
+    fn part_of_noise_prefixes_direction() {
+        let r = Realizer::new("country", false);
+        let mut rng = rng();
+        let s = r.part_of_noise(&mut rng, "France");
+        assert!(
+            DIRECTIONS.iter().any(|d| s.starts_with(d)),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn no_plural_templates_without_plural_ok() {
+        let r = Realizer::new("city", false);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = r.statement(&mut rng, "Chicago", "big", true, 0.0, 0.0);
+            assert!(!s.contains("Chicagos"), "{s}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Agreement statistics over judged test cases (Figures 10–12).
+
+use crate::panel::CrowdVerdict;
+
+/// Mean worker agreement (the paper reports 17 of 20 averaged over all
+/// 500 test cases).
+pub fn mean_agreement(verdicts: &[CrowdVerdict]) -> f64 {
+    if verdicts.is_empty() {
+        return 0.0;
+    }
+    verdicts.iter().map(|v| v.agreement() as f64).sum::<f64>() / verdicts.len() as f64
+}
+
+/// Number of cases whose agreement is at least `threshold` — one point of
+/// the Figure 11 curve.
+pub fn cases_at_or_above(verdicts: &[CrowdVerdict], threshold: usize) -> usize {
+    verdicts.iter().filter(|v| v.agreement() >= threshold).count()
+}
+
+/// The full Figure 11 series: for each threshold from `min_threshold` to
+/// the panel size, how many cases meet it.
+pub fn agreement_histogram(
+    verdicts: &[CrowdVerdict],
+    min_threshold: usize,
+    panel_size: usize,
+) -> Vec<(usize, usize)> {
+    (min_threshold..=panel_size)
+        .map(|t| (t, cases_at_or_above(verdicts, t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pos: usize, neg: usize) -> CrowdVerdict {
+        CrowdVerdict {
+            votes_positive: pos,
+            votes_negative: neg,
+        }
+    }
+
+    #[test]
+    fn mean_agreement_basic() {
+        let verdicts = [v(20, 0), v(15, 5), v(10, 10)];
+        assert!((mean_agreement(&verdicts) - 15.0).abs() < 1e-12);
+        assert_eq!(mean_agreement(&[]), 0.0);
+    }
+
+    #[test]
+    fn threshold_counting() {
+        let verdicts = [v(20, 0), v(18, 2), v(12, 8), v(10, 10)];
+        assert_eq!(cases_at_or_above(&verdicts, 11), 3);
+        assert_eq!(cases_at_or_above(&verdicts, 19), 1);
+        assert_eq!(cases_at_or_above(&verdicts, 10), 4);
+    }
+
+    #[test]
+    fn histogram_is_monotone_decreasing() {
+        let verdicts: Vec<CrowdVerdict> = (0..21).map(|k| v(k, 20 - k)).collect();
+        let hist = agreement_histogram(&verdicts, 11, 20);
+        assert_eq!(hist.len(), 10);
+        for w in hist.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert_eq!(hist[0].0, 11);
+        assert_eq!(hist.last().unwrap().0, 20);
+    }
+}

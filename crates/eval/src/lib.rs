@@ -1,0 +1,40 @@
+//! Evaluation harness: drivers for every table and figure of the paper.
+//!
+//! Each module regenerates one evaluation artifact; the `repro` binary in
+//! `surveyor-bench` formats the results, and EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+//!
+//! | Module | Artifact |
+//! |---|---|
+//! | [`metrics`] | coverage / precision / F1 (the §7.4 measures) |
+//! | [`testcases`] | the 500-case evaluation protocol of §7.3 |
+//! | [`comparison`] | Table 3 and Figure 12 (+ Figure 11 inputs) |
+//! | [`empirical`] | Figure 3 and Figure 13 (attribute-correlation studies) |
+//! | [`snapshot_stats`] | Figure 9 extraction statistics |
+//! | [`versions`] | Table 4 pattern-version comparison |
+//! | [`random_sample`] | Table 5 random-sample comparison |
+//! | [`ablation`] | design-choice ablations (§5/§7.5 discussion) |
+//! | [`antonym`] | the §4 antonym-as-negation alternative, measured |
+//! | [`bootstrap`] | case-level bootstrap confidence intervals |
+//! | [`region`] | region-specific mining, quantified (§2 extension) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod antonym;
+pub mod bootstrap;
+pub mod comparison;
+pub mod empirical;
+pub mod metrics;
+pub mod random_sample;
+pub mod region;
+pub mod snapshot_stats;
+pub mod testcases;
+pub mod versions;
+
+pub use comparison::{ComparisonReport, MethodRow};
+pub use empirical::{EmpiricalPoint, EmpiricalStudy};
+pub use metrics::Metrics;
+pub use snapshot_stats::SnapshotStats;
+pub use testcases::{EvalCase, EvalSuite};

@@ -1,0 +1,57 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use surveyor_eval::Metrics;
+use surveyor_model::Decision;
+
+fn decision_strategy() -> impl Strategy<Value = Decision> {
+    prop_oneof![
+        Just(Decision::Positive),
+        Just(Decision::Negative),
+        Just(Decision::Unsolved),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        pairs in prop::collection::vec((decision_strategy(), prop::bool::ANY), 0..128),
+    ) {
+        let decisions: Vec<Decision> = pairs.iter().map(|(d, _)| *d).collect();
+        let truths: Vec<bool> = pairs.iter().map(|(_, t)| *t).collect();
+        let m = Metrics::score(&decisions, &truths);
+        prop_assert!((0.0..=1.0).contains(&m.coverage));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!(m.correct <= m.solved);
+        prop_assert!(m.solved <= m.total);
+        prop_assert_eq!(m.total, pairs.len());
+        // F1 is the harmonic mean, hence between the two components.
+        let lo = m.coverage.min(m.precision);
+        let hi = m.coverage.max(m.precision);
+        prop_assert!(m.f1 >= lo - 1e-12 && m.f1 <= hi + 1e-12);
+    }
+
+    #[test]
+    fn flipping_truths_flips_correctness(
+        pairs in prop::collection::vec((decision_strategy(), prop::bool::ANY), 1..64),
+    ) {
+        let decisions: Vec<Decision> = pairs.iter().map(|(d, _)| *d).collect();
+        let truths: Vec<bool> = pairs.iter().map(|(_, t)| *t).collect();
+        let flipped: Vec<bool> = truths.iter().map(|t| !t).collect();
+        let a = Metrics::score(&decisions, &truths);
+        let b = Metrics::score(&decisions, &flipped);
+        prop_assert_eq!(a.solved, b.solved);
+        prop_assert_eq!(a.correct + b.correct, a.solved);
+    }
+
+    #[test]
+    fn all_unsolved_scores_zero(truths in prop::collection::vec(prop::bool::ANY, 1..32)) {
+        let decisions = vec![Decision::Unsolved; truths.len()];
+        let m = Metrics::score(&decisions, &truths);
+        prop_assert_eq!(m.coverage, 0.0);
+        prop_assert_eq!(m.f1, 0.0);
+    }
+}

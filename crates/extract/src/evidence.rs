@@ -1,0 +1,441 @@
+//! Statements, evidence counters, and grouping (paper §3).
+//!
+//! "We group evidence by the entity-property pair it refers to. For each
+//! pair, we compute two counters: the total number of positive statements
+//! and the total number of negative statements." Groups are then keyed by
+//! (type, property) so each combination can learn its own model.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use surveyor_kb::{EntityId, KnowledgeBase, Property, TypeId};
+
+/// Polarity of an evidence statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Polarity {
+    /// The statement claims the property applies.
+    Positive,
+    /// The statement claims the property does not apply.
+    Negative,
+}
+
+/// One extracted evidence statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The entity the statement is about.
+    pub entity: EntityId,
+    /// The subjective property (adjective + adverbs).
+    pub property: Property,
+    /// Whether the statement affirms or denies the property.
+    pub polarity: Polarity,
+}
+
+/// Positive/negative statement counters for one entity-property pair — the
+/// evidence tuple `⟨C+_i, C-_i⟩` of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvidenceCounts {
+    /// Count of positive statements (`C+`).
+    pub positive: u64,
+    /// Count of negative statements (`C-`).
+    pub negative: u64,
+}
+
+impl EvidenceCounts {
+    /// A pair of explicit counts.
+    pub fn new(positive: u64, negative: u64) -> Self {
+        Self { positive, negative }
+    }
+
+    /// Total statements.
+    pub fn total(&self) -> u64 {
+        self.positive + self.negative
+    }
+
+    /// Records one statement of the given polarity.
+    pub fn add(&mut self, polarity: Polarity) {
+        match polarity {
+            Polarity::Positive => self.positive += 1,
+            Polarity::Negative => self.negative += 1,
+        }
+    }
+
+    /// Adds another counter pair.
+    pub fn merge(&mut self, other: EvidenceCounts) {
+        self.positive += other.positive;
+        self.negative += other.negative;
+    }
+}
+
+/// Evidence counters keyed by entity-property pair; the map-side output of
+/// the extraction phase. Merging tables is associative and commutative, so
+/// shards can reduce in any order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvidenceTable {
+    map: FxHashMap<(EntityId, Property), EvidenceCounts>,
+    statements: u64,
+}
+
+impl EvidenceTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one statement.
+    pub fn add(&mut self, statement: &Statement) {
+        self.map
+            .entry((statement.entity, statement.property.clone()))
+            .or_default()
+            .add(statement.polarity);
+        self.statements += 1;
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: EvidenceTable) {
+        for (key, counts) in other.map {
+            self.map.entry(key).or_default().merge(counts);
+        }
+        self.statements += other.statements;
+    }
+
+    /// Counts for an entity-property pair (zero if never seen).
+    pub fn counts(&self, entity: EntityId, property: &Property) -> EvidenceCounts {
+        self.map
+            .get(&(entity, property.clone()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct entity-property pairs with evidence.
+    pub fn pair_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total statements recorded.
+    pub fn total_statements(&self) -> u64 {
+        self.statements
+    }
+
+    /// Iterates over all pairs and their counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&(EntityId, Property), &EvidenceCounts)> {
+        self.map.iter()
+    }
+
+    /// Corpus-wide `(positive, negative)` statement totals — the input of
+    /// the scaled-majority-vote baseline's global polarity ratio.
+    pub fn polarity_totals(&self) -> (u64, u64) {
+        self.map.values().fold((0, 0), |(p, n), c| {
+            (p + c.positive, n + c.negative)
+        })
+    }
+
+    /// Total statements per entity across all properties — the
+    /// mention-count signal the WebChild baseline's KB membership uses.
+    pub fn mention_totals(&self) -> rustc_hash::FxHashMap<EntityId, u64> {
+        let mut totals: rustc_hash::FxHashMap<EntityId, u64> = rustc_hash::FxHashMap::default();
+        for ((entity, _), counts) in self.map.iter() {
+            *totals.entry(*entity).or_default() += counts.total();
+        }
+        totals
+    }
+
+    /// Dumps the table to a stable, sorted entry list for persistence
+    /// (extraction is the expensive pipeline phase; the paper's
+    /// architecture stores counter tables between the extraction and
+    /// interpretation passes).
+    pub fn to_entries(&self) -> Vec<EvidenceEntry> {
+        let mut entries: Vec<EvidenceEntry> = self
+            .map
+            .iter()
+            .map(|((entity, property), counts)| EvidenceEntry {
+                entity: *entity,
+                property: property.clone(),
+                positive: counts.positive,
+                negative: counts.negative,
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.entity, &a.property).cmp(&(b.entity, &b.property)));
+        entries
+    }
+
+    /// Rebuilds a table from persisted entries.
+    pub fn from_entries(entries: Vec<EvidenceEntry>) -> Self {
+        let mut table = Self::new();
+        for entry in entries {
+            let counts = table
+                .map
+                .entry((entry.entity, entry.property))
+                .or_default();
+            counts.positive += entry.positive;
+            counts.negative += entry.negative;
+            table.statements += entry.positive + entry.negative;
+        }
+        table
+    }
+
+    /// Serializes the table to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_entries()).expect("entries serialize")
+    }
+
+    /// Restores a table from [`Self::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self::from_entries(serde_json::from_str(json)?))
+    }
+}
+
+/// One persisted entity-property counter row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidenceEntry {
+    /// The entity.
+    pub entity: EntityId,
+    /// The property.
+    pub property: Property,
+    /// Positive statement count.
+    pub positive: u64,
+    /// Negative statement count.
+    pub negative: u64,
+}
+
+/// Key of an evidence group: one (entity type, property) combination.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupKey {
+    /// The entity type.
+    pub type_id: TypeId,
+    /// The subjective property.
+    pub property: Property,
+}
+
+/// Per-entity evidence for one (type, property) combination.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Group {
+    counts: FxHashMap<EntityId, EvidenceCounts>,
+    total: u64,
+}
+
+impl Group {
+    /// Counts for one entity (zero if never mentioned with the property).
+    pub fn counts(&self, entity: EntityId) -> EvidenceCounts {
+        self.counts.get(&entity).copied().unwrap_or_default()
+    }
+
+    /// Total statements extracted for this combination — compared against
+    /// the occurrence threshold ρ of Algorithm 1.
+    pub fn total_statements(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of entities with at least one statement.
+    pub fn mentioned_entities(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over mentioned entities.
+    pub fn iter(&self) -> impl Iterator<Item = (&EntityId, &EvidenceCounts)> {
+        self.counts.iter()
+    }
+}
+
+/// Evidence grouped by (type, property), deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupedEvidence {
+    groups: BTreeMap<GroupKey, Group>,
+}
+
+impl GroupedEvidence {
+    /// Groups a flat evidence table using the knowledge base's notable
+    /// types (§3: "The knowledge base associates each entity with an entity
+    /// type … we use only the most notable type").
+    pub fn from_table(table: &EvidenceTable, kb: &KnowledgeBase) -> Self {
+        let mut groups: BTreeMap<GroupKey, Group> = BTreeMap::new();
+        for ((entity, property), counts) in table.iter() {
+            let type_id = kb.entity(*entity).notable_type();
+            let group = groups
+                .entry(GroupKey {
+                    type_id,
+                    property: property.clone(),
+                })
+                .or_default();
+            group.counts.entry(*entity).or_default().merge(*counts);
+            group.total += counts.total();
+        }
+        Self { groups }
+    }
+
+    /// Number of distinct (type, property) combinations.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group for a combination, if any evidence exists.
+    pub fn group(&self, key: &GroupKey) -> Option<&Group> {
+        self.groups.get(key)
+    }
+
+    /// Iterates over all combinations in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &Group)> {
+        self.groups.iter()
+    }
+
+    /// Iterates over combinations whose total statement count reaches the
+    /// occurrence threshold `rho` (Algorithm 1 line 5).
+    pub fn above_threshold(&self, rho: u64) -> impl Iterator<Item = (&GroupKey, &Group)> {
+        self.groups.iter().filter(move |(_, g)| g.total >= rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surveyor_kb::KnowledgeBaseBuilder;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        let city = b.add_type("city", &["city"], &[]);
+        b.add_entity("Kitten", animal).finish();
+        b.add_entity("Tiger", animal).finish();
+        b.add_entity("Paris", city).finish();
+        b.build()
+    }
+
+    fn stmt(entity: u32, prop: &str, polarity: Polarity) -> Statement {
+        Statement {
+            entity: EntityId(entity),
+            property: Property::parse(prop).unwrap(),
+            polarity,
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut t = EvidenceTable::new();
+        t.add(&stmt(0, "cute", Polarity::Positive));
+        t.add(&stmt(0, "cute", Polarity::Positive));
+        t.add(&stmt(0, "cute", Polarity::Negative));
+        let c = t.counts(EntityId(0), &Property::adjective("cute"));
+        assert_eq!(c, EvidenceCounts::new(2, 1));
+        assert_eq!(c.total(), 3);
+        assert_eq!(t.total_statements(), 3);
+        assert_eq!(t.pair_count(), 1);
+    }
+
+    #[test]
+    fn unseen_pair_is_zero() {
+        let t = EvidenceTable::new();
+        assert_eq!(
+            t.counts(EntityId(5), &Property::adjective("big")),
+            EvidenceCounts::default()
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = EvidenceTable::new();
+        a.add(&stmt(0, "cute", Polarity::Positive));
+        a.add(&stmt(1, "big", Polarity::Negative));
+        let mut b = EvidenceTable::new();
+        b.add(&stmt(0, "cute", Polarity::Negative));
+        b.add(&stmt(2, "big", Polarity::Positive));
+
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_statements(), 4);
+        assert_eq!(ab.pair_count(), 3);
+    }
+
+    #[test]
+    fn grouping_by_type_and_property() {
+        let kb = kb();
+        let mut t = EvidenceTable::new();
+        t.add(&stmt(0, "cute", Polarity::Positive)); // Kitten (animal)
+        t.add(&stmt(1, "cute", Polarity::Negative)); // Tiger (animal)
+        t.add(&stmt(2, "big", Polarity::Positive)); // Paris (city)
+        let grouped = GroupedEvidence::from_table(&t, &kb);
+        assert_eq!(grouped.len(), 2);
+        let animal = kb.type_by_name("animal").unwrap();
+        let key = GroupKey {
+            type_id: animal,
+            property: Property::adjective("cute"),
+        };
+        let g = grouped.group(&key).unwrap();
+        assert_eq!(g.total_statements(), 2);
+        assert_eq!(g.mentioned_entities(), 2);
+        assert_eq!(g.counts(EntityId(0)), EvidenceCounts::new(1, 0));
+        assert_eq!(g.counts(EntityId(2)), EvidenceCounts::default());
+    }
+
+    #[test]
+    fn threshold_filters_groups() {
+        let kb = kb();
+        let mut t = EvidenceTable::new();
+        for _ in 0..5 {
+            t.add(&stmt(0, "cute", Polarity::Positive));
+        }
+        t.add(&stmt(2, "big", Polarity::Positive));
+        let grouped = GroupedEvidence::from_table(&t, &kb);
+        assert_eq!(grouped.above_threshold(1).count(), 2);
+        assert_eq!(grouped.above_threshold(5).count(), 1);
+        assert_eq!(grouped.above_threshold(6).count(), 0);
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let mut t = EvidenceTable::new();
+        t.add(&stmt(0, "cute", Polarity::Positive));
+        t.add(&stmt(0, "cute", Polarity::Negative));
+        t.add(&stmt(2, "very big", Polarity::Positive));
+        let restored = EvidenceTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, restored);
+        assert_eq!(restored.total_statements(), 3);
+    }
+
+    #[test]
+    fn entries_are_sorted_and_stable() {
+        let mut t = EvidenceTable::new();
+        t.add(&stmt(2, "big", Polarity::Positive));
+        t.add(&stmt(0, "cute", Polarity::Positive));
+        t.add(&stmt(0, "big", Polarity::Negative));
+        let entries = t.to_entries();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.windows(2).all(|w| {
+            (w[0].entity, &w[0].property) <= (w[1].entity, &w[1].property)
+        }));
+        // Same table serialized twice yields identical bytes.
+        assert_eq!(t.to_json(), t.to_json());
+    }
+
+    #[test]
+    fn from_entries_merges_duplicates() {
+        let e = |p: u64, n: u64| EvidenceEntry {
+            entity: EntityId(1),
+            property: Property::adjective("big"),
+            positive: p,
+            negative: n,
+        };
+        let t = EvidenceTable::from_entries(vec![e(2, 1), e(3, 0)]);
+        assert_eq!(
+            t.counts(EntityId(1), &Property::adjective("big")),
+            EvidenceCounts::new(5, 1)
+        );
+        assert_eq!(t.total_statements(), 6);
+    }
+
+    #[test]
+    fn adverb_properties_group_separately() {
+        let kb = kb();
+        let mut t = EvidenceTable::new();
+        t.add(&stmt(2, "big", Polarity::Positive));
+        t.add(&stmt(2, "very big", Polarity::Positive));
+        let grouped = GroupedEvidence::from_table(&t, &kb);
+        assert_eq!(grouped.len(), 2);
+    }
+}

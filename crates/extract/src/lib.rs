@@ -1,0 +1,40 @@
+//! Evidence extraction pipeline (paper §4 and Appendix B).
+//!
+//! Turns annotated documents into per-(entity, property) counts of positive
+//! and negative statements:
+//!
+//! - [`config`]: which dependency patterns run, which verb class the
+//!   adjectival-complement pattern admits, and whether the intrinsicness
+//!   filters are active — including the four pattern versions of Table 4.
+//! - [`patterns`]: the three extraction patterns of Figure 4 (adjectival
+//!   modifier, adjectival complement, conjunction) over dependency trees.
+//! - [`polarity`]: statement polarity via the negation-counting walk from
+//!   the property token to the tree root (Figure 5), handling double
+//!   negation.
+//! - [`evidence`]: statements, evidence counters, and merge-able tables
+//!   keyed by entity-property pairs, plus grouping by (type, property).
+//! - [`runner`]: a sharded, multi-threaded extraction driver (the
+//!   reproduction's stand-in for the paper's 5000-node MapReduce cluster).
+//! - [`antonyms`]: the antonym-as-negation alternative the paper rejected
+//!   in §4, implemented so the ablation can measure why.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antonyms;
+pub mod config;
+pub mod evidence;
+pub mod patterns;
+pub mod polarity;
+pub mod provenance;
+pub mod runner;
+
+pub use antonyms::AntonymLexicon;
+pub use config::{ExtractionConfig, PatternVersion, VerbSet};
+pub use evidence::{EvidenceCounts, EvidenceEntry, EvidenceTable, GroupKey, GroupedEvidence, Polarity, Statement};
+pub use patterns::extract_sentence;
+pub use provenance::ProvenanceTable;
+pub use runner::{
+    extract_documents, extract_documents_full, run_sharded, run_sharded_full, ExtractionOutput,
+    ShardSource,
+};

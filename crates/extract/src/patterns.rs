@@ -1,0 +1,431 @@
+//! The extraction patterns of paper Figure 4.
+//!
+//! Three patterns connect an entity mention to a property over the
+//! dependency tree:
+//!
+//! - **Adjectival complement** (Fig. 4b): the entity is `nsubj` of a
+//!   predicate adjective with a copula ("Chicago is very big"). The verb
+//!   class of the copula is configurable (Table 4: full copula class vs.
+//!   "to be"); in copula-class mode, small clauses ("I find kittens cute")
+//!   also qualify.
+//! - **Adjectival modifier** (Fig. 4a): an `amod` edge onto a noun that
+//!   either corefers with an entity mention ("Snakes are dangerous
+//!   *animals*") or is the mention itself ("I love the cute *kitten*").
+//!   With intrinsicness checks on, the direct-mention variant is rejected
+//!   when the mention is a clause subject — this is what filters the
+//!   part-of reading "southern France is warm" while keeping "Greece is a
+//!   southern country" (§4).
+//! - **Conjunction** (Fig. 4c): conjoined adjectives inherit the match
+//!   ("Soccer is a fast and *exciting* sport").
+//!
+//! Intrinsicness constriction: with checks on, a prepositional sub-tree on
+//! the pattern's top node rejects the match ("New York is bad *for
+//! parking*").
+
+use crate::config::{ExtractionConfig, VerbSet};
+use crate::evidence::Statement;
+use crate::polarity::statement_polarity;
+use surveyor_kb::{EntityId, KnowledgeBase, Property};
+use surveyor_nlp::coref::predicate_nominal_corefs;
+use surveyor_nlp::{AnnotatedSentence, DepRel, DepTree, Pos, Token};
+
+/// Forms of "to be" admitted by the restrictive verb set.
+const TO_BE_FORMS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "am"];
+
+fn is_to_be(word: &str) -> bool {
+    TO_BE_FORMS.contains(&word)
+}
+
+/// Builds the property at an adjective token: its adverb modifiers
+/// (surface order) plus the adjective itself.
+fn property_at(tokens: &[Token], tree: &DepTree, adj: usize) -> Property {
+    let mut adverbs: Vec<usize> = tree
+        .children_with_rel(adj, DepRel::Advmod)
+        .into_iter()
+        .filter(|&i| tokens[i].pos == Pos::Adverb)
+        .collect();
+    adverbs.sort_unstable();
+    let adverb_strs: Vec<&str> = adverbs.iter().map(|&i| tokens[i].lower.as_str()).collect();
+    Property::with_adverbs(&adverb_strs, &tokens[adj].lower)
+}
+
+/// Whether the pattern's top node carries a prepositional constriction
+/// sub-tree (non-intrinsic statement, §4).
+fn has_constriction(tree: &DepTree, top: usize) -> bool {
+    tree.has_child_with_rel(top, DepRel::Prep)
+}
+
+/// Emits a statement for adjective `adj` about `entity`, plus conjunction
+/// expansions, respecting the constriction check on conjuncts.
+fn emit_matches(
+    sentence: &AnnotatedSentence,
+    entity: EntityId,
+    adj: usize,
+    config: &ExtractionConfig,
+    out: &mut Vec<Statement>,
+) {
+    let tokens = &sentence.tokens;
+    let tree = &sentence.tree;
+    out.push(Statement {
+        entity,
+        property: property_at(tokens, tree, adj),
+        polarity: statement_polarity(tree, adj),
+    });
+    if config.conj {
+        for conj in tree.children_with_rel(adj, DepRel::Conj) {
+            if tokens[conj].pos != Pos::Adjective {
+                continue;
+            }
+            if config.intrinsic_checks && has_constriction(tree, conj) {
+                continue;
+            }
+            out.push(Statement {
+                entity,
+                property: property_at(tokens, tree, conj),
+                polarity: statement_polarity(tree, conj),
+            });
+        }
+    }
+}
+
+/// Adjectival-complement matches for one sentence.
+fn match_acomp(
+    sentence: &AnnotatedSentence,
+    config: &ExtractionConfig,
+    out: &mut Vec<Statement>,
+) {
+    let tokens = &sentence.tokens;
+    let tree = &sentence.tree;
+    for mention in &sentence.mentions {
+        let head = mention.head();
+        if tree.rel(head) != DepRel::Nsubj {
+            continue;
+        }
+        let Some(pred) = tree.head(head) else {
+            continue;
+        };
+        if tokens[pred].pos != Pos::Adjective {
+            continue;
+        }
+        // Governor admissibility.
+        let cops = tree.children_with_rel(pred, DepRel::Cop);
+        let admissible = if let Some(&cop) = cops.first() {
+            match config.verbs {
+                VerbSet::ToBe => is_to_be(&tokens[cop].lower),
+                VerbSet::CopulaClass => true,
+            }
+        } else {
+            // Cop-less adjectival small clause ("I find kittens cute"):
+            // admitted only by the extended verb class.
+            config.verbs == VerbSet::CopulaClass && tree.rel(pred) == DepRel::Ccomp
+        };
+        if !admissible {
+            continue;
+        }
+        if config.intrinsic_checks && has_constriction(tree, pred) {
+            continue;
+        }
+        emit_matches(sentence, mention.entity, pred, config, out);
+    }
+}
+
+/// Adjectival-modifier matches for one sentence.
+fn match_amod(
+    sentence: &AnnotatedSentence,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    out: &mut Vec<Statement>,
+) {
+    let tokens = &sentence.tokens;
+    let tree = &sentence.tree;
+
+    // (a) Predicate-nominal coreference: amod on a type noun coreferent
+    // with the mention.
+    for link in predicate_nominal_corefs(tokens, tree, &sentence.mentions, kb) {
+        if config.intrinsic_checks && has_constriction(tree, link.noun) {
+            continue;
+        }
+        let entity = sentence.mentions[link.mention].entity;
+        // Attributive modifiers plus relative-clause predicates ("a city
+        // that is big") — both assert the property of the coreferent noun.
+        for rel in [DepRel::Amod, DepRel::Rcmod] {
+            for adj in tree.children_with_rel(link.noun, rel) {
+                if tokens[adj].pos != Pos::Adjective {
+                    continue;
+                }
+                emit_matches(sentence, entity, adj, config, out);
+            }
+        }
+    }
+
+    // (b) Direct modification of the mention head.
+    for mention in &sentence.mentions {
+        let head = mention.head();
+        let amods = tree.children_with_rel(head, DepRel::Amod);
+        if amods.is_empty() {
+            continue;
+        }
+        if config.intrinsic_checks {
+            // Part-of filter: an attributive adjective on a *subject*
+            // mention modifies a part or aspect ("southern France is
+            // warm"), not the entity as a whole.
+            if tree.rel(head) == DepRel::Nsubj {
+                continue;
+            }
+            if has_constriction(tree, head) {
+                continue;
+            }
+        }
+        for adj in amods {
+            if tokens[adj].pos != Pos::Adjective {
+                continue;
+            }
+            // Skip adjectives inside the mention span itself ("White shark"
+            // must not yield (shark, white)).
+            if mention.covers(adj) {
+                continue;
+            }
+            emit_matches(sentence, mention.entity, adj, config, out);
+        }
+    }
+}
+
+/// Extracts all evidence statements from one annotated sentence under a
+/// configuration. Duplicate (entity, property, polarity) triples within a
+/// sentence are deduplicated.
+pub fn extract_sentence(
+    sentence: &AnnotatedSentence,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+) -> Vec<Statement> {
+    let mut out = Vec::new();
+    if config.acomp {
+        match_acomp(sentence, config, &mut out);
+    }
+    if config.amod {
+        match_amod(sentence, kb, config, &mut out);
+    }
+    out.sort_by(|a, b| {
+        (a.entity, &a.property, a.polarity == crate::Polarity::Negative).cmp(&(
+            b.entity,
+            &b.property,
+            b.polarity == crate::Polarity::Negative,
+        ))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PatternVersion;
+    use crate::Polarity;
+    use surveyor_kb::KnowledgeBaseBuilder;
+    use surveyor_nlp::{annotate, Lexicon};
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        let city = b.add_type("city", &["city"], &[]);
+        let sport = b.add_type("sport", &["sport"], &[]);
+        let country = b.add_type("country", &["country"], &[]);
+        b.add_entity("Snake", animal).finish();
+        b.add_entity("Kitten", animal).finish();
+        b.add_entity("Chicago", city).finish();
+        b.add_entity("New York", city).finish();
+        b.add_entity("Soccer", sport).finish();
+        b.add_entity("France", country).finish();
+        b.add_entity("Greece", country).finish();
+        b.build()
+    }
+
+    fn extract_with(text: &str, config: &ExtractionConfig) -> Vec<(String, String, Polarity)> {
+        let kb = kb();
+        let lex = Lexicon::new();
+        let doc = annotate(0, text, &kb, &lex);
+        let mut out = Vec::new();
+        for s in &doc.sentences {
+            for st in extract_sentence(s, &kb, config) {
+                out.push((
+                    kb.entity(st.entity).name().to_owned(),
+                    st.property.to_string(),
+                    st.polarity,
+                ));
+            }
+        }
+        out
+    }
+
+    fn extract_v4(text: &str) -> Vec<(String, String, Polarity)> {
+        extract_with(text, &ExtractionConfig::paper_final())
+    }
+
+    #[test]
+    fn table1_row1_amod_with_coref() {
+        let got = extract_v4("Snakes are dangerous animals.");
+        assert_eq!(
+            got,
+            vec![("Snake".into(), "dangerous".into(), Polarity::Positive)]
+        );
+    }
+
+    #[test]
+    fn table1_row2_acomp_with_adverb() {
+        let got = extract_v4("Chicago is very big.");
+        assert_eq!(got, vec![("Chicago".into(), "very big".into(), Polarity::Positive)]);
+    }
+
+    #[test]
+    fn table1_row3_conjunction() {
+        let got = extract_v4("Soccer is a fast and exciting sport.");
+        // Both "fast" (amod) and "exciting" (conj) extract, per the paper's
+        // note on the third example.
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&("Soccer".into(), "fast".into(), Polarity::Positive)));
+        assert!(got.contains(&("Soccer".into(), "exciting".into(), Polarity::Positive)));
+    }
+
+    #[test]
+    fn negative_statement() {
+        let got = extract_v4("Chicago is not big.");
+        assert_eq!(got, vec![("Chicago".into(), "big".into(), Polarity::Negative)]);
+        let got = extract_v4("New York is not a big city.");
+        assert_eq!(got, vec![("New York".into(), "big".into(), Polarity::Negative)]);
+    }
+
+    #[test]
+    fn double_negation_positive() {
+        let got = extract_v4("I don't think that snakes are never dangerous.");
+        assert_eq!(
+            got,
+            vec![("Snake".into(), "dangerous".into(), Polarity::Positive)]
+        );
+    }
+
+    #[test]
+    fn constriction_filtered_in_v4_not_v2() {
+        let text = "New York is bad for parking.";
+        assert!(extract_v4(text).is_empty());
+        let v2 = extract_with(text, &PatternVersion::V2.config());
+        assert_eq!(v2, vec![("New York".into(), "bad".into(), Polarity::Positive)]);
+    }
+
+    #[test]
+    fn part_of_amod_filtered_in_v4_not_v1() {
+        let text = "southern France is warm.";
+        let v4 = extract_v4(text);
+        // "warm" extracts via acomp; "southern" must NOT extract.
+        assert_eq!(v4, vec![("France".into(), "warm".into(), Polarity::Positive)]);
+        let v1 = extract_with(text, &PatternVersion::V1.config());
+        // V1 has no checks: the spurious (France, southern) appears, and no
+        // acomp pattern runs.
+        assert_eq!(v1, vec![("France".into(), "southern".into(), Polarity::Positive)]);
+    }
+
+    #[test]
+    fn greece_southern_country_extracts_via_coref() {
+        let got = extract_v4("Greece is a southern country.");
+        assert_eq!(
+            got,
+            vec![("Greece".into(), "southern".into(), Polarity::Positive)]
+        );
+    }
+
+    #[test]
+    fn attributive_object_mention_extracts_in_v4() {
+        let got = extract_v4("I love the cute kitten.");
+        assert_eq!(got, vec![("Kitten".into(), "cute".into(), Polarity::Positive)]);
+    }
+
+    #[test]
+    fn small_clause_only_with_copula_class() {
+        let text = "I find kittens cute.";
+        assert!(extract_v4(text).is_empty());
+        let v2 = extract_with(text, &PatternVersion::V2.config());
+        assert_eq!(v2, vec![("Kitten".into(), "cute".into(), Polarity::Positive)]);
+    }
+
+    #[test]
+    fn extended_copula_only_with_copula_class() {
+        let text = "Chicago seems big.";
+        assert!(extract_v4(text).is_empty());
+        let v2 = extract_with(text, &PatternVersion::V2.config());
+        assert_eq!(v2, vec![("Chicago".into(), "big".into(), Polarity::Positive)]);
+    }
+
+    #[test]
+    fn v3_has_no_amod() {
+        let v3 = extract_with("Snakes are dangerous animals.", &PatternVersion::V3.config());
+        assert!(v3.is_empty());
+        let v3 = extract_with("Chicago is big.", &PatternVersion::V3.config());
+        assert_eq!(v3.len(), 1);
+    }
+
+    #[test]
+    fn no_extraction_without_mention() {
+        assert!(extract_v4("The weather is nice.").is_empty());
+    }
+
+    #[test]
+    fn no_extraction_for_objective_only_sentences() {
+        assert!(extract_v4("Chicago has parks.").is_empty());
+    }
+
+    #[test]
+    fn mention_internal_adjective_is_not_extracted() {
+        // "White shark" as an entity name must not yield (shark, white); we
+        // approximate with a lowercase attributive over a mention.
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        b.add_entity("White shark", animal).finish();
+        let kb = b.build();
+        let lex = Lexicon::new();
+        let doc = annotate(0, "I love the white shark.", &kb, &lex);
+        let stmts = extract_sentence(&doc.sentences[0], &kb, &ExtractionConfig::paper_final());
+        assert!(stmts.is_empty(), "got {stmts:?}");
+    }
+
+    #[test]
+    fn relative_clause_extracts_like_amod() {
+        let got = extract_v4("Chicago is a city that is very big.");
+        assert_eq!(
+            got,
+            vec![("Chicago".into(), "very big".into(), Polarity::Positive)]
+        );
+        let got = extract_v4("Chicago is a city that is not big.");
+        assert_eq!(got, vec![("Chicago".into(), "big".into(), Polarity::Negative)]);
+        // V3 (acomp-only) does not use the relative-clause reading.
+        let v3 = extract_with(
+            "Chicago is a city that is big.",
+            &PatternVersion::V3.config(),
+        );
+        assert!(v3.is_empty(), "{v3:?}");
+    }
+
+    #[test]
+    fn passive_report_only_with_copula_class() {
+        let text = "Chicago is considered big.";
+        assert!(extract_v4(text).is_empty());
+        let v2 = extract_with(text, &PatternVersion::V2.config());
+        assert_eq!(v2, vec![("Chicago".into(), "big".into(), Polarity::Positive)]);
+        // Negated report flips polarity.
+        let v2 = extract_with(
+            "Chicago is not considered big.",
+            &PatternVersion::V2.config(),
+        );
+        assert_eq!(v2, vec![("Chicago".into(), "big".into(), Polarity::Negative)]);
+    }
+
+    #[test]
+    fn dedup_within_sentence() {
+        // A sentence matching both coref-amod and direct paths must not
+        // double-count the same triple.
+        let got = extract_v4("Soccer is a fast and fast sport.");
+        let fast_count = got
+            .iter()
+            .filter(|(_, p, _)| p == "fast")
+            .count();
+        assert_eq!(fast_count, 1);
+    }
+}

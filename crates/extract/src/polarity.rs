@@ -1,0 +1,107 @@
+//! Statement polarity (paper Figure 5).
+//!
+//! "We decide the polarity by following the path in the dependency tree
+//! from the property token to the root: starting with a polarity of +1, we
+//! change the sign every time we encounter a negated token on that path (a
+//! negated token has a negation as child element)."
+
+use crate::evidence::Polarity;
+use surveyor_nlp::{DepRel, DepTree};
+
+/// Computes the polarity of a statement whose property token is
+/// `property_token`, by counting negated tokens on the path to the root.
+///
+/// An even count (including zero) is positive; an odd count negative —
+/// which makes double negations like "I don't think that snakes are never
+/// dangerous" come out positive, as the paper requires.
+pub fn statement_polarity(tree: &DepTree, property_token: usize) -> Polarity {
+    let mut negations = 0usize;
+    for node in tree.path_to_root(property_token) {
+        if tree.has_child_with_rel(node, DepRel::Neg) {
+            negations += 1;
+        }
+    }
+    if negations % 2 == 0 {
+        Polarity::Positive
+    } else {
+        Polarity::Negative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surveyor_nlp::{parse, Lexicon, tokenize};
+
+    fn polarity_of(sentence: &str, property_word: &str) -> Polarity {
+        let lex = Lexicon::new();
+        let mut toks = tokenize(sentence);
+        lex.tag(&mut toks);
+        let tree = parse(&toks).unwrap();
+        let idx = toks
+            .iter()
+            .position(|t| t.lower == property_word)
+            .expect("property word present");
+        statement_polarity(&tree, idx)
+    }
+
+    #[test]
+    fn plain_positive() {
+        assert_eq!(polarity_of("Chicago is big", "big"), Polarity::Positive);
+        assert_eq!(
+            polarity_of("San Francisco is a big city", "big"),
+            Polarity::Positive
+        );
+    }
+
+    #[test]
+    fn simple_negation() {
+        assert_eq!(polarity_of("Chicago is not big", "big"), Polarity::Negative);
+        assert_eq!(
+            polarity_of("San Francisco is not a big city", "big"),
+            Polarity::Negative
+        );
+        assert_eq!(
+            polarity_of("Snakes are never dangerous", "dangerous"),
+            Polarity::Negative
+        );
+    }
+
+    #[test]
+    fn negated_matrix_verb() {
+        assert_eq!(
+            polarity_of("I don't think that Chicago is big", "big"),
+            Polarity::Negative
+        );
+        assert_eq!(
+            polarity_of("I do not believe snakes are dangerous", "dangerous"),
+            Polarity::Negative
+        );
+    }
+
+    #[test]
+    fn figure5_double_negation_is_positive() {
+        assert_eq!(
+            polarity_of("I don't think that snakes are never dangerous", "dangerous"),
+            Polarity::Positive
+        );
+    }
+
+    #[test]
+    fn positive_embedding_stays_positive() {
+        assert_eq!(
+            polarity_of("I think that Chicago is big", "big"),
+            Polarity::Positive
+        );
+    }
+
+    #[test]
+    fn negation_on_amod_head_noun() {
+        // "X is not a big city": the negation hangs off "city", which lies
+        // on big's path to the root.
+        assert_eq!(
+            polarity_of("Oakville is not a big city", "big"),
+            Polarity::Negative
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Statement provenance: which documents support each association.
+//!
+//! The paper's application "can exploit high-confidence entity-property
+//! associations and offer links to supporting content on the Web as query
+//! result" (§2). This module tracks, per entity-property pair, a bounded
+//! sample of supporting document ids. The sample keeps the *smallest* K
+//! ids, which makes merging commutative and associative — shard order
+//! cannot change the result, preserving the pipeline's determinism.
+
+use crate::evidence::Statement;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use surveyor_kb::{EntityId, Property};
+
+/// Default number of supporting documents retained per pair.
+pub const DEFAULT_SAMPLE: usize = 5;
+
+/// Bounded supporting-document samples per entity-property pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceTable {
+    sample_size: usize,
+    #[serde(with = "entries_codec")]
+    map: FxHashMap<(EntityId, Property), Vec<u64>>,
+}
+
+impl Default for ProvenanceTable {
+    fn default() -> Self {
+        Self::new(DEFAULT_SAMPLE)
+    }
+}
+
+impl ProvenanceTable {
+    /// An empty table keeping up to `sample_size` documents per pair.
+    pub fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size: sample_size.max(1),
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Records that `document` contains a statement for the pair.
+    pub fn record(&mut self, statement: &Statement, document: u64) {
+        let ids = self
+            .map
+            .entry((statement.entity, statement.property.clone()))
+            .or_default();
+        insert_bounded(ids, document, self.sample_size);
+    }
+
+    /// Merges another table (order-independent).
+    pub fn merge(&mut self, other: ProvenanceTable) {
+        for (key, ids) in other.map {
+            let slot = self.map.entry(key).or_default();
+            for id in ids {
+                insert_bounded(slot, id, self.sample_size);
+            }
+        }
+    }
+
+    /// Supporting documents for a pair, smallest ids first (empty when the
+    /// pair was never seen).
+    pub fn documents(&self, entity: EntityId, property: &Property) -> &[u64] {
+        self.map
+            .get(&(entity, property.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of pairs tracked.
+    pub fn pair_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The configured sample bound.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+}
+
+/// Inserts `id` into a sorted, deduplicated, bounded id list.
+fn insert_bounded(ids: &mut Vec<u64>, id: u64, bound: usize) {
+    match ids.binary_search(&id) {
+        Ok(_) => {}
+        Err(pos) => {
+            if pos < bound {
+                ids.insert(pos, id);
+                ids.truncate(bound);
+            }
+        }
+    }
+}
+
+/// Serde codec: the tuple-keyed map serializes as an entry list.
+mod entries_codec {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    type ProvenanceMap = FxHashMap<(EntityId, Property), Vec<u64>>;
+
+    #[derive(Serialize, Deserialize)]
+    struct Entry {
+        entity: EntityId,
+        property: Property,
+        documents: Vec<u64>,
+    }
+
+    pub fn serialize<S: Serializer>(
+        map: &ProvenanceMap,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<Entry> = map
+            .iter()
+            .map(|((entity, property), documents)| Entry {
+                entity: *entity,
+                property: property.clone(),
+                documents: documents.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.entity, &a.property).cmp(&(b.entity, &b.property)));
+        serde::Serialize::serialize(&entries, serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<ProvenanceMap, D::Error> {
+        let entries: Vec<Entry> = serde::Deserialize::deserialize(deserializer)?;
+        Ok(entries
+            .into_iter()
+            .map(|e| ((e.entity, e.property), e.documents))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Polarity;
+
+    fn stmt(entity: u32, prop: &str) -> Statement {
+        Statement {
+            entity: EntityId(entity),
+            property: Property::adjective(prop),
+            polarity: Polarity::Positive,
+        }
+    }
+
+    #[test]
+    fn keeps_smallest_ids_up_to_bound() {
+        let mut t = ProvenanceTable::new(3);
+        for doc in [9, 2, 7, 1, 8, 3] {
+            t.record(&stmt(0, "cute"), doc);
+        }
+        assert_eq!(t.documents(EntityId(0), &Property::adjective("cute")), [1, 2, 3]);
+        assert!(t.documents(EntityId(1), &Property::adjective("cute")).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut t = ProvenanceTable::new(3);
+        t.record(&stmt(0, "cute"), 5);
+        t.record(&stmt(0, "cute"), 5);
+        assert_eq!(t.documents(EntityId(0), &Property::adjective("cute")), [5]);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let build = |docs: &[u64]| {
+            let mut t = ProvenanceTable::new(3);
+            for &d in docs {
+                t.record(&stmt(0, "cute"), d);
+            }
+            t
+        };
+        let a = build(&[10, 4]);
+        let b = build(&[1, 7, 12]);
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.documents(EntityId(0), &Property::adjective("cute")), [1, 4, 7]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = ProvenanceTable::new(2);
+        t.record(&stmt(0, "cute"), 3);
+        t.record(&stmt(1, "big"), 9);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ProvenanceTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

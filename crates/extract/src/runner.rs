@@ -1,0 +1,251 @@
+//! Sharded, multi-threaded extraction driver.
+//!
+//! The paper ran extraction "on up to 5000 nodes" over a 40 TB snapshot
+//! (§7.1). The reproduction's corpus is sharded the same way; this module
+//! fans shards out over worker threads (crossbeam scoped threads), each
+//! producing a local [`EvidenceTable`] that is merged reduce-style — merge
+//! is associative and commutative, so completion order is irrelevant and
+//! the result is deterministic.
+
+use crate::config::ExtractionConfig;
+use crate::evidence::EvidenceTable;
+use crate::patterns::extract_sentence;
+use crate::provenance::ProvenanceTable;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use surveyor_kb::KnowledgeBase;
+use surveyor_nlp::AnnotatedDocument;
+
+/// A source of document shards that worker threads can pull from.
+///
+/// Implementations generate or load shard `i` on demand; the corpus crate's
+/// generator implements this so documents never need to be materialized all
+/// at once.
+pub trait ShardSource: Sync {
+    /// Number of shards available.
+    fn shard_count(&self) -> usize;
+    /// Materializes shard `index` (`0 <= index < shard_count`).
+    fn shard(&self, index: usize) -> Vec<AnnotatedDocument>;
+}
+
+/// A pre-materialized document slice acts as a single-shard source.
+impl ShardSource for &[AnnotatedDocument] {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard(&self, _index: usize) -> Vec<AnnotatedDocument> {
+        self.to_vec()
+    }
+}
+
+/// Extraction results: the counters plus supporting-document samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExtractionOutput {
+    /// Evidence counters per entity-property pair.
+    pub evidence: EvidenceTable,
+    /// Bounded supporting-document samples per pair.
+    pub provenance: ProvenanceTable,
+}
+
+impl ExtractionOutput {
+    fn merge(&mut self, other: ExtractionOutput) {
+        self.evidence.merge(other.evidence);
+        self.provenance.merge(other.provenance);
+    }
+}
+
+/// Extracts evidence from a document batch sequentially.
+pub fn extract_documents(
+    docs: &[AnnotatedDocument],
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+) -> EvidenceTable {
+    extract_documents_full(docs, kb, config).evidence
+}
+
+/// Like [`extract_documents`], also tracking provenance: which documents
+/// support each pair ("offer links to supporting content on the Web as
+/// query result", §2).
+pub fn extract_documents_full(
+    docs: &[AnnotatedDocument],
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+) -> ExtractionOutput {
+    let mut output = ExtractionOutput::default();
+    for doc in docs {
+        for sentence in &doc.sentences {
+            for statement in extract_sentence(sentence, kb, config) {
+                output.evidence.add(&statement);
+                output.provenance.record(&statement, doc.id);
+            }
+        }
+    }
+    output
+}
+
+/// Runs extraction over all shards of `source` on `num_threads` workers and
+/// returns the merged evidence table.
+///
+/// Work distribution is dynamic (an atomic shard cursor), so skewed shard
+/// sizes — which the Zipf-popularity corpus produces — still balance.
+///
+/// # Panics
+/// Panics if `num_threads == 0`.
+pub fn run_sharded<S: ShardSource>(
+    source: &S,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    num_threads: usize,
+) -> EvidenceTable {
+    run_sharded_full(source, kb, config, num_threads).evidence
+}
+
+/// Like [`run_sharded`], also collecting provenance.
+///
+/// # Panics
+/// Panics if `num_threads == 0`.
+pub fn run_sharded_full<S: ShardSource>(
+    source: &S,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    num_threads: usize,
+) -> ExtractionOutput {
+    assert!(num_threads > 0, "need at least one worker thread");
+    let cursor = AtomicUsize::new(0);
+    let result = Mutex::new(ExtractionOutput::default());
+    let shard_count = source.shard_count();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..num_threads.min(shard_count.max(1)) {
+            scope.spawn(|_| {
+                let mut local = ExtractionOutput::default();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= shard_count {
+                        break;
+                    }
+                    let docs = source.shard(idx);
+                    local.merge(extract_documents_full(&docs, kb, config));
+                }
+                result.lock().merge(local);
+            });
+        }
+    })
+    .expect("extraction worker panicked");
+
+    result.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surveyor_kb::{KnowledgeBaseBuilder, Property};
+    use surveyor_nlp::{annotate, Lexicon};
+
+    struct TextShards {
+        shards: Vec<Vec<String>>,
+        kb: KnowledgeBase,
+        lexicon: Lexicon,
+    }
+
+    impl ShardSource for TextShards {
+        fn shard_count(&self) -> usize {
+            self.shards.len()
+        }
+
+        fn shard(&self, index: usize) -> Vec<AnnotatedDocument> {
+            self.shards[index]
+                .iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    annotate((index * 1000 + i) as u64, text, &self.kb, &self.lexicon)
+                })
+                .collect()
+        }
+    }
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        b.add_entity("Kitten", animal).finish();
+        b.add_entity("Tiger", animal).finish();
+        b.build()
+    }
+
+    fn source(kb: KnowledgeBase) -> TextShards {
+        let mut shards = Vec::new();
+        for s in 0..8 {
+            let mut docs = Vec::new();
+            for d in 0..5 {
+                if (s + d) % 3 == 0 {
+                    docs.push("Kittens are cute. Tigers are not cute.".to_owned());
+                } else {
+                    docs.push("Kittens are cute animals.".to_owned());
+                }
+            }
+            shards.push(docs);
+        }
+        TextShards {
+            shards,
+            kb,
+            lexicon: Lexicon::new(),
+        }
+    }
+
+    #[test]
+    fn sequential_extraction_counts() {
+        let kb = kb();
+        let lex = Lexicon::new();
+        let docs = vec![
+            annotate(0, "Kittens are cute. Tigers are not cute.", &kb, &lex),
+            annotate(1, "Kittens are cute animals.", &kb, &lex),
+        ];
+        let table = extract_documents(&docs, &kb, &ExtractionConfig::paper_final());
+        let cute = Property::adjective("cute");
+        let kitten = kb.entity_by_name("Kitten").unwrap();
+        let tiger = kb.entity_by_name("Tiger").unwrap();
+        assert_eq!(table.counts(kitten, &cute).positive, 2);
+        assert_eq!(table.counts(tiger, &cute).negative, 1);
+        assert_eq!(table.total_statements(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let kb = kb();
+        let src = source(kb.clone());
+        let config = ExtractionConfig::paper_final();
+        let seq = run_sharded(&src, &kb, &config, 1);
+        for threads in [2, 4, 8] {
+            let par = run_sharded(&src, &kb, &config, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let kb = kb();
+        let src = source(kb.clone());
+        let table = run_sharded(&src, &kb, &ExtractionConfig::paper_final(), 64);
+        assert!(table.total_statements() > 0);
+    }
+
+    #[test]
+    fn slice_shard_source() {
+        let kb = kb();
+        let lex = Lexicon::new();
+        let docs = vec![annotate(0, "Kittens are cute.", &kb, &lex)];
+        let slice: &[AnnotatedDocument] = &docs;
+        let table = run_sharded(&slice, &kb, &ExtractionConfig::paper_final(), 2);
+        assert_eq!(table.total_statements(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let kb = kb();
+        let docs: Vec<AnnotatedDocument> = Vec::new();
+        let slice: &[AnnotatedDocument] = &docs;
+        let _ = run_sharded(&slice, &kb, &ExtractionConfig::paper_final(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The [`KnowledgeBase`] store.
+
+use crate::entity::Entity;
+use crate::ids::{EntityId, TypeId};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// An entity type (paper: "most notable type" of a Freebase entity).
+///
+/// Beyond the name, a type carries two extraction-relevant vocabularies:
+///
+/// - `head_nouns`: generic nouns that denote the type in text (`"animal"`,
+///   `"city"`). The extractor uses them for the predicate-nominal
+///   coreference check ("Snakes are dangerous *animals*") and the entity
+///   tagger uses them as disambiguation context.
+/// - `context_cues`: further words whose presence in a sentence makes a
+///   reading of an ambiguous alias as this type more plausible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityType {
+    id: TypeId,
+    name: String,
+    head_nouns: Vec<String>,
+    context_cues: Vec<String>,
+}
+
+impl EntityType {
+    pub(crate) fn new(
+        id: TypeId,
+        name: String,
+        head_nouns: Vec<String>,
+        context_cues: Vec<String>,
+    ) -> Self {
+        Self {
+            id,
+            name,
+            head_nouns,
+            context_cues,
+        }
+    }
+
+    /// The type id.
+    pub fn id(&self) -> TypeId {
+        self.id
+    }
+
+    /// Type name (lowercase), e.g. `"animal"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Generic nouns denoting the type.
+    pub fn head_nouns(&self) -> &[String] {
+        &self.head_nouns
+    }
+
+    /// Disambiguation cue words.
+    pub fn context_cues(&self) -> &[String] {
+        &self.context_cues
+    }
+
+    /// Whether `word` (lowercase) is a head noun of this type, allowing a
+    /// trailing plural `s` ("animals" matches head noun "animal").
+    pub fn matches_head_noun(&self, word: &str) -> bool {
+        self.head_nouns.iter().any(|h| {
+            h == word || (word.len() == h.len() + 1 && word.ends_with('s') && word.starts_with(h.as_str()))
+        })
+    }
+}
+
+/// Normalizes a surface form for alias lookups: lowercase, collapsed
+/// whitespace.
+pub fn normalize_surface(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| w.to_lowercase())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The knowledge base: typed entities with alias and type indexes.
+///
+/// Construction goes through [`crate::KnowledgeBaseBuilder`]; the built
+/// store is immutable, cheap to share (`Arc<KnowledgeBase>` in the parallel
+/// extraction runner), and all lookups are O(1) hash probes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    types: Vec<EntityType>,
+    entities: Vec<Entity>,
+    by_type: Vec<Vec<EntityId>>,
+    /// normalized surface form -> candidate entities (ambiguity possible).
+    #[serde(skip)]
+    alias_index: FxHashMap<String, Vec<EntityId>>,
+    /// normalized type name -> type id.
+    #[serde(skip)]
+    type_index: FxHashMap<String, TypeId>,
+    max_alias_tokens: usize,
+}
+
+impl KnowledgeBase {
+    pub(crate) fn from_parts(types: Vec<EntityType>, entities: Vec<Entity>) -> Self {
+        let mut by_type = vec![Vec::new(); types.len()];
+        let mut alias_index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+        let mut type_index = FxHashMap::default();
+        let mut max_alias_tokens = 0;
+        for t in &types {
+            type_index.insert(t.name.clone(), t.id);
+        }
+        for e in &entities {
+            by_type[e.notable_type().index()].push(e.id());
+            for form in e.surface_forms() {
+                let norm = normalize_surface(form);
+                max_alias_tokens = max_alias_tokens.max(norm.split(' ').count());
+                let slot = alias_index.entry(norm).or_default();
+                if !slot.contains(&e.id()) {
+                    slot.push(e.id());
+                }
+            }
+        }
+        Self {
+            types,
+            entities,
+            by_type,
+            alias_index,
+            type_index,
+            max_alias_tokens,
+        }
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the knowledge base holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// All entity types.
+    pub fn types(&self) -> &[EntityType] {
+        &self.types
+    }
+
+    /// A type by id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this knowledge base.
+    pub fn entity_type(&self, id: TypeId) -> &EntityType {
+        &self.types[id.index()]
+    }
+
+    /// Looks up a type by (lowercase) name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_index.get(&name.to_lowercase()).copied()
+    }
+
+    /// An entity by id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this knowledge base.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// All entities.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Entity ids of a type, in insertion order.
+    pub fn entities_of_type(&self, t: TypeId) -> &[EntityId] {
+        &self.by_type[t.index()]
+    }
+
+    /// Looks up an entity by exact canonical name or alias (normalized).
+    /// Returns `None` when the form is unknown **or ambiguous**.
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        match self.candidates(&normalize_surface(name)) {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Candidate entities for a normalized surface form (may be empty or,
+    /// for ambiguous aliases, hold several entities).
+    pub fn candidates(&self, normalized: &str) -> &[EntityId] {
+        self.alias_index
+            .get(normalized)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Longest alias length in tokens; the entity tagger's match window.
+    pub fn max_alias_tokens(&self) -> usize {
+        self.max_alias_tokens
+    }
+
+    /// Whether a normalized surface form maps to more than one entity.
+    pub fn is_ambiguous(&self, normalized: &str) -> bool {
+        self.candidates(normalized).len() > 1
+    }
+
+    /// Rebuilds the skipped indexes after deserialization.
+    ///
+    /// `serde` skips the hash indexes (they are derived data); call this on
+    /// a deserialized value before use.
+    pub fn reindex(self) -> Self {
+        Self::from_parts(self.types, self.entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KnowledgeBaseBuilder;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KnowledgeBaseBuilder::new();
+        let city = b.add_type("city", &["city", "town"], &["downtown", "mayor"]);
+        let animal = b.add_type("animal", &["animal"], &["zoo", "wildlife"]);
+        b.add_entity("San Francisco", city)
+            .alias("SF")
+            .attribute("population", 870_000.0)
+            .finish();
+        b.add_entity("Phoenix", city).finish();
+        // Deliberately ambiguous alias: a mythical-bird "entity".
+        b.add_entity("Phoenix Bird", animal).alias("Phoenix").finish();
+        b.add_entity("Kitten", animal).finish();
+        b.build()
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let kb = kb();
+        assert_eq!(kb.len(), 4);
+        let sf = kb.entity_by_name("san francisco").unwrap();
+        assert_eq!(kb.entity(sf).name(), "San Francisco");
+        assert_eq!(kb.entity(sf).attribute("population"), Some(870_000.0));
+    }
+
+    #[test]
+    fn alias_lookup_and_ambiguity() {
+        let kb = kb();
+        // "SF" resolves uniquely.
+        assert!(kb.entity_by_name("sf").is_some());
+        // "Phoenix" is both a city (canonical) and an animal alias.
+        assert!(kb.is_ambiguous("phoenix"));
+        assert_eq!(kb.candidates("phoenix").len(), 2);
+        assert_eq!(kb.entity_by_name("phoenix"), None);
+    }
+
+    #[test]
+    fn entities_of_type_partition() {
+        let kb = kb();
+        let city = kb.type_by_name("city").unwrap();
+        let animal = kb.type_by_name("animal").unwrap();
+        assert_eq!(kb.entities_of_type(city).len(), 2);
+        assert_eq!(kb.entities_of_type(animal).len(), 2);
+        let total: usize = kb.types().iter().map(|t| kb.entities_of_type(t.id()).len()).sum();
+        assert_eq!(total, kb.len());
+    }
+
+    #[test]
+    fn head_noun_matching_allows_plural() {
+        let kb = kb();
+        let animal = kb.type_by_name("animal").unwrap();
+        assert!(kb.entity_type(animal).matches_head_noun("animal"));
+        assert!(kb.entity_type(animal).matches_head_noun("animals"));
+        assert!(!kb.entity_type(animal).matches_head_noun("animate"));
+    }
+
+    #[test]
+    fn max_alias_tokens_reflects_longest_form() {
+        let kb = kb();
+        assert_eq!(kb.max_alias_tokens(), 2); // "San Francisco", "Phoenix Bird"
+    }
+
+    #[test]
+    fn normalize_surface_collapses_case_and_space() {
+        assert_eq!(normalize_surface("  San   FRANCISCO "), "san francisco");
+    }
+
+    #[test]
+    fn unknown_forms_resolve_to_empty() {
+        let kb = kb();
+        assert!(kb.candidates("atlantis").is_empty());
+        assert_eq!(kb.entity_by_name("Atlantis"), None);
+    }
+}

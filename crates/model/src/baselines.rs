@@ -1,0 +1,262 @@
+//! Baseline methods of the paper's comparison (§7.4).
+//!
+//! - **Majority Vote**: sign of `C+ − C-`; tie (including 0,0) ⇒ unsolved.
+//! - **Scaled Majority Vote**: scales negative counts by the *global*
+//!   average ratio of positive to negative statements — "a gross
+//!   adjustment of the inherent bias against negative statements" that is
+//!   deliberately *not* type/property specific.
+//! - **WebChild baseline**: an occurrence-threshold tagger modeled on the
+//!   published characteristics of WebChild \[22\]: it contains an entity only
+//!   if the entity is mentioned often enough anywhere on the Web, treats
+//!   absence of a property as a negative assertion, and — crucially — does
+//!   not detect negations, so negative statements count as co-occurrence
+//!   evidence *for* the property (the paper observed exactly this failure
+//!   on `cute animals`).
+
+use crate::counts::ObservedCounts;
+use crate::decision::{Decision, ModelDecision};
+use crate::model::OpinionModel;
+
+/// Plain majority vote.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl OpinionModel for MajorityVote {
+    fn name(&self) -> &'static str {
+        "Majority Vote"
+    }
+
+    fn decide_group(&self, counts: &[ObservedCounts]) -> Vec<ModelDecision> {
+        counts
+            .iter()
+            .map(|c| {
+                let decision = match c.positive.cmp(&c.negative) {
+                    std::cmp::Ordering::Greater => Decision::Positive,
+                    std::cmp::Ordering::Less => Decision::Negative,
+                    std::cmp::Ordering::Equal => Decision::Unsolved,
+                };
+                ModelDecision {
+                    decision,
+                    probability: None,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Majority vote with negative counts scaled by a global polarity ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledMajorityVote {
+    scale: f64,
+}
+
+impl ScaledMajorityVote {
+    /// Creates the baseline with an explicit scale factor (the global
+    /// ratio of positive to negative statements).
+    ///
+    /// # Panics
+    /// Panics if the scale is non-finite or non-positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive, got {scale}"
+        );
+        Self { scale }
+    }
+
+    /// Computes the global scale from corpus-wide statement totals,
+    /// falling back to 1.0 when either total is zero.
+    pub fn from_totals(total_positive: u64, total_negative: u64) -> Self {
+        if total_positive == 0 || total_negative == 0 {
+            Self::new(1.0)
+        } else {
+            Self::new(total_positive as f64 / total_negative as f64)
+        }
+    }
+
+    /// The scale factor in use.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl OpinionModel for ScaledMajorityVote {
+    fn name(&self) -> &'static str {
+        "Scaled Majority Vote"
+    }
+
+    fn decide_group(&self, counts: &[ObservedCounts]) -> Vec<ModelDecision> {
+        counts
+            .iter()
+            .map(|c| {
+                let scaled_neg = c.negative as f64 * self.scale;
+                let pos = c.positive as f64;
+                let decision = if pos > scaled_neg {
+                    Decision::Positive
+                } else if pos < scaled_neg {
+                    Decision::Negative
+                } else {
+                    Decision::Unsolved
+                };
+                ModelDecision {
+                    decision,
+                    probability: None,
+                }
+            })
+            .collect()
+    }
+}
+
+/// WebChild-style occurrence baseline.
+///
+/// Per entity the caller supplies, besides the per-property counts, the
+/// entity's *total* mention count across all properties (which determines
+/// KB membership). Entities below the membership threshold are unsolved
+/// ("the only reason for loss of coverage for WebChild is that an entity
+/// is not contained in the knowledge base", §7.4).
+#[derive(Debug, Clone)]
+pub struct WebChildBaseline {
+    /// Minimum total mentions for the entity to exist in WebChild's KB.
+    membership_threshold: u64,
+    /// Minimum co-occurrence count (positive + negative — no negation
+    /// detection) to assert the property.
+    association_threshold: u64,
+    /// Total mentions per entity, parallel to the group's entity order.
+    entity_mentions: Vec<u64>,
+}
+
+impl WebChildBaseline {
+    /// Creates the baseline.
+    ///
+    /// `entity_mentions[i]` is the total number of statements extracted
+    /// about entity `i` across *all* properties of its type.
+    pub fn new(
+        membership_threshold: u64,
+        association_threshold: u64,
+        entity_mentions: Vec<u64>,
+    ) -> Self {
+        assert!(association_threshold > 0, "association threshold must be positive");
+        Self {
+            membership_threshold,
+            association_threshold,
+            entity_mentions,
+        }
+    }
+}
+
+impl OpinionModel for WebChildBaseline {
+    fn name(&self) -> &'static str {
+        "WebChild"
+    }
+
+    fn decide_group(&self, counts: &[ObservedCounts]) -> Vec<ModelDecision> {
+        assert_eq!(
+            counts.len(),
+            self.entity_mentions.len(),
+            "entity mention vector must be parallel to the counts"
+        );
+        counts
+            .iter()
+            .zip(&self.entity_mentions)
+            .map(|(c, &mentions)| {
+                if mentions < self.membership_threshold {
+                    return ModelDecision::unsolved();
+                }
+                // No negation detection: all co-occurrences count as
+                // support; absence of the property is a negative assertion.
+                let decision = if c.total() >= self.association_threshold {
+                    Decision::Positive
+                } else {
+                    Decision::Negative
+                };
+                ModelDecision {
+                    decision,
+                    probability: None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_vote_rules() {
+        let counts = [
+            ObservedCounts::new(3, 1),
+            ObservedCounts::new(1, 3),
+            ObservedCounts::new(2, 2),
+            ObservedCounts::zero(),
+        ];
+        let d = MajorityVote.decide_group(&counts);
+        assert_eq!(d[0].decision, Decision::Positive);
+        assert_eq!(d[1].decision, Decision::Negative);
+        assert_eq!(d[2].decision, Decision::Unsolved);
+        assert_eq!(d[3].decision, Decision::Unsolved);
+        assert!(d.iter().all(|x| x.probability.is_none()));
+    }
+
+    #[test]
+    fn scaled_majority_vote_corrects_polarity_bias() {
+        // Globally positives outnumber negatives 10:1, so one negative
+        // statement outweighs five positive ones.
+        let smv = ScaledMajorityVote::from_totals(1000, 100);
+        assert!((smv.scale() - 10.0).abs() < 1e-12);
+        let counts = [
+            ObservedCounts::new(5, 1),  // 5 vs 10 -> negative
+            ObservedCounts::new(15, 1), // 15 vs 10 -> positive
+            ObservedCounts::new(10, 1), // exact tie -> unsolved
+            ObservedCounts::zero(),     // 0 vs 0 -> unsolved
+        ];
+        let d = smv.decide_group(&counts);
+        assert_eq!(d[0].decision, Decision::Negative);
+        assert_eq!(d[1].decision, Decision::Positive);
+        assert_eq!(d[2].decision, Decision::Unsolved);
+        assert_eq!(d[3].decision, Decision::Unsolved);
+    }
+
+    #[test]
+    fn scaled_majority_vote_degenerate_totals() {
+        assert_eq!(ScaledMajorityVote::from_totals(0, 5).scale(), 1.0);
+        assert_eq!(ScaledMajorityVote::from_totals(5, 0).scale(), 1.0);
+    }
+
+    #[test]
+    fn webchild_membership_gates_coverage() {
+        let wc = WebChildBaseline::new(5, 2, vec![10, 1, 10]);
+        let counts = [
+            ObservedCounts::new(3, 0),
+            ObservedCounts::new(3, 0),
+            ObservedCounts::new(0, 0),
+        ];
+        let d = wc.decide_group(&counts);
+        assert_eq!(d[0].decision, Decision::Positive);
+        assert_eq!(d[1].decision, Decision::Unsolved); // not in WebChild KB
+        assert_eq!(d[2].decision, Decision::Negative); // absence = negative
+    }
+
+    #[test]
+    fn webchild_counts_negations_as_support() {
+        // The documented failure mode: "X is not cute" statements still
+        // push WebChild toward asserting cute.
+        let wc = WebChildBaseline::new(1, 3, vec![10]);
+        let d = wc.decide_group(&[ObservedCounts::new(0, 4)]);
+        assert_eq!(d[0].decision, Decision::Positive);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn webchild_mismatched_lengths_panic() {
+        let wc = WebChildBaseline::new(1, 1, vec![1]);
+        let _ = wc.decide_group(&[ObservedCounts::zero(), ObservedCounts::zero()]);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(MajorityVote.name(), "Majority Vote");
+        assert_eq!(ScaledMajorityVote::new(1.0).name(), "Scaled Majority Vote");
+        assert_eq!(WebChildBaseline::new(1, 1, vec![]).name(), "WebChild");
+    }
+}

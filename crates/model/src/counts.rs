@@ -1,0 +1,58 @@
+//! The observed evidence tuple `⟨C+_i, C-_i⟩`.
+
+use serde::{Deserialize, Serialize};
+
+/// Positive / negative statement counts for one entity under one
+/// (type, property) combination — the only observables of the model
+/// (paper §5.1, the green nodes of Figure 7).
+///
+/// This mirrors the extraction crate's counter type but lives here so the
+/// model layer has no dependency on the NLP pipeline; the evaluation crate
+/// converts between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObservedCounts {
+    /// `C+`: number of positive statements.
+    pub positive: u64,
+    /// `C-`: number of negative statements.
+    pub negative: u64,
+}
+
+impl ObservedCounts {
+    /// An explicit pair of counts.
+    pub fn new(positive: u64, negative: u64) -> Self {
+        Self { positive, negative }
+    }
+
+    /// Total statements.
+    pub fn total(&self) -> u64 {
+        self.positive + self.negative
+    }
+
+    /// The zero tuple — an entity never mentioned with the property. The
+    /// model deliberately draws conclusions from this case too (§2: "at
+    /// sufficiently large scale, the lack of any evidence can be evidence
+    /// as well").
+    pub fn zero() -> Self {
+        Self::default()
+    }
+}
+
+impl From<(u64, u64)> for ObservedCounts {
+    fn from((positive, negative): (u64, u64)) -> Self {
+        Self { positive, negative }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_total() {
+        let c = ObservedCounts::new(60, 3);
+        assert_eq!(c.total(), 63);
+        assert_eq!(ObservedCounts::zero().total(), 0);
+        let c: ObservedCounts = (2, 5).into();
+        assert_eq!(c, ObservedCounts::new(2, 5));
+    }
+}

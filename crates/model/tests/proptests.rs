@@ -1,0 +1,113 @@
+//! Property-based tests for the probabilistic model: posterior bounds and
+//! monotonicity, EM invariants, baseline consistency.
+
+use proptest::prelude::*;
+use surveyor_model::{
+    decide, fit, posterior_positive, Decision, EmConfig, MajorityVote, ModelParams,
+    ObservedCounts, OpinionModel, ScaledMajorityVote,
+};
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (0.5f64..1.0, 0.01f64..200.0, 0.01f64..200.0)
+        .prop_map(|(pa, rp, rn)| ModelParams::new(pa, rp, rn))
+}
+
+fn counts_strategy() -> impl Strategy<Value = ObservedCounts> {
+    (0u64..300, 0u64..300).prop_map(|(p, n)| ObservedCounts::new(p, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn posterior_is_a_probability(params in params_strategy(), counts in counts_strategy()) {
+        let p = posterior_positive(counts, &params);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        prop_assert!(p.is_finite());
+    }
+
+    #[test]
+    fn posterior_monotone_in_positive_count(
+        params in params_strategy(),
+        c_neg in 0u64..50,
+        c_pos in 0u64..100,
+    ) {
+        // Adding a positive statement never lowers the positive posterior
+        // (λ++ >= λ+- because pA >= ½).
+        let p1 = posterior_positive(ObservedCounts::new(c_pos, c_neg), &params);
+        let p2 = posterior_positive(ObservedCounts::new(c_pos + 1, c_neg), &params);
+        prop_assert!(p2 >= p1 - 1e-9, "p1={p1} p2={p2}");
+    }
+
+    #[test]
+    fn posterior_antitone_in_negative_count(
+        params in params_strategy(),
+        c_pos in 0u64..50,
+        c_neg in 0u64..100,
+    ) {
+        let p1 = posterior_positive(ObservedCounts::new(c_pos, c_neg), &params);
+        let p2 = posterior_positive(ObservedCounts::new(c_pos, c_neg + 1), &params);
+        prop_assert!(p2 <= p1 + 1e-9);
+    }
+
+    #[test]
+    fn decide_matches_threshold(p in 0.0f64..1.0) {
+        let d = decide(p);
+        match d.decision {
+            Decision::Positive => prop_assert!(p > 0.5),
+            Decision::Negative => prop_assert!(p < 0.5),
+            Decision::Unsolved => prop_assert!((p - 0.5).abs() <= 1e-12),
+        }
+        prop_assert_eq!(d.probability, Some(p));
+    }
+
+    #[test]
+    fn em_fit_stays_in_bounds(counts in prop::collection::vec(counts_strategy(), 1..64)) {
+        let fit = fit(&counts, &EmConfig::default());
+        prop_assert!((0.5..=1.0).contains(&fit.params.p_agree));
+        prop_assert!(fit.params.rate_pos.is_finite() && fit.params.rate_pos >= 0.0);
+        prop_assert!(fit.params.rate_neg.is_finite() && fit.params.rate_neg >= 0.0);
+        prop_assert!(fit.iterations >= 1);
+    }
+
+    #[test]
+    fn em_is_deterministic(counts in prop::collection::vec(counts_strategy(), 1..32)) {
+        let a = fit(&counts, &EmConfig::default());
+        let b = fit(&counts, &EmConfig::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn majority_vote_agrees_with_sign(counts in counts_strategy()) {
+        let d = MajorityVote.decide_group(&[counts])[0].decision;
+        match counts.positive.cmp(&counts.negative) {
+            std::cmp::Ordering::Greater => prop_assert_eq!(d, Decision::Positive),
+            std::cmp::Ordering::Less => prop_assert_eq!(d, Decision::Negative),
+            std::cmp::Ordering::Equal => prop_assert_eq!(d, Decision::Unsolved),
+        }
+    }
+
+    #[test]
+    fn scaled_majority_with_unit_scale_equals_majority(
+        group in prop::collection::vec(counts_strategy(), 1..32),
+    ) {
+        let smv = ScaledMajorityVote::new(1.0).decide_group(&group);
+        let mv = MajorityVote.decide_group(&group);
+        for (a, b) in smv.iter().zip(&mv) {
+            prop_assert_eq!(a.decision, b.decision);
+        }
+    }
+
+    #[test]
+    fn posterior_under_fitted_params_decides_every_entity(
+        group in prop::collection::vec(counts_strategy(), 2..48),
+    ) {
+        // The pipeline's promise: a decision (possibly Unsolved only at an
+        // exact tie) for every entity of a modeled combination.
+        let fitted = fit(&group, &EmConfig::default());
+        for c in &group {
+            let p = posterior_positive(*c, &fitted.params);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

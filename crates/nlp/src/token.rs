@@ -1,0 +1,315 @@
+//! Sentence splitting, tokenization, and the part-of-speech inventory.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Part-of-speech tags; a compact inventory sufficient for the dependency
+/// patterns of paper Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pos {
+    /// Common noun (`city`, `animals`).
+    Noun,
+    /// Proper noun (`Chicago`, `San`).
+    ProperNoun,
+    /// Adjective (`big`, `cute`).
+    Adjective,
+    /// Adverb (`very`, `densely`).
+    Adverb,
+    /// Lexical verb (`think`, `love`).
+    Verb,
+    /// Copular verb (`is`, `are`, `seems`).
+    Copula,
+    /// Auxiliary (`do`, `does`, `did`).
+    Aux,
+    /// Determiner (`a`, `the`).
+    Determiner,
+    /// Preposition (`for`, `in`).
+    Preposition,
+    /// Personal pronoun (`I`, `they`).
+    Pronoun,
+    /// Negation particle (`not`, `n't`, `never`).
+    Negation,
+    /// Coordinating conjunction (`and`, `or`).
+    Conjunction,
+    /// Complementizer (`that` introducing a clause).
+    Complementizer,
+    /// Punctuation.
+    Punct,
+    /// Anything else.
+    Other,
+}
+
+impl Pos {
+    /// Whether the tag is nominal (common or proper noun, pronoun).
+    pub fn is_nominal(self) -> bool {
+        matches!(self, Pos::Noun | Pos::ProperNoun | Pos::Pronoun)
+    }
+}
+
+/// A token with surface form, lowercase form, POS tag, and the byte span
+/// it occupies in its source sentence (for provenance and highlighting).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Surface form as written.
+    pub text: String,
+    /// Lowercased form.
+    pub lower: String,
+    /// Part-of-speech tag (assigned by the lexicon; `Other` until tagged).
+    pub pos: Pos,
+    /// Byte offset of the first character within the sentence.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// Creates an untagged token without span information (tests, synthetic
+    /// tokens).
+    pub fn new(text: &str) -> Self {
+        Self::spanned(text, 0, text.len())
+    }
+
+    /// Creates an untagged token covering `start..end` of its sentence.
+    pub fn spanned(text: &str, start: usize, end: usize) -> Self {
+        Self {
+            text: text.to_owned(),
+            lower: text.to_lowercase(),
+            pos: Pos::Other,
+            start,
+            end,
+        }
+    }
+
+    /// Whether the surface form starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// The byte span within the source sentence.
+    pub fn span(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Splits raw text into sentences on `.`, `!`, `?` boundaries.
+///
+/// Returns sentence strings without the terminator. Empty sentences are
+/// dropped. Abbreviation handling is deliberately absent: the corpus
+/// generator never emits abbreviations with periods.
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, ch) in text.char_indices() {
+        if matches!(ch, '.' | '!' | '?') {
+            let s = text[start..i].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            start = i + ch.len_utf8();
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Tokenizes one sentence.
+///
+/// Splits on whitespace, separates trailing/leading punctuation, and splits
+/// negative contractions the way the Stanford tokenizer does (`don't` →
+/// `do` + `n't`, `isn't` → `is` + `n't`), which the negation detector of
+/// paper Figure 5 relies on.
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for raw in sentence.split_whitespace() {
+        // Locate this whitespace-delimited chunk in the sentence to keep
+        // byte spans exact.
+        let base = sentence[cursor..]
+            .find(raw)
+            .map(|i| cursor + i)
+            .unwrap_or(cursor);
+        cursor = base + raw.len();
+
+        // Peel leading punctuation.
+        let mut word = raw;
+        let mut offset = base;
+        while let Some(first) = word.chars().next() {
+            if first.is_alphanumeric() || first == '\'' {
+                break;
+            }
+            let width = first.len_utf8();
+            out.push(Token::spanned(&first.to_string(), offset, offset + width));
+            word = &word[width..];
+            offset += width;
+        }
+        // Peel trailing punctuation into a queue emitted after the word.
+        let mut trailing = Vec::new();
+        while let Some(last) = word.chars().last() {
+            if last.is_alphanumeric() {
+                break;
+            }
+            // Keep apostrophes that are part of a contraction.
+            if last == '\'' && word.len() >= 2 {
+                break;
+            }
+            let width = last.len_utf8();
+            trailing.push((last.to_string(), offset + word.len() - width));
+            word = &word[..word.len() - width];
+        }
+        if !word.is_empty() {
+            push_word(&mut out, word, offset);
+        }
+        for (p, at) in trailing.into_iter().rev() {
+            out.push(Token::spanned(&p, at, at + p.len()));
+        }
+    }
+    out
+}
+
+/// Pushes a word starting at byte `offset`, splitting negative contractions.
+fn push_word(out: &mut Vec<Token>, word: &str, offset: usize) {
+    let lower = word.to_lowercase();
+    if let Some(stem_len) = lower.strip_suffix("n't").map(str::len) {
+        // don't -> do + n't; isn't -> is + n't; can't -> ca + n't (as in PTB).
+        let stem = &word[..stem_len];
+        if !stem.is_empty() {
+            out.push(Token::spanned(stem, offset, offset + stem_len));
+        }
+        out.push(Token::spanned(
+            &word[stem_len..],
+            offset + stem_len,
+            offset + word.len(),
+        ));
+    } else {
+        out.push(Token::spanned(word, offset, offset + word.len()));
+    }
+}
+
+/// Lemmatizes a lowercase word for alias matching: strips common plural
+/// endings. Conservative by design — the entity tagger tries the exact form
+/// first.
+pub fn singularize(lower: &str) -> Option<String> {
+    if lower.len() > 3 && lower.ends_with("ies") {
+        return Some(format!("{}y", &lower[..lower.len() - 3]));
+    }
+    if lower.len() > 3
+        && (lower.ends_with("ses")
+            || lower.ends_with("xes")
+            || lower.ends_with("zes")
+            || lower.ends_with("ches")
+            || lower.ends_with("shes"))
+    {
+        return Some(lower[..lower.len() - 2].to_owned());
+    }
+    if lower.len() > 2 && lower.ends_with('s') && !lower.ends_with("ss") {
+        return Some(lower[..lower.len() - 1].to_owned());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn splits_sentences_on_terminators() {
+        let s = split_sentences("Kittens are cute. Tigers are not! Are snakes dangerous? yes");
+        assert_eq!(
+            s,
+            vec!["Kittens are cute", "Tigers are not", "Are snakes dangerous", "yes"]
+        );
+    }
+
+    #[test]
+    fn split_sentences_empty_and_whitespace() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences(" .  . ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_simple_sentence() {
+        let toks = tokenize("San Francisco is a big city");
+        assert_eq!(texts(&toks), vec!["San", "Francisco", "is", "a", "big", "city"]);
+    }
+
+    #[test]
+    fn tokenize_splits_negative_contractions() {
+        let toks = tokenize("I don't think so");
+        assert_eq!(texts(&toks), vec!["I", "do", "n't", "think", "so"]);
+        let toks = tokenize("It isn't big");
+        assert_eq!(texts(&toks), vec!["It", "is", "n't", "big"]);
+    }
+
+    #[test]
+    fn tokenize_separates_punctuation() {
+        let toks = tokenize("big, bad (city)");
+        assert_eq!(texts(&toks), vec!["big", ",", "bad", "(", "city", ")"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_possessive_apostrophe_inside_token() {
+        // Not a negative contraction: stays as one token.
+        let toks = tokenize("Chicago's parks");
+        assert_eq!(texts(&toks), vec!["Chicago's", "parks"]);
+    }
+
+    #[test]
+    fn capitalization_detection() {
+        assert!(Token::new("Chicago").is_capitalized());
+        assert!(!Token::new("city").is_capitalized());
+        assert!(!Token::new("'s").is_capitalized());
+    }
+
+    #[test]
+    fn singularize_common_forms() {
+        assert_eq!(singularize("cities").as_deref(), Some("city"));
+        assert_eq!(singularize("snakes").as_deref(), Some("snake"));
+        assert_eq!(singularize("foxes").as_deref(), Some("fox"));
+        assert_eq!(singularize("beaches").as_deref(), Some("beach"));
+        assert_eq!(singularize("glass"), None);
+        assert_eq!(singularize("is"), None);
+    }
+
+    #[test]
+    fn spans_recover_surface_forms() {
+        let sentence = "San Francisco isn't (really) big.";
+        for tok in tokenize(sentence) {
+            assert_eq!(
+                &sentence[tok.start..tok.end],
+                tok.text,
+                "span mismatch for {:?}",
+                tok.text
+            );
+        }
+    }
+
+    #[test]
+    fn spans_are_ordered_and_disjoint() {
+        let toks = tokenize("I don't think that snakes are never dangerous.");
+        for pair in toks.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "{pair:?}");
+        }
+        assert_eq!(toks[0].span(), (0, 1));
+    }
+
+    #[test]
+    fn nominal_pos_class() {
+        assert!(Pos::Noun.is_nominal());
+        assert!(Pos::ProperNoun.is_nominal());
+        assert!(Pos::Pronoun.is_nominal());
+        assert!(!Pos::Adjective.is_nominal());
+    }
+}

@@ -1,0 +1,33 @@
+//! Probability and statistics substrate for the Surveyor reproduction.
+//!
+//! The Surveyor paper (SIGMOD 2015) models statement counts with Poisson
+//! distributions, samples synthetic worlds from Zipf-like popularity laws,
+//! and evaluates output with rank statistics. None of these primitives were
+//! taken from an external crate; this crate implements them from scratch so
+//! the rest of the workspace can rely on a small, well-tested numeric core.
+//!
+//! Modules:
+//! - [`logspace`]: numerically stable log-domain arithmetic (`log_sum_exp`,
+//!   `ln_factorial`, `ln_gamma`).
+//! - [`poisson`]: Poisson pmf / log-pmf / CDF and sampling (Knuth for small
+//!   rates, PTRS transformed rejection for large rates).
+//! - [`zipf`]: bounded Zipf (zeta) sampler used for entity popularity.
+//! - [`stats`]: descriptive statistics — percentiles, correlation, Welford
+//!   summaries.
+//! - [`rng`]: deterministic seed derivation so every experiment in the
+//!   workspace is reproducible from a single master seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logspace;
+pub mod poisson;
+pub mod rng;
+pub mod stats;
+pub mod zipf;
+
+pub use logspace::{ln_factorial, ln_gamma, log_sum_exp};
+pub use poisson::Poisson;
+pub use rng::SeedStream;
+pub use stats::{pearson, percentile, percentile_sorted, percentile_sorted_or_zero, spearman, Summary};
+pub use zipf::Zipf;

@@ -1,0 +1,226 @@
+//! Poisson distribution: pmf, log-pmf, CDF, and sampling.
+//!
+//! Surveyor approximates the multinomial statement-count distribution by a
+//! product of Poissons (paper §5.2, citing McDonald 1980 / Roos 1999); both
+//! the synthetic corpus generator (sampling counts) and the inference engine
+//! (evaluating log-likelihoods) go through this type.
+
+use crate::logspace::ln_factorial;
+use rand::Rng;
+
+/// A Poisson distribution with rate `lambda >= 0`.
+///
+/// `lambda == 0` is a valid degenerate distribution concentrated at zero;
+/// Surveyor produces it for entity sets where one opinion class never emits
+/// statements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson rate must be finite and non-negative, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Natural log of `Pr(X = k)`.
+    ///
+    /// For `lambda == 0` this is `0` at `k == 0` and `-inf` elsewhere.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    /// `Pr(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `Pr(X <= k)` by direct summation (adequate for the moderate counts
+    /// Surveyor deals in; O(k)).
+    pub fn cdf(&self, k: u64) -> f64 {
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// Draws one sample.
+    ///
+    /// Uses Knuth's product-of-uniforms method for `lambda < 30` and the
+    /// PTRS transformed-rejection method (Hörmann 1993) for larger rates,
+    /// which keeps sampling O(1) regardless of the rate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            0
+        } else if self.lambda < 30.0 {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_ptrs(rng)
+        }
+    }
+
+    fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let limit = (-self.lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            count += 1;
+            product *= rng.gen::<f64>();
+        }
+        count
+    }
+
+    /// PTRS: W. Hörmann, "The transformed rejection method for generating
+    /// Poisson random variables", Insurance: Mathematics and Economics 12
+    /// (1993). Valid for `lambda >= 10`; we switch at 30.
+    fn sample_ptrs<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let lam = self.lambda;
+        let log_lam = lam.ln();
+        let b = 0.931 + 2.53 * lam.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.123_9 + 1.132_8 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        loop {
+            let u: f64 = rng.gen::<f64>() - 0.5;
+            let v: f64 = rng.gen();
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lam + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k as u64;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let lhs = v.ln() + inv_alpha.ln() - (a / (us * us) + b).ln();
+            let rhs = -lam + k * log_lam - ln_factorial(k as u64);
+            if lhs <= rhs {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for lambda in [0.1, 1.0, 5.0, 20.0] {
+            let p = Poisson::new(lambda);
+            // Sum far enough into the tail to capture essentially all mass.
+            let total: f64 = (0..400).map(|k| p.pmf(k)).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "lambda={lambda} total={total}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_matches_hand_values() {
+        // Pois(2): Pr(0)=e^-2, Pr(1)=2e^-2, Pr(2)=2e^-2, Pr(3)=4/3 e^-2.
+        let p = Poisson::new(2.0);
+        let e2 = (-2.0f64).exp();
+        assert!((p.pmf(0) - e2).abs() < 1e-12);
+        assert!((p.pmf(1) - 2.0 * e2).abs() < 1e-12);
+        assert!((p.pmf(2) - 2.0 * e2).abs() < 1e-12);
+        assert!((p.pmf(3) - 4.0 / 3.0 * e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_zero_rate() {
+        let p = Poisson::new(0.0);
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(1), 0.0);
+        assert_eq!(p.ln_pmf(3), f64::NEG_INFINITY);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(p.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let p = Poisson::new(6.5);
+        let mut prev = 0.0;
+        for k in 0..50 {
+            let c = p.cdf(k);
+            assert!(c >= prev - 1e-15);
+            assert!(c <= 1.0);
+            prev = c;
+        }
+        assert!((p.cdf(100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = Poisson::new(-1.0);
+    }
+
+    fn sample_moments(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let p = Poisson::new(lambda);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn knuth_sampler_moments() {
+        let (mean, var) = sample_moments(4.0, 40_000, 11);
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.25, "var={var}");
+    }
+
+    #[test]
+    fn ptrs_sampler_moments() {
+        let (mean, var) = sample_moments(120.0, 40_000, 13);
+        assert!((mean - 120.0).abs() < 0.5, "mean={mean}");
+        assert!((var - 120.0).abs() < 6.0, "var={var}");
+    }
+
+    #[test]
+    fn ptrs_sampler_distribution_matches_pmf() {
+        // Chi-square-style check on a band of the support.
+        let lambda = 50.0;
+        let p = Poisson::new(lambda);
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 60_000usize;
+        let mut counts = vec![0u64; 120];
+        for _ in 0..n {
+            let k = p.sample(&mut rng) as usize;
+            if k < counts.len() {
+                counts[k] += 1;
+            }
+        }
+        for (k, &count) in counts.iter().enumerate().take(66).skip(35) {
+            let expected = p.pmf(k as u64) * n as f64;
+            let observed = count as f64;
+            // 5-sigma band on a Poisson count.
+            let sigma = expected.sqrt().max(1.0);
+            assert!(
+                (observed - expected).abs() < 5.0 * sigma,
+                "k={k} observed={observed} expected={expected}"
+            );
+        }
+    }
+}

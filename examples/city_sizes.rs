@@ -1,0 +1,75 @@
+//! The paper's §2 empirical study (Figure 3): which Californian cities are
+//! `big`?
+//!
+//! ```sh
+//! cargo run --release --example city_sizes
+//! ```
+//!
+//! Demonstrates the two biases that break majority voting — polarity bias
+//! (nobody writes "X is not a big city") and occurrence bias (big cities
+//! get written about more) — and how the probabilistic model turns them
+//! into signal, deciding even cities that are never mentioned.
+
+use surveyor::kb::seed::ATTR_POPULATION;
+use surveyor::prelude::*;
+use surveyor_eval::empirical::run_empirical;
+
+fn main() {
+    let world = surveyor_corpus::presets::big_cities_world(2015);
+    let study = run_empirical(
+        &world,
+        ATTR_POPULATION,
+        CorpusConfig::default(),
+        SurveyorConfig {
+            rho: 50,
+            ..SurveyorConfig::default()
+        },
+    );
+
+    println!("461 Californian cities, property `big`\n");
+    println!("largest and smallest cities:");
+    let show = |p: &surveyor_eval::EmpiricalPoint| {
+        println!(
+            "  {:<22} pop {:>9}  evidence +{:<3}/-{:<2}  majority: {:<8?} model: {:?} (Pr {:.2})",
+            p.entity, p.attribute as u64, p.positive, p.negative, p.majority, p.model, p.probability
+        );
+    };
+    for p in study.points.iter().rev().take(6) {
+        show(p);
+    }
+    println!("  ...");
+    for p in study.points.iter().take(6).rev() {
+        show(p);
+    }
+
+    let unmentioned = study
+        .points
+        .iter()
+        .filter(|p| p.positive + p.negative == 0)
+        .count();
+    println!("\ncities with no statements at all: {unmentioned} (still decided by the model)");
+    println!(
+        "majority vote: coverage {:.2}, accuracy vs planted opinion {:.2}, Spearman {:.2}",
+        study.majority_coverage,
+        study.majority_accuracy,
+        study.majority_spearman.unwrap_or(0.0)
+    );
+    println!(
+        "model:         coverage {:.2}, accuracy vs planted opinion {:.2}, Spearman {:.2}",
+        study.model_coverage,
+        study.model_accuracy,
+        study.model_spearman.unwrap_or(0.0)
+    );
+
+    // Paper's future-work teaser (§9): the population threshold at which
+    // the average author calls a city big, read off the model's decisions.
+    let mut boundary: Option<(f64, f64)> = None;
+    for pair in study.points.windows(2) {
+        if pair[0].model == Decision::Negative && pair[1].model == Decision::Positive {
+            boundary = Some((pair[0].attribute, pair[1].attribute));
+        }
+    }
+    if let Some((lo, hi)) = boundary {
+        println!("\nthe model's big-city boundary falls between populations {lo:.0} and {hi:.0}");
+    }
+}

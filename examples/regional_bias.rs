@@ -1,0 +1,80 @@
+//! Region-specific opinion mining (paper §2): "Chinese users might have
+//! different ideas than American users about what constitutes a big
+//! city. Surveyor can produce region-specific results if the input is
+//! restricted to Web sites with specific domain extensions."
+//!
+//! ```sh
+//! cargo run --release --example regional_bias
+//! ```
+//!
+//! Two author regions share one knowledge base but disagree on a third of
+//! all entity-property pairs; running the pipeline on each region's slice
+//! of the corpus recovers each region's own dominant opinions.
+
+use surveyor::prelude::*;
+use surveyor::CorpusSource;
+
+fn main() {
+    let generator = surveyor_corpus::presets::regional_generator(7);
+    let world = generator.world().clone();
+    let kb = world.kb().clone();
+
+    let surveyor = Surveyor::new(
+        kb.clone(),
+        SurveyorConfig {
+            rho: 40,
+            ..SurveyorConfig::default()
+        },
+    );
+    println!("running Surveyor separately on the `west` and `east` author regions...\n");
+    let west = surveyor.run(&CorpusSource::for_region(&generator, "west"));
+    let east = surveyor.run(&CorpusSource::for_region(&generator, "east"));
+
+    let mut agreements = 0usize;
+    let mut divergences = Vec::new();
+    for (di, domain) in world.domains().iter().enumerate() {
+        let entities = kb.entities_of_type(domain.type_id);
+        for (ei, &entity) in entities.iter().enumerate().take(20) {
+            let (Some(w), Some(e)) = (
+                west.opinion(entity, &domain.property),
+                east.opinion(entity, &domain.property),
+            ) else {
+                continue;
+            };
+            if w.decision == e.decision {
+                agreements += 1;
+            } else if divergences.len() < 15 {
+                divergences.push((
+                    kb.entity(entity).name().to_owned(),
+                    domain.property.to_string(),
+                    w.decision,
+                    e.decision,
+                    generator.region_opinion(0, di, ei),
+                    generator.region_opinion(1, di, ei),
+                ));
+            }
+        }
+    }
+
+    println!("pairs where the regions' mined opinions agree: {agreements}");
+    println!("\nsample divergences (west vs east, with each region's planted truth):");
+    println!(
+        "  {:<16} {:<14} {:<10} {:<10} {:<12} {:<12}",
+        "entity", "property", "west says", "east says", "west truth", "east truth"
+    );
+    for (entity, property, w, e, wt, et) in divergences {
+        println!(
+            "  {:<16} {:<14} {:<10} {:<10} {:<12} {:<12}",
+            entity,
+            property,
+            format!("{w:?}"),
+            format!("{e:?}"),
+            if wt { "applies" } else { "does not" },
+            if et { "applies" } else { "does not" },
+        );
+    }
+    println!(
+        "\n(the east region flips a third of the west's dominant opinions by construction;\n\
+         restricting the corpus per region recovers each population's own view)"
+    );
+}

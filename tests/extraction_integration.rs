@@ -1,0 +1,174 @@
+//! Integration tests for the text → annotation → extraction path on a
+//! battery of hand-written sentences covering every pattern, filter, and
+//! polarity case of paper §4.
+
+use surveyor::extract::{extract_documents, extract_sentence, ExtractionConfig, Polarity};
+use surveyor::nlp::{annotate, Lexicon};
+use surveyor::prelude::*;
+
+fn kb() -> KnowledgeBase {
+    let mut b = KnowledgeBaseBuilder::new();
+    let animal = b.add_type("animal", &["animal"], &["zoo"]);
+    let city = b.add_type("city", &["city", "town"], &["downtown"]);
+    let country = b.add_type("country", &["country"], &[]);
+    let sport = b.add_type("sport", &["sport"], &[]);
+    b.add_entity("Snake", animal).finish();
+    b.add_entity("Kitten", animal).finish();
+    b.add_entity("Grizzly bear", animal).finish();
+    b.add_entity("San Francisco", city).alias("SF").finish();
+    b.add_entity("Chicago", city).finish();
+    b.add_entity("New York", city).finish();
+    b.add_entity("France", country).finish();
+    b.add_entity("Greece", country).finish();
+    b.add_entity("Soccer", sport).finish();
+    b.build()
+}
+
+/// Extracts (entity-name, property, polarity) triples from text under V4.
+fn v4(text: &str) -> Vec<(String, String, Polarity)> {
+    let kb = kb();
+    let lexicon = Lexicon::new();
+    let doc = annotate(0, text, &kb, &lexicon);
+    let mut out = Vec::new();
+    for s in &doc.sentences {
+        for st in extract_sentence(s, &kb, &ExtractionConfig::paper_final()) {
+            out.push((
+                kb.entity(st.entity).name().to_owned(),
+                st.property.to_string(),
+                st.polarity,
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn battery_of_positive_statements() {
+    for (text, entity, property) in [
+        ("Chicago is big.", "Chicago", "big"),
+        ("Chicago is very big.", "Chicago", "very big"),
+        ("San Francisco is a big city.", "San Francisco", "big"),
+        ("SF is a big city.", "San Francisco", "big"),
+        ("Snakes are dangerous animals.", "Snake", "dangerous"),
+        ("I think that Chicago is big.", "Chicago", "big"),
+        ("I think Kittens are cute.", "Kitten", "cute"),
+        ("I love the cute Kitten.", "Kitten", "cute"),
+        ("Grizzly bears are dangerous.", "Grizzly bear", "dangerous"),
+        ("Greece is a southern country.", "Greece", "southern"),
+    ] {
+        let got = v4(text);
+        assert!(
+            got.contains(&(entity.to_owned(), property.to_owned(), Polarity::Positive)),
+            "missing ({entity}, {property}, +) in {got:?} for: {text}"
+        );
+    }
+}
+
+#[test]
+fn battery_of_negative_statements() {
+    for (text, entity, property) in [
+        ("Chicago is not big.", "Chicago", "big"),
+        ("San Francisco is not a big city.", "San Francisco", "big"),
+        ("Snakes are never cute.", "Snake", "cute"),
+        ("I don't think that Chicago is big.", "Chicago", "big"),
+        ("I do not believe Kittens are dangerous.", "Kitten", "dangerous"),
+    ] {
+        let got = v4(text);
+        assert!(
+            got.contains(&(entity.to_owned(), property.to_owned(), Polarity::Negative)),
+            "missing ({entity}, {property}, -) in {got:?} for: {text}"
+        );
+    }
+}
+
+#[test]
+fn battery_of_filtered_sentences() {
+    // Intrinsicness and coreference filters (paper §4) must suppress all
+    // of these under V4.
+    for text in [
+        "New York is bad for parking.",
+        "southern France is warm in the summer.",
+        "The weather in Chicago is nice.",
+        "I visited Chicago during the summer.",
+        "People love Soccer.",
+    ] {
+        let got = v4(text);
+        assert!(got.is_empty(), "expected no extractions for: {text}, got {got:?}");
+    }
+}
+
+#[test]
+fn conjunction_extracts_both_properties() {
+    let got = v4("Soccer is a fast and exciting sport.");
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got.contains(&("Soccer".into(), "fast".into(), Polarity::Positive)));
+    assert!(got.contains(&("Soccer".into(), "exciting".into(), Polarity::Positive)));
+}
+
+#[test]
+fn double_negation_resolves_positive() {
+    let got = v4("I don't think that Snakes are never dangerous.");
+    assert_eq!(
+        got,
+        vec![("Snake".into(), "dangerous".into(), Polarity::Positive)]
+    );
+}
+
+#[test]
+fn multi_sentence_document_accumulates_counts() {
+    let kb = kb();
+    let lexicon = Lexicon::new();
+    let text = "Kittens are cute. Kittens are cute animals. \
+                Kittens are not cute. Chicago is big.";
+    let docs = vec![annotate(1, text, &kb, &lexicon)];
+    let table = extract_documents(&docs, &kb, &ExtractionConfig::paper_final());
+    let kitten = kb.entity_by_name("Kitten").unwrap();
+    let chicago = kb.entity_by_name("Chicago").unwrap();
+    let cute = Property::adjective("cute");
+    let big = Property::adjective("big");
+    assert_eq!(table.counts(kitten, &cute).positive, 2);
+    assert_eq!(table.counts(kitten, &cute).negative, 1);
+    assert_eq!(table.counts(chicago, &big).positive, 1);
+    assert_eq!(table.total_statements(), 4);
+}
+
+#[test]
+fn ambiguous_mentions_never_extract() {
+    // "Phoenix" shared between a city and an animal alias: without
+    // disambiguating context, nothing may be extracted.
+    let mut b = KnowledgeBaseBuilder::new();
+    let city = b.add_type("city", &["city"], &["downtown"]);
+    let animal = b.add_type("animal", &["animal"], &["zoo"]);
+    b.add_entity("Phoenix", city).finish();
+    b.add_entity("Phoenix Bird", animal).alias("Phoenix").finish();
+    let kb = b.build();
+    let lexicon = Lexicon::new();
+    let doc = annotate(0, "Phoenix is big.", &kb, &lexicon);
+    let stmts = extract_sentence(&doc.sentences[0], &kb, &ExtractionConfig::paper_final());
+    assert!(stmts.is_empty(), "{stmts:?}");
+
+    // With a type cue the city reading resolves and extraction works.
+    let doc = annotate(0, "Phoenix is a big city.", &kb, &lexicon);
+    let stmts = extract_sentence(&doc.sentences[0], &kb, &ExtractionConfig::paper_final());
+    assert_eq!(stmts.len(), 1);
+    let e = kb.entity(stmts[0].entity);
+    assert_eq!(e.name(), "Phoenix");
+}
+
+#[test]
+fn version_lattice_on_mixed_text() {
+    use surveyor::extract::PatternVersion;
+    let kb = kb();
+    let lexicon = Lexicon::new();
+    let text = "Chicago is big. San Francisco is a big city. \
+                New York is bad for parking. southern France is warm in the summer. \
+                I find Kittens cute. Chicago seems big. Soccer is fast and exciting.";
+    let docs = vec![annotate(0, text, &kb, &lexicon)];
+    let count = |v: PatternVersion| {
+        extract_documents(&docs, &kb, &v.config()).total_statements()
+    };
+    // V2 is the most permissive on this text; V3 the least.
+    assert!(count(PatternVersion::V2) > count(PatternVersion::V4));
+    assert!(count(PatternVersion::V4) > count(PatternVersion::V3));
+    assert!(count(PatternVersion::V2) >= count(PatternVersion::V1));
+}

@@ -1,0 +1,179 @@
+//! Model-recovery tests: the EM fit must recover the generative
+//! parameters when counts flow through the *full text pipeline* (i.e.
+//! after realization, parsing, entity linking, and extraction thinning),
+//! not just from idealized Poisson draws.
+
+use std::sync::Arc;
+use surveyor::model::{posterior_positive, ObservedCounts, SurveyorModel};
+use surveyor::prelude::*;
+use surveyor::CorpusSource;
+
+fn build_world(
+    seed: u64,
+    p_agree: f64,
+    rate_pos: f64,
+    rate_neg: f64,
+    entities: usize,
+) -> (Arc<KnowledgeBase>, surveyor_corpus::World) {
+    let mut b = KnowledgeBaseBuilder::new();
+    let t = b.add_type("city", &["city"], &[]);
+    for i in 0..entities {
+        b.add_entity(&format!("Testville{i}"), t).finish();
+    }
+    let kb = Arc::new(b.build());
+    let world = WorldBuilder::new(kb.clone(), seed)
+        .domain(
+            "city",
+            Property::adjective("big"),
+            DomainParams {
+                p_agree,
+                rate_pos,
+                rate_neg,
+                opinions: OpinionRule::RandomShare(0.4),
+                aspect_noise: 0.0,
+                part_of_noise: 0.0,
+                filler_noise: 0.0,
+                extended_verb_share: 0.0,
+                double_negation_share: 0.02,
+                ..DomainParams::default()
+            },
+        )
+        .build();
+    (kb, world)
+}
+
+/// Counts per entity after the full text round trip.
+fn pipeline_counts(
+    kb: &Arc<KnowledgeBase>,
+    world: &surveyor_corpus::World,
+) -> Vec<ObservedCounts> {
+    let generator = CorpusGenerator::new(world.clone(), CorpusConfig::default());
+    let surveyor = Surveyor::new(
+        kb.clone(),
+        SurveyorConfig {
+            rho: 1,
+            threads: 2,
+            ..SurveyorConfig::default()
+        },
+    );
+    let output = surveyor.run(&CorpusSource::new(&generator));
+    let domain = &world.domains()[0];
+    kb.entities_of_type(domain.type_id)
+        .iter()
+        .map(|&e| {
+            let c = output.evidence.counts(e, &domain.property);
+            ObservedCounts::new(c.positive, c.negative)
+        })
+        .collect()
+}
+
+#[test]
+fn em_recovers_parameters_through_text() {
+    let (kb, world) = build_world(17, 0.9, 30.0, 4.0, 300);
+    let counts = pipeline_counts(&kb, &world);
+    let fit = SurveyorModel::new().fit_group(&counts);
+
+    // Agreement within the grid resolution plus estimation noise.
+    assert!(
+        (fit.params.p_agree - 0.9).abs() <= 0.08,
+        "pA fitted {} vs true 0.9",
+        fit.params.p_agree
+    );
+    // Rates recover up to extraction thinning: every realized statement
+    // that parses and links is counted, with zero configured loss
+    // channels, so the fitted rate should be within ~15% of truth.
+    assert!(
+        fit.params.rate_pos > 0.75 * 30.0 && fit.params.rate_pos < 1.25 * 30.0,
+        "np+S fitted {} vs true 30",
+        fit.params.rate_pos
+    );
+    assert!(
+        fit.params.rate_neg > 0.6 * 4.0 && fit.params.rate_neg < 1.5 * 4.0,
+        "np-S fitted {} vs true 4",
+        fit.params.rate_neg
+    );
+}
+
+#[test]
+fn fitted_posterior_classifies_planted_opinions() {
+    let (kb, world) = build_world(23, 0.88, 20.0, 3.0, 200);
+    let counts = pipeline_counts(&kb, &world);
+    let fit = SurveyorModel::new().fit_group(&counts);
+    let domain = &world.domains()[0];
+    let mut correct = 0;
+    for (i, c) in counts.iter().enumerate() {
+        let p = posterior_positive(*c, &fit.params);
+        if (p > 0.5) == domain.opinions[i] {
+            correct += 1;
+        }
+    }
+    let accuracy = correct as f64 / counts.len() as f64;
+    assert!(accuracy > 0.9, "accuracy {accuracy}");
+}
+
+#[test]
+fn polarity_bias_survives_the_text_round_trip() {
+    // np+S >> np-S in the world must appear in the fitted parameters: the
+    // model learns that negative statements are rare, so a single negative
+    // statement outweighs a single positive one.
+    let (kb, world) = build_world(31, 0.9, 40.0, 2.0, 300);
+    let counts = pipeline_counts(&kb, &world);
+    let fit = SurveyorModel::new().fit_group(&counts);
+    assert!(
+        fit.params.rate_pos > 5.0 * fit.params.rate_neg,
+        "polarity bias lost: np+ {} np- {}",
+        fit.params.rate_pos,
+        fit.params.rate_neg
+    );
+    // Figure-3 logic: an unmentioned entity reads negative.
+    let p_zero = posterior_positive(ObservedCounts::zero(), &fit.params);
+    assert!(p_zero < 0.2, "p(zero)={p_zero}");
+}
+
+#[test]
+fn double_negations_do_not_corrupt_polarity() {
+    // Crank double negations to 20%: extracted polarity must still track
+    // the intended polarity (Figure 5's cancellation at scale).
+    let mut b = KnowledgeBaseBuilder::new();
+    let t = b.add_type("animal", &["animal"], &[]);
+    for i in 0..50 {
+        b.add_entity(&format!("Critter{i}"), t).finish();
+    }
+    let kb = Arc::new(b.build());
+    let world = WorldBuilder::new(kb.clone(), 3)
+        .domain(
+            "animal",
+            Property::adjective("dangerous"),
+            DomainParams {
+                p_agree: 0.95,
+                rate_pos: 25.0,
+                rate_neg: 25.0,
+                opinions: OpinionRule::RandomShare(0.5),
+                aspect_noise: 0.0,
+                part_of_noise: 0.0,
+                filler_noise: 0.0,
+                extended_verb_share: 0.0,
+                double_negation_share: 0.2,
+                ..DomainParams::default()
+            },
+        )
+        .build();
+    let counts = pipeline_counts(&kb, &world);
+    let domain = &world.domains()[0];
+    // With symmetric rates and high agreement, positive entities must show
+    // mostly positive counts and vice versa.
+    let mut majority_correct = 0;
+    let mut counted = 0;
+    for (i, c) in counts.iter().enumerate() {
+        if c.total() < 5 {
+            continue;
+        }
+        counted += 1;
+        if (c.positive > c.negative) == domain.opinions[i] {
+            majority_correct += 1;
+        }
+    }
+    assert!(counted > 30);
+    let rate = majority_correct as f64 / counted as f64;
+    assert!(rate > 0.9, "polarity integrity {rate}");
+}
