@@ -66,13 +66,9 @@ fn bench_em_grid(c: &mut Criterion) {
             pa_grid: grid,
             ..EmConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(points),
-            &config,
-            |b, config| {
-                b.iter(|| fit(black_box(&counts), config));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(points), &config, |b, config| {
+            b.iter(|| fit(black_box(&counts), config));
+        });
     }
     group.finish();
 }
@@ -107,7 +103,9 @@ fn bench_polarity(c: &mut Criterion) {
     let mut tokens = tokenize("I don't think that snakes are never dangerous");
     lexicon.tag(&mut tokens);
     let tree = parse(&tokens).unwrap();
-    let property = tokens.iter().position(|t| t.lower == "dangerous").unwrap();
+    let property = (0..tokens.len())
+        .position(|i| tokens.lower_of(i) == "dangerous")
+        .unwrap();
     let mut group = c.benchmark_group("ablation_polarity");
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));

@@ -43,7 +43,11 @@ fn bench_annotation(c: &mut Criterion) {
         b.iter(|| {
             raw.iter()
                 .enumerate()
-                .map(|(i, text)| annotate(i as u64, black_box(text), &kb, &lexicon).sentences.len())
+                .map(|(i, text)| {
+                    annotate(i as u64, black_box(text), &kb, &lexicon)
+                        .sentences
+                        .len()
+                })
                 .sum::<usize>()
         });
     });

@@ -1,0 +1,110 @@
+//! `bench` — throughput harness for the Surveyor pipeline.
+//!
+//! ```text
+//! bench pipeline [--seed N] [--threads N] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Measures extraction docs/sec (1/2/4/8 worker threads) and end-to-end
+//! wall time on a fixed corpus preset, and writes `BENCH_pipeline.json`.
+//! When `--baseline` points at a previous run's artifact, the output also
+//! reports the throughput ratio against it.
+
+use std::io::Write;
+use std::process::ExitCode;
+use surveyor_bench::experiments::{self, ReproConfig};
+
+const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
+                     [--out PATH] [--baseline PATH]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(("pipeline", rest)) = args.split_first().map(|(c, r)| (c.as_str(), r)) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut config = ReproConfig::default();
+    let mut out = "BENCH_pipeline.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {arg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        match arg.as_str() {
+            "--seed" | "--threads" => {
+                let Ok(v) = value.parse::<u64>() else {
+                    eprintln!("invalid numeric value for {arg}: {value}");
+                    return ExitCode::FAILURE;
+                };
+                match arg.as_str() {
+                    "--seed" => config.seed = v,
+                    _ => config.threads = (v as usize).max(1),
+                }
+            }
+            "--out" => out = value.clone(),
+            "--baseline" => baseline_path = Some(value.clone()),
+            _ => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (text, mut value) = experiments::pipeline(&config);
+    println!("{text}");
+
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(baseline) => {
+                let speedup = throughput_at(&value, 8)
+                    .zip(throughput_at(&baseline, 8))
+                    .map(|(cur, base)| cur / base);
+                if let serde_json::Value::Object(obj) = &mut value {
+                    obj.insert("baseline".to_owned(), baseline);
+                    if let Some(s) = speedup {
+                        println!("extraction speedup vs baseline (8 threads): {s:.2}x");
+                        obj.insert(
+                            "speedup_extraction_8_threads".to_owned(),
+                            serde_json::json!(s),
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match std::fs::File::create(&out).and_then(|mut f| {
+        f.write_all(
+            serde_json::to_string_pretty(&value)
+                .expect("serializable artifact")
+                .as_bytes(),
+        )
+    }) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `docs_per_sec` of the extraction row with the given thread count.
+fn throughput_at(artifact: &serde_json::Value, threads: u64) -> Option<f64> {
+    artifact["extraction"]
+        .as_array()?
+        .iter()
+        .find(|row| row["threads"].as_u64() == Some(threads))?["docs_per_sec"]
+        .as_f64()
+}

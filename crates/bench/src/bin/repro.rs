@@ -33,6 +33,7 @@ const EXPERIMENTS: &[(&str, Driver)] = &[
     ("ablations", experiments::ablations),
     ("regions", experiments::regions),
     ("scale", experiments::scale),
+    ("pipeline", experiments::pipeline),
 ];
 
 fn usage() -> String {
@@ -124,7 +125,10 @@ fn main() -> ExitCode {
         let (text, value) = driver(&config);
         println!("==================== {name} ====================");
         println!("{text}");
-        println!("[{name} completed in {:.2}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{name} completed in {:.2}s]\n",
+            start.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &json_dir {
             let path = format!("{dir}/{name}.json");
             match std::fs::File::create(&path).and_then(|mut f| {

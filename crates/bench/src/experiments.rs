@@ -4,6 +4,7 @@
 use crate::render;
 use serde_json::{json, Value};
 use std::time::Instant;
+use surveyor::nlp::{annotate, Lexicon};
 use surveyor::prelude::*;
 use surveyor::CorpusSource;
 use surveyor_corpus::presets;
@@ -14,10 +15,9 @@ use surveyor_eval::random_sample::run_random_sample;
 use surveyor_eval::snapshot_stats::snapshot_stats;
 use surveyor_eval::versions::run_versions;
 use surveyor_eval::{ablation, EvalSuite};
-use surveyor_extract::run_sharded;
+use surveyor_extract::{run_sharded, EvidenceTable};
 use surveyor_kb::seed as kbseed;
-use surveyor_model::{posterior_positive, fit, EmConfig, ModelParams, ObservedCounts};
-use surveyor::nlp::{annotate, Lexicon};
+use surveyor_model::{fit, posterior_positive, EmConfig, ModelParams, ObservedCounts};
 
 /// Configuration shared by all experiment drivers.
 #[derive(Debug, Clone)]
@@ -93,7 +93,7 @@ pub fn table1(_cfg: &ReproConfig) -> (String, Value) {
                 &surveyor_extract::ExtractionConfig::paper_final(),
             ) {
                 let entity = kb.entity(st.entity).name().to_owned();
-                let property = st.property.to_string();
+                let property = st.property.resolve().to_string();
                 rows.push(vec![
                     text.to_owned(),
                     pattern.to_owned(),
@@ -155,7 +155,7 @@ pub fn fig5(_cfg: &ReproConfig) -> (String, Value) {
         lines.push(format!(
             "  extraction: ({}, {}) polarity {:?}  [two negations cancel]",
             kb.entity(st.entity).name(),
-            st.property,
+            st.property.resolve(),
             st.polarity
         ));
     }
@@ -221,7 +221,11 @@ pub fn fig3(cfg: &ReproConfig) -> (String, Value) {
         .collect();
     text.push_str(&render::scatter_logx(&neg_points, 8, 56));
     let polarity_points = |value: fn(&surveyor_eval::EmpiricalPoint) -> f64| -> Vec<(f64, f64)> {
-        study.points.iter().map(|p| (p.attribute, value(p))).collect()
+        study
+            .points
+            .iter()
+            .map(|p| (p.attribute, value(p)))
+            .collect()
     };
     text.push_str("\n(c) majority-vote polarity (+1 / 0=N / -1) vs population:\n");
     text.push_str(&render::scatter_logx(
@@ -326,10 +330,7 @@ pub fn fig9(cfg: &ReproConfig) -> (String, Value) {
     );
     let stats = snapshot_stats(&evidence, world.kb(), cfg.rho.min(25));
     let series = |name: &str, data: &[(u8, f64)]| -> String {
-        let items: Vec<(String, f64)> = data
-            .iter()
-            .map(|(q, v)| (format!("p{q}"), *v))
-            .collect();
+        let items: Vec<(String, f64)> = data.iter().map(|(q, v)| (format!("p{q}"), *v)).collect();
         format!("{name}\n{}", render::bars(&items, 40))
     };
     let text = format!(
@@ -393,17 +394,11 @@ pub fn table3_fig12(cfg: &ReproConfig) -> (String, Value) {
     let surveyor = Surveyor::new(world.kb().clone(), cfg.surveyor());
     let output = surveyor.run(&CorpusSource::new(&generator));
     let suite = surveyor_eval::EvalSuite::from_world_limited(&world, cfg.panel_seed, Some(20));
-    let report = surveyor_eval::comparison::report_from_parts(
-        &suite,
-        &output,
-        WebChildConfig::default(),
-    );
+    let report =
+        surveyor_eval::comparison::report_from_parts(&suite, &output, WebChildConfig::default());
     // Bootstrap 95% CIs on precision per method.
-    let decisions = surveyor_eval::comparison::method_decisions(
-        &suite,
-        &output,
-        WebChildConfig::default(),
-    );
+    let decisions =
+        surveyor_eval::comparison::method_decisions(&suite, &output, WebChildConfig::default());
     let truths: Vec<bool> = suite.cases.iter().map(|c| c.crowd_majority).collect();
     let mut text = format!(
         "Table 3 — comparison on {} judged test cases ({} ties removed)\n",
@@ -424,7 +419,11 @@ pub fn table3_fig12(cfg: &ReproConfig) -> (String, Value) {
                 r.method.clone(),
                 render::f3(r.metrics.coverage),
                 render::f3(r.metrics.precision),
-                format!("[{}, {}]", render::f3(ci.precision.lower), render::f3(ci.precision.upper)),
+                format!(
+                    "[{}, {}]",
+                    render::f3(ci.precision.lower),
+                    render::f3(ci.precision.upper)
+                ),
                 render::f3(r.metrics.f1),
             ]
         })
@@ -433,7 +432,9 @@ pub fn table3_fig12(cfg: &ReproConfig) -> (String, Value) {
         &["Approach", "Coverage", "Precision", "95% CI (prec)", "F1"],
         &rows,
     ));
-    text.push_str("\nFigure 12 — precision (top) and coverage (bottom) vs worker-agreement threshold:\n");
+    text.push_str(
+        "\nFigure 12 — precision (top) and coverage (bottom) vs worker-agreement threshold:\n",
+    );
     let methods: Vec<&str> = report.table3.iter().map(|r| r.method.as_str()).collect();
     for metric in ["precision", "coverage"] {
         text.push_str(&format!("\n{metric}:\n  threshold:"));
@@ -444,7 +445,11 @@ pub fn table3_fig12(cfg: &ReproConfig) -> (String, Value) {
         for method in &methods {
             text.push_str(&format!("  {method:<20}"));
             for p in &report.figure12 {
-                let m = p.rows.iter().find(|r| &r.method == method).expect("method row");
+                let m = p
+                    .rows
+                    .iter()
+                    .find(|r| &r.method == method)
+                    .expect("method row");
                 let v = if metric == "precision" {
                     m.metrics.precision
                 } else {
@@ -480,7 +485,15 @@ pub fn table4(cfg: &ReproConfig) -> (String, Value) {
     let text = format!(
         "Table 4 — extraction pattern versions\n{}",
         render::table(
-            &["Vers.", "Modifiers", "Verbs", "Check", "Statements", "Pairs", "On-target"],
+            &[
+                "Vers.",
+                "Modifiers",
+                "Verbs",
+                "Check",
+                "Statements",
+                "Pairs",
+                "On-target"
+            ],
             &rows,
         )
     );
@@ -532,12 +545,20 @@ pub fn ablations(cfg: &ReproConfig) -> (String, Value) {
     let world = presets::table2_world(cfg.seed);
     let report = ablation::run_ablations(&world, cfg.corpus(), cfg.surveyor(), cfg.panel_seed);
     let m = |m: &surveyor_eval::Metrics| {
-        vec![render::f3(m.coverage), render::f3(m.precision), render::f3(m.f1)]
+        vec![
+            render::f3(m.coverage),
+            render::f3(m.precision),
+            render::f3(m.f1),
+        ]
     };
     let mut rows = vec![
         [vec!["Surveyor (standard)".to_owned()], m(&report.standard)].concat(),
         [vec!["negation-blind".to_owned()], m(&report.negation_blind)].concat(),
-        [vec!["global parameters".to_owned()], m(&report.global_params)].concat(),
+        [
+            vec!["global parameters".to_owned()],
+            m(&report.global_params),
+        ]
+        .concat(),
         [
             vec!["standard (inverted-bias combos)".to_owned()],
             m(&report.standard_inverted),
@@ -614,13 +635,8 @@ pub fn regions(cfg: &ReproConfig) -> (String, Value) {
     let mut rows = Vec::new();
     let mut values = Vec::new();
     for flip in [0.0, 0.2, 0.4, 0.6] {
-        let report = surveyor_eval::region::run_region_experiment(
-            &world,
-            flip,
-            cfg.shards,
-            40,
-            cfg.threads,
-        );
+        let report =
+            surveyor_eval::region::run_region_experiment(&world, flip, cfg.shards, 40, cfg.threads);
         rows.push(vec![
             format!("{flip:.1}"),
             render::f3(report.divergence),
@@ -635,7 +651,13 @@ pub fn regions(cfg: &ReproConfig) -> (String, Value) {
          fraction of region A's dominant opinions; each region's corpus slice\n\
          is mined separately\n{}",
         render::table(
-            &["Flip prob", "Divergence", "Accuracy A", "Accuracy B", "Pairs"],
+            &[
+                "Flip prob",
+                "Divergence",
+                "Accuracy A",
+                "Accuracy B",
+                "Pairs"
+            ],
             &rows,
         )
     );
@@ -672,8 +694,10 @@ pub fn scale(cfg: &ReproConfig) -> (String, Value) {
             format!("{:.2}s", elapsed),
             format!("{} statements", table.total_statements()),
         ]);
-        values.push(json!({"phase": "extraction", "threads": threads, "seconds": elapsed,
-                           "statements": table.total_statements()}));
+        values.push(
+            json!({"phase": "extraction", "threads": threads, "seconds": elapsed,
+                           "statements": table.total_statements()}),
+        );
     }
     // EM runtime vs entity count (fixed per-entity rates — mention counts
     // grow linearly but EM cost must stay O(m)).
@@ -706,6 +730,130 @@ pub fn scale(cfg: &ReproConfig) -> (String, Value) {
         render::table(&["Stage", "Time", "Detail"], &rows)
     );
     (text, Value::Array(values))
+}
+
+/// `bench pipeline`: extraction throughput (docs/sec) and end-to-end wall
+/// time on a fixed corpus preset — the numbers behind `BENCH_pipeline.json`.
+///
+/// Document generation runs up front, outside the timed region, so the
+/// measured phase is exactly annotation (tokenize → tag → parse → entity
+/// tagging) plus pattern extraction — the per-sentence hot path.
+pub fn pipeline(cfg: &ReproConfig) -> (String, Value) {
+    use surveyor::nlp::AnnotatedDocument;
+    use surveyor_corpus::RawDocument;
+    use surveyor_extract::ShardSource;
+
+    /// Pre-generated raw shards; annotation happens inside `shard`, so it
+    /// is part of the measured extraction phase.
+    struct RawShards<'a> {
+        shards: Vec<Vec<RawDocument>>,
+        kb: &'a surveyor_kb::KnowledgeBase,
+        lexicon: &'a Lexicon,
+    }
+
+    impl ShardSource for RawShards<'_> {
+        fn shard_count(&self) -> usize {
+            self.shards.len()
+        }
+
+        fn shard(&self, index: usize) -> std::borrow::Cow<'_, [AnnotatedDocument]> {
+            std::borrow::Cow::Owned(
+                self.shards[index]
+                    .iter()
+                    .map(|d| annotate(d.id, &d.text, self.kb, self.lexicon))
+                    .collect(),
+            )
+        }
+    }
+
+    let world = presets::table2_world(cfg.seed);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: 64,
+            ..CorpusConfig::default()
+        },
+    );
+    let lexicon = generator.lexicon();
+    let shards: Vec<Vec<RawDocument>> = (0..generator.shard_count())
+        .map(|s| generator.shard_text(s))
+        .collect();
+    let documents: usize = shards.iter().map(Vec::len).sum();
+    let sentences: usize = shards
+        .iter()
+        .flatten()
+        .map(|d| d.text.matches('.').count())
+        .sum();
+    let source = RawShards {
+        shards,
+        kb: world.kb(),
+        lexicon: &lexicon,
+    };
+
+    let mut rows = Vec::new();
+    let mut extraction = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        // Best of three: annotation dominates and run-to-run noise on a
+        // shared host easily exceeds the effects being measured.
+        let mut seconds = f64::INFINITY;
+        let mut table = EvidenceTable::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            table = run_sharded(
+                &source,
+                world.kb(),
+                &surveyor_extract::ExtractionConfig::paper_final(),
+                threads,
+            );
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+        }
+        let docs_per_sec = documents as f64 / seconds;
+        rows.push(vec![
+            format!("extraction, {threads} threads"),
+            format!("{seconds:.2}s"),
+            format!(
+                "{docs_per_sec:.0} docs/s, {} statements",
+                table.total_statements()
+            ),
+        ]);
+        extraction.push(json!({
+            "threads": threads, "seconds": seconds, "docs_per_sec": docs_per_sec,
+            "statements": table.total_statements(),
+        }));
+    }
+
+    // End to end: sharded extraction plus the interpretation phase
+    // (grouping, per-combination EM, decisions).
+    let corpus_source = CorpusSource::new(&generator);
+    let surveyor = Surveyor::new(world.kb().clone(), cfg.surveyor());
+    let start = Instant::now();
+    let output = surveyor.run(&corpus_source);
+    let seconds = start.elapsed().as_secs_f64();
+    rows.push(vec![
+        format!("end to end, {} threads", cfg.threads),
+        format!("{seconds:.2}s"),
+        format!(
+            "{} combinations, {} decided pairs",
+            output.modeled_combinations(),
+            output.decided_pairs()
+        ),
+    ]);
+    let end_to_end = json!({
+        "threads": cfg.threads, "seconds": seconds,
+        "combinations": output.modeled_combinations(),
+        "decided_pairs": output.decided_pairs(),
+    });
+
+    let text = format!(
+        "Pipeline throughput — fixed preset (table2_world, 64 shards)\n{}",
+        render::table(&["Stage", "Time", "Detail"], &rows)
+    );
+    let value = json!({
+        "preset": "table2_world", "seed": cfg.seed, "shards": 64,
+        "documents": documents, "sentences": sentences,
+        "extraction": extraction, "end_to_end": end_to_end,
+    });
+    (text, value)
 }
 
 #[cfg(test)]

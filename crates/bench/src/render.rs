@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let out = bars(
-            &[("a".into(), 1.0), ("bb".into(), 2.0)],
-            10,
-        );
+        let out = bars(&[("a".into(), 1.0), ("bb".into(), 2.0)], 10);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[1].contains("##########"));

@@ -172,9 +172,7 @@ impl Flags {
 impl Cli {
     /// Parses a full argument list (without the program name).
     pub fn parse(args: &[String]) -> Result<Self, ParseError> {
-        let (command, rest) = args
-            .split_first()
-            .ok_or(ParseError::MissingCommand)?;
+        let (command, rest) = args.split_first().ok_or(ParseError::MissingCommand)?;
         let command = match command.as_str() {
             "mine" => {
                 let flags = Flags::parse(rest, &[])?;
@@ -291,7 +289,14 @@ mod tests {
             Err(ParseError::MissingFlag("--property"))
         );
         let cli = parse(&[
-            "query", "--store", "s.json", "--type", "city", "--property", "big", "--negative",
+            "query",
+            "--store",
+            "s.json",
+            "--type",
+            "city",
+            "--property",
+            "big",
+            "--negative",
         ])
         .unwrap();
         match cli.command {

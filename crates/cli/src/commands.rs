@@ -22,7 +22,15 @@ fn mine_store(
     seed: u64,
     rho: u64,
     shards: usize,
-) -> Result<(SubjectiveKb, surveyor::SurveyorOutput, Arc<KnowledgeBase>, World), String> {
+) -> Result<
+    (
+        SubjectiveKb,
+        surveyor::SurveyorOutput,
+        Arc<KnowledgeBase>,
+        World,
+    ),
+    String,
+> {
     let world = preset_world(preset, seed)?;
     let kb = world.kb().clone();
     let generator = CorpusGenerator::new(
@@ -98,7 +106,11 @@ pub fn query(
     let mut out = format!(
         "{} {} of type `{type_name}` the dominant opinion calls{} `{property}`:\n",
         hits.len().min(limit),
-        if hits.len() == 1 { "entity" } else { "entities" },
+        if hits.len() == 1 {
+            "entity"
+        } else {
+            "entities"
+        },
         if negative { " NOT" } else { "" },
     );
     for hit in hits.into_iter().take(limit.max(1)) {
@@ -172,10 +184,15 @@ pub fn link(preset: &str, attribute: &str, seed: u64, rho: u64) -> Result<String
     }
     let (_, output, kb, world) = mine_store(preset, seed, rho, 8)?;
     let domain = &world.domains()[0];
-    let link = link_objective(&output, &kb, domain.type_id, &domain.property, attribute, 10)
-        .ok_or_else(|| {
-            format!("no {attribute} link found for `{}`", domain.property)
-        })?;
+    let link = link_objective(
+        &output,
+        &kb,
+        domain.type_id,
+        &domain.property,
+        attribute,
+        10,
+    )
+    .ok_or_else(|| format!("no {attribute} link found for `{}`", domain.property))?;
     Ok(format!(
         "`{} {}` aligns with {attribute} {} {:.0}\n\
          agreement {:.1}% over {} decided entities\n\

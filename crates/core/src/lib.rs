@@ -76,9 +76,7 @@ pub mod prelude {
         WorldBuilder,
     };
     pub use surveyor_extract::{ExtractionConfig, PatternVersion};
-    pub use surveyor_kb::{
-        EntityId, KnowledgeBase, KnowledgeBaseBuilder, Property, TypeId,
-    };
+    pub use surveyor_kb::{EntityId, KnowledgeBase, KnowledgeBaseBuilder, Property, TypeId};
     pub use surveyor_model::{Decision, EmConfig, ModelParams, OpinionModel, SurveyorModel};
 }
 

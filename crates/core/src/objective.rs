@@ -190,18 +190,10 @@ mod tests {
             let e = kb.entity_by_name(&format!("City{i}")).unwrap();
             let (pos, neg) = if pop >= threshold { (20, 1) } else { (1, 6) };
             for _ in 0..pos {
-                table.add(&Statement {
-                    entity: e,
-                    property: big.clone(),
-                    polarity: Polarity::Positive,
-                });
+                table.add(&Statement::new(e, &big, Polarity::Positive));
             }
             for _ in 0..neg {
-                table.add(&Statement {
-                    entity: e,
-                    property: big.clone(),
-                    polarity: Polarity::Negative,
-                });
+                table.add(&Statement::new(e, &big, Polarity::Negative));
             }
         }
         let surveyor = Surveyor::new(
@@ -282,18 +274,10 @@ mod tests {
             let e = kb.entity_by_name(&format!("City{i}")).unwrap();
             let (pos, neg) = if price < 100.0 { (15, 1) } else { (1, 8) };
             for _ in 0..pos {
-                table.add(&Statement {
-                    entity: e,
-                    property: cheap.clone(),
-                    polarity: Polarity::Positive,
-                });
+                table.add(&Statement::new(e, &cheap, Polarity::Positive));
             }
             for _ in 0..neg {
-                table.add(&Statement {
-                    entity: e,
-                    property: cheap.clone(),
-                    polarity: Polarity::Negative,
-                });
+                table.add(&Statement::new(e, &cheap, Polarity::Negative));
             }
         }
         let surveyor = Surveyor::new(
@@ -304,8 +288,7 @@ mod tests {
             },
         );
         let output = surveyor.run_on_evidence(table);
-        let link =
-            link_objective(&output, &kb, city, &cheap, "price", 3).expect("link found");
+        let link = link_objective(&output, &kb, city, &cheap, "price", 3).expect("link found");
         assert_eq!(link.direction, LinkDirection::Below);
         assert!(link.predict(15.0));
         assert!(!link.predict(300.0));
@@ -327,7 +310,11 @@ mod tests {
         );
         let empty_output = surveyor.run_on_evidence(output.evidence.clone());
         let verdicts = adjudicate_with_link(&empty_output, &kb, city, &big, &link);
-        assert_eq!(verdicts.len(), 10, "all entities undecided -> all adjudicated");
+        assert_eq!(
+            verdicts.len(),
+            10,
+            "all entities undecided -> all adjudicated"
+        );
         let city9 = verdicts.iter().find(|(n, _)| n == "City9").unwrap();
         assert!(city9.1, "60k population city predicted big");
         let city0 = verdicts.iter().find(|(n, _)| n == "City0").unwrap();

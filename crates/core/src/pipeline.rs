@@ -11,14 +11,16 @@
 //!             emit ⟨entity, property, −⟩ if prb < ½
 //! ```
 
+use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use surveyor_extract::{
-    run_sharded_full, EvidenceTable, ExtractionConfig, GroupKey, GroupedEvidence,
-    ProvenanceTable, ShardSource,
+    run_sharded_full, EvidenceTable, ExtractionConfig, GroupKey, GroupedEvidence, ProvenanceTable,
+    ShardSource,
 };
-use surveyor_kb::{EntityId, KnowledgeBase, Property};
+use surveyor_kb::{EntityId, KnowledgeBase, Property, PropertyId};
 use surveyor_model::{
     decide, posterior_positive, Decision, EmConfig, EmFit, ModelDecision, ObservedCounts,
     SurveyorModel,
@@ -88,21 +90,30 @@ pub struct SurveyorOutput {
     pub grouped: GroupedEvidence,
     /// One result per combination above the threshold.
     pub results: Vec<DomainResult>,
-    index: FxHashMap<(EntityId, Property), ModelDecision>,
+    index: FxHashMap<(EntityId, PropertyId), ModelDecision>,
 }
 
 impl SurveyorOutput {
     /// The decision for an entity-property pair, if its combination was
-    /// modeled.
+    /// modeled. Allocation-free: the property is looked up in the interner
+    /// (a never-extracted property cannot have an opinion).
     pub fn opinion(&self, entity: EntityId, property: &Property) -> Option<ModelDecision> {
-        self.index.get(&(entity, property.clone())).copied()
+        let id = PropertyId::lookup(property)?;
+        self.opinion_id(entity, id)
+    }
+
+    /// Like [`opinion`](Self::opinion) for an already-interned property.
+    pub fn opinion_id(&self, entity: EntityId, property: PropertyId) -> Option<ModelDecision> {
+        self.index.get(&(entity, property)).copied()
     }
 
     /// All decided triples (skips unsolved entities), in deterministic
     /// order.
     pub fn triples(&self) -> Vec<OpinionTriple> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.decided_pairs());
         for result in &self.results {
+            // One resolve per combination, not one `to_string` per triple.
+            let property = result.key.property.resolve().to_string();
             for (entity, decision) in &result.decisions {
                 let polarity = match decision.decision {
                     Decision::Positive => '+',
@@ -111,7 +122,7 @@ impl SurveyorOutput {
                 };
                 out.push(OpinionTriple {
                     entity: format!("{entity}"),
-                    property: result.key.property.to_string(),
+                    property: property.clone(),
                     polarity,
                     probability: decision.probability.unwrap_or(0.5),
                 });
@@ -161,8 +172,12 @@ impl Surveyor {
     /// Runs the full pipeline: sharded extraction over `source`, grouping,
     /// threshold filtering, per-combination EM, and decisions.
     pub fn run<S: ShardSource>(&self, source: &S) -> SurveyorOutput {
-        let extraction =
-            run_sharded_full(source, &self.kb, &self.config.extraction, self.config.threads);
+        let extraction = run_sharded_full(
+            source,
+            &self.kb,
+            &self.config.extraction,
+            self.config.threads,
+        );
         let mut output = self.run_on_evidence(extraction.evidence);
         output.provenance = extraction.provenance;
         output
@@ -171,35 +186,65 @@ impl Surveyor {
     /// Runs the interpretation phase on pre-extracted evidence (Algorithm 1
     /// lines 5–12). Useful when the same evidence is interpreted under
     /// several model configurations.
+    ///
+    /// Combinations above ρ are independent of each other, so they fan out
+    /// over `config.threads` workers the same way extraction shards do: a
+    /// dynamic atomic cursor balances skewed group sizes, each worker reuses
+    /// one counts scratch buffer across combinations, and every result lands
+    /// in its combination's rank slot — output order (and therefore the
+    /// whole output) is identical for any worker count.
     pub fn run_on_evidence(&self, evidence: EvidenceTable) -> SurveyorOutput {
         let grouped = GroupedEvidence::from_table(&evidence, &self.kb);
         let model = SurveyorModel::with_config(self.config.em.clone());
-        let mut results = Vec::new();
-        let mut index = FxHashMap::default();
+        let combinations: Vec<(&GroupKey, _)> = grouped.above_threshold(self.config.rho).collect();
 
-        for (key, group) in grouped.above_threshold(self.config.rho) {
-            let entities = self.kb.entities_of_type(key.type_id);
-            let counts: Vec<ObservedCounts> = entities
-                .iter()
-                .map(|&e| {
-                    let c = group.counts(e);
-                    ObservedCounts::new(c.positive, c.negative)
-                })
-                .collect();
-            let fit = model.fit_group(&counts);
-            let decisions: Vec<(EntityId, ModelDecision)> = entities
-                .iter()
-                .zip(&counts)
-                .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
-                .collect();
-            for (e, d) in &decisions {
-                index.insert((*e, key.property.clone()), *d);
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<DomainResult>>> = Mutex::new(vec![None; combinations.len()]);
+        let workers = self.config.threads.max(1).min(combinations.len().max(1));
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    // Per-worker scratch, reused across combinations.
+                    let mut counts: Vec<ObservedCounts> = Vec::new();
+                    loop {
+                        let rank = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(key, group)) = combinations.get(rank) else {
+                            break;
+                        };
+                        let entities = self.kb.entities_of_type(key.type_id);
+                        counts.clear();
+                        counts.extend(entities.iter().map(|&e| {
+                            let c = group.counts(e);
+                            ObservedCounts::new(c.positive, c.negative)
+                        }));
+                        let fit = model.fit_group(&counts);
+                        let decisions: Vec<(EntityId, ModelDecision)> = entities
+                            .iter()
+                            .zip(&counts)
+                            .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
+                            .collect();
+                        slots.lock()[rank] = Some(DomainResult {
+                            key: *key,
+                            fit,
+                            decisions,
+                        });
+                    }
+                });
             }
-            results.push(DomainResult {
-                key: key.clone(),
-                fit,
-                decisions,
-            });
+        })
+        .expect("interpretation worker panicked");
+
+        let results: Vec<DomainResult> = slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every combination above threshold is processed"))
+            .collect();
+        let mut index = FxHashMap::default();
+        for result in &results {
+            for (e, d) in &result.decisions {
+                index.insert((*e, result.key.property), *d);
+            }
         }
 
         SurveyorOutput {
@@ -233,18 +278,10 @@ mod tests {
         let add = |table: &mut EvidenceTable, name: &str, pos: u64, neg: u64| {
             let e = kb.entity_by_name(name).unwrap();
             for _ in 0..pos {
-                table.add(&Statement {
-                    entity: e,
-                    property: cute.clone(),
-                    polarity: Polarity::Positive,
-                });
+                table.add(&Statement::new(e, &cute, Polarity::Positive));
             }
             for _ in 0..neg {
-                table.add(&Statement {
-                    entity: e,
-                    property: cute.clone(),
-                    polarity: Polarity::Negative,
-                });
+                table.add(&Statement::new(e, &cute, Polarity::Negative));
             }
         };
         add(&mut table, "Kitten", 50, 2);
@@ -269,11 +306,20 @@ mod tests {
         let kitten = kb.entity_by_name("Kitten").unwrap();
         let spider = kb.entity_by_name("Spider").unwrap();
         let rock = kb.entity_by_name("Rock").unwrap();
-        assert_eq!(output.opinion(kitten, &cute).unwrap().decision, Decision::Positive);
-        assert_eq!(output.opinion(spider, &cute).unwrap().decision, Decision::Negative);
+        assert_eq!(
+            output.opinion(kitten, &cute).unwrap().decision,
+            Decision::Positive
+        );
+        assert_eq!(
+            output.opinion(spider, &cute).unwrap().decision,
+            Decision::Negative
+        );
         // The never-mentioned entity still gets a decision (negative: cute
         // entities are chatty in this evidence).
-        assert_eq!(output.opinion(rock, &cute).unwrap().decision, Decision::Negative);
+        assert_eq!(
+            output.opinion(rock, &cute).unwrap().decision,
+            Decision::Negative
+        );
         assert_eq!(output.decided_pairs(), 5);
     }
 
@@ -305,7 +351,9 @@ mod tests {
         let output = surveyor.run_on_evidence(evidence(&kb));
         let triples = output.triples();
         assert_eq!(triples.len(), output.decided_pairs());
-        assert!(triples.iter().all(|t| t.polarity == '+' || t.polarity == '-'));
+        assert!(triples
+            .iter()
+            .all(|t| t.polarity == '+' || t.polarity == '-'));
         assert!(triples.iter().all(|t| t.property == "cute"));
     }
 }

@@ -5,6 +5,7 @@
 //! adapter generates and annotates shards on demand so the parallel runner
 //! can pull them without materializing the whole snapshot.
 
+use std::borrow::Cow;
 use surveyor_corpus::CorpusGenerator;
 use surveyor_extract::ShardSource;
 use surveyor_nlp::{AnnotatedDocument, Lexicon};
@@ -49,8 +50,11 @@ impl ShardSource for CorpusSource<'_> {
         self.generator.shard_count()
     }
 
-    fn shard(&self, index: usize) -> Vec<AnnotatedDocument> {
-        self.generator.shard_annotated(index, &self.lexicon, self.region)
+    fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]> {
+        Cow::Owned(
+            self.generator
+                .shard_annotated(index, &self.lexicon, self.region),
+        )
     }
 }
 
@@ -68,7 +72,11 @@ mod tests {
         b.add_entity("Tiger", animal).finish();
         let kb = Arc::new(b.build());
         let world = WorldBuilder::new(kb, 3)
-            .domain("animal", Property::adjective("cute"), DomainParams::default())
+            .domain(
+                "animal",
+                Property::adjective("cute"),
+                DomainParams::default(),
+            )
             .build();
         CorpusGenerator::new(world, CorpusConfig::default())
     }

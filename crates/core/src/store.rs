@@ -94,7 +94,7 @@ impl SubjectiveKb {
                 .iter()
                 .filter(|(_, d)| d.decision.is_solved())
                 .map(|(entity, d)| {
-                    let counts = output.evidence.counts(*entity, &result.key.property);
+                    let counts = output.evidence.counts_id(*entity, result.key.property);
                     StoredOpinion {
                         entity: *entity,
                         entity_name: kb.entity(*entity).name().to_owned(),
@@ -104,7 +104,7 @@ impl SubjectiveKb {
                         negative_statements: counts.negative,
                         supporting_documents: output
                             .provenance
-                            .documents(*entity, &result.key.property)
+                            .documents_id(*entity, result.key.property)
                             .to_vec(),
                     }
                 })
@@ -119,7 +119,7 @@ impl SubjectiveKb {
             blocks.push(CombinationBlock {
                 type_id: result.key.type_id,
                 type_name,
-                property: result.key.property.clone(),
+                property: result.key.property.resolve(),
                 p_agree: result.fit.params.p_agree,
                 rate_pos: result.fit.params.rate_pos,
                 rate_neg: result.fit.params.rate_neg,
@@ -171,8 +171,7 @@ impl SubjectiveKb {
         let Some(block) = self.combination(type_name, property) else {
             return Vec::new();
         };
-        let mut hits: Vec<&StoredOpinion> =
-            block.opinions.iter().filter(|o| !o.positive).collect();
+        let mut hits: Vec<&StoredOpinion> = block.opinions.iter().filter(|o| !o.positive).collect();
         hits.reverse(); // ascending probability = descending confidence in ¬P
         hits
     }
@@ -195,7 +194,12 @@ impl SubjectiveKb {
     }
 
     /// The opinion on one entity-property pair, if stored.
-    pub fn opinion(&self, type_name: &str, property: &Property, entity_name: &str) -> Option<&StoredOpinion> {
+    pub fn opinion(
+        &self,
+        type_name: &str,
+        property: &Property,
+        entity_name: &str,
+    ) -> Option<&StoredOpinion> {
         self.combination(type_name, property)?
             .opinions
             .iter()
@@ -234,18 +238,10 @@ mod tests {
         let mut add = |name: &str, pos: u64, neg: u64| {
             let e = kb.entity_by_name(name).unwrap();
             for _ in 0..pos {
-                table.add(&Statement {
-                    entity: e,
-                    property: cute.clone(),
-                    polarity: Polarity::Positive,
-                });
+                table.add(&Statement::new(e, &cute, Polarity::Positive));
             }
             for _ in 0..neg {
-                table.add(&Statement {
-                    entity: e,
-                    property: cute.clone(),
-                    polarity: Polarity::Negative,
-                });
+                table.add(&Statement::new(e, &cute, Polarity::Negative));
             }
         };
         add("Kitten", 40, 1);
@@ -318,7 +314,9 @@ mod tests {
     fn unknown_combination_is_empty() {
         let (kb, output) = output_fixture();
         let store = SubjectiveKb::from_output(&output, &kb);
-        assert!(store.query("animal", &Property::adjective("safe")).is_empty());
+        assert!(store
+            .query("animal", &Property::adjective("safe"))
+            .is_empty());
         assert!(store.query("city", &Property::adjective("cute")).is_empty());
     }
 }

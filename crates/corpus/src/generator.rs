@@ -382,8 +382,7 @@ mod tests {
         for s in 0..g.shard_count() {
             for d in g.shard_text(s) {
                 // Count property-bearing sentences (contain "cute").
-                total_statement_sentences +=
-                    d.text.matches("cute").count();
+                total_statement_sentences += d.text.matches("cute").count();
             }
         }
         let observed = total_statement_sentences as f64;

@@ -150,9 +150,17 @@ fn profile_params(profile: &Profile, plural: bool, sparse: bool) -> DomainParams
         // else attracts contextual positive usages. Sparse combinations
         // scale the whole channel down.
         spurious_positive_rate: sparsity
-            * if rate_neg > rate_pos * 0.5 { 0.05 } else { 0.05 * rate_pos },
+            * if rate_neg > rate_pos * 0.5 {
+                0.05
+            } else {
+                0.05 * rate_pos
+            },
         spurious_negative_rate: sparsity
-            * if rate_neg > rate_pos * 0.5 { 0.06 * rate_neg } else { 0.0 },
+            * if rate_neg > rate_pos * 0.5 {
+                0.06 * rate_neg
+            } else {
+                0.0
+            },
     }
 }
 
@@ -190,11 +198,7 @@ pub fn table2_world_sized(seed: u64, background_per_type: usize) -> World {
                     background_share: (profile.4 * 0.6).max(0.05),
                 };
             }
-            builder = builder.domain(
-                type_name,
-                Property::adjective(profile.0),
-                params,
-            );
+            builder = builder.domain(type_name, Property::adjective(profile.0), params);
         }
     }
     builder.build()

@@ -21,7 +21,14 @@ pub struct Realizer {
 }
 
 /// Aspects for non-intrinsic distractors ("bad *for parking*").
-const ASPECTS: &[&str] = &["parking", "tourists", "families", "beginners", "children", "business"];
+const ASPECTS: &[&str] = &[
+    "parking",
+    "tourists",
+    "families",
+    "beginners",
+    "children",
+    "business",
+];
 
 /// Directional adjectives for part-of distractors ("*southern* France").
 const DIRECTIONS: &[&str] = &["southern", "northern", "eastern", "western"];
@@ -37,7 +44,10 @@ pub fn pluralize(name: &str) -> String {
     let plural = if lower.ends_with('s') || lower.ends_with('x') || lower.ends_with("ch") {
         format!("{last}es")
     } else if lower.ends_with('y')
-        && !matches!(lower.as_bytes().get(lower.len().wrapping_sub(2)), Some(b'a' | b'e' | b'i' | b'o' | b'u'))
+        && !matches!(
+            lower.as_bytes().get(lower.len().wrapping_sub(2)),
+            Some(b'a' | b'e' | b'i' | b'o' | b'u')
+        )
     {
         format!("{}ies", &last[..last.len() - 1])
     } else {
@@ -91,7 +101,17 @@ impl Realizer {
         // Weighted choice: (weight, template id). Plural variants are only
         // natural for some types.
         let weights: &[(u32, u8)] = if self.plural_ok {
-            &[(14, 0), (22, 1), (8, 2), (6, 3), (16, 4), (10, 5), (6, 6), (12, 7), (6, 8)]
+            &[
+                (14, 0),
+                (22, 1),
+                (8, 2),
+                (6, 3),
+                (16, 4),
+                (10, 5),
+                (6, 6),
+                (12, 7),
+                (6, 8),
+            ]
         } else {
             &[(16, 0), (26, 1), (10, 2), (8, 3), (18, 4), (14, 7), (8, 8)]
         };
@@ -112,11 +132,7 @@ impl Realizer {
             3 => format!("I think {entity} is {property}."),
             4 => format!("I love the {property} {entity}."),
             5 => format!("{} are {property}.", pluralize(entity)),
-            6 => format!(
-                "{} are {property} {}.",
-                pluralize(entity),
-                pluralize(noun)
-            ),
+            6 => format!("{} are {property} {}.", pluralize(entity), pluralize(noun)),
             7 => format!("We saw the {property} {entity}."),
             _ => format!("{entity} is a {noun} that is {property}."),
         }
@@ -194,7 +210,11 @@ impl Realizer {
     pub fn part_of_noise<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
         let direction = DIRECTIONS[rng.gen_range(0..DIRECTIONS.len())];
         let predicate = if rng.gen_bool(0.5) { "warm" } else { "cold" };
-        let season = if rng.gen_bool(0.5) { "summer" } else { "winter" };
+        let season = if rng.gen_bool(0.5) {
+            "summer"
+        } else {
+            "winter"
+        };
         // The prepositional tail makes the predicate non-intrinsic, so the
         // checked versions also reject the acomp reading; only the
         // spurious amod on the subject survives for V1/V2.
@@ -266,9 +286,8 @@ mod tests {
         let mut rng = rng();
         for _ in 0..20 {
             let s = r.statement(&mut rng, "Snake", "dangerous", true, 0.0, 1.0);
-            let negs = s.matches("n't").count()
-                + s.matches(" not ").count()
-                + s.matches("never").count();
+            let negs =
+                s.matches("n't").count() + s.matches(" not ").count() + s.matches("never").count();
             assert!(negs >= 2, "{s}");
         }
     }
@@ -286,10 +305,7 @@ mod tests {
         let r = Realizer::new("country", false);
         let mut rng = rng();
         let s = r.part_of_noise(&mut rng, "France");
-        assert!(
-            DIRECTIONS.iter().any(|d| s.starts_with(d)),
-            "{s}"
-        );
+        assert!(DIRECTIONS.iter().any(|d| s.starts_with(d)), "{s}");
     }
 
     #[test]

@@ -157,7 +157,10 @@ impl Default for DomainParams {
 impl DomainParams {
     fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.p_agree), "p_agree out of range");
-        assert!(self.rate_pos >= 0.0 && self.rate_neg >= 0.0, "negative rates");
+        assert!(
+            self.rate_pos >= 0.0 && self.rate_neg >= 0.0,
+            "negative rates"
+        );
         assert!(
             (0.0..=1.0).contains(&self.extended_verb_share),
             "extended_verb_share out of range"
@@ -307,8 +310,8 @@ impl WorldBuilder {
                     let Some(value) = self.kb.entity(e).attribute(attr) else {
                         return false;
                     };
-                    let z = (value.max(f64::MIN_POSITIVE).ln() - threshold.ln())
-                        / softness.max(1e-6);
+                    let z =
+                        (value.max(f64::MIN_POSITIVE).ln() - threshold.ln()) / softness.max(1e-6);
                     let p = 1.0 / (1.0 + (-z).exp());
                     rng.gen_bool(p.clamp(0.0, 1.0))
                 }
@@ -343,8 +346,7 @@ impl WorldBuilder {
             }
             PopularityRule::ZipfByIndex { exponent } => {
                 let zipf = surveyor_prob::Zipf::new(entities.len(), *exponent);
-                let weights: Vec<f64> =
-                    (1..=entities.len()).map(|r| zipf.weight(r)).collect();
+                let weights: Vec<f64> = (1..=entities.len()).map(|r| zipf.weight(r)).collect();
                 let mean = weights.iter().sum::<f64>() / weights.len().max(1) as f64;
                 weights.iter().map(|w| w / mean).collect()
             }
@@ -355,8 +357,7 @@ impl WorldBuilder {
                         // gaussian without rand_distr, which we avoid.
                         let u1: f64 = rng.gen_range(1e-12..1.0);
                         let u2: f64 = rng.gen::<f64>();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         // Clamp the head: a single mega-popular entity
                         // would otherwise dominate a small type's counts.
                         (z * sigma - sigma * sigma / 2.0).exp().clamp(0.02, 8.0)
@@ -426,10 +427,18 @@ mod tests {
     fn domain_instantiation_is_deterministic() {
         let kb = small_kb();
         let w1 = WorldBuilder::new(kb.clone(), 5)
-            .domain("animal", Property::adjective("cute"), DomainParams::default())
+            .domain(
+                "animal",
+                Property::adjective("cute"),
+                DomainParams::default(),
+            )
             .build();
         let w2 = WorldBuilder::new(kb, 5)
-            .domain("animal", Property::adjective("cute"), DomainParams::default())
+            .domain(
+                "animal",
+                Property::adjective("cute"),
+                DomainParams::default(),
+            )
             .build();
         assert_eq!(w1.domains()[0].opinions, w2.domains()[0].opinions);
     }
@@ -440,14 +449,22 @@ mod tests {
         // With only 4 entities collisions are likely; use many seeds and
         // require at least one difference.
         let base = WorldBuilder::new(kb.clone(), 0)
-            .domain("animal", Property::adjective("cute"), DomainParams::default())
+            .domain(
+                "animal",
+                Property::adjective("cute"),
+                DomainParams::default(),
+            )
             .build()
             .domains()[0]
             .opinions
             .clone();
         let any_different = (1..20).any(|s| {
             WorldBuilder::new(kb.clone(), s)
-                .domain("animal", Property::adjective("cute"), DomainParams::default())
+                .domain(
+                    "animal",
+                    Property::adjective("cute"),
+                    DomainParams::default(),
+                )
                 .build()
                 .domains()[0]
                 .opinions
@@ -557,7 +574,11 @@ mod tests {
     fn ground_truth_lookup() {
         let kb = small_kb();
         let world = WorldBuilder::new(kb.clone(), 5)
-            .domain("animal", Property::adjective("cute"), DomainParams::default())
+            .domain(
+                "animal",
+                Property::adjective("cute"),
+                DomainParams::default(),
+            )
             .build();
         let d = &world.domains()[0];
         let kitten = kb.entity_by_name("Kitten").unwrap();

@@ -105,7 +105,11 @@ impl Panel {
         let mut votes_positive = 0;
         for _ in 0..self.workers_per_case {
             let follows_majority = rng.gen_bool(p);
-            let vote = if follows_majority { case.truth } else { !case.truth };
+            let vote = if follows_majority {
+                case.truth
+            } else {
+                !case.truth
+            };
             if vote {
                 votes_positive += 1;
             }
@@ -188,8 +192,9 @@ mod tests {
     #[test]
     fn mean_agreement_tracks_worker_accuracy() {
         let panel = Panel::paper(5);
-        let verdicts: Vec<CrowdVerdict> =
-            (0..300).map(|e| panel.judge(&case(e, true, 0.85))).collect();
+        let verdicts: Vec<CrowdVerdict> = (0..300)
+            .map(|e| panel.judge(&case(e, true, 0.85)))
+            .collect();
         let mean: f64 =
             verdicts.iter().map(|v| v.agreement() as f64).sum::<f64>() / verdicts.len() as f64;
         // E[max(k, 20-k)] with k ~ Bin(20, .85) is ~17.

@@ -14,7 +14,10 @@ pub fn mean_agreement(verdicts: &[CrowdVerdict]) -> f64 {
 /// Number of cases whose agreement is at least `threshold` — one point of
 /// the Figure 11 curve.
 pub fn cases_at_or_above(verdicts: &[CrowdVerdict], threshold: usize) -> usize {
-    verdicts.iter().filter(|v| v.agreement() >= threshold).count()
+    verdicts
+        .iter()
+        .filter(|v| v.agreement() >= threshold)
+        .count()
 }
 
 /// The full Figure 11 series: for each threshold from `min_threshold` to

@@ -1,7 +1,9 @@
 //! Property-based tests for the crowd simulator.
 
 use proptest::prelude::*;
-use surveyor_crowd::{agreement_histogram, cases_at_or_above, mean_agreement, CrowdVerdict, Panel, TestCase};
+use surveyor_crowd::{
+    agreement_histogram, cases_at_or_above, mean_agreement, CrowdVerdict, Panel, TestCase,
+};
 use surveyor_kb::{EntityId, Property, TypeId};
 
 fn case(entity: u32, truth: bool, agreement: f64) -> TestCase {

@@ -67,7 +67,7 @@ fn combination_counts(
                     ObservedCounts::new(c.positive, c.negative)
                 })
                 .collect();
-            (key.type_id, key.property.clone(), counts)
+            (key.type_id, key.property.resolve(), counts)
         })
         .collect()
 }
@@ -84,11 +84,13 @@ fn score_probabilities_filtered(
         suite.cases.iter().filter(|c| keep(c)).collect();
     let decisions: Vec<Decision> = selected
         .iter()
-        .map(|c| match probabilities.get(&(c.entity, c.property.clone())) {
-            Some(&p) if p > tau => Decision::Positive,
-            Some(&p) if p < 1.0 - tau => Decision::Negative,
-            _ => Decision::Unsolved,
-        })
+        .map(
+            |c| match probabilities.get(&(c.entity, c.property.clone())) {
+                Some(&p) if p > tau => Decision::Positive,
+                Some(&p) if p < 1.0 - tau => Decision::Negative,
+                _ => Decision::Unsolved,
+            },
+        )
         .collect();
     let truths: Vec<bool> = selected.iter().map(|c| c.crowd_majority).collect();
     Metrics::score(&decisions, &truths)
@@ -113,8 +115,7 @@ fn probabilities_with(
 ) -> FxHashMap<(EntityId, Property), f64> {
     let mut probabilities = FxHashMap::default();
     for (type_id, property, counts) in combos {
-        let transformed: Vec<ObservedCounts> =
-            counts.iter().map(|&c| transform(c)).collect();
+        let transformed: Vec<ObservedCounts> = counts.iter().map(|&c| transform(c)).collect();
         let fitted = fit(&transformed, em);
         for (&entity, &c) in kb.entities_of_type(*type_id).iter().zip(&transformed) {
             probabilities.insert(
@@ -184,11 +185,9 @@ pub fn run_ablations(
         .filter(|d| d.params.rate_neg > d.params.rate_pos)
         .map(|d| (d.type_id.0, d.property.to_string()))
         .collect();
-    let is_inverted = |c: &crate::testcases::EvalCase| {
-        inverted.contains(&(c.type_id.0, c.property.to_string()))
-    };
-    let standard_inverted =
-        score_probabilities_filtered(&suite, &standard_probs, 0.5, is_inverted);
+    let is_inverted =
+        |c: &crate::testcases::EvalCase| inverted.contains(&(c.type_id.0, c.property.to_string()));
+    let standard_inverted = score_probabilities_filtered(&suite, &standard_probs, 0.5, is_inverted);
     let negation_blind_inverted =
         score_probabilities_filtered(&suite, &blind_probs, 0.5, is_inverted);
 
@@ -283,12 +282,7 @@ mod tests {
         let r = report();
         let last = r.em_iterations.last().unwrap().1;
         // 10 iterations should already be as good as 50.
-        let ten = r
-            .em_iterations
-            .iter()
-            .find(|(n, _)| *n == 10)
-            .unwrap()
-            .1;
+        let ten = r.em_iterations.iter().find(|(n, _)| *n == 10).unwrap().1;
         assert!((ten.f1 - last.f1).abs() < 0.05);
     }
 }

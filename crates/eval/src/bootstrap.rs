@@ -65,7 +65,10 @@ pub fn bootstrap_metrics(
     assert_eq!(decisions.len(), truths.len(), "parallel slices required");
     assert!(!decisions.is_empty(), "bootstrap needs at least one case");
     assert!(resamples > 0, "need at least one resample");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level {level}");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "bad level {level}"
+    );
 
     let point = Metrics::score(decisions, truths);
     let n = decisions.len();

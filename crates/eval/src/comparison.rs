@@ -249,7 +249,12 @@ mod tests {
         let names: Vec<&str> = report.table3.iter().map(|r| r.method.as_str()).collect();
         assert_eq!(
             names,
-            ["Majority Vote", "Scaled Majority Vote", "WebChild", "Surveyor"]
+            [
+                "Majority Vote",
+                "Scaled Majority Vote",
+                "WebChild",
+                "Surveyor"
+            ]
         );
         assert_eq!(report.figure12.len(), 10);
     }

@@ -71,8 +71,7 @@ fn polarity_score(d: Decision) -> f64 {
 }
 
 fn accuracy(points: &[(Decision, bool)]) -> f64 {
-    let solved: Vec<&(Decision, bool)> =
-        points.iter().filter(|(d, _)| d.is_solved()).collect();
+    let solved: Vec<&(Decision, bool)> = points.iter().filter(|(d, _)| d.is_solved()).collect();
     if solved.is_empty() {
         return 0.0;
     }
@@ -141,10 +140,8 @@ pub fn run_empirical(
     let mv_scores: Vec<f64> = points.iter().map(|p| polarity_score(p.majority)).collect();
     let model_scores: Vec<f64> = points.iter().map(|p| polarity_score(p.model)).collect();
 
-    let mv_pairs: Vec<(Decision, bool)> =
-        points.iter().map(|p| (p.majority, p.planted)).collect();
-    let model_pairs: Vec<(Decision, bool)> =
-        points.iter().map(|p| (p.model, p.planted)).collect();
+    let mv_pairs: Vec<(Decision, bool)> = points.iter().map(|p| (p.majority, p.planted)).collect();
+    let model_pairs: Vec<(Decision, bool)> = points.iter().map(|p| (p.model, p.planted)).collect();
 
     EmpiricalStudy {
         attribute_key: attribute_key.to_owned(),
@@ -226,7 +223,11 @@ mod tests {
             s.model_accuracy,
             s.majority_accuracy
         );
-        assert!(s.model_accuracy > 0.8, "model accuracy {}", s.model_accuracy);
+        assert!(
+            s.model_accuracy > 0.8,
+            "model accuracy {}",
+            s.model_accuracy
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn unsolved_reduces_coverage_not_precision() {
-        let m = Metrics::score(&[Positive, Unsolved, Unsolved, Unsolved], &[true, true, false, true]);
+        let m = Metrics::score(
+            &[Positive, Unsolved, Unsolved, Unsolved],
+            &[true, true, false, true],
+        );
         assert_eq!(m.coverage, 0.25);
         assert_eq!(m.precision, 1.0);
         assert!((m.f1 - 0.4).abs() < 1e-12);

@@ -89,7 +89,7 @@ pub fn run_random_sample(
     let modeled: std::collections::HashSet<(u32, String)> = output
         .results
         .iter()
-        .map(|r| (r.key.type_id.0, r.key.property.to_string()))
+        .map(|r| (r.key.type_id.0, r.key.property.resolve().to_string()))
         .collect();
     let mut rng = StdRng::seed_from_u64(sample_seed);
     let mut domain_indexes: Vec<usize> = (0..world.domains().len())

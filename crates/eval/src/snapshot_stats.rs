@@ -37,11 +37,7 @@ pub struct SnapshotStats {
 }
 
 /// Computes the Figure 9 statistics.
-pub fn snapshot_stats(
-    evidence: &EvidenceTable,
-    kb: &KnowledgeBase,
-    rho: u64,
-) -> SnapshotStats {
+pub fn snapshot_stats(evidence: &EvidenceTable, kb: &KnowledgeBase, rho: u64) -> SnapshotStats {
     // (a) statements per entity, all KB entities.
     let mention_totals = evidence.mention_totals();
     let mut per_entity_counts: Vec<f64> = kb
@@ -106,12 +102,7 @@ mod tests {
             },
         );
         let source = CorpusSource::new(&generator);
-        run_sharded(
-            &source,
-            world.kb(),
-            &ExtractionConfig::paper_final(),
-            2,
-        )
+        run_sharded(&source, world.kb(), &ExtractionConfig::paper_final(), 2)
     }
 
     #[test]
@@ -119,7 +110,11 @@ mod tests {
         let world = table2_world(13);
         let evidence = evidence_for(&world);
         let stats = snapshot_stats(&evidence, world.kb(), 50);
-        for series in [&stats.per_entity, &stats.per_combination, &stats.properties_per_type] {
+        for series in [
+            &stats.per_entity,
+            &stats.per_combination,
+            &stats.properties_per_type,
+        ] {
             for w in series.windows(2) {
                 assert!(w[1].1 >= w[0].1, "series not monotone: {series:?}");
             }

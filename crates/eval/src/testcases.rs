@@ -187,10 +187,7 @@ mod tests {
         );
         // A substantial block of (near-)unanimous cases (paper: ~180/500).
         let unanimous = s.unanimous_cases();
-        assert!(
-            unanimous > 50 && unanimous < 350,
-            "unanimous = {unanimous}"
-        );
+        assert!(unanimous > 50 && unanimous < 350, "unanimous = {unanimous}");
     }
 
     #[test]

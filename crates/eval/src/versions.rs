@@ -63,7 +63,7 @@ pub fn run_versions(world: &World, corpus_config: CorpusConfig) -> Vec<VersionRo
                 let type_id = world.kb().entity(*entity).notable_type().0;
                 let n = counts.total();
                 total += n;
-                if intended.contains(&(type_id, property.to_string())) {
+                if intended.contains(&(type_id, property.resolve().to_string())) {
                     on_target += n;
                 }
             }
@@ -113,9 +113,7 @@ mod tests {
     #[test]
     fn count_ordering_matches_table4() {
         let rows = rows();
-        let count = |v: PatternVersion| {
-            rows.iter().find(|r| r.version == v).unwrap().statements
-        };
+        let count = |v: PatternVersion| rows.iter().find(|r| r.version == v).unwrap().statements;
         // Paper: V2 > V1 > V4 > V3.
         assert!(count(PatternVersion::V2) > count(PatternVersion::V4));
         assert!(count(PatternVersion::V4) > count(PatternVersion::V3));
@@ -126,7 +124,10 @@ mod tests {
     fn checked_versions_are_cleaner() {
         let rows = rows();
         let share = |v: PatternVersion| {
-            rows.iter().find(|r| r.version == v).unwrap().on_target_share
+            rows.iter()
+                .find(|r| r.version == v)
+                .unwrap()
+                .on_target_share
         };
         assert!(
             share(PatternVersion::V4) > share(PatternVersion::V2),

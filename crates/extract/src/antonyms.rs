@@ -85,19 +85,22 @@ impl AntonymLexicon {
     /// the paper's second objection ("adverb-adjective combinations for
     /// which it is often impossible to find any antonyms at all").
     pub fn canonicalize(&self, statement: Statement) -> Statement {
-        if !statement.property.is_bare() {
+        // Cold path (ablation only): resolving the interned property here is
+        // fine, the production pipeline never folds antonyms.
+        let property = statement.property.resolve();
+        if !property.is_bare() {
             return statement;
         }
-        match self.canonical_of(statement.property.head()) {
+        match self.canonical_of(property.head()) {
             None => statement,
-            Some(canonical) => Statement {
-                entity: statement.entity,
-                property: Property::adjective(canonical),
-                polarity: match statement.polarity {
+            Some(canonical) => Statement::new(
+                statement.entity,
+                &Property::adjective(canonical),
+                match statement.polarity {
                     Polarity::Positive => Polarity::Negative,
                     Polarity::Negative => Polarity::Positive,
                 },
-            },
+            ),
         }
     }
 
@@ -134,11 +137,7 @@ mod tests {
     use surveyor_kb::EntityId;
 
     fn stmt(prop: &str, polarity: Polarity) -> Statement {
-        Statement {
-            entity: EntityId(1),
-            property: Property::parse(prop).unwrap(),
-            polarity,
-        }
+        Statement::new(EntityId(1), &Property::parse(prop).unwrap(), polarity)
     }
 
     #[test]
@@ -146,11 +145,11 @@ mod tests {
         let lex = AntonymLexicon::core();
         // "Palo Alto is small" -> negation of "Palo Alto is big" (§4).
         let folded = lex.canonicalize(stmt("small", Polarity::Positive));
-        assert_eq!(folded.property, Property::adjective("big"));
+        assert_eq!(folded.property.resolve(), Property::adjective("big"));
         assert_eq!(folded.polarity, Polarity::Negative);
         // "X is not small" -> "X is big" — the dangerous implication.
         let folded = lex.canonicalize(stmt("small", Polarity::Negative));
-        assert_eq!(folded.property, Property::adjective("big"));
+        assert_eq!(folded.property.resolve(), Property::adjective("big"));
         assert_eq!(folded.polarity, Polarity::Positive);
     }
 
@@ -158,16 +157,16 @@ mod tests {
     fn canonical_pole_and_unknown_words_pass_through() {
         let lex = AntonymLexicon::core();
         let s = stmt("big", Polarity::Positive);
-        assert_eq!(lex.canonicalize(s.clone()), s);
+        assert_eq!(lex.canonicalize(s), s);
         let s = stmt("plaid", Polarity::Negative);
-        assert_eq!(lex.canonicalize(s.clone()), s);
+        assert_eq!(lex.canonicalize(s), s);
     }
 
     #[test]
     fn adverb_qualified_properties_are_never_folded() {
         let lex = AntonymLexicon::core();
         let s = stmt("very small", Polarity::Positive);
-        assert_eq!(lex.canonicalize(s.clone()), s);
+        assert_eq!(lex.canonicalize(s), s);
     }
 
     #[test]

@@ -7,8 +7,7 @@
 
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use surveyor_kb::{EntityId, KnowledgeBase, Property, TypeId};
+use surveyor_kb::{EntityId, KnowledgeBase, Property, PropertyId, TypeId};
 
 /// Polarity of an evidence statement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -20,14 +19,31 @@ pub enum Polarity {
 }
 
 /// One extracted evidence statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The property is carried as an interned [`PropertyId`]: statements are
+/// emitted once per matched pattern on the per-sentence hot path, and the
+/// id keeps them `Copy`-cheap all the way into the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Statement {
     /// The entity the statement is about.
     pub entity: EntityId,
-    /// The subjective property (adjective + adverbs).
-    pub property: Property,
+    /// The subjective property (adjective + adverbs), interned.
+    pub property: PropertyId,
     /// Whether the statement affirms or denies the property.
     pub polarity: Polarity,
+}
+
+impl Statement {
+    /// A statement over a not-yet-interned property (test and tooling
+    /// convenience; the extraction patterns intern directly from token
+    /// surfaces).
+    pub fn new(entity: EntityId, property: &Property, polarity: Polarity) -> Self {
+        Self {
+            entity,
+            property: PropertyId::intern(property),
+            polarity,
+        }
+    }
 }
 
 /// Positive/negative statement counters for one entity-property pair — the
@@ -71,7 +87,7 @@ impl EvidenceCounts {
 /// shards can reduce in any order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvidenceTable {
-    map: FxHashMap<(EntityId, Property), EvidenceCounts>,
+    map: FxHashMap<(EntityId, PropertyId), EvidenceCounts>,
     statements: u64,
 }
 
@@ -81,10 +97,10 @@ impl EvidenceTable {
         Self::default()
     }
 
-    /// Records one statement.
+    /// Records one statement. Allocation-free: the key is two `u32` ids.
     pub fn add(&mut self, statement: &Statement) {
         self.map
-            .entry((statement.entity, statement.property.clone()))
+            .entry((statement.entity, statement.property))
             .or_default()
             .add(statement.polarity);
         self.statements += 1;
@@ -99,9 +115,19 @@ impl EvidenceTable {
     }
 
     /// Counts for an entity-property pair (zero if never seen).
+    ///
+    /// Never-interned properties short-circuit to zero without touching the
+    /// intern table.
     pub fn counts(&self, entity: EntityId, property: &Property) -> EvidenceCounts {
+        PropertyId::lookup(property)
+            .map(|id| self.counts_id(entity, id))
+            .unwrap_or_default()
+    }
+
+    /// Counts for an entity and an already-interned property.
+    pub fn counts_id(&self, entity: EntityId, property: PropertyId) -> EvidenceCounts {
         self.map
-            .get(&(entity, property.clone()))
+            .get(&(entity, property))
             .copied()
             .unwrap_or_default()
     }
@@ -116,17 +142,17 @@ impl EvidenceTable {
         self.statements
     }
 
-    /// Iterates over all pairs and their counts.
-    pub fn iter(&self) -> impl Iterator<Item = (&(EntityId, Property), &EvidenceCounts)> {
+    /// Iterates over all pairs and their counts (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&(EntityId, PropertyId), &EvidenceCounts)> {
         self.map.iter()
     }
 
     /// Corpus-wide `(positive, negative)` statement totals — the input of
     /// the scaled-majority-vote baseline's global polarity ratio.
     pub fn polarity_totals(&self) -> (u64, u64) {
-        self.map.values().fold((0, 0), |(p, n), c| {
-            (p + c.positive, n + c.negative)
-        })
+        self.map
+            .values()
+            .fold((0, 0), |(p, n), c| (p + c.positive, n + c.negative))
     }
 
     /// Total statements per entity across all properties — the
@@ -144,12 +170,15 @@ impl EvidenceTable {
     /// architecture stores counter tables between the extraction and
     /// interpretation passes).
     pub fn to_entries(&self) -> Vec<EvidenceEntry> {
+        // Ids are process-local, so entries resolve to the full property and
+        // sort on the resolved form — output order is reproducible across
+        // runs no matter what order extraction discovered properties in.
         let mut entries: Vec<EvidenceEntry> = self
             .map
             .iter()
             .map(|((entity, property), counts)| EvidenceEntry {
                 entity: *entity,
-                property: property.clone(),
+                property: property.resolve(),
                 positive: counts.positive,
                 negative: counts.negative,
             })
@@ -164,7 +193,7 @@ impl EvidenceTable {
         for entry in entries {
             let counts = table
                 .map
-                .entry((entry.entity, entry.property))
+                .entry((entry.entity, PropertyId::intern(&entry.property)))
                 .or_default();
             counts.positive += entry.positive;
             counts.negative += entry.negative;
@@ -198,12 +227,17 @@ pub struct EvidenceEntry {
 }
 
 /// Key of an evidence group: one (entity type, property) combination.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// Two `u32` ids — `Copy`, hashable in a few cycles. Deliberately not `Ord`:
+/// property ids reflect discovery order, so deterministic group ordering is
+/// produced by sorting on the *resolved* property instead (see
+/// [`GroupedEvidence::from_table`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GroupKey {
     /// The entity type.
     pub type_id: TypeId,
-    /// The subjective property.
-    pub property: Property,
+    /// The subjective property, interned.
+    pub property: PropertyId,
 }
 
 /// Per-entity evidence for one (type, property) combination.
@@ -239,7 +273,11 @@ impl Group {
 /// Evidence grouped by (type, property), deterministic iteration order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupedEvidence {
-    groups: BTreeMap<GroupKey, Group>,
+    /// Sorted by `(type_id, resolved property)` — the same order the old
+    /// `BTreeMap<GroupKey, Group>` produced, independent of property-id
+    /// discovery order.
+    groups: Vec<(GroupKey, Group)>,
+    index: FxHashMap<GroupKey, usize>,
 }
 
 impl GroupedEvidence {
@@ -247,19 +285,28 @@ impl GroupedEvidence {
     /// types (§3: "The knowledge base associates each entity with an entity
     /// type … we use only the most notable type").
     pub fn from_table(table: &EvidenceTable, kb: &KnowledgeBase) -> Self {
-        let mut groups: BTreeMap<GroupKey, Group> = BTreeMap::new();
+        let mut by_key: FxHashMap<GroupKey, Group> = FxHashMap::default();
         for ((entity, property), counts) in table.iter() {
             let type_id = kb.entity(*entity).notable_type();
-            let group = groups
+            let group = by_key
                 .entry(GroupKey {
                     type_id,
-                    property: property.clone(),
+                    property: *property,
                 })
                 .or_default();
             group.counts.entry(*entity).or_default().merge(*counts);
             group.total += counts.total();
         }
-        Self { groups }
+        let mut groups: Vec<(GroupKey, Group)> = by_key.into_iter().collect();
+        // Ids reflect discovery order; resolve once per combination and sort
+        // on the property itself for cross-run determinism.
+        groups.sort_by_cached_key(|(key, _)| (key.type_id, key.property.resolve()));
+        let index = groups
+            .iter()
+            .enumerate()
+            .map(|(i, (key, _))| (*key, i))
+            .collect();
+        Self { groups, index }
     }
 
     /// Number of distinct (type, property) combinations.
@@ -274,18 +321,18 @@ impl GroupedEvidence {
 
     /// The group for a combination, if any evidence exists.
     pub fn group(&self, key: &GroupKey) -> Option<&Group> {
-        self.groups.get(key)
+        self.index.get(key).map(|&i| &self.groups[i].1)
     }
 
     /// Iterates over all combinations in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &Group)> {
-        self.groups.iter()
+        self.groups.iter().map(|(key, group)| (key, group))
     }
 
     /// Iterates over combinations whose total statement count reaches the
     /// occurrence threshold `rho` (Algorithm 1 line 5).
     pub fn above_threshold(&self, rho: u64) -> impl Iterator<Item = (&GroupKey, &Group)> {
-        self.groups.iter().filter(move |(_, g)| g.total >= rho)
+        self.iter().filter(move |(_, g)| g.total >= rho)
     }
 }
 
@@ -305,11 +352,7 @@ mod tests {
     }
 
     fn stmt(entity: u32, prop: &str, polarity: Polarity) -> Statement {
-        Statement {
-            entity: EntityId(entity),
-            property: Property::parse(prop).unwrap(),
-            polarity,
-        }
+        Statement::new(EntityId(entity), &Property::parse(prop).unwrap(), polarity)
     }
 
     #[test]
@@ -364,7 +407,7 @@ mod tests {
         let animal = kb.type_by_name("animal").unwrap();
         let key = GroupKey {
             type_id: animal,
-            property: Property::adjective("cute"),
+            property: surveyor_kb::PropertyId::intern(&Property::adjective("cute")),
         };
         let g = grouped.group(&key).unwrap();
         assert_eq!(g.total_statements(), 2);
@@ -406,9 +449,9 @@ mod tests {
         t.add(&stmt(0, "big", Polarity::Negative));
         let entries = t.to_entries();
         assert_eq!(entries.len(), 3);
-        assert!(entries.windows(2).all(|w| {
-            (w[0].entity, &w[0].property) <= (w[1].entity, &w[1].property)
-        }));
+        assert!(entries
+            .windows(2)
+            .all(|w| { (w[0].entity, &w[0].property) <= (w[1].entity, &w[1].property) }));
         // Same table serialized twice yields identical bytes.
         assert_eq!(t.to_json(), t.to_json());
     }

@@ -31,7 +31,9 @@ pub mod runner;
 
 pub use antonyms::AntonymLexicon;
 pub use config::{ExtractionConfig, PatternVersion, VerbSet};
-pub use evidence::{EvidenceCounts, EvidenceEntry, EvidenceTable, GroupKey, GroupedEvidence, Polarity, Statement};
+pub use evidence::{
+    EvidenceCounts, EvidenceEntry, EvidenceTable, GroupKey, GroupedEvidence, Polarity, Statement,
+};
 pub use patterns::extract_sentence;
 pub use provenance::ProvenanceTable;
 pub use runner::{

@@ -25,9 +25,9 @@
 use crate::config::{ExtractionConfig, VerbSet};
 use crate::evidence::Statement;
 use crate::polarity::statement_polarity;
-use surveyor_kb::{EntityId, KnowledgeBase, Property};
+use surveyor_kb::{EntityId, KnowledgeBase, PropertyId};
 use surveyor_nlp::coref::predicate_nominal_corefs;
-use surveyor_nlp::{AnnotatedSentence, DepRel, DepTree, Pos, Token};
+use surveyor_nlp::{AnnotatedSentence, DepRel, DepTree, Pos, TokenizedSentence};
 
 /// Forms of "to be" admitted by the restrictive verb set.
 const TO_BE_FORMS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "am"];
@@ -36,17 +36,28 @@ fn is_to_be(word: &str) -> bool {
     TO_BE_FORMS.contains(&word)
 }
 
-/// Builds the property at an adjective token: its adverb modifiers
-/// (surface order) plus the adjective itself.
-fn property_at(tokens: &[Token], tree: &DepTree, adj: usize) -> Property {
+/// Interns the property at an adjective token: its adverb modifiers
+/// (surface order) plus the adjective itself. The surface form is assembled
+/// in `scratch`, so a property seen before interns without allocating.
+fn property_at(
+    tokens: &TokenizedSentence,
+    tree: &DepTree,
+    adj: usize,
+    scratch: &mut String,
+) -> PropertyId {
     let mut adverbs: Vec<usize> = tree
         .children_with_rel(adj, DepRel::Advmod)
         .into_iter()
         .filter(|&i| tokens[i].pos == Pos::Adverb)
         .collect();
     adverbs.sort_unstable();
-    let adverb_strs: Vec<&str> = adverbs.iter().map(|&i| tokens[i].lower.as_str()).collect();
-    Property::with_adverbs(&adverb_strs, &tokens[adj].lower)
+    scratch.clear();
+    for &i in &adverbs {
+        scratch.push_str(tokens.lower_of(i));
+        scratch.push(' ');
+    }
+    scratch.push_str(tokens.lower_of(adj));
+    PropertyId::intern_surface(scratch).expect("adjective surface is non-empty")
 }
 
 /// Whether the pattern's top node carries a prepositional constriction
@@ -62,13 +73,14 @@ fn emit_matches(
     entity: EntityId,
     adj: usize,
     config: &ExtractionConfig,
+    scratch: &mut String,
     out: &mut Vec<Statement>,
 ) {
     let tokens = &sentence.tokens;
     let tree = &sentence.tree;
     out.push(Statement {
         entity,
-        property: property_at(tokens, tree, adj),
+        property: property_at(tokens, tree, adj, scratch),
         polarity: statement_polarity(tree, adj),
     });
     if config.conj {
@@ -81,7 +93,7 @@ fn emit_matches(
             }
             out.push(Statement {
                 entity,
-                property: property_at(tokens, tree, conj),
+                property: property_at(tokens, tree, conj, scratch),
                 polarity: statement_polarity(tree, conj),
             });
         }
@@ -92,6 +104,7 @@ fn emit_matches(
 fn match_acomp(
     sentence: &AnnotatedSentence,
     config: &ExtractionConfig,
+    scratch: &mut String,
     out: &mut Vec<Statement>,
 ) {
     let tokens = &sentence.tokens;
@@ -111,7 +124,7 @@ fn match_acomp(
         let cops = tree.children_with_rel(pred, DepRel::Cop);
         let admissible = if let Some(&cop) = cops.first() {
             match config.verbs {
-                VerbSet::ToBe => is_to_be(&tokens[cop].lower),
+                VerbSet::ToBe => is_to_be(tokens.lower_of(cop)),
                 VerbSet::CopulaClass => true,
             }
         } else {
@@ -125,7 +138,7 @@ fn match_acomp(
         if config.intrinsic_checks && has_constriction(tree, pred) {
             continue;
         }
-        emit_matches(sentence, mention.entity, pred, config, out);
+        emit_matches(sentence, mention.entity, pred, config, scratch, out);
     }
 }
 
@@ -134,6 +147,7 @@ fn match_amod(
     sentence: &AnnotatedSentence,
     kb: &KnowledgeBase,
     config: &ExtractionConfig,
+    scratch: &mut String,
     out: &mut Vec<Statement>,
 ) {
     let tokens = &sentence.tokens;
@@ -153,7 +167,7 @@ fn match_amod(
                 if tokens[adj].pos != Pos::Adjective {
                     continue;
                 }
-                emit_matches(sentence, entity, adj, config, out);
+                emit_matches(sentence, entity, adj, config, scratch, out);
             }
         }
     }
@@ -185,7 +199,7 @@ fn match_amod(
             if mention.covers(adj) {
                 continue;
             }
-            emit_matches(sentence, mention.entity, adj, config, out);
+            emit_matches(sentence, mention.entity, adj, config, scratch, out);
         }
     }
 }
@@ -199,20 +213,26 @@ pub fn extract_sentence(
     config: &ExtractionConfig,
 ) -> Vec<Statement> {
     let mut out = Vec::new();
+    let mut scratch = String::new();
     if config.acomp {
-        match_acomp(sentence, config, &mut out);
+        match_acomp(sentence, config, &mut scratch, &mut out);
     }
     if config.amod {
-        match_amod(sentence, kb, config, &mut out);
+        match_amod(sentence, kb, config, &mut scratch, &mut out);
     }
-    out.sort_by(|a, b| {
-        (a.entity, &a.property, a.polarity == crate::Polarity::Negative).cmp(&(
-            b.entity,
-            &b.property,
-            b.polarity == crate::Polarity::Negative,
-        ))
-    });
-    out.dedup();
+    if out.len() > 1 {
+        // Order on the resolved property (ids reflect discovery order), so
+        // per-sentence statement order is reproducible across runs. Only
+        // multi-statement sentences — the rare case — pay the resolution.
+        out.sort_by_cached_key(|s| {
+            (
+                s.entity,
+                s.property.resolve(),
+                s.polarity == crate::Polarity::Negative,
+            )
+        });
+        out.dedup();
+    }
     out
 }
 
@@ -249,7 +269,7 @@ mod tests {
             for st in extract_sentence(s, &kb, config) {
                 out.push((
                     kb.entity(st.entity).name().to_owned(),
-                    st.property.to_string(),
+                    st.property.resolve().to_string(),
                     st.polarity,
                 ));
             }
@@ -273,7 +293,10 @@ mod tests {
     #[test]
     fn table1_row2_acomp_with_adverb() {
         let got = extract_v4("Chicago is very big.");
-        assert_eq!(got, vec![("Chicago".into(), "very big".into(), Polarity::Positive)]);
+        assert_eq!(
+            got,
+            vec![("Chicago".into(), "very big".into(), Polarity::Positive)]
+        );
     }
 
     #[test]
@@ -289,9 +312,15 @@ mod tests {
     #[test]
     fn negative_statement() {
         let got = extract_v4("Chicago is not big.");
-        assert_eq!(got, vec![("Chicago".into(), "big".into(), Polarity::Negative)]);
+        assert_eq!(
+            got,
+            vec![("Chicago".into(), "big".into(), Polarity::Negative)]
+        );
         let got = extract_v4("New York is not a big city.");
-        assert_eq!(got, vec![("New York".into(), "big".into(), Polarity::Negative)]);
+        assert_eq!(
+            got,
+            vec![("New York".into(), "big".into(), Polarity::Negative)]
+        );
     }
 
     #[test]
@@ -308,7 +337,10 @@ mod tests {
         let text = "New York is bad for parking.";
         assert!(extract_v4(text).is_empty());
         let v2 = extract_with(text, &PatternVersion::V2.config());
-        assert_eq!(v2, vec![("New York".into(), "bad".into(), Polarity::Positive)]);
+        assert_eq!(
+            v2,
+            vec![("New York".into(), "bad".into(), Polarity::Positive)]
+        );
     }
 
     #[test]
@@ -316,11 +348,17 @@ mod tests {
         let text = "southern France is warm.";
         let v4 = extract_v4(text);
         // "warm" extracts via acomp; "southern" must NOT extract.
-        assert_eq!(v4, vec![("France".into(), "warm".into(), Polarity::Positive)]);
+        assert_eq!(
+            v4,
+            vec![("France".into(), "warm".into(), Polarity::Positive)]
+        );
         let v1 = extract_with(text, &PatternVersion::V1.config());
         // V1 has no checks: the spurious (France, southern) appears, and no
         // acomp pattern runs.
-        assert_eq!(v1, vec![("France".into(), "southern".into(), Polarity::Positive)]);
+        assert_eq!(
+            v1,
+            vec![("France".into(), "southern".into(), Polarity::Positive)]
+        );
     }
 
     #[test]
@@ -335,7 +373,10 @@ mod tests {
     #[test]
     fn attributive_object_mention_extracts_in_v4() {
         let got = extract_v4("I love the cute kitten.");
-        assert_eq!(got, vec![("Kitten".into(), "cute".into(), Polarity::Positive)]);
+        assert_eq!(
+            got,
+            vec![("Kitten".into(), "cute".into(), Polarity::Positive)]
+        );
     }
 
     #[test]
@@ -343,7 +384,10 @@ mod tests {
         let text = "I find kittens cute.";
         assert!(extract_v4(text).is_empty());
         let v2 = extract_with(text, &PatternVersion::V2.config());
-        assert_eq!(v2, vec![("Kitten".into(), "cute".into(), Polarity::Positive)]);
+        assert_eq!(
+            v2,
+            vec![("Kitten".into(), "cute".into(), Polarity::Positive)]
+        );
     }
 
     #[test]
@@ -351,12 +395,18 @@ mod tests {
         let text = "Chicago seems big.";
         assert!(extract_v4(text).is_empty());
         let v2 = extract_with(text, &PatternVersion::V2.config());
-        assert_eq!(v2, vec![("Chicago".into(), "big".into(), Polarity::Positive)]);
+        assert_eq!(
+            v2,
+            vec![("Chicago".into(), "big".into(), Polarity::Positive)]
+        );
     }
 
     #[test]
     fn v3_has_no_amod() {
-        let v3 = extract_with("Snakes are dangerous animals.", &PatternVersion::V3.config());
+        let v3 = extract_with(
+            "Snakes are dangerous animals.",
+            &PatternVersion::V3.config(),
+        );
         assert!(v3.is_empty());
         let v3 = extract_with("Chicago is big.", &PatternVersion::V3.config());
         assert_eq!(v3.len(), 1);
@@ -394,7 +444,10 @@ mod tests {
             vec![("Chicago".into(), "very big".into(), Polarity::Positive)]
         );
         let got = extract_v4("Chicago is a city that is not big.");
-        assert_eq!(got, vec![("Chicago".into(), "big".into(), Polarity::Negative)]);
+        assert_eq!(
+            got,
+            vec![("Chicago".into(), "big".into(), Polarity::Negative)]
+        );
         // V3 (acomp-only) does not use the relative-clause reading.
         let v3 = extract_with(
             "Chicago is a city that is big.",
@@ -408,13 +461,19 @@ mod tests {
         let text = "Chicago is considered big.";
         assert!(extract_v4(text).is_empty());
         let v2 = extract_with(text, &PatternVersion::V2.config());
-        assert_eq!(v2, vec![("Chicago".into(), "big".into(), Polarity::Positive)]);
+        assert_eq!(
+            v2,
+            vec![("Chicago".into(), "big".into(), Polarity::Positive)]
+        );
         // Negated report flips polarity.
         let v2 = extract_with(
             "Chicago is not considered big.",
             &PatternVersion::V2.config(),
         );
-        assert_eq!(v2, vec![("Chicago".into(), "big".into(), Polarity::Negative)]);
+        assert_eq!(
+            v2,
+            vec![("Chicago".into(), "big".into(), Polarity::Negative)]
+        );
     }
 
     #[test]
@@ -422,10 +481,7 @@ mod tests {
         // A sentence matching both coref-amod and direct paths must not
         // double-count the same triple.
         let got = extract_v4("Soccer is a fast and fast sport.");
-        let fast_count = got
-            .iter()
-            .filter(|(_, p, _)| p == "fast")
-            .count();
+        let fast_count = got.iter().filter(|(_, p, _)| p == "fast").count();
         assert_eq!(fast_count, 1);
     }
 }

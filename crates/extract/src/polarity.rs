@@ -31,16 +31,15 @@ pub fn statement_polarity(tree: &DepTree, property_token: usize) -> Polarity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use surveyor_nlp::{parse, Lexicon, tokenize};
+    use surveyor_nlp::{parse, tokenize, Lexicon};
 
     fn polarity_of(sentence: &str, property_word: &str) -> Polarity {
         let lex = Lexicon::new();
         let mut toks = tokenize(sentence);
         lex.tag(&mut toks);
         let tree = parse(&toks).unwrap();
-        let idx = toks
-            .iter()
-            .position(|t| t.lower == property_word)
+        let idx = (0..toks.len())
+            .position(|i| toks.lower_of(i) == property_word)
             .expect("property word present");
         statement_polarity(&tree, idx)
     }

@@ -10,7 +10,7 @@
 use crate::evidence::Statement;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use surveyor_kb::{EntityId, Property};
+use surveyor_kb::{EntityId, Property, PropertyId};
 
 /// Default number of supporting documents retained per pair.
 pub const DEFAULT_SAMPLE: usize = 5;
@@ -20,7 +20,7 @@ pub const DEFAULT_SAMPLE: usize = 5;
 pub struct ProvenanceTable {
     sample_size: usize,
     #[serde(with = "entries_codec")]
-    map: FxHashMap<(EntityId, Property), Vec<u64>>,
+    map: FxHashMap<(EntityId, PropertyId), Vec<u64>>,
 }
 
 impl Default for ProvenanceTable {
@@ -39,10 +39,11 @@ impl ProvenanceTable {
     }
 
     /// Records that `document` contains a statement for the pair.
+    /// Allocation-free on the key: two `u32` ids.
     pub fn record(&mut self, statement: &Statement, document: u64) {
         let ids = self
             .map
-            .entry((statement.entity, statement.property.clone()))
+            .entry((statement.entity, statement.property))
             .or_default();
         insert_bounded(ids, document, self.sample_size);
     }
@@ -58,10 +59,17 @@ impl ProvenanceTable {
     }
 
     /// Supporting documents for a pair, smallest ids first (empty when the
-    /// pair was never seen).
+    /// pair was never seen). Never-interned properties short-circuit.
     pub fn documents(&self, entity: EntityId, property: &Property) -> &[u64] {
+        PropertyId::lookup(property)
+            .map(|id| self.documents_id(entity, id))
+            .unwrap_or(&[])
+    }
+
+    /// Supporting documents for an entity and an already-interned property.
+    pub fn documents_id(&self, entity: EntityId, property: PropertyId) -> &[u64] {
         self.map
-            .get(&(entity, property.clone()))
+            .get(&(entity, property))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -93,9 +101,8 @@ fn insert_bounded(ids: &mut Vec<u64>, id: u64, bound: usize) {
 /// Serde codec: the tuple-keyed map serializes as an entry list.
 mod entries_codec {
     use super::*;
-    use serde::{Deserializer, Serializer};
 
-    type ProvenanceMap = FxHashMap<(EntityId, Property), Vec<u64>>;
+    type ProvenanceMap = FxHashMap<(EntityId, PropertyId), Vec<u64>>;
 
     #[derive(Serialize, Deserialize)]
     struct Entry {
@@ -104,29 +111,26 @@ mod entries_codec {
         documents: Vec<u64>,
     }
 
-    pub fn serialize<S: Serializer>(
-        map: &ProvenanceMap,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn to_value(map: &ProvenanceMap) -> serde::Value {
+        // Resolve ids before sorting: id values are process-local, the
+        // serialized order must not be.
         let mut entries: Vec<Entry> = map
             .iter()
             .map(|((entity, property), documents)| Entry {
                 entity: *entity,
-                property: property.clone(),
+                property: property.resolve(),
                 documents: documents.clone(),
             })
             .collect();
         entries.sort_by(|a, b| (a.entity, &a.property).cmp(&(b.entity, &b.property)));
-        serde::Serialize::serialize(&entries, serializer)
+        serde::Serialize::to_value(&entries)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        deserializer: D,
-    ) -> Result<ProvenanceMap, D::Error> {
-        let entries: Vec<Entry> = serde::Deserialize::deserialize(deserializer)?;
+    pub fn from_value(value: &serde::Value) -> Result<ProvenanceMap, serde::Error> {
+        let entries: Vec<Entry> = serde::Deserialize::from_value(value)?;
         Ok(entries
             .into_iter()
-            .map(|e| ((e.entity, e.property), e.documents))
+            .map(|e| ((e.entity, PropertyId::intern(&e.property)), e.documents))
             .collect())
     }
 }
@@ -137,11 +141,11 @@ mod tests {
     use crate::evidence::Polarity;
 
     fn stmt(entity: u32, prop: &str) -> Statement {
-        Statement {
-            entity: EntityId(entity),
-            property: Property::adjective(prop),
-            polarity: Polarity::Positive,
-        }
+        Statement::new(
+            EntityId(entity),
+            &Property::adjective(prop),
+            Polarity::Positive,
+        )
     }
 
     #[test]
@@ -150,8 +154,13 @@ mod tests {
         for doc in [9, 2, 7, 1, 8, 3] {
             t.record(&stmt(0, "cute"), doc);
         }
-        assert_eq!(t.documents(EntityId(0), &Property::adjective("cute")), [1, 2, 3]);
-        assert!(t.documents(EntityId(1), &Property::adjective("cute")).is_empty());
+        assert_eq!(
+            t.documents(EntityId(0), &Property::adjective("cute")),
+            [1, 2, 3]
+        );
+        assert!(t
+            .documents(EntityId(1), &Property::adjective("cute"))
+            .is_empty());
     }
 
     #[test]
@@ -178,7 +187,10 @@ mod tests {
         let mut ba = b;
         ba.merge(a);
         assert_eq!(ab, ba);
-        assert_eq!(ab.documents(EntityId(0), &Property::adjective("cute")), [1, 4, 7]);
+        assert_eq!(
+            ab.documents(EntityId(0), &Property::adjective("cute")),
+            [1, 4, 7]
+        );
     }
 
     #[test]

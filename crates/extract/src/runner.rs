@@ -12,6 +12,7 @@ use crate::evidence::EvidenceTable;
 use crate::patterns::extract_sentence;
 use crate::provenance::ProvenanceTable;
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use surveyor_kb::KnowledgeBase;
 use surveyor_nlp::AnnotatedDocument;
@@ -24,19 +25,34 @@ use surveyor_nlp::AnnotatedDocument;
 pub trait ShardSource: Sync {
     /// Number of shards available.
     fn shard_count(&self) -> usize;
-    /// Materializes shard `index` (`0 <= index < shard_count`).
-    fn shard(&self, index: usize) -> Vec<AnnotatedDocument>;
+    /// Materializes shard `index` (`0 <= index < shard_count`). Sources that
+    /// already hold annotated documents in memory return borrowed shards;
+    /// generating/loading sources return owned ones.
+    fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]>;
 }
 
-/// A pre-materialized document slice acts as a single-shard source.
+/// A pre-materialized slice shards itself by reference: one borrowed chunk
+/// per available core, so every worker gets work and nothing is cloned.
+/// (This used to deep-clone the entire slice as a single shard, serializing
+/// the whole batch onto one worker.)
 impl ShardSource for &[AnnotatedDocument] {
     fn shard_count(&self) -> usize {
-        1
+        let chunk = slice_chunk_size(self.len());
+        self.len().div_ceil(chunk)
     }
 
-    fn shard(&self, _index: usize) -> Vec<AnnotatedDocument> {
-        self.to_vec()
+    fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]> {
+        let chunk = slice_chunk_size(self.len());
+        let start = index * chunk;
+        Cow::Borrowed(&self[start..(start + chunk).min(self.len())])
     }
+}
+
+/// Chunk size that splits `len` documents into at most one shard per
+/// available core (minimum one document per shard).
+fn slice_chunk_size(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    len.div_ceil(cores).max(1)
 }
 
 /// Extraction results: the counters plus supporting-document samples.
@@ -154,14 +170,16 @@ mod tests {
             self.shards.len()
         }
 
-        fn shard(&self, index: usize) -> Vec<AnnotatedDocument> {
-            self.shards[index]
-                .iter()
-                .enumerate()
-                .map(|(i, text)| {
-                    annotate((index * 1000 + i) as u64, text, &self.kb, &self.lexicon)
-                })
-                .collect()
+        fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]> {
+            Cow::Owned(
+                self.shards[index]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, text)| {
+                        annotate((index * 1000 + i) as u64, text, &self.kb, &self.lexicon)
+                    })
+                    .collect(),
+            )
         }
     }
 

@@ -26,10 +26,16 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
         ],
         prop::bool::ANY,
     )
-        .prop_map(|(e, p, pos)| Statement {
-            entity: EntityId(e),
-            property: Property::parse(&p).unwrap(),
-            polarity: if pos { Polarity::Positive } else { Polarity::Negative },
+        .prop_map(|(e, p, pos)| {
+            Statement::new(
+                EntityId(e),
+                &Property::parse(&p).unwrap(),
+                if pos {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                },
+            )
         })
 }
 

@@ -106,9 +106,8 @@ impl EntityBuilder<'_> {
 
     /// Commits the entity and returns its id.
     pub fn finish(self) -> EntityId {
-        let id = EntityId(
-            u32::try_from(self.builder.entities.len()).expect("entity count fits in u32"),
-        );
+        let id =
+            EntityId(u32::try_from(self.builder.entities.len()).expect("entity count fits in u32"));
         self.builder.entities.push(Entity::new(
             id,
             self.name,

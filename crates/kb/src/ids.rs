@@ -9,15 +9,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an entity within a [`crate::KnowledgeBase`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EntityId(pub u32);
 
 /// Identifier of an entity type within a [`crate::KnowledgeBase`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TypeId(pub u32);
 
 impl EntityId {

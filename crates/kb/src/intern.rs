@@ -1,0 +1,194 @@
+//! Process-global property interner: [`Property`] ↔ [`PropertyId`].
+//!
+//! The extraction hot path emits one statement per matched pattern, and the
+//! counters used to key on an owned [`Property`] — a heap clone per recorded
+//! statement *and* per lookup. Interning assigns each distinct property a
+//! dense `u32` id exactly once, so the hot structures key on
+//! `(EntityId, PropertyId)`: two machine words, hashed in a few cycles,
+//! with no allocation anywhere on the per-sentence path.
+//!
+//! Id values are process-local and depend on discovery order — which, under
+//! parallel extraction, depends on thread interleaving. They are therefore
+//! never serialized and never used as a sort key where cross-run
+//! determinism matters: serialization codecs resolve ids back to properties
+//! and order entries by the resolved form, and deserialization re-interns.
+//! Within one process the mapping is stable, so id-keyed maps compare
+//! consistently.
+//!
+//! The table only grows (interned properties are never freed); the property
+//! vocabulary of a corpus is small, so this is by design.
+
+use crate::property::Property;
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Identifier of an interned [`Property`].
+///
+/// Deliberately not `Ord`: numeric values reflect discovery order, not any
+/// property ordering. Resolve before sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PropertyId(pub u32);
+
+#[derive(Default)]
+struct Interner {
+    by_property: FxHashMap<Property, u32>,
+    /// Canonical surface form ("very big") → id: the zero-allocation entry
+    /// point for surfaces assembled in a scratch buffer.
+    by_surface: FxHashMap<String, u32>,
+    properties: Vec<Property>,
+}
+
+impl Interner {
+    fn insert(&mut self, property: &Property) -> u32 {
+        if let Some(&id) = self.by_property.get(property) {
+            return id;
+        }
+        let id = u32::try_from(self.properties.len()).expect("property interner overflow");
+        self.by_property.insert(property.clone(), id);
+        self.by_surface.insert(property.to_string(), id);
+        self.properties.push(property.clone());
+        id
+    }
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+impl PropertyId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Interns a property, returning its stable id (idempotent).
+    pub fn intern(property: &Property) -> Self {
+        if let Some(&id) = table().read().unwrap().by_property.get(property) {
+            return PropertyId(id);
+        }
+        PropertyId(table().write().unwrap().insert(property))
+    }
+
+    /// The id `property` already has, if it was ever interned.
+    ///
+    /// Read-only queries (evidence counts, provenance, opinions) use this so
+    /// probing for never-extracted properties cannot grow the table.
+    pub fn lookup(property: &Property) -> Option<Self> {
+        table()
+            .read()
+            .unwrap()
+            .by_property
+            .get(property)
+            .map(|&id| PropertyId(id))
+    }
+
+    /// Interns a canonical surface form (lowercase words separated by single
+    /// spaces, e.g. `"very big"`); allocation-free when the surface was seen
+    /// before. Returns `None` for a blank surface.
+    pub fn intern_surface(surface: &str) -> Option<Self> {
+        if let Some(&id) = table().read().unwrap().by_surface.get(surface) {
+            return Some(PropertyId(id));
+        }
+        let property = Property::parse(surface)?;
+        Some(PropertyId(table().write().unwrap().insert(&property)))
+    }
+
+    /// The property behind this id.
+    ///
+    /// # Panics
+    /// Panics on an id that did not come from this process's interner.
+    pub fn resolve(self) -> Property {
+        table().read().unwrap().properties[self.index()].clone()
+    }
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+// Serialized as the resolved property (ids are process-local and must never
+// reach disk); deserialization re-interns. Derived codecs on id-carrying
+// structs therefore keep the same JSON shapes as before interning.
+impl serde::Serialize for PropertyId {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.resolve())
+    }
+}
+
+impl serde::Deserialize for PropertyId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let property: Property = serde::Deserialize::from_value(v)?;
+        Ok(PropertyId::intern(&property))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let p = Property::with_adverbs(&["very"], "fluffy");
+        let a = PropertyId::intern(&p);
+        let b = PropertyId::intern(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let p = Property::with_adverbs(&["really", "very"], "intern-small");
+        assert_eq!(PropertyId::intern(&p).resolve(), p);
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_ids() {
+        let a = PropertyId::intern(&Property::adjective("intern-big"));
+        let b = PropertyId::intern(&Property::with_adverbs(&["very"], "intern-big"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn surface_and_property_paths_agree() {
+        let p = Property::with_adverbs(&["densely"], "intern-populated");
+        let by_property = PropertyId::intern(&p);
+        let by_surface = PropertyId::intern_surface("densely intern-populated").unwrap();
+        assert_eq!(by_property, by_surface);
+        assert_eq!(by_surface.resolve(), p);
+    }
+
+    #[test]
+    fn blank_surface_is_none() {
+        assert_eq!(PropertyId::intern_surface(""), None);
+        assert_eq!(PropertyId::intern_surface("   "), None);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let novel = Property::adjective("intern-never-extracted");
+        assert_eq!(PropertyId::lookup(&novel), None);
+        let id = PropertyId::intern(&novel);
+        assert_eq!(PropertyId::lookup(&novel), Some(id));
+    }
+
+    #[test]
+    fn serde_goes_through_the_property() {
+        use serde::{Deserialize, Serialize};
+        let p = Property::with_adverbs(&["very"], "intern-serde");
+        let id = PropertyId::intern(&p);
+        // The value tree is the property's, not a raw number.
+        assert_eq!(Serialize::to_value(&id), Serialize::to_value(&p));
+        let back = PropertyId::from_value(&Serialize::to_value(&id)).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn display_form() {
+        let id = PropertyId::intern(&Property::adjective("intern-display"));
+        assert_eq!(id.to_string(), format!("p{}", id.0));
+    }
+}

@@ -62,7 +62,10 @@ impl EntityType {
     /// trailing plural `s` ("animals" matches head noun "animal").
     pub fn matches_head_noun(&self, word: &str) -> bool {
         self.head_nouns.iter().any(|h| {
-            h == word || (word.len() == h.len() + 1 && word.ends_with('s') && word.starts_with(h.as_str()))
+            h == word
+                || (word.len() == h.len() + 1
+                    && word.ends_with('s')
+                    && word.starts_with(h.as_str()))
         })
     }
 }
@@ -223,7 +226,9 @@ mod tests {
             .finish();
         b.add_entity("Phoenix", city).finish();
         // Deliberately ambiguous alias: a mythical-bird "entity".
-        b.add_entity("Phoenix Bird", animal).alias("Phoenix").finish();
+        b.add_entity("Phoenix Bird", animal)
+            .alias("Phoenix")
+            .finish();
         b.add_entity("Kitten", animal).finish();
         b.build()
     }
@@ -255,7 +260,11 @@ mod tests {
         let animal = kb.type_by_name("animal").unwrap();
         assert_eq!(kb.entities_of_type(city).len(), 2);
         assert_eq!(kb.entities_of_type(animal).len(), 2);
-        let total: usize = kb.types().iter().map(|t| kb.entities_of_type(t.id()).len()).sum();
+        let total: usize = kb
+            .types()
+            .iter()
+            .map(|t| kb.entities_of_type(t.id()).len())
+            .sum();
         assert_eq!(total, kb.len());
     }
 

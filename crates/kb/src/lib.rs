@@ -8,6 +8,8 @@
 //! This crate provides:
 //! - [`ids`]: compact, type-safe identifiers for entities and types.
 //! - [`property`]: subjective properties (adjective + optional adverbs).
+//! - [`intern`]: the process-global `Property` ↔ `PropertyId` interner
+//!   that lets hot structures key on `(EntityId, PropertyId)` `u32` pairs.
 //! - [`entity`]: the entity record.
 //! - [`kb`]: the [`KnowledgeBase`] store with alias and type indexes.
 //! - [`builder`]: a fluent builder for assembling knowledge bases.
@@ -22,6 +24,7 @@
 pub mod builder;
 pub mod entity;
 pub mod ids;
+pub mod intern;
 pub mod kb;
 pub mod property;
 pub mod seed;
@@ -29,5 +32,6 @@ pub mod seed;
 pub use builder::KnowledgeBaseBuilder;
 pub use entity::Entity;
 pub use ids::{EntityId, TypeId};
+pub use intern::PropertyId;
 pub use kb::{EntityType, KnowledgeBase};
 pub use property::Property;

@@ -91,15 +91,15 @@ const CA_CITY_ANCHORS: &[(&str, f64)] = &[
 ];
 
 const NAME_PREFIXES: &[&str] = &[
-    "Oak", "Pine", "Cedar", "Maple", "Willow", "River", "Lake", "Hill", "Stone", "Clear",
-    "Fair", "Glen", "Spring", "Sun", "Moon", "Gold", "Silver", "Iron", "Crystal", "Shadow",
-    "Bright", "North", "South", "East", "West", "Mill", "Fox", "Eagle", "Deer", "Bear",
-    "Elm", "Ash", "Birch", "Rose", "Sage", "Canyon", "Mesa", "Vista", "Sierra", "Palm",
+    "Oak", "Pine", "Cedar", "Maple", "Willow", "River", "Lake", "Hill", "Stone", "Clear", "Fair",
+    "Glen", "Spring", "Sun", "Moon", "Gold", "Silver", "Iron", "Crystal", "Shadow", "Bright",
+    "North", "South", "East", "West", "Mill", "Fox", "Eagle", "Deer", "Bear", "Elm", "Ash",
+    "Birch", "Rose", "Sage", "Canyon", "Mesa", "Vista", "Sierra", "Palm",
 ];
 
 const NAME_SUFFIXES: &[&str] = &[
-    "ville", "dale", "field", "wood", "brook", "ton", "burg", "port", "haven", "crest",
-    "ridge", "grove", "ford", "mont", "view", "side", "bury", "ham", "worth", "shire",
+    "ville", "dale", "field", "wood", "brook", "ton", "burg", "port", "haven", "crest", "ridge",
+    "grove", "ford", "mont", "view", "side", "bury", "ham", "worth", "shire",
 ];
 
 /// Deterministically generates a unique synthetic place/entity name.
@@ -110,7 +110,10 @@ fn synth_name(rng: &mut StdRng, used: &mut std::collections::HashSet<String>) ->
         let name = if rng.gen_bool(0.15) {
             // Two-word form, e.g. "Oak Ridge Springs" style variance.
             let second = NAME_SUFFIXES[rng.gen_range(0..NAME_SUFFIXES.len())];
-            format!("{prefix}{suffix} {}{second}", NAME_PREFIXES[rng.gen_range(0..NAME_PREFIXES.len())])
+            format!(
+                "{prefix}{suffix} {}{second}",
+                NAME_PREFIXES[rng.gen_range(0..NAME_PREFIXES.len())]
+            )
         } else {
             format!("{prefix}{suffix}")
         };
@@ -127,11 +130,19 @@ fn synth_name(rng: &mut StdRng, used: &mut std::collections::HashSet<String>) ->
 /// synthesized).
 pub fn california_cities(seed: u64) -> (KnowledgeBase, TypeId) {
     let mut b = KnowledgeBaseBuilder::new();
-    let city = b.add_type("city", &["city", "town"], &["california", "downtown", "mayor"]);
-    let mut used: std::collections::HashSet<String> =
-        CA_CITY_ANCHORS.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let city = b.add_type(
+        "city",
+        &["city", "town"],
+        &["california", "downtown", "mayor"],
+    );
+    let mut used: std::collections::HashSet<String> = CA_CITY_ANCHORS
+        .iter()
+        .map(|(n, _)| (*n).to_owned())
+        .collect();
     for (name, pop) in CA_CITY_ANCHORS {
-        b.add_entity(name, city).attribute(ATTR_POPULATION, *pop).finish();
+        b.add_entity(name, city)
+            .attribute(ATTR_POPULATION, *pop)
+            .finish();
     }
     let mut rng = StdRng::seed_from_u64(seed);
     while b.entity_count() < 461 {
@@ -148,16 +159,49 @@ pub fn california_cities(seed: u64) -> (KnowledgeBase, TypeId) {
 
 /// The exact 20 animals of paper Figure 10.
 pub const FIG10_ANIMALS: &[&str] = &[
-    "Pony", "Spider", "Koala", "Rat", "Scorpion", "Crow", "Kitten", "Monkey", "Octopus",
-    "Beaver", "Goose", "Tiger", "Moose", "Frog", "Grizzly bear", "Alligator", "Puppy",
-    "Camel", "White shark", "Lion",
+    "Pony",
+    "Spider",
+    "Koala",
+    "Rat",
+    "Scorpion",
+    "Crow",
+    "Kitten",
+    "Monkey",
+    "Octopus",
+    "Beaver",
+    "Goose",
+    "Tiger",
+    "Moose",
+    "Frog",
+    "Grizzly bear",
+    "Alligator",
+    "Puppy",
+    "Camel",
+    "White shark",
+    "Lion",
 ];
 
 const CELEBRITIES: &[&str] = &[
-    "Ava Sterling", "Marco Venturi", "Lena Okafor", "Dmitri Volkov", "Sofia Marchetti",
-    "Jasper Quinn", "Priya Raman", "Hugo Lindqvist", "Mei Tanaka", "Rafael Duarte",
-    "Clara Beaumont", "Niko Petrov", "Imani Diallo", "Felix Gruber", "Yara Haddad",
-    "Oscar Nilsson", "Talia Rosen", "Mateo Vargas", "Ingrid Solberg", "Kenji Mori",
+    "Ava Sterling",
+    "Marco Venturi",
+    "Lena Okafor",
+    "Dmitri Volkov",
+    "Sofia Marchetti",
+    "Jasper Quinn",
+    "Priya Raman",
+    "Hugo Lindqvist",
+    "Mei Tanaka",
+    "Rafael Duarte",
+    "Clara Beaumont",
+    "Niko Petrov",
+    "Imani Diallo",
+    "Felix Gruber",
+    "Yara Haddad",
+    "Oscar Nilsson",
+    "Talia Rosen",
+    "Mateo Vargas",
+    "Ingrid Solberg",
+    "Kenji Mori",
 ];
 
 const WORLD_CITIES: &[(&str, f64)] = &[
@@ -184,15 +228,49 @@ const WORLD_CITIES: &[(&str, f64)] = &[
 ];
 
 const PROFESSIONS: &[&str] = &[
-    "Firefighter", "Accountant", "Surgeon", "Teacher", "Astronaut", "Librarian",
-    "Stuntman", "Nurse", "Electrician", "Fisherman", "Archivist", "Pilot", "Miner",
-    "Chef", "Actuary", "Paramedic", "Welder", "Farmer", "Lifeguard", "Blacksmith",
+    "Firefighter",
+    "Accountant",
+    "Surgeon",
+    "Teacher",
+    "Astronaut",
+    "Librarian",
+    "Stuntman",
+    "Nurse",
+    "Electrician",
+    "Fisherman",
+    "Archivist",
+    "Pilot",
+    "Miner",
+    "Chef",
+    "Actuary",
+    "Paramedic",
+    "Welder",
+    "Farmer",
+    "Lifeguard",
+    "Blacksmith",
 ];
 
 const SPORTS: &[&str] = &[
-    "Soccer", "Chess", "Boxing", "Skydiving", "Golf", "Rugby", "Curling", "Surfing",
-    "Marathon", "Cricket", "Fencing", "Rock climbing", "Table tennis", "Hockey",
-    "Snowboarding", "Darts", "Judo", "Rowing", "Badminton", "Motocross",
+    "Soccer",
+    "Chess",
+    "Boxing",
+    "Skydiving",
+    "Golf",
+    "Rugby",
+    "Curling",
+    "Surfing",
+    "Marathon",
+    "Cricket",
+    "Fencing",
+    "Rock climbing",
+    "Table tennis",
+    "Hockey",
+    "Snowboarding",
+    "Darts",
+    "Judo",
+    "Rowing",
+    "Badminton",
+    "Motocross",
 ];
 
 /// Table 2: the evaluated property-type matrix — five types, five subjective
@@ -202,8 +280,14 @@ pub fn table2_matrix() -> Vec<(&'static str, [&'static str; 5])> {
         ("animal", ["dangerous", "cute", "big", "friendly", "deadly"]),
         ("celebrity", ["cool", "crazy", "pretty", "quiet", "young"]),
         ("city", ["big", "calm", "cheap", "hectic", "multicultural"]),
-        ("profession", ["dangerous", "exciting", "rare", "solid", "vital"]),
-        ("sport", ["addictive", "boring", "dangerous", "fast", "popular"]),
+        (
+            "profession",
+            ["dangerous", "exciting", "rare", "solid", "vital"],
+        ),
+        (
+            "sport",
+            ["addictive", "boring", "dangerous", "fast", "popular"],
+        ),
     ]
 }
 
@@ -225,9 +309,21 @@ pub fn table2_kb() -> KnowledgeBase {
 /// first entities of each type.
 pub fn table2_kb_extended(background_per_type: usize, seed: u64) -> KnowledgeBase {
     let mut b = KnowledgeBaseBuilder::new();
-    let animal = b.add_type("animal", &["animal", "creature"], &["zoo", "wildlife", "pet"]);
-    let celebrity = b.add_type("celebrity", &["celebrity", "star"], &["movie", "famous", "stage"]);
-    let city = b.add_type("city", &["city", "town"], &["downtown", "mayor", "district"]);
+    let animal = b.add_type(
+        "animal",
+        &["animal", "creature"],
+        &["zoo", "wildlife", "pet"],
+    );
+    let celebrity = b.add_type(
+        "celebrity",
+        &["celebrity", "star"],
+        &["movie", "famous", "stage"],
+    );
+    let city = b.add_type(
+        "city",
+        &["city", "town"],
+        &["downtown", "mayor", "district"],
+    );
     let profession = b.add_type("profession", &["profession", "job"], &["career", "work"]);
     let sport = b.add_type("sport", &["sport", "game"], &["match", "league", "players"]);
     for name in FIG10_ANIMALS {
@@ -237,7 +333,9 @@ pub fn table2_kb_extended(background_per_type: usize, seed: u64) -> KnowledgeBas
         b.add_entity(name, celebrity).finish();
     }
     for (name, pop) in WORLD_CITIES {
-        b.add_entity(name, city).attribute(ATTR_POPULATION, *pop).finish();
+        b.add_entity(name, city)
+            .attribute(ATTR_POPULATION, *pop)
+            .finish();
     }
     for name in PROFESSIONS {
         b.add_entity(name, profession).finish();
@@ -261,9 +359,7 @@ pub fn table2_kb_extended(background_per_type: usize, seed: u64) -> KnowledgeBas
     b.build()
 }
 
-fn b_entity_names<'a>(
-    lists: &'a [&'a [&'a str]],
-) -> impl Iterator<Item = String> + 'a {
+fn b_entity_names<'a>(lists: &'a [&'a [&'a str]]) -> impl Iterator<Item = String> + 'a {
     lists.iter().flat_map(|l| l.iter().map(|n| (*n).to_owned()))
 }
 
@@ -315,7 +411,9 @@ pub fn wealthy_countries() -> (KnowledgeBase, TypeId) {
     let mut b = KnowledgeBaseBuilder::new();
     let country = b.add_type("country", &["country", "nation"], &["economy", "capital"]);
     for (name, gdp) in COUNTRIES {
-        b.add_entity(name, country).attribute(ATTR_GDP_PER_CAPITA, *gdp).finish();
+        b.add_entity(name, country)
+            .attribute(ATTR_GDP_PER_CAPITA, *gdp)
+            .finish();
     }
     (b.build(), country)
 }
@@ -343,7 +441,7 @@ const SWISS_LAKES: &[(&str, f64)] = &[
     ("Lake Pfaeffikon", 3.3),
     ("Lake Lauerz", 3.1),
     ("Lake Sihl", 10.8),
-    ("Lake Klontal", 3.3,),
+    ("Lake Klontal", 3.3),
     ("Lake Oeschinen", 1.1),
     ("Lake Lungern", 2.0),
     ("Lake Cauma", 0.1),
@@ -360,7 +458,9 @@ pub fn swiss_lakes() -> (KnowledgeBase, TypeId) {
     let mut b = KnowledgeBaseBuilder::new();
     let lake = b.add_type("lake", &["lake"], &["shore", "water"]);
     for (name, area) in SWISS_LAKES {
-        b.add_entity(name, lake).attribute(ATTR_AREA_KM2, *area).finish();
+        b.add_entity(name, lake)
+            .attribute(ATTR_AREA_KM2, *area)
+            .finish();
     }
     let mut rng = StdRng::seed_from_u64(0x1a4e);
     let mut used: std::collections::HashSet<String> =
@@ -424,8 +524,10 @@ pub fn british_mountains() -> (KnowledgeBase, TypeId) {
             .finish();
     }
     let mut rng = StdRng::seed_from_u64(0xbeac);
-    let mut used: std::collections::HashSet<String> =
-        BRITISH_MOUNTAINS.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let mut used: std::collections::HashSet<String> = BRITISH_MOUNTAINS
+        .iter()
+        .map(|(n, _)| (*n).to_owned())
+        .collect();
     while b.entity_count() < 80 {
         let base = synth_name(&mut rng, &mut used);
         let name = if rng.gen_bool(0.5) {
@@ -470,10 +572,36 @@ const LONG_TAIL_DOMAINS: &[(&str, &str)] = &[
 
 /// Adjective pool for synthesized long-tail properties.
 pub const ADJECTIVE_POOL: &[&str] = &[
-    "rare", "major", "obscure", "famous", "fragile", "robust", "ancient", "modern",
-    "beautiful", "dull", "complex", "simple", "valuable", "cheap", "dangerous", "harmless",
-    "big", "small", "fast", "slow", "loud", "quiet", "popular", "weird", "elegant",
-    "remote", "common", "brittle", "vivid", "gloomy",
+    "rare",
+    "major",
+    "obscure",
+    "famous",
+    "fragile",
+    "robust",
+    "ancient",
+    "modern",
+    "beautiful",
+    "dull",
+    "complex",
+    "simple",
+    "valuable",
+    "cheap",
+    "dangerous",
+    "harmless",
+    "big",
+    "small",
+    "fast",
+    "slow",
+    "loud",
+    "quiet",
+    "popular",
+    "weird",
+    "elegant",
+    "remote",
+    "common",
+    "brittle",
+    "vivid",
+    "gloomy",
 ];
 
 /// Builds a long-tail knowledge base of `num_types` obscure domains with
@@ -563,8 +691,14 @@ mod tests {
             assert_eq!(props.len(), 5);
         }
         // Spot-check the paper's rows.
-        assert_eq!(matrix[0].1, ["dangerous", "cute", "big", "friendly", "deadly"]);
-        assert_eq!(matrix[4].1, ["addictive", "boring", "dangerous", "fast", "popular"]);
+        assert_eq!(
+            matrix[0].1,
+            ["dangerous", "cute", "big", "friendly", "deadly"]
+        );
+        assert_eq!(
+            matrix[4].1,
+            ["addictive", "boring", "dangerous", "fast", "popular"]
+        );
     }
 
     #[test]
@@ -586,7 +720,10 @@ mod tests {
             .all(|e| e.attribute(ATTR_GDP_PER_CAPITA).is_some()));
         let (lakes, _) = swiss_lakes();
         assert!(lakes.len() >= 25);
-        assert!(lakes.entities().iter().all(|e| e.attribute(ATTR_AREA_KM2).is_some()));
+        assert!(lakes
+            .entities()
+            .iter()
+            .all(|e| e.attribute(ATTR_AREA_KM2).is_some()));
         let (mountains, _) = british_mountains();
         assert!(mountains.len() >= 25);
         assert!(mountains

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use surveyor_kb::kb::normalize_surface;
-use surveyor_kb::{KnowledgeBaseBuilder, Property};
+use surveyor_kb::{KnowledgeBaseBuilder, Property, PropertyId};
 
 fn name_strategy() -> impl Strategy<Value = String> {
     "[A-Z][a-z]{1,10}( [A-Z][a-z]{1,10})?"
@@ -27,6 +27,29 @@ proptest! {
         prop_assert_eq!(p.to_string(), surface);
         prop_assert_eq!(p.head(), adjective.as_str());
         prop_assert_eq!(p.adverbs().len(), adverbs.len());
+    }
+
+    #[test]
+    fn interning_round_trips_losslessly(
+        adverbs in prop::collection::vec("[a-z]{2,10}", 0..3),
+        adjective in "[a-z]{2,12}",
+    ) {
+        let p = Property::with_adverbs(
+            &adverbs.iter().map(String::as_str).collect::<Vec<_>>(),
+            &adjective,
+        );
+        // Property → id → Property loses nothing.
+        let id = PropertyId::intern(&p);
+        prop_assert_eq!(id.resolve(), p.clone());
+        // Interning again (by property or by surface form) is stable.
+        prop_assert_eq!(PropertyId::intern(&p), id);
+        prop_assert_eq!(PropertyId::intern_surface(&p.to_string()), Some(id));
+        prop_assert_eq!(PropertyId::lookup(&p), Some(id));
+        // Serialization goes through the resolved property, so a
+        // round-tripped id maps back to the same property.
+        use serde::{Deserialize, Serialize};
+        let back = PropertyId::from_value(&Serialize::to_value(&id)).unwrap();
+        prop_assert_eq!(back.resolve(), p);
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl WebChildBaseline {
         association_threshold: u64,
         entity_mentions: Vec<u64>,
     ) -> Self {
-        assert!(association_threshold > 0, "association threshold must be positive");
+        assert!(
+            association_threshold > 0,
+            "association threshold must be positive"
+        );
         Self {
             membership_threshold,
             association_threshold,

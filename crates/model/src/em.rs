@@ -285,7 +285,11 @@ mod tests {
         let truth = ModelParams::new(0.9, 100.0, 5.0);
         let (counts, _) = sample_counts(&truth, 0.4, 600, 11);
         let fit = fit(&counts, &EmConfig::default());
-        assert!((fit.params.p_agree - 0.9).abs() <= 0.05, "pA={}", fit.params.p_agree);
+        assert!(
+            (fit.params.p_agree - 0.9).abs() <= 0.05,
+            "pA={}",
+            fit.params.p_agree
+        );
         assert!(
             (fit.params.rate_pos - 100.0).abs() < 10.0,
             "np+S={}",
@@ -323,7 +327,11 @@ mod tests {
             // Q' is re-evaluated under new stats each iteration, so exact
             // monotonicity holds for the mixture likelihood; Q' itself may
             // fluctuate within tolerance. Accept tiny decreases.
-            assert!(w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0), "trace {:?}", fit.q_trace);
+            assert!(
+                w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+                "trace {:?}",
+                fit.q_trace
+            );
         }
     }
 

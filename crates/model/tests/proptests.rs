@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use surveyor_model::{
-    decide, fit, posterior_positive, Decision, EmConfig, MajorityVote, ModelParams,
-    ObservedCounts, OpinionModel, ScaledMajorityVote,
+    decide, fit, posterior_positive, Decision, EmConfig, MajorityVote, ModelParams, ObservedCounts,
+    OpinionModel, ScaledMajorityVote,
 };
 
 fn params_strategy() -> impl Strategy<Value = ModelParams> {

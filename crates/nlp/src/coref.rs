@@ -14,7 +14,7 @@
 
 use crate::parser::{DepRel, DepTree};
 use crate::tagger::Mention;
-use crate::token::{Pos, Token};
+use crate::token::{Pos, TokenizedSentence};
 use surveyor_kb::KnowledgeBase;
 
 /// A coreference link: `noun` (token index of a predicate nominal) refers
@@ -35,7 +35,7 @@ pub struct CorefLink {
 /// - `N`'s lowercase form is a head noun of the mention's entity type
 ///   (plural-tolerant).
 pub fn predicate_nominal_corefs(
-    tokens: &[Token],
+    tokens: &TokenizedSentence,
     tree: &DepTree,
     mentions: &[Mention],
     kb: &KnowledgeBase,
@@ -56,7 +56,7 @@ pub fn predicate_nominal_corefs(
             continue;
         }
         let etype = kb.entity_type(kb.entity(mention.entity).notable_type());
-        if etype.matches_head_noun(&tokens[pred].lower) {
+        if etype.matches_head_noun(tokens.lower_of(pred)) {
             links.push(CorefLink {
                 noun: pred,
                 mention: mi,
@@ -75,7 +75,7 @@ mod tests {
     use crate::token::tokenize;
     use surveyor_kb::KnowledgeBaseBuilder;
 
-    fn setup(s: &str) -> (Vec<Token>, DepTree, Vec<Mention>, KnowledgeBase) {
+    fn setup(s: &str) -> (TokenizedSentence, DepTree, Vec<Mention>, KnowledgeBase) {
         let mut b = KnowledgeBaseBuilder::new();
         let animal = b.add_type("animal", &["animal"], &[]);
         let country = b.add_type("country", &["country"], &[]);
@@ -96,7 +96,7 @@ mod tests {
         let (toks, tree, mentions, kb) = setup("Snakes are dangerous animals");
         let links = predicate_nominal_corefs(&toks, &tree, &mentions, &kb);
         assert_eq!(links.len(), 1);
-        assert_eq!(toks[links[0].noun].lower, "animals");
+        assert_eq!(toks.lower_of(links[0].noun), "animals");
         assert_eq!(mentions[links[0].mention].start, 0);
     }
 
@@ -105,7 +105,7 @@ mod tests {
         let (toks, tree, mentions, kb) = setup("Greece is a southern country");
         let links = predicate_nominal_corefs(&toks, &tree, &mentions, &kb);
         assert_eq!(links.len(), 1);
-        assert_eq!(toks[links[0].noun].lower, "country");
+        assert_eq!(toks.lower_of(links[0].noun), "country");
     }
 
     #[test]

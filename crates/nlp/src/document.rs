@@ -7,15 +7,15 @@
 use crate::lexicon::Lexicon;
 use crate::parser::{parse, DepTree};
 use crate::tagger::{tag_entities, Mention};
-use crate::token::{split_sentences, tokenize, Token};
+use crate::token::{split_sentences, tokenize, TokenizedSentence};
 use serde::{Deserialize, Serialize};
 use surveyor_kb::KnowledgeBase;
 
 /// One sentence with tokens, dependency tree, and linked entity mentions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnnotatedSentence {
-    /// Tagged tokens.
-    pub tokens: Vec<Token>,
+    /// Tagged span tokens plus the sentence text they index into.
+    pub tokens: TokenizedSentence,
     /// Typed dependency tree over the tokens.
     pub tree: DepTree,
     /// Entity mentions, non-overlapping, left to right.
@@ -105,7 +105,12 @@ mod tests {
     fn trees_are_valid() {
         let kb = kb();
         let lex = Lexicon::new();
-        let doc = annotate(0, "Kittens are cute. I do not think kittens are ugly.", &kb, &lex);
+        let doc = annotate(
+            0,
+            "Kittens are cute. I do not think kittens are ugly.",
+            &kb,
+            &lex,
+        );
         for s in &doc.sentences {
             s.tree.validate().expect("valid tree");
             assert_eq!(s.tree.len(), s.tokens.len());

@@ -7,7 +7,7 @@
 //! knowledge base contributes its type head nouns. Unknown words fall back
 //! to morphology: capitalized ⇒ proper noun, `-ly` ⇒ adverb, else noun.
 
-use crate::token::{Pos, Token};
+use crate::token::{Pos, TokenizedSentence};
 use rustc_hash::FxHashMap;
 
 /// Copular verbs in the restrictive "to be" set (paper Table 4, V3/V4).
@@ -16,58 +16,228 @@ const TO_BE: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "am"
 /// Additional copula-class verbs (paper Table 4, V1/V2 used the full copula
 /// class). Tagged as [`Pos::Copula`]; the extractor decides which set a
 /// pattern version admits.
-const EXTENDED_COPULAS: &[&str] = &["seems", "seem", "seemed", "looks", "look", "looked", "appears", "appear", "appeared", "feels", "felt", "stays", "stayed", "remains", "remained"];
+const EXTENDED_COPULAS: &[&str] = &[
+    "seems", "seem", "seemed", "looks", "look", "looked", "appears", "appear", "appeared", "feels",
+    "felt", "stays", "stayed", "remains", "remained",
+];
 
-const DETERMINERS: &[&str] = &["a", "an", "the", "this", "that", "these", "those", "some", "any", "every", "each", "no"];
+const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "some", "any", "every", "each", "no",
+];
 
 const NEGATIONS: &[&str] = &["not", "n't", "never", "hardly", "barely", "scarcely"];
 
-const PREPOSITIONS: &[&str] = &["for", "in", "of", "at", "on", "with", "during", "to", "by", "from", "about", "near", "around", "under", "over"];
+const PREPOSITIONS: &[&str] = &[
+    "for", "in", "of", "at", "on", "with", "during", "to", "by", "from", "about", "near", "around",
+    "under", "over",
+];
 
-const PRONOUNS: &[&str] = &["i", "you", "we", "they", "he", "she", "it", "everyone", "everybody", "nobody", "people"];
+const PRONOUNS: &[&str] = &[
+    "i",
+    "you",
+    "we",
+    "they",
+    "he",
+    "she",
+    "it",
+    "everyone",
+    "everybody",
+    "nobody",
+    "people",
+];
 
 const CONJUNCTIONS: &[&str] = &["and", "or", "but", "yet"];
 
-const AUXILIARIES: &[&str] = &["do", "does", "did", "would", "will", "can", "could", "may", "might", "should", "must", "ca", "wo"];
+const AUXILIARIES: &[&str] = &[
+    "do", "does", "did", "would", "will", "can", "could", "may", "might", "should", "must", "ca",
+    "wo",
+];
 
 /// Verbs of thinking/saying that embed a clause ("I *think* that …").
-const EMBEDDING_VERBS: &[&str] = &["think", "thinks", "thought", "believe", "believes", "believed", "say", "says", "said", "claim", "claims", "claimed", "feel", "agree", "agrees", "agreed", "doubt", "doubts", "doubted", "guess", "suppose", "argue", "argued", "know", "knows", "knew"];
+const EMBEDDING_VERBS: &[&str] = &[
+    "think", "thinks", "thought", "believe", "believes", "believed", "say", "says", "said",
+    "claim", "claims", "claimed", "feel", "agree", "agrees", "agreed", "doubt", "doubts",
+    "doubted", "guess", "suppose", "argue", "argued", "know", "knows", "knew",
+];
 
 /// Small-clause verbs ("I *find* kittens cute", "I *consider* it big").
-const SMALL_CLAUSE_VERBS: &[&str] = &["find", "finds", "found", "consider", "considers", "considered", "call", "calls", "called", "deem", "deems", "deemed"];
+const SMALL_CLAUSE_VERBS: &[&str] = &[
+    "find",
+    "finds",
+    "found",
+    "consider",
+    "considers",
+    "considered",
+    "call",
+    "calls",
+    "called",
+    "deem",
+    "deems",
+    "deemed",
+];
 
 /// Other common lexical verbs appearing in corpus filler.
-const OTHER_VERBS: &[&str] = &["love", "loves", "loved", "hate", "hates", "hated", "visit", "visited", "like", "likes", "liked", "enjoy", "enjoyed", "live", "lives", "lived", "moved", "move", "sleep", "sleeps", "slept", "run", "runs", "ran", "saw", "see", "sees", "watch", "watched", "went", "go", "goes", "play", "plays", "played", "adore", "adores", "adored"];
+const OTHER_VERBS: &[&str] = &[
+    "love", "loves", "loved", "hate", "hates", "hated", "visit", "visited", "like", "likes",
+    "liked", "enjoy", "enjoyed", "live", "lives", "lived", "moved", "move", "sleep", "sleeps",
+    "slept", "run", "runs", "ran", "saw", "see", "sees", "watch", "watched", "went", "go", "goes",
+    "play", "plays", "played", "adore", "adores", "adored",
+];
 
 /// Core adjectives always known to the tagger (Table 2 properties plus the
 /// empirical-study properties and common corpus adjectives).
 const CORE_ADJECTIVES: &[&str] = &[
-    "big", "small", "cute", "ugly", "safe", "dangerous", "friendly", "deadly", "cool",
-    "crazy", "pretty", "quiet", "young", "old", "calm", "cheap", "expensive", "hectic",
-    "multicultural", "exciting", "rare", "solid", "vital", "addictive", "boring", "fast",
-    "slow", "popular", "wealthy", "poor", "high", "low", "warm", "cold", "nice", "bad",
-    "good", "great", "beautiful", "southern", "northern", "eastern", "western", "american",
-    "populated", "crowded", "major", "obscure", "famous", "fragile", "robust", "ancient",
-    "modern", "dull", "complex", "simple", "valuable", "harmless", "loud", "weird",
-    "elegant", "remote", "common", "brittle", "vivid", "gloomy", "tiny", "huge",
+    "big",
+    "small",
+    "cute",
+    "ugly",
+    "safe",
+    "dangerous",
+    "friendly",
+    "deadly",
+    "cool",
+    "crazy",
+    "pretty",
+    "quiet",
+    "young",
+    "old",
+    "calm",
+    "cheap",
+    "expensive",
+    "hectic",
+    "multicultural",
+    "exciting",
+    "rare",
+    "solid",
+    "vital",
+    "addictive",
+    "boring",
+    "fast",
+    "slow",
+    "popular",
+    "wealthy",
+    "poor",
+    "high",
+    "low",
+    "warm",
+    "cold",
+    "nice",
+    "bad",
+    "good",
+    "great",
+    "beautiful",
+    "southern",
+    "northern",
+    "eastern",
+    "western",
+    "american",
+    "populated",
+    "crowded",
+    "major",
+    "obscure",
+    "famous",
+    "fragile",
+    "robust",
+    "ancient",
+    "modern",
+    "dull",
+    "complex",
+    "simple",
+    "valuable",
+    "harmless",
+    "loud",
+    "weird",
+    "elegant",
+    "remote",
+    "common",
+    "brittle",
+    "vivid",
+    "gloomy",
+    "tiny",
+    "huge",
 ];
 
 /// Core adverbs (degree modifiers that form adverb-qualified properties).
 const CORE_ADVERBS: &[&str] = &[
-    "very", "really", "quite", "extremely", "rather", "so", "too", "incredibly",
-    "fairly", "densely", "sparsely", "truly", "remarkably", "surprisingly", "pretty",
+    "very",
+    "really",
+    "quite",
+    "extremely",
+    "rather",
+    "so",
+    "too",
+    "incredibly",
+    "fairly",
+    "densely",
+    "sparsely",
+    "truly",
+    "remarkably",
+    "surprisingly",
+    "pretty",
 ];
 
 /// Core common nouns appearing in corpus templates and filters.
 const CORE_NOUNS: &[&str] = &[
-    "city", "cities", "town", "towns", "animal", "animals", "creature", "creatures",
-    "country", "countries", "nation", "nations", "lake", "lakes", "mountain",
-    "mountains", "peak", "peaks", "celebrity", "celebrities", "star", "stars",
-    "profession", "professions", "job", "jobs", "sport", "sports", "game", "games",
-    "place", "places", "parking", "summer", "winter", "families", "family", "tourists",
-    "tourist", "weather", "food", "traffic", "nightlife", "beginners", "beginner",
-    "children", "kids", "business", "weekend", "weekends", "opinion", "opinions",
-    "part", "parts", "north", "south", "east", "west", "person", "people",
+    "city",
+    "cities",
+    "town",
+    "towns",
+    "animal",
+    "animals",
+    "creature",
+    "creatures",
+    "country",
+    "countries",
+    "nation",
+    "nations",
+    "lake",
+    "lakes",
+    "mountain",
+    "mountains",
+    "peak",
+    "peaks",
+    "celebrity",
+    "celebrities",
+    "star",
+    "stars",
+    "profession",
+    "professions",
+    "job",
+    "jobs",
+    "sport",
+    "sports",
+    "game",
+    "games",
+    "place",
+    "places",
+    "parking",
+    "summer",
+    "winter",
+    "families",
+    "family",
+    "tourists",
+    "tourist",
+    "weather",
+    "food",
+    "traffic",
+    "nightlife",
+    "beginners",
+    "beginner",
+    "children",
+    "kids",
+    "business",
+    "weekend",
+    "weekends",
+    "opinion",
+    "opinions",
+    "part",
+    "parts",
+    "north",
+    "south",
+    "east",
+    "west",
+    "person",
+    "people",
 ];
 
 /// Whether `word` (lowercase) is a clause-embedding verb, without needing a
@@ -130,8 +300,14 @@ impl Lexicon {
         // determiner when followed by a noun.
         map.insert("that".to_owned(), Pos::Complementizer);
 
-        let embedding = EMBEDDING_VERBS.iter().map(|w| ((*w).to_owned(), ())).collect();
-        let small_clause = SMALL_CLAUSE_VERBS.iter().map(|w| ((*w).to_owned(), ())).collect();
+        let embedding = EMBEDDING_VERBS
+            .iter()
+            .map(|w| ((*w).to_owned(), ()))
+            .collect();
+        let small_clause = SMALL_CLAUSE_VERBS
+            .iter()
+            .map(|w| ((*w).to_owned(), ()))
+            .collect();
         let to_be = TO_BE.iter().map(|w| ((*w).to_owned(), ())).collect();
         Self {
             map,
@@ -207,34 +383,38 @@ impl Lexicon {
     ///   and is also a core adverb ("pretty big") becomes `Adverb`;
     /// - sentence-initial capitalized unknown words stay nouns only if not
     ///   known otherwise.
-    pub fn tag(&self, tokens: &mut [Token]) {
+    pub fn tag(&self, tokens: &mut TokenizedSentence) {
         let n = tokens.len();
-        for (i, token) in tokens.iter_mut().enumerate() {
-            let pos = if let Some(p) = self.lookup(&token.lower) {
+        for i in 0..n {
+            let lower = tokens.lower_of(i);
+            let pos = if let Some(p) = self.lookup(lower) {
                 p
-            } else if !token.text.chars().next().is_some_and(char::is_alphanumeric) {
+            } else if !tokens
+                .text_of(i)
+                .chars()
+                .next()
+                .is_some_and(char::is_alphanumeric)
+            {
                 Pos::Punct
-            } else if token.is_capitalized() && i > 0 {
+            } else if tokens.is_capitalized(i) {
+                // Sentence-initial capitalized unknowns too: the lexicon
+                // lookup above already tried the lowercase form.
                 Pos::ProperNoun
-            } else if token.is_capitalized() {
-                // Sentence-initial capitalized unknown: the lexicon lookup
-                // above already tried the lowercase form.
-                Pos::ProperNoun
-            } else if token.lower.ends_with("ly") && token.lower.len() > 3 {
+            } else if lower.ends_with("ly") && lower.len() > 3 {
                 Pos::Adverb
             } else {
                 Pos::Noun
             };
-            token.pos = pos;
+            tokens.tokens[i].pos = pos;
         }
         // Contextual repair: "pretty big" — adjective reading demoted to
         // adverb when immediately followed by an adjective.
         for i in 0..n.saturating_sub(1) {
             if tokens[i].pos == Pos::Adjective
                 && tokens[i + 1].pos == Pos::Adjective
-                && CORE_ADVERBS.contains(&tokens[i].lower.as_str())
+                && CORE_ADVERBS.contains(&tokens.lower_of(i))
             {
-                tokens[i].pos = Pos::Adverb;
+                tokens.tokens[i].pos = Pos::Adverb;
             }
         }
         // "that" before a nominal is a determiner ("that city is big").
@@ -246,7 +426,7 @@ impl Lexicon {
                     j += 1;
                 }
                 if j < n && j == i + 1 && tokens[j].pos.is_nominal() && i == 0 {
-                    tokens[i].pos = Pos::Determiner;
+                    tokens.tokens[i].pos = Pos::Determiner;
                 }
             }
         }
@@ -268,7 +448,9 @@ mod tests {
         let lex = Lexicon::new();
         let mut toks = tokenize(s);
         lex.tag(&mut toks);
-        toks.into_iter().map(|t| (t.text, t.pos)).collect()
+        (0..toks.len())
+            .map(|i| (toks.text_of(i).to_owned(), toks[i].pos))
+            .collect()
     }
 
     #[test]
@@ -286,7 +468,17 @@ mod tests {
         let texts: Vec<&str> = tags.iter().map(|(t, _)| t.as_str()).collect();
         assert_eq!(
             texts,
-            vec!["I", "do", "n't", "think", "that", "snakes", "are", "never", "dangerous"]
+            vec![
+                "I",
+                "do",
+                "n't",
+                "think",
+                "that",
+                "snakes",
+                "are",
+                "never",
+                "dangerous"
+            ]
         );
         assert_eq!(tags[1].1, Pos::Aux);
         assert_eq!(tags[2].1, Pos::Negation);

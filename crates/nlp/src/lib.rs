@@ -39,4 +39,4 @@ pub use document::{annotate, AnnotatedDocument, AnnotatedSentence};
 pub use lexicon::Lexicon;
 pub use parser::{parse, DepRel, DepTree};
 pub use tagger::{tag_entities, Mention};
-pub use token::{split_sentences, tokenize, Pos, Token};
+pub use token::{split_sentences, tokenize, Pos, Token, TokenizedSentence};

@@ -19,7 +19,7 @@
 //! The parser is deterministic: the same token sequence always yields the
 //! same tree, which keeps the extraction pipeline reproducible.
 
-use crate::token::{Pos, Token};
+use crate::token::{Pos, TokenizedSentence};
 use serde::{Deserialize, Serialize};
 
 /// Stanford-style dependency relations (the subset the patterns need).
@@ -138,16 +138,20 @@ impl DepTree {
 
     /// Renders the tree as an indented outline rooted at the clause root —
     /// a terminal-friendly version of the paper's Figure 4/5 diagrams.
-    pub fn render(&self, tokens: &[Token]) -> String {
+    pub fn render(&self, tokens: &TokenizedSentence) -> String {
         fn walk(
             tree: &DepTree,
-            tokens: &[Token],
+            tokens: &TokenizedSentence,
             node: usize,
             depth: usize,
             out: &mut String,
         ) {
             out.push_str(&"  ".repeat(depth));
-            out.push_str(&format!("{} ({:?})\n", tokens[node].text, tree.rel(node)));
+            out.push_str(&format!(
+                "{} ({:?})\n",
+                tokens.text_of(node),
+                tree.rel(node)
+            ));
             for child in tree.children(node) {
                 walk(tree, tokens, child, depth + 1, out);
             }
@@ -243,7 +247,7 @@ impl TreeBuilder {
         self.heads[i] = None;
     }
 
-    fn finish(mut self, root: usize, tokens: &[Token]) -> DepTree {
+    fn finish(mut self, root: usize, tokens: &TokenizedSentence) -> DepTree {
         // Attach any stragglers to the root.
         for (i, head) in self.heads.iter_mut().enumerate() {
             if !self.assigned[i] {
@@ -269,7 +273,7 @@ impl TreeBuilder {
 /// families degrade gracefully: the parser picks the first content token as
 /// root and attaches the rest flat, which simply yields no extractions
 /// downstream (precision-first, like the paper's restrictive patterns).
-pub fn parse(tokens: &[Token]) -> Option<DepTree> {
+pub fn parse(tokens: &TokenizedSentence) -> Option<DepTree> {
     if tokens.is_empty() {
         return None;
     }
@@ -283,7 +287,7 @@ pub fn parse(tokens: &[Token]) -> Option<DepTree> {
 
 /// Chunks `tokens[lo..hi]` into NPs, AdjPs, and singleton items, recording
 /// intra-phrase edges (det / amod / advmod / conj / cc / nn) on the builder.
-fn chunk(tokens: &[Token], lo: usize, hi: usize, b: &mut TreeBuilder) -> Vec<Item> {
+fn chunk(tokens: &TokenizedSentence, lo: usize, hi: usize, b: &mut TreeBuilder) -> Vec<Item> {
     let mut items = Vec::new();
     let mut i = lo;
     while i < hi {
@@ -351,7 +355,7 @@ fn chunk(tokens: &[Token], lo: usize, hi: usize, b: &mut TreeBuilder) -> Vec<Ite
 /// predicative AdjP (head = first adjective, later conjuncts attach as
 /// `conj`). Returns `(None, _)` when neither forms.
 fn chunk_phrase(
-    tokens: &[Token],
+    tokens: &TokenizedSentence,
     start: usize,
     hi: usize,
     b: &mut TreeBuilder,
@@ -380,7 +384,7 @@ fn chunk_phrase(
             // Conjunction chain: "fast and exciting", "fast, cheap and fun".
             while i < hi
                 && (tokens[i].pos == Pos::Conjunction
-                    || (tokens[i].pos == Pos::Punct && tokens[i].text == ","))
+                    || (tokens[i].pos == Pos::Punct && tokens.text_of(i) == ","))
             {
                 let mut k = i + 1;
                 let mut advs2 = Vec::new();
@@ -462,7 +466,12 @@ fn chunk_phrase(
 ///
 /// `is_matrix` distinguishes the top-level call (which must pick some root
 /// even for fragments) from embedded-clause recursion.
-fn assemble(tokens: &[Token], items: &[Item], b: &mut TreeBuilder, is_matrix: bool) -> usize {
+fn assemble(
+    tokens: &TokenizedSentence,
+    items: &[Item],
+    b: &mut TreeBuilder,
+    is_matrix: bool,
+) -> usize {
     // Locate the first predicate-forming element: a copula or verb.
     let pred_pos = items
         .iter()
@@ -511,7 +520,7 @@ fn assemble(tokens: &[Token], items: &[Item], b: &mut TreeBuilder, is_matrix: bo
 /// Copular clause: `[NP] cop [neg] (AdjP | NP) PP*`.
 #[allow(clippy::too_many_arguments)]
 fn assemble_copular(
-    tokens: &[Token],
+    tokens: &TokenizedSentence,
     items: &[Item],
     pi: usize,
     cop: usize,
@@ -548,7 +557,7 @@ fn assemble_copular(
             // big") attach later as leftovers with an Advmod relation.
             Item::Adv(_) => {}
             Item::Verb(v)
-                if crate::lexicon::is_small_clause_verb_word(&tokens[v].lower)
+                if crate::lexicon::is_small_clause_verb_word(tokens.lower_of(v))
                     && matches!(items.get(j + 1), Some(Item::AdjP(_))) =>
             {
                 // Passive report: "X is considered dangerous". The verb
@@ -604,10 +613,8 @@ fn assemble_copular(
     // Relative clause on a nominal predicate: "X is a city [that is big]".
     // The embedded adjective modifies the predicate noun (rcmod), which
     // corefers with the subject — extraction treats it like amod.
-    let rest_start = if let (
-        Some(Item::Mark(mark)),
-        Some(Item::Cop(rel_cop)),
-    ) = (items.get(rest_start), items.get(rest_start + 1))
+    let rest_start = if let (Some(Item::Mark(mark)), Some(Item::Cop(rel_cop))) =
+        (items.get(rest_start), items.get(rest_start + 1))
     {
         let mut k = rest_start + 2;
         let mut rel_negs = Vec::new();
@@ -638,7 +645,7 @@ fn assemble_copular(
 /// `NP + AdjP`, other verbs take `dobj`.
 #[allow(clippy::too_many_arguments)]
 fn assemble_verbal(
-    tokens: &[Token],
+    tokens: &TokenizedSentence,
     items: &[Item],
     pi: usize,
     verb: usize,
@@ -659,7 +666,7 @@ fn assemble_verbal(
         }
     }
 
-    let lower = tokens[verb].lower.as_str();
+    let lower = tokens.lower_of(verb);
     let is_embedding = crate::lexicon::is_embedding_verb_word(lower);
     let is_small_clause = crate::lexicon::is_small_clause_verb_word(lower);
 
@@ -670,10 +677,12 @@ fn assemble_verbal(
             Item::Mark(m) => (Some(m), &after[1..]),
             _ => (None, after),
         };
-        if clause_items
-            .iter()
-            .any(|it| matches!(it, Item::Cop(_) | Item::Verb(_) | Item::AdjP(_) | Item::Np(_)))
-        {
+        if clause_items.iter().any(|it| {
+            matches!(
+                it,
+                Item::Cop(_) | Item::Verb(_) | Item::AdjP(_) | Item::Np(_)
+            )
+        }) {
             let sub_root = assemble_embedded(tokens, clause_items, b);
             b.attach(sub_root, verb, DepRel::Ccomp);
             if let Some(m) = mark {
@@ -723,7 +732,7 @@ fn assemble_verbal(
 
 /// Assembles an embedded clause from pre-chunked items; falls back to the
 /// first phrase head when the clause lacks a predicate.
-fn assemble_embedded(tokens: &[Token], items: &[Item], b: &mut TreeBuilder) -> usize {
+fn assemble_embedded(tokens: &TokenizedSentence, items: &[Item], b: &mut TreeBuilder) -> usize {
     // Temporarily reuse `assemble`, then demote the root marking: the
     // embedded root will be attached to the matrix verb by the caller.
     let root = assemble(tokens, items, b, false);
@@ -737,7 +746,7 @@ fn assemble_embedded(tokens: &[Token], items: &[Item], b: &mut TreeBuilder) -> u
 /// `pobj(P, NP)` — the constriction sub-trees the intrinsicness filter
 /// looks for ("bad **for parking**").
 fn attach_postfield(
-    tokens: &[Token],
+    tokens: &TokenizedSentence,
     items: &[Item],
     from: usize,
     pred: usize,
@@ -746,7 +755,12 @@ fn attach_postfield(
     attach_postfield_from(tokens, &items[from.min(items.len())..], pred, b);
 }
 
-fn attach_postfield_from(_tokens: &[Token], items: &[Item], pred: usize, b: &mut TreeBuilder) {
+fn attach_postfield_from(
+    _tokens: &TokenizedSentence,
+    items: &[Item],
+    pred: usize,
+    b: &mut TreeBuilder,
+) {
     let mut j = 0;
     while j < items.len() {
         if let Item::Prep(p) = items[j] {
@@ -762,7 +776,7 @@ fn attach_postfield_from(_tokens: &[Token], items: &[Item], pred: usize, b: &mut
 
 /// Attaches remaining unassigned item heads flat under the root.
 fn attach_leftovers(
-    tokens: &[Token],
+    tokens: &TokenizedSentence,
     items: &[Item],
     root: usize,
     b: &mut TreeBuilder,
@@ -795,7 +809,7 @@ mod tests {
     use crate::lexicon::Lexicon;
     use crate::token::tokenize;
 
-    fn parse_str(s: &str) -> (Vec<Token>, DepTree) {
+    fn parse_str(s: &str) -> (TokenizedSentence, DepTree) {
         let lex = Lexicon::new();
         let mut toks = tokenize(s);
         lex.tag(&mut toks);
@@ -804,10 +818,9 @@ mod tests {
         (toks, tree)
     }
 
-    fn idx(tokens: &[Token], word: &str) -> usize {
-        tokens
-            .iter()
-            .position(|t| t.lower == word.to_lowercase())
+    fn idx(tokens: &TokenizedSentence, word: &str) -> usize {
+        (0..tokens.len())
+            .position(|i| tokens.lower_of(i) == word.to_lowercase())
             .unwrap_or_else(|| panic!("token {word} not found"))
     }
 
@@ -1038,15 +1051,19 @@ mod tests {
 
     #[test]
     fn empty_input_is_none() {
-        assert!(parse(&[]).is_none());
+        assert!(parse(&tokenize("")).is_none());
     }
 
     #[test]
     fn render_outline_covers_every_token() {
         let (toks, tree) = parse_str("I don't think that snakes are never dangerous");
         let rendered = tree.render(&toks);
-        for tok in &toks {
-            assert!(rendered.contains(&tok.text), "missing {:?}", tok.text);
+        for i in 0..toks.len() {
+            assert!(
+                rendered.contains(toks.text_of(i)),
+                "missing {:?}",
+                toks.text_of(i)
+            );
         }
         // Root first, at zero indentation.
         assert!(rendered.starts_with("think (Root)"));
@@ -1061,6 +1078,9 @@ mod tests {
         assert!(children.contains(&idx(&toks, "is")));
         assert!(children.contains(&idx(&toks, "not")));
         assert!(tree.has_child_with_rel(big, DepRel::Neg));
-        assert_eq!(tree.path_to_root(idx(&toks, "Chicago")), vec![idx(&toks, "Chicago"), big]);
+        assert_eq!(
+            tree.path_to_root(idx(&toks, "Chicago")),
+            vec![idx(&toks, "Chicago"), big]
+        );
     }
 }

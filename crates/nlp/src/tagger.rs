@@ -12,7 +12,7 @@
 //!    sentence contains context cues (type head nouns or cue words) for
 //!    exactly one candidate's type — otherwise the mention is dropped.
 
-use crate::token::{singularize, Token};
+use crate::token::{singularize, TokenizedSentence};
 use serde::{Deserialize, Serialize};
 use surveyor_kb::{EntityId, KnowledgeBase};
 
@@ -41,18 +41,24 @@ impl Mention {
     }
 }
 
-/// Builds the normalized lookup form for a token window, lemmatizing the
-/// final token if requested.
-fn window_form(tokens: &[Token], start: usize, end: usize, lemmatize_last: bool) -> String {
-    let mut parts: Vec<String> = tokens[start..end].iter().map(|t| t.lower.clone()).collect();
-    if lemmatize_last {
-        if let Some(last) = parts.last_mut() {
-            if let Some(sing) = singularize(last) {
-                *last = sing;
-            }
-        }
+/// Builds the lemmatized lookup form for a token window into `scratch`
+/// (reused across windows): the window's lowercase forms with the final
+/// token singularized. Returns `None` when the final token has no distinct
+/// singular — the exact form already covered that probe.
+fn lemma_window<'a>(
+    tokens: &TokenizedSentence,
+    start: usize,
+    end: usize,
+    scratch: &'a mut String,
+) -> Option<&'a str> {
+    let singular = singularize(tokens.lower_of(end - 1))?;
+    scratch.clear();
+    scratch.push_str(tokens.window_lower(start, end - 1));
+    if end - 1 > start {
+        scratch.push(' ');
     }
-    parts.join(" ")
+    scratch.push_str(&singular);
+    Some(scratch)
 }
 
 /// Resolves an ambiguous alias using sentence context: returns the single
@@ -66,9 +72,9 @@ fn disambiguate(
     let mut matching = Vec::new();
     for &cand in candidates {
         let t = kb.entity_type(kb.entity(cand).notable_type());
-        let cued = sentence_words.iter().any(|w| {
-            t.matches_head_noun(w) || t.context_cues().iter().any(|c| c == w)
-        });
+        let cued = sentence_words
+            .iter()
+            .any(|w| t.matches_head_noun(w) || t.context_cues().iter().any(|c| c == w));
         if cued {
             matching.push(cand);
         }
@@ -83,21 +89,24 @@ fn disambiguate(
 ///
 /// Mentions never overlap; matching is greedy left-to-right with longer
 /// windows tried first.
-pub fn tag_entities(tokens: &[Token], kb: &KnowledgeBase) -> Vec<Mention> {
-    let sentence_words: Vec<&str> = tokens.iter().map(|t| t.lower.as_str()).collect();
+pub fn tag_entities(tokens: &TokenizedSentence, kb: &KnowledgeBase) -> Vec<Mention> {
+    let sentence_words: Vec<&str> = (0..tokens.len()).map(|i| tokens.lower_of(i)).collect();
     let max_window = kb.max_alias_tokens().max(1);
     let mut mentions = Vec::new();
+    let mut scratch = String::new();
     let mut i = 0;
     while i < tokens.len() {
         let mut matched = false;
         let upper = max_window.min(tokens.len() - i);
         for w in (1..=upper).rev() {
-            let exact = window_form(tokens, i, i + w, false);
-            let mut candidates = kb.candidates(&exact);
+            // The exact window is a contiguous slice of the sentence's
+            // shared lowercase buffer — no allocation per probe. Only the
+            // lemmatized retry writes (into a reused scratch buffer).
+            let exact = tokens.window_lower(i, i + w);
+            let mut candidates = kb.candidates(exact);
             if candidates.is_empty() {
-                let lemma = window_form(tokens, i, i + w, true);
-                if lemma != exact {
-                    candidates = kb.candidates(&lemma);
+                if let Some(lemma) = lemma_window(tokens, i, i + w, &mut scratch) {
+                    candidates = kb.candidates(lemma);
                 }
             }
             let resolved = match candidates {
@@ -143,7 +152,9 @@ mod tests {
         let animal = b.add_type("animal", &["animal"], &["zoo", "wildlife"]);
         b.add_entity("San Francisco", city).alias("SF").finish();
         b.add_entity("Phoenix", city).finish();
-        b.add_entity("Phoenix Bird", animal).alias("Phoenix").finish();
+        b.add_entity("Phoenix Bird", animal)
+            .alias("Phoenix")
+            .finish();
         b.add_entity("Snake", animal).finish();
         b.add_entity("Grizzly bear", animal).finish();
         b.build()
@@ -156,8 +167,7 @@ mod tests {
         tag_entities(&toks, kb)
             .into_iter()
             .map(|m| {
-                let span: Vec<&str> =
-                    toks[m.start..m.end].iter().map(|t| t.text.as_str()).collect();
+                let span: Vec<&str> = (m.start..m.end).map(|i| toks.text_of(i)).collect();
                 (span.join(" "), m.entity.0)
             })
             .collect()

@@ -1,7 +1,13 @@
 //! Sentence splitting, tokenization, and the part-of-speech inventory.
+//!
+//! Tokens are **spans**, not strings: each [`Token`] is a `Copy` record of
+//! byte ranges into its sentence's original text and into one shared
+//! lowercase buffer owned by the [`TokenizedSentence`]. Tokenizing a
+//! sentence therefore performs a fixed number of allocations (the two
+//! buffers and the token vector) regardless of token count — the per-token
+//! `String` pair the annotation hot path used to allocate is gone.
 
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
 /// Part-of-speech tags; a compact inventory sufficient for the dependency
 /// patterns of paper Figure 4.
@@ -46,54 +52,108 @@ impl Pos {
     }
 }
 
-/// A token with surface form, lowercase form, POS tag, and the byte span
-/// it occupies in its source sentence (for provenance and highlighting).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A span token: byte ranges into the sentence's text and shared lowercase
+/// buffer (for provenance and highlighting), plus the POS tag. Surface and
+/// lowercase forms are read through the owning [`TokenizedSentence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Token {
-    /// Surface form as written.
-    pub text: String,
-    /// Lowercased form.
-    pub lower: String,
+    /// Byte offset of the first character within the sentence.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// Byte range of the lowercase form in the sentence's lower buffer.
+    lower_start: u32,
+    lower_end: u32,
     /// Part-of-speech tag (assigned by the lexicon; `Other` until tagged).
     pub pos: Pos,
-    /// Byte offset of the first character within the sentence.
-    pub start: usize,
-    /// Byte offset one past the last character.
-    pub end: usize,
 }
 
 impl Token {
-    /// Creates an untagged token without span information (tests, synthetic
-    /// tokens).
-    pub fn new(text: &str) -> Self {
-        Self::spanned(text, 0, text.len())
-    }
-
-    /// Creates an untagged token covering `start..end` of its sentence.
-    pub fn spanned(text: &str, start: usize, end: usize) -> Self {
-        Self {
-            text: text.to_owned(),
-            lower: text.to_lowercase(),
-            pos: Pos::Other,
-            start,
-            end,
-        }
-    }
-
-    /// Whether the surface form starts with an uppercase letter.
-    pub fn is_capitalized(&self) -> bool {
-        self.text.chars().next().is_some_and(|c| c.is_uppercase())
-    }
-
     /// The byte span within the source sentence.
     pub fn span(&self) -> (usize, usize) {
-        (self.start, self.end)
+        (self.start as usize, self.end as usize)
     }
 }
 
-impl fmt::Display for Token {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.text)
+/// A tokenized sentence: the original text, the shared lowercase buffer,
+/// and the span tokens indexing both.
+///
+/// Derefs to `[Token]`, so positional access (`sentence[i].pos`,
+/// `sentence.len()`, iteration) works as on a plain token slice; textual
+/// access goes through [`text_of`](Self::text_of) /
+/// [`lower_of`](Self::lower_of).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizedSentence {
+    text: String,
+    /// Lowercased token forms joined by single spaces, so any token range
+    /// is one contiguous slice (see [`Self::window_lower`]).
+    lower: String,
+    pub(crate) tokens: Vec<Token>,
+}
+
+impl TokenizedSentence {
+    /// The sentence as written.
+    pub fn sentence(&self) -> &str {
+        &self.text
+    }
+
+    /// Surface form of token `i` as written.
+    pub fn text_of(&self, i: usize) -> &str {
+        let t = &self.tokens[i];
+        &self.text[t.start as usize..t.end as usize]
+    }
+
+    /// Lowercase form of token `i`.
+    pub fn lower_of(&self, i: usize) -> &str {
+        let t = &self.tokens[i];
+        &self.lower[t.lower_start as usize..t.lower_end as usize]
+    }
+
+    /// The lowercase forms of tokens `start..end` joined by single spaces —
+    /// a contiguous slice of the shared buffer, so building the window
+    /// allocates nothing. Empty ranges yield `""`.
+    pub fn window_lower(&self, start: usize, end: usize) -> &str {
+        if start >= end {
+            return "";
+        }
+        let from = self.tokens[start].lower_start as usize;
+        let to = self.tokens[end - 1].lower_end as usize;
+        &self.lower[from..to]
+    }
+
+    /// Whether token `i`'s surface form starts with an uppercase letter.
+    pub fn is_capitalized(&self, i: usize) -> bool {
+        self.text_of(i)
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_uppercase())
+    }
+
+    /// Appends a token covering `start..end` of the sentence text, extending
+    /// the lowercase buffer without intermediate allocations.
+    fn push_span(&mut self, start: usize, end: usize) {
+        let lower_start = self.lower.len();
+        for ch in self.text[start..end].chars() {
+            for lc in ch.to_lowercase() {
+                self.lower.push(lc);
+            }
+        }
+        self.tokens.push(Token {
+            start: u32::try_from(start).expect("sentence fits in u32"),
+            end: u32::try_from(end).expect("sentence fits in u32"),
+            lower_start: u32::try_from(lower_start).expect("sentence fits in u32"),
+            lower_end: u32::try_from(self.lower.len()).expect("sentence fits in u32"),
+            pos: Pos::Other,
+        });
+        self.lower.push(' ');
+    }
+}
+
+impl std::ops::Deref for TokenizedSentence {
+    type Target = [Token];
+
+    fn deref(&self) -> &[Token] {
+        &self.tokens
     }
 }
 
@@ -127,8 +187,12 @@ pub fn split_sentences(text: &str) -> Vec<&str> {
 /// negative contractions the way the Stanford tokenizer does (`don't` →
 /// `do` + `n't`, `isn't` → `is` + `n't`), which the negation detector of
 /// paper Figure 5 relies on.
-pub fn tokenize(sentence: &str) -> Vec<Token> {
-    let mut out = Vec::new();
+pub fn tokenize(sentence: &str) -> TokenizedSentence {
+    let mut out = TokenizedSentence {
+        text: sentence.to_owned(),
+        lower: String::with_capacity(sentence.len() + 8),
+        tokens: Vec::new(),
+    };
     let mut cursor = 0usize;
     for raw in sentence.split_whitespace() {
         // Locate this whitespace-delimited chunk in the sentence to keep
@@ -147,7 +211,7 @@ pub fn tokenize(sentence: &str) -> Vec<Token> {
                 break;
             }
             let width = first.len_utf8();
-            out.push(Token::spanned(&first.to_string(), offset, offset + width));
+            out.push_span(offset, offset + width);
             word = &word[width..];
             offset += width;
         }
@@ -162,35 +226,33 @@ pub fn tokenize(sentence: &str) -> Vec<Token> {
                 break;
             }
             let width = last.len_utf8();
-            trailing.push((last.to_string(), offset + word.len() - width));
+            let at = offset + word.len() - width;
+            trailing.push((at, at + width));
             word = &word[..word.len() - width];
         }
         if !word.is_empty() {
             push_word(&mut out, word, offset);
         }
-        for (p, at) in trailing.into_iter().rev() {
-            out.push(Token::spanned(&p, at, at + p.len()));
+        for (from, to) in trailing.into_iter().rev() {
+            out.push_span(from, to);
         }
     }
     out
 }
 
 /// Pushes a word starting at byte `offset`, splitting negative contractions.
-fn push_word(out: &mut Vec<Token>, word: &str, offset: usize) {
-    let lower = word.to_lowercase();
-    if let Some(stem_len) = lower.strip_suffix("n't").map(str::len) {
+fn push_word(out: &mut TokenizedSentence, word: &str, offset: usize) {
+    let is_negative_contraction =
+        word.len() >= 3 && word[word.len() - 3..].eq_ignore_ascii_case("n't");
+    if is_negative_contraction {
         // don't -> do + n't; isn't -> is + n't; can't -> ca + n't (as in PTB).
-        let stem = &word[..stem_len];
-        if !stem.is_empty() {
-            out.push(Token::spanned(stem, offset, offset + stem_len));
+        let stem_len = word.len() - 3;
+        if stem_len > 0 {
+            out.push_span(offset, offset + stem_len);
         }
-        out.push(Token::spanned(
-            &word[stem_len..],
-            offset + stem_len,
-            offset + word.len(),
-        ));
+        out.push_span(offset + stem_len, offset + word.len());
     } else {
-        out.push(Token::spanned(word, offset, offset + word.len()));
+        out.push_span(offset, offset + word.len());
     }
 }
 
@@ -220,8 +282,8 @@ pub fn singularize(lower: &str) -> Option<String> {
 mod tests {
     use super::*;
 
-    fn texts(tokens: &[Token]) -> Vec<&str> {
-        tokens.iter().map(|t| t.text.as_str()).collect()
+    fn texts(toks: &TokenizedSentence) -> Vec<&str> {
+        (0..toks.len()).map(|i| toks.text_of(i)).collect()
     }
 
     #[test]
@@ -229,7 +291,12 @@ mod tests {
         let s = split_sentences("Kittens are cute. Tigers are not! Are snakes dangerous? yes");
         assert_eq!(
             s,
-            vec!["Kittens are cute", "Tigers are not", "Are snakes dangerous", "yes"]
+            vec![
+                "Kittens are cute",
+                "Tigers are not",
+                "Are snakes dangerous",
+                "yes"
+            ]
         );
     }
 
@@ -242,7 +309,10 @@ mod tests {
     #[test]
     fn tokenize_simple_sentence() {
         let toks = tokenize("San Francisco is a big city");
-        assert_eq!(texts(&toks), vec!["San", "Francisco", "is", "a", "big", "city"]);
+        assert_eq!(
+            texts(&toks),
+            vec!["San", "Francisco", "is", "a", "big", "city"]
+        );
     }
 
     #[test]
@@ -268,9 +338,10 @@ mod tests {
 
     #[test]
     fn capitalization_detection() {
-        assert!(Token::new("Chicago").is_capitalized());
-        assert!(!Token::new("city").is_capitalized());
-        assert!(!Token::new("'s").is_capitalized());
+        let toks = tokenize("Chicago city 's");
+        assert!(toks.is_capitalized(0));
+        assert!(!toks.is_capitalized(1));
+        assert!(!toks.is_capitalized(2));
     }
 
     #[test]
@@ -286,12 +357,14 @@ mod tests {
     #[test]
     fn spans_recover_surface_forms() {
         let sentence = "San Francisco isn't (really) big.";
-        for tok in tokenize(sentence) {
+        let toks = tokenize(sentence);
+        for i in 0..toks.len() {
+            let (from, to) = toks[i].span();
             assert_eq!(
-                &sentence[tok.start..tok.end],
-                tok.text,
+                &sentence[from..to],
+                toks.text_of(i),
                 "span mismatch for {:?}",
-                tok.text
+                toks.text_of(i)
             );
         }
     }
@@ -303,6 +376,26 @@ mod tests {
             assert!(pair[0].end <= pair[1].start, "{pair:?}");
         }
         assert_eq!(toks[0].span(), (0, 1));
+    }
+
+    #[test]
+    fn lowercase_forms_and_windows() {
+        let toks = tokenize("San Francisco IS a Big City");
+        assert_eq!(toks.lower_of(0), "san");
+        assert_eq!(toks.lower_of(2), "is");
+        assert_eq!(toks.window_lower(0, 2), "san francisco");
+        assert_eq!(toks.window_lower(3, 6), "a big city");
+        assert_eq!(toks.window_lower(4, 4), "");
+    }
+
+    #[test]
+    fn sentence_round_trips_serde() {
+        let toks = tokenize("Kittens aren't ugly");
+        let json = serde_json::to_string(&toks).unwrap();
+        let back: TokenizedSentence = serde_json::from_str(&json).unwrap();
+        assert_eq!(toks, back);
+        assert_eq!(back.sentence(), "Kittens aren't ugly");
+        assert_eq!(back.lower_of(1), "are");
     }
 
     #[test]

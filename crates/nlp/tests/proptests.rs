@@ -33,9 +33,10 @@ proptest! {
     #[test]
     fn tokenizer_never_produces_empty_tokens(words in prop::collection::vec(word_strategy(), 0..20)) {
         let sentence = words.join(" ");
-        for tok in tokenize(&sentence) {
-            prop_assert!(!tok.text.is_empty());
-            prop_assert_eq!(tok.lower.clone(), tok.text.to_lowercase());
+        let tokens = tokenize(&sentence);
+        for i in 0..tokens.len() {
+            prop_assert!(!tokens.text_of(i).is_empty());
+            prop_assert_eq!(tokens.lower_of(i).to_owned(), tokens.text_of(i).to_lowercase());
         }
     }
 
@@ -44,7 +45,9 @@ proptest! {
         // Pure alphabetic words round-trip: same sequence, no splits.
         let sentence = words.join(" ");
         let tokens = tokenize(&sentence);
-        let rejoined: Vec<String> = tokens.iter().map(|t| t.text.clone()).collect();
+        let rejoined: Vec<String> = (0..tokens.len())
+            .map(|i| tokens.text_of(i).to_owned())
+            .collect();
         prop_assert_eq!(rejoined, words);
     }
 

@@ -29,5 +29,7 @@ pub mod zipf;
 pub use logspace::{ln_factorial, ln_gamma, log_sum_exp};
 pub use poisson::Poisson;
 pub use rng::SeedStream;
-pub use stats::{pearson, percentile, percentile_sorted, percentile_sorted_or_zero, spearman, Summary};
+pub use stats::{
+    pearson, percentile, percentile_sorted, percentile_sorted_or_zero, spearman, Summary,
+};
 pub use zipf::Zipf;

@@ -134,7 +134,11 @@ mod tests {
         assert!(close(ln_gamma(1.0), 0.0, 1e-12));
         assert!(close(ln_gamma(2.0), 0.0, 1e-12));
         assert!(close(ln_gamma(5.0), 24.0_f64.ln(), 1e-12));
-        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
     }
 
     #[test]

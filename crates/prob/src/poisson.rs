@@ -125,10 +125,7 @@ mod tests {
             let p = Poisson::new(lambda);
             // Sum far enough into the tail to capture essentially all mass.
             let total: f64 = (0..400).map(|k| p.pmf(k)).sum();
-            assert!(
-                (total - 1.0).abs() < 1e-9,
-                "lambda={lambda} total={total}"
-            );
+            assert!((total - 1.0).abs() < 1e-9, "lambda={lambda} total={total}");
         }
     }
 
@@ -179,8 +176,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
         (mean, var)
     }
 

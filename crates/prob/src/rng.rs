@@ -63,7 +63,10 @@ impl SeedStream {
     /// Derives a child stream for an indexed element (shard, worker, …).
     pub fn index(&self, i: u64) -> Self {
         Self {
-            state: splitmix64(self.state.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+            state: splitmix64(
+                self.state
+                    .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
         }
     }
 
@@ -122,6 +125,9 @@ mod tests {
         let base = splitmix64(0xDEAD_BEEF);
         let flipped = splitmix64(0xDEAD_BEEF ^ 1);
         let differing = (base ^ flipped).count_ones();
-        assert!((16..=48).contains(&differing), "differing bits: {differing}");
+        assert!(
+            (16..=48).contains(&differing),
+            "differing bits: {differing}"
+        );
     }
 }

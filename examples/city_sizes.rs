@@ -28,12 +28,13 @@ fn main() {
 
     println!("461 Californian cities, property `big`\n");
     println!("largest and smallest cities:");
-    let show = |p: &surveyor_eval::EmpiricalPoint| {
-        println!(
+    let show =
+        |p: &surveyor_eval::EmpiricalPoint| {
+            println!(
             "  {:<22} pop {:>9}  evidence +{:<3}/-{:<2}  majority: {:<8?} model: {:?} (Pr {:.2})",
             p.entity, p.attribute as u64, p.positive, p.negative, p.majority, p.model, p.probability
         );
-    };
+        };
     for p in study.points.iter().rev().take(6) {
         show(p);
     }

@@ -19,8 +19,8 @@ fn main() {
     let mut builder = KnowledgeBaseBuilder::new();
     let animal = builder.add_type("animal", &["animal"], &["zoo", "pet"]);
     for name in [
-        "Kitten", "Puppy", "Pony", "Koala", "Tiger", "Spider", "Scorpion", "Rat",
-        "Moose", "Frog", "Camel", "Goose", "Beaver", "Octopus", "Lion", "Crow",
+        "Kitten", "Puppy", "Pony", "Koala", "Tiger", "Spider", "Scorpion", "Rat", "Moose", "Frog",
+        "Camel", "Goose", "Beaver", "Octopus", "Lion", "Crow",
     ] {
         builder.add_entity(name, animal).finish();
     }
@@ -97,7 +97,11 @@ fn main() {
             decision.probability.unwrap_or(0.5),
             counts.positive,
             counts.negative,
-            if domain.opinions[i] { "cute" } else { "not cute" },
+            if domain.opinions[i] {
+                "cute"
+            } else {
+                "not cute"
+            },
         );
     }
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: the tier-1 build+test pass (ROADMAP.md) plus the
+# lint gates. Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

@@ -104,7 +104,11 @@ fn crowd_statistics_match_protocol() {
     let suite = EvalSuite::from_world_limited(&world, 123, Some(20));
     let mean = suite.mean_agreement();
     assert!((15.5..=19.0).contains(&mean), "mean agreement {mean}");
-    assert!(suite.unanimous_cases() > 80, "unanimous {}", suite.unanimous_cases());
+    assert!(
+        suite.unanimous_cases() > 80,
+        "unanimous {}",
+        suite.unanimous_cases()
+    );
     assert_eq!(suite.panel_size, 20);
     // Figure 10 renders all 20 animals (minus possible ties).
     let votes = suite.votes_for("animal", &Property::adjective("cute"));
@@ -124,12 +128,8 @@ fn snapshot_statistics_are_internally_consistent() {
     let world = surveyor_corpus::presets::long_tail_world(15, 60, 5, 3);
     let generator = CorpusGenerator::new(world.clone(), fast_corpus());
     let source = CorpusSource::new(&generator);
-    let evidence = surveyor::extract::run_sharded(
-        &source,
-        world.kb(),
-        &ExtractionConfig::paper_final(),
-        2,
-    );
+    let evidence =
+        surveyor::extract::run_sharded(&source, world.kb(), &ExtractionConfig::paper_final(), 2);
     let stats = snapshot_stats(&evidence, world.kb(), 20);
     assert_eq!(stats.statements_total, evidence.total_statements());
     assert!(stats.combinations_above_rho <= stats.combinations_total);

@@ -29,8 +29,14 @@ const FIXTURES: &[(&str, &str)] = &[
     ("I love the cute Kitten.", "+Kitten:cute"),
     ("We saw the big Chicago.", "+Chicago:big"),
     // --- conjunction (Fig. 4c) ---
-    ("Soccer is fast and exciting.", "+Soccer:fast; +Soccer:exciting"),
-    ("Soccer is a fast and exciting sport.", "+Soccer:fast; +Soccer:exciting"),
+    (
+        "Soccer is fast and exciting.",
+        "+Soccer:fast; +Soccer:exciting",
+    ),
+    (
+        "Soccer is a fast and exciting sport.",
+        "+Soccer:fast; +Soccer:exciting",
+    ),
     (
         "Soccer is a fast, cheap and exciting sport.",
         "+Soccer:fast; +Soccer:cheap; +Soccer:exciting",
@@ -44,7 +50,10 @@ const FIXTURES: &[(&str, &str)] = &[
     ("I do not believe Chicago is big.", "-Chicago:big"),
     ("I don't think Snakes are dangerous.", "-Snake:dangerous"),
     // --- double negation cancels ---
-    ("I don't think that Snakes are never dangerous.", "+Snake:dangerous"),
+    (
+        "I don't think that Snakes are never dangerous.",
+        "+Snake:dangerous",
+    ),
     ("I do not believe Chicago is never big.", "+Chicago:big"),
     // --- relative clauses ---
     ("Chicago is a city that is big.", "+Chicago:big"),
@@ -61,7 +70,10 @@ const FIXTURES: &[(&str, &str)] = &[
     ("Chicago is considered big.", ""),
     // --- plural and lemmatized mentions ---
     ("Grizzly bears are dangerous.", "+Grizzly bear:dangerous"),
-    ("Grizzly bears are dangerous animals.", "+Grizzly bear:dangerous"),
+    (
+        "Grizzly bears are dangerous animals.",
+        "+Grizzly bear:dangerous",
+    ),
     // --- multiword and alias mentions ---
     ("San Francisco is a big city.", "+San Francisco:big"),
     ("SF is big.", "+San Francisco:big"),
@@ -127,7 +139,7 @@ fn fixture_battery_v4() {
             .map(|st| {
                 (
                     kb.entity(st.entity).name().to_owned(),
-                    st.property.to_string(),
+                    st.property.resolve().to_string(),
                     st.polarity,
                 )
             })
@@ -182,7 +194,7 @@ fn v2_extracts_the_extended_class_fixtures() {
             .collect();
         assert!(
             got.iter().any(|st| kb.entity(st.entity).name() == entity
-                && st.property.to_string() == property
+                && st.property.resolve().to_string() == property
                 && st.polarity == Polarity::Positive),
             "V2 missed {sentence:?}: {got:?}"
         );

@@ -34,7 +34,7 @@ fn v4(text: &str) -> Vec<(String, String, Polarity)> {
         for st in extract_sentence(s, &kb, &ExtractionConfig::paper_final()) {
             out.push((
                 kb.entity(st.entity).name().to_owned(),
-                st.property.to_string(),
+                st.property.resolve().to_string(),
                 st.polarity,
             ));
         }
@@ -71,7 +71,11 @@ fn battery_of_negative_statements() {
         ("San Francisco is not a big city.", "San Francisco", "big"),
         ("Snakes are never cute.", "Snake", "cute"),
         ("I don't think that Chicago is big.", "Chicago", "big"),
-        ("I do not believe Kittens are dangerous.", "Kitten", "dangerous"),
+        (
+            "I do not believe Kittens are dangerous.",
+            "Kitten",
+            "dangerous",
+        ),
     ] {
         let got = v4(text);
         assert!(
@@ -93,7 +97,10 @@ fn battery_of_filtered_sentences() {
         "People love Soccer.",
     ] {
         let got = v4(text);
-        assert!(got.is_empty(), "expected no extractions for: {text}, got {got:?}");
+        assert!(
+            got.is_empty(),
+            "expected no extractions for: {text}, got {got:?}"
+        );
     }
 }
 
@@ -140,7 +147,9 @@ fn ambiguous_mentions_never_extract() {
     let city = b.add_type("city", &["city"], &["downtown"]);
     let animal = b.add_type("animal", &["animal"], &["zoo"]);
     b.add_entity("Phoenix", city).finish();
-    b.add_entity("Phoenix Bird", animal).alias("Phoenix").finish();
+    b.add_entity("Phoenix Bird", animal)
+        .alias("Phoenix")
+        .finish();
     let kb = b.build();
     let lexicon = Lexicon::new();
     let doc = annotate(0, "Phoenix is big.", &kb, &lexicon);
@@ -164,9 +173,7 @@ fn version_lattice_on_mixed_text() {
                 New York is bad for parking. southern France is warm in the summer. \
                 I find Kittens cute. Chicago seems big. Soccer is fast and exciting.";
     let docs = vec![annotate(0, text, &kb, &lexicon)];
-    let count = |v: PatternVersion| {
-        extract_documents(&docs, &kb, &v.config()).total_statements()
-    };
+    let count = |v: PatternVersion| extract_documents(&docs, &kb, &v.config()).total_statements();
     // V2 is the most permissive on this text; V3 the least.
     assert!(count(PatternVersion::V2) > count(PatternVersion::V4));
     assert!(count(PatternVersion::V4) > count(PatternVersion::V3));

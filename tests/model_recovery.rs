@@ -43,10 +43,7 @@ fn build_world(
 }
 
 /// Counts per entity after the full text round trip.
-fn pipeline_counts(
-    kb: &Arc<KnowledgeBase>,
-    world: &surveyor_corpus::World,
-) -> Vec<ObservedCounts> {
+fn pipeline_counts(kb: &Arc<KnowledgeBase>, world: &surveyor_corpus::World) -> Vec<ObservedCounts> {
     let generator = CorpusGenerator::new(world.clone(), CorpusConfig::default());
     let surveyor = Surveyor::new(
         kb.clone(),

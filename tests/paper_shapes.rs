@@ -54,7 +54,11 @@ fn table3_shape() {
     let sv = get("Surveyor");
 
     // Paper Table 3: Surveyor 0.966 / 0.77 / 0.84.
-    assert!(sv.coverage > 0.9 && sv.coverage < 1.0, "sv coverage {}", sv.coverage);
+    assert!(
+        sv.coverage > 0.9 && sv.coverage < 1.0,
+        "sv coverage {}",
+        sv.coverage
+    );
     assert!(sv.precision > 0.7, "sv precision {}", sv.precision);
     assert!(sv.f1 > 0.8, "sv f1 {}", sv.f1);
 
@@ -68,7 +72,11 @@ fn table3_shape() {
     // Coverage: Surveyor nearly doubles the count-based baselines
     // (paper: .966 vs ~.48).
     assert!(sv.coverage > 1.5 * mv.coverage);
-    assert!((0.3..0.75).contains(&mv.coverage), "mv coverage {}", mv.coverage);
+    assert!(
+        (0.3..0.75).contains(&mv.coverage),
+        "mv coverage {}",
+        mv.coverage
+    );
 
     // F1 ordering is strict (paper: .36 < .42 < .51 < .84).
     assert!(mv.f1 < smv.f1 && smv.f1 < sv.f1 && wc.f1 < sv.f1);
@@ -116,7 +124,12 @@ fn table4_shape() {
     let world = surveyor_corpus::presets::table2_world(SEED);
     let rows = run_versions(&world, official_corpus());
     let count = |v: PatternVersion| rows.iter().find(|r| r.version == v).unwrap().statements;
-    let quality = |v: PatternVersion| rows.iter().find(|r| r.version == v).unwrap().on_target_share;
+    let quality = |v: PatternVersion| {
+        rows.iter()
+            .find(|r| r.version == v)
+            .unwrap()
+            .on_target_share
+    };
 
     // Paper Table 4 count ordering: V2 > V1 > V4 > V3.
     assert!(count(PatternVersion::V2) > count(PatternVersion::V1));
@@ -179,7 +192,11 @@ fn figure3_shape() {
     assert!(study.model_spearman.unwrap() > study.majority_spearman.unwrap());
     // Accuracy against the planted opinions: the model is near-perfect,
     // majority vote is poor (many small cities marked big).
-    assert!(study.model_accuracy > 0.9, "model accuracy {}", study.model_accuracy);
+    assert!(
+        study.model_accuracy > 0.9,
+        "model accuracy {}",
+        study.model_accuracy
+    );
     assert!(
         study.majority_accuracy < study.model_accuracy - 0.2,
         "mv accuracy {} model {}",

@@ -11,8 +11,8 @@ fn animal_world(seed: u64) -> (Arc<KnowledgeBase>, surveyor_corpus::World) {
     let mut b = KnowledgeBaseBuilder::new();
     let animal = b.add_type("animal", &["animal"], &[]);
     for name in [
-        "Kitten", "Puppy", "Pony", "Koala", "Tiger", "Spider", "Scorpion", "Rat", "Crow",
-        "Moose", "Frog", "Camel", "Goose", "Beaver", "Octopus", "Lion",
+        "Kitten", "Puppy", "Pony", "Koala", "Tiger", "Spider", "Scorpion", "Rat", "Crow", "Moose",
+        "Frog", "Camel", "Goose", "Beaver", "Octopus", "Lion",
     ] {
         b.add_entity(name, animal).finish();
     }
@@ -180,16 +180,16 @@ fn provenance_tracks_supporting_documents() {
         },
     );
     let output = surveyor.run(&CorpusSource::new(&generator));
-    let cute = Property::adjective("cute");
+    let cute = surveyor::kb::PropertyId::intern(&Property::adjective("cute"));
     // Every pair with evidence has at least one supporting document, and
     // each cited document genuinely contains a matching sentence.
     let lexicon = generator.lexicon();
     let mut checked = 0;
     for ((entity, property), counts) in output.evidence.iter() {
-        if counts.total() == 0 || property != &cute {
+        if counts.total() == 0 || *property != cute {
             continue;
         }
-        let docs = output.provenance.documents(*entity, property);
+        let docs = output.provenance.documents_id(*entity, *property);
         assert!(!docs.is_empty(), "no provenance for {entity:?}");
         // Verify the first citation: regenerate its shard and re-extract.
         let doc_id = docs[0];
@@ -202,7 +202,7 @@ fn provenance_tracks_supporting_documents() {
         let found = doc.sentences.iter().any(|s| {
             surveyor::extract::extract_sentence(s, &kb, &ExtractionConfig::paper_final())
                 .iter()
-                .any(|st| st.entity == *entity && &st.property == property)
+                .any(|st| st.entity == *entity && st.property == *property)
         });
         assert!(found, "cited doc {doc_id} lacks a matching statement");
         checked += 1;
@@ -211,6 +211,79 @@ fn provenance_tracks_supporting_documents() {
         }
     }
     assert!(checked > 3, "checked {checked} citations");
+}
+
+#[test]
+fn interpretation_is_identical_across_worker_counts() {
+    // Multi-domain world so the parallel interpretation phase actually has
+    // several combinations to distribute across workers.
+    let mut b = KnowledgeBaseBuilder::new();
+    let animal = b.add_type("animal", &["animal"], &[]);
+    let city = b.add_type("city", &["city"], &[]);
+    for name in [
+        "Kitten", "Puppy", "Tiger", "Spider", "Crow", "Moose", "Frog", "Goose",
+    ] {
+        b.add_entity(name, animal).finish();
+    }
+    for name in [
+        "Springfield",
+        "Riverton",
+        "Lakewood",
+        "Hillsboro",
+        "Fairview",
+        "Greenville",
+    ] {
+        b.add_entity(name, city).finish();
+    }
+    let kb = Arc::new(b.build());
+    let params = DomainParams {
+        p_agree: 0.9,
+        rate_pos: 20.0,
+        rate_neg: 3.0,
+        opinions: OpinionRule::RandomShare(0.5),
+        plural_subjects: true,
+        ..DomainParams::default()
+    };
+    let world = WorldBuilder::new(kb.clone(), 29)
+        .domain("animal", Property::adjective("cute"), params.clone())
+        .domain("animal", Property::adjective("dangerous"), params.clone())
+        .domain("city", Property::adjective("big"), params.clone())
+        .domain("city", Property::adjective("cheap"), params)
+        .build();
+    let generator = CorpusGenerator::new(world, CorpusConfig::default());
+
+    let surveyor_for = |threads: usize| {
+        Surveyor::new(
+            kb.clone(),
+            SurveyorConfig {
+                rho: 10,
+                threads,
+                ..SurveyorConfig::default()
+            },
+        )
+    };
+    let evidence = surveyor_for(2).run(&CorpusSource::new(&generator)).evidence;
+    let baseline = surveyor_for(1).run_on_evidence(evidence.clone());
+    assert!(
+        baseline.modeled_combinations() >= 4,
+        "want several combinations, got {}",
+        baseline.modeled_combinations()
+    );
+    for workers in [2usize, 8] {
+        let parallel = surveyor_for(workers).run_on_evidence(evidence.clone());
+        assert_eq!(
+            baseline.triples(),
+            parallel.triples(),
+            "{workers} workers changed the triples"
+        );
+        assert_eq!(baseline.results.len(), parallel.results.len());
+        for (a, b) in baseline.results.iter().zip(&parallel.results) {
+            assert_eq!(a.key.type_id, b.key.type_id);
+            assert_eq!(a.key.property, b.key.property);
+            // Bit-identical decisions and posteriors for every entity.
+            assert_eq!(a.decisions, b.decisions, "{workers} workers diverged");
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,251 @@
+//! Offline shim for `criterion`: the `criterion_group!`/`criterion_main!`
+//! macros, `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter`, backed by a simple mean-of-samples wall-clock timer.
+//!
+//! Honors `--bench` (ignored filter args tolerated) and `--test` /
+//! `cargo test` invocation: when run as a test (no `--bench` flag),
+//! each benchmark executes its closure once so `cargo test` stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation: elements or bytes processed per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    measurement_time: Duration,
+    quick: bool,
+}
+
+impl<'a> Bencher<'a> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        // One calibration call, then time batches until the measurement
+        // budget is spent.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).max(1) as u64;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_batch as u32);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(once);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Warm-up is folded into the measurement loop; accepted for API parity.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sample count is derived from the time budget; accepted for parity.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            measurement_time: self.measurement_time,
+            quick: self.criterion.quick,
+        };
+        f(&mut bencher);
+        if self.criterion.quick {
+            println!("test {}/{} ... ok (quick)", self.name, id);
+            return;
+        }
+        report(&self.name, &id, &samples, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut nanos: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    nanos.sort_unstable();
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    let median = nanos[nanos.len() / 2];
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (mean as f64 / 1e9);
+            format!("  thrpt: {per_sec:.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (mean as f64 / 1e9) / (1024.0 * 1024.0);
+            format!("  thrpt: {per_sec:.1} MiB/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: mean {}  median {}  ({} samples){extra}",
+        fmt_nanos(mean),
+        fmt_nanos(median),
+        nanos.len()
+    );
+}
+
+fn fmt_nanos(nanos: u128) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark driver. `quick` mode (no `--bench` in argv) runs each
+/// routine once, which is what `cargo test` does with harness = false
+/// benches compiled as tests.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.quick {
+            println!("benchmark group: {name}");
+        }
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        let mut f = f;
+        group.bench_function("bench", &mut f);
+        group.finish();
+        self
+    }
+
+    /// Criterion calls this at the end of `criterion_main!`.
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

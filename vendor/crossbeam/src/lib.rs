@@ -1,0 +1,97 @@
+//! Offline shim for the `crossbeam` crate, covering the scoped-thread
+//! surface this workspace uses: `crossbeam::scope(|s| { s.spawn(|_| ...) })`
+//! returning `thread::Result<R>`. Backed by `std::thread::scope`, which
+//! provides the same structured-concurrency guarantee.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope run: `Err` holds the payload of the first
+    /// panicking closure, matching crossbeam's `thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a reference to the
+        /// scope (crossbeam's signature) which may be used for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let handle = inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All threads are joined before `scope`
+    /// returns; the result is `Err` if any unjoined thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let result = super::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        });
+        assert_eq!(result.unwrap(), 42);
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline shim for `proptest`, covering the surface this workspace uses:
+//! the `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_oneof!` macros,
+//! the [`strategy::Strategy`] trait with `prop_map`, `Just`, numeric range
+//! strategies, `&str` regex strategies, `prop::bool::ANY`, and
+//! `prop::collection::{vec, hash_set}`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! the formatted assertion message), and case generation is seeded from the
+//! test name, so runs are deterministic.
+
+pub mod regex;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*` — everything the test files reference.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The `prop::` namespace (`prop::bool::ANY`, `prop::collection::vec`, ...).
+pub mod prop {
+    pub mod bool {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        /// Strategy yielding uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    pub mod collection {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        use std::collections::HashSet;
+        use std::hash::Hash;
+
+        /// Collection size specification: `a..b`, `a..=b`, or an exact size.
+        pub trait IntoSizeRange {
+            /// Inclusive (min, max) bounds.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty proptest size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        fn sample_len(rng: &mut TestRng, bounds: (usize, usize)) -> usize {
+            let (lo, hi) = bounds;
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+
+        /// Strategy for `Vec<S::Value>` with length in `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            bounds: (usize, usize),
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                bounds: size.bounds(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = sample_len(rng, self.bounds);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Strategy for `HashSet<S::Value>` with size in `size` (best
+        /// effort: duplicate draws are retried a bounded number of times).
+        pub struct HashSetStrategy<S> {
+            element: S,
+            bounds: (usize, usize),
+        }
+
+        /// `prop::collection::hash_set(element, size)`.
+        pub fn hash_set<S>(element: S, size: impl IntoSizeRange) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            HashSetStrategy {
+                element,
+                bounds: size.bounds(),
+            }
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let target = sample_len(rng, self.bounds);
+                let mut out = HashSet::with_capacity(target);
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < target * 20 + 20 {
+                    out.insert(self.element.sample(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Mini regex *sampler*: parses the small pattern dialect used in this
+//! workspace's string strategies and generates matching strings.
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes
+//! with ranges (`[a-zA-Z ]`), groups `( ... )`, alternation `|` inside
+//! groups or at top level, and the quantifiers `?`, `*`, `+`, `{n}`,
+//! `{m,n}`. Unbounded repetition is capped at 8.
+
+use crate::rng::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternation between sequences.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let alts = parse_alternation(&chars, &mut pos, pattern);
+    assert!(
+        pos == chars.len(),
+        "proptest shim: unsupported regex `{pattern}` (stopped at {pos})"
+    );
+    let mut out = String::new();
+    emit(&Node::Group(alts), rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Group(alts) => {
+            let seq = &alts[rng.below(alts.len())];
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as usize) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Parses alternatives until end of input or an unmatched `)`.
+fn parse_alternation(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Vec<Node>> {
+    let mut alts = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                alts.push(Vec::new());
+            }
+            _ => {
+                let node = parse_one(chars, pos, pattern);
+                let node = parse_quantifier(chars, pos, node, pattern);
+                alts.last_mut().unwrap().push(node);
+            }
+        }
+    }
+    alts
+}
+
+fn parse_one(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            assert!(
+                chars.get(*pos) != Some(&'^'),
+                "proptest shim: negated classes unsupported in `{pattern}`"
+            );
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let lo = chars[*pos];
+                *pos += 1;
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+                    let hi = chars[*pos + 1];
+                    assert!(lo <= hi, "proptest shim: bad class range in `{pattern}`");
+                    ranges.push((lo, hi));
+                    *pos += 2;
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(
+                chars.get(*pos) == Some(&']'),
+                "proptest shim: unterminated class in `{pattern}`"
+            );
+            *pos += 1;
+            Node::Class(ranges)
+        }
+        '(' => {
+            *pos += 1;
+            let alts = parse_alternation(chars, pos, pattern);
+            assert!(
+                chars.get(*pos) == Some(&')'),
+                "proptest shim: unterminated group in `{pattern}`"
+            );
+            *pos += 1;
+            Node::Group(alts)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("proptest shim: trailing escape in `{pattern}`"));
+            *pos += 1;
+            match c {
+                'd' => Node::Class(vec![('0', '9')]),
+                'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                's' => Node::Literal(' '),
+                other => Node::Literal(other),
+            }
+        }
+        '.' => {
+            *pos += 1;
+            Node::Class(vec![(' ', '~')])
+        }
+        c => {
+            assert!(
+                !matches!(c, '*' | '+' | '?' | '{'),
+                "proptest shim: dangling quantifier in `{pattern}`"
+            );
+            *pos += 1;
+            Node::Literal(c)
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, node: Node, pattern: &str) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(node), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(node), 0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(node), 1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = 0u32;
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                *pos += 1;
+            }
+            let hi = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut hi = 0u32;
+                let mut saw_digit = false;
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    hi = hi * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                    saw_digit = true;
+                }
+                if saw_digit {
+                    hi
+                } else {
+                    lo + UNBOUNDED_CAP
+                }
+            } else {
+                lo
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "proptest shim: unterminated quantifier in `{pattern}`"
+            );
+            *pos += 1;
+            assert!(
+                lo <= hi,
+                "proptest shim: bad quantifier bounds in `{pattern}`"
+            );
+            Node::Repeat(Box::new(node), lo, hi)
+        }
+        _ => node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample("[a-z]{2,12}", &mut r);
+            assert!((2..=12).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_space() {
+        let mut r = rng();
+        let mut with_space = 0;
+        for _ in 0..200 {
+            let s = sample("[A-Z][a-z]{1,10}( [A-Z][a-z]{1,10})?", &mut r);
+            assert!(s.chars().next().unwrap().is_ascii_uppercase(), "{s}");
+            if s.contains(' ') {
+                with_space += 1;
+                let (a, b) = s.split_once(' ').unwrap();
+                assert!(!a.is_empty() && b.chars().next().unwrap().is_ascii_uppercase());
+            }
+        }
+        assert!(with_space > 20, "optional arm never taken");
+    }
+
+    #[test]
+    fn class_with_literal_space() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample("[a-zA-Z ]{0,30}", &mut r);
+            assert!(s.chars().count() <= 30);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_and_unbounded() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample("(ab|cd)+x*", &mut r);
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline shim for the `rustc-hash` crate.
+//!
+//! Implements the same FxHash algorithm (multiplicative hashing over
+//! machine words) and exports the same `FxHashMap`/`FxHashSet`/`FxHasher`
+//! surface so dependents compile unchanged without network access.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speedy, non-cryptographic hash used throughout rustc.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: usize,
+}
+
+const SEED: usize = 0x51_7c_c1_b7_27_22_0a_95usize;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: usize) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const WORD: usize = std::mem::size_of::<usize>();
+        let mut bytes = bytes;
+        while bytes.len() >= WORD {
+            let mut buf = [0u8; WORD];
+            buf.copy_from_slice(&bytes[..WORD]);
+            self.add_to_hash(usize::from_ne_bytes(buf));
+            bytes = &bytes[WORD..];
+        }
+        if bytes.len() >= 4 && WORD > 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u32::from_ne_bytes(buf) as usize);
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut buf = [0u8; 2];
+            buf.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u16::from_ne_bytes(buf) as usize);
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(b as usize);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as usize);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as usize);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as usize);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i as usize);
+        if std::mem::size_of::<usize>() < 8 {
+            self.add_to_hash((i >> 32) as usize);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash as u64
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |s: &str| {
+            let mut hasher = FxHasher::default();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        };
+        assert_eq!(h("surveyor"), h("surveyor"));
+        assert_ne!(h("surveyor"), h("surveyors"));
+    }
+}

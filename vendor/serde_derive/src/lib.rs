@@ -1,0 +1,445 @@
+//! Offline shim for `serde_derive`: generates impls of the value-tree
+//! `Serialize`/`Deserialize` traits from the sibling `serde` shim.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which cannot be
+//! fetched offline). The parser handles exactly the item shapes in this
+//! workspace: non-generic structs (named, tuple, unit) and enums with
+//! unit/tuple/struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(with = "module")]` field attributes. Enum representation is
+//! externally tagged, matching real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_serialize(&name, &body)
+        .parse()
+        .expect("serde shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_deserialize(&name, &body)
+        .parse()
+        .expect("serde shim: generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic type `{name}` is not supported");
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let parts = split_top_commas(&g.stream().into_iter().collect::<Vec<_>>());
+                Body::TupleStruct(parts.len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde shim: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    (name, body)
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token list on commas at angle-bracket depth zero. Parenthesized
+/// and bracketed groups are opaque `TokenTree::Group`s, so only `<...>`
+/// nesting needs explicit tracking.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(t.clone());
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Reads `#[serde(...)]` markers off the front of a field/variant token
+/// list, returning (skip, with) and the index of the first non-attribute,
+/// non-visibility token.
+fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, Option<String>, usize) {
+    let mut skip = false;
+    let mut with = None;
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                    match args.first() {
+                        Some(TokenTree::Ident(id)) if id.to_string() == "skip" => skip = true,
+                        Some(TokenTree::Ident(id)) if id.to_string() == "with" => {
+                            match args.get(2) {
+                                Some(TokenTree::Literal(lit)) => {
+                                    let s = lit.to_string();
+                                    with = Some(s.trim_matches('"').to_string());
+                                }
+                                other => panic!(
+                                    "serde shim: expected `with = \"module\"`, found {other:?}"
+                                ),
+                            }
+                        }
+                        other => {
+                            panic!("serde shim: unsupported serde attribute: {other:?}")
+                        }
+                    }
+                }
+            }
+        } else {
+            panic!("serde shim: malformed attribute");
+        }
+        i += 2;
+    }
+    // visibility
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    (skip, with, i)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_commas(&tokens)
+        .iter()
+        .map(|part| {
+            let (skip, with, i) = parse_field_attrs(part);
+            let name = match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim: expected field name, found {other:?}"),
+            };
+            Field { name, skip, with }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_commas(&tokens)
+        .iter()
+        .map(|part| {
+            let (skip, with, i) = parse_field_attrs(part);
+            assert!(
+                !skip && with.is_none(),
+                "serde shim: serde attributes on enum variants are not supported"
+            );
+            let name = match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim: expected variant name, found {other:?}"),
+            };
+            let kind = match part.get(i + 1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = split_top_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+                    VariantKind::Tuple(n)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde shim: unexpected variant body: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn ser_field_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(path) => format!("{path}::to_value(&{access})"),
+        None => format!("::serde::Serialize::to_value(&{access})"),
+    }
+}
+
+fn de_field_expr(field: &Field, source: &str) -> String {
+    if field.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let name = &field.name;
+    match &field.with {
+        Some(path) => format!("{path}::from_value({source}).map_err(|e| e.in_field(\"{name}\"))?"),
+        None => format!(
+            "::serde::Deserialize::from_value({source}).map_err(|e| e.in_field(\"{name}\"))?"
+        ),
+    }
+}
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::NamedStruct(fields) => {
+            let mut code = String::from("let mut obj = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                let expr = ser_field_expr(f, &format!("self.{}", f.name));
+                code.push_str(&format!(
+                    "obj.insert(::std::string::String::from(\"{}\"), {expr});\n",
+                    f.name
+                ));
+            }
+            code.push_str("::serde::Value::Object(obj)");
+            code
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut obj = ::serde::Map::new();\n\
+                             obj.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(obj)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut fields = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let expr = ser_field_expr(f, &f.name);
+                            inner.push_str(&format!(
+                                "fields.insert(::std::string::String::from(\"{}\"), {expr});\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut obj = ::serde::Map::new();\n\
+                             obj.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(fields));\n\
+                             ::serde::Value::Object(obj)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body_code}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let source = format!("obj.get(\"{}\").unwrap_or(&::serde::Value::Null)", f.name);
+                inits.push_str(&format!("{}: {},\n", f.name, de_field_expr(f, &source)));
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(format!(\"expected {n} elements for {name}, found {{}}\", items.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vn}\", inner))?;\n\
+                             if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(format!(\"expected {n} elements for {name}::{vn}, found {{}}\", items.len())));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{vn}({}));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let source = format!(
+                                "fields.get(\"{}\").unwrap_or(&::serde::Value::Null)",
+                                f.name
+                            );
+                            inits.push_str(&format!(
+                                "{}: {},\n",
+                                f.name,
+                                de_field_expr(f, &source)
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fields = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vn}\", inner))?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(tag) = v.as_str() {{\n\
+                 match tag {{\n{unit_arms}\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                 if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                 if obj.len() == 1 {{\n\
+                 let (tag, inner) = obj.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::expected(\"externally tagged enum\", \"{name}\", v))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body_code}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,112 @@
+//! Offline shim for `serde_json`: renders and parses the `serde` shim's
+//! [`Value`] tree as JSON text. Covers `to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, the `json!` macro, and the `Value`/`Map`/
+//! `Number`/`Error` names dependents import.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+mod parse;
+mod write;
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// Returns `Result` for signature compatibility with real `serde_json`;
+/// the value-tree shim cannot fail.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serializes to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(json: &str) -> Result<T, Error> {
+    let value = parse::parse(json)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Object values and array
+/// elements are arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut obj = $crate::Map::new();
+        $( obj.insert(::std::string::String::from($key), $crate::to_value(&$value).expect("json! value")); )*
+        $crate::Value::Object(obj)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem).expect("json! value") ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = json!({
+            "name": "surveyor",
+            "count": 3,
+            "share": 0.25,
+            "flags": [true, false],
+            "missing": Option::<u32>::None,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": [1, 2]});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n    1,\n    2\n  ]"), "{text}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::String("a\"b\\c\nd\te\u{1}".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_keep_integer_identity() {
+        let text = to_string(&json!({"big": u64::MAX, "neg": -5, "f": 1.5})).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.get("big").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(back.get("neg").unwrap().as_i64(), Some(-5));
+        assert_eq!(back.get("f").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(from_str::<Value>("{} extra").is_err());
+        assert!(from_str::<Value>("{,}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""Aé 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé 😀"));
+    }
+}
