@@ -1,31 +1,73 @@
 //! `bench` — throughput harness for the Surveyor pipeline.
 //!
 //! ```text
-//! bench pipeline [--seed N] [--threads N] [--out PATH] [--baseline PATH]
+//! bench pipeline [--seed N] [--threads N] [--out PATH] [--baseline PATH] [--report PATH]
+//! bench diff <current.json> <baseline.json>
 //! ```
 //!
-//! Measures extraction docs/sec (1/2/4/8 worker threads) and end-to-end
-//! wall time on a fixed corpus preset, and writes `BENCH_pipeline.json`.
-//! When `--baseline` points at a previous run's artifact, the output also
-//! reports the throughput ratio against it.
+//! `pipeline` measures extraction docs/sec (1/2/4/8 worker threads) and
+//! end-to-end wall time on a fixed corpus preset, and writes
+//! `BENCH_pipeline.json`. When `--baseline` points at a previous run's
+//! artifact, the output also reports the throughput ratio against it.
+//! `--report` additionally runs an observed end-to-end pass and writes a
+//! versioned run report (phase times, counters, EM telemetry).
+//!
+//! `diff` compares two such run reports phase by phase.
 
 use std::io::Write;
 use std::process::ExitCode;
+use surveyor::obs::RunReport;
 use surveyor_bench::experiments::{self, ReproConfig};
 
 const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
-                     [--out PATH] [--baseline PATH]";
+                     [--out PATH] [--baseline PATH] [--report PATH]\n\
+                     \u{20}      bench diff <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(("pipeline", rest)) = args.split_first().map(|(c, r)| (c.as_str(), r)) else {
+    let Some((command, rest)) = args.split_first().map(|(c, r)| (c.as_str(), r)) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    match command {
+        "pipeline" => pipeline(rest),
+        "diff" => diff(rest),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
+/// `bench diff`: render the phase/counter comparison of two run reports.
+fn diff(rest: &[String]) -> ExitCode {
+    let [current, baseline] = rest else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<RunReport, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        RunReport::from_json(&json).map_err(|e| format!("invalid run report {path}: {e}"))
+    };
+    let reports = load(current).and_then(|c| load(baseline).map(|b| (c, b)));
+    match reports {
+        Ok((current, baseline)) => {
+            println!("{}", current.diff(&baseline));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `bench pipeline`: the throughput harness.
+fn pipeline(rest: &[String]) -> ExitCode {
     let mut config = ReproConfig::default();
     let mut out = "BENCH_pipeline.json".to_owned();
     let mut baseline_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let Some(value) = it.next() else {
@@ -45,6 +87,7 @@ fn main() -> ExitCode {
             }
             "--out" => out = value.clone(),
             "--baseline" => baseline_path = Some(value.clone()),
+            "--report" => report_path = Some(value.clone()),
             _ => {
                 eprintln!("unknown flag {arg}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -80,6 +123,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = report_path {
+        let report = experiments::pipeline_report(&config);
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write run report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote run report {path}");
     }
 
     match std::fs::File::create(&out).and_then(|mut f| {

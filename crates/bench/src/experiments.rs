@@ -856,6 +856,30 @@ pub fn pipeline(cfg: &ReproConfig) -> (String, Value) {
     (text, value)
 }
 
+/// An observed end-to-end run on the `bench pipeline` preset: attaches a
+/// metrics registry to the generator and pipeline and returns the
+/// versioned run report, so two bench invocations can be compared phase
+/// by phase with `bench diff`.
+pub fn pipeline_report(cfg: &ReproConfig) -> surveyor::obs::RunReport {
+    use std::sync::Arc;
+    use surveyor::obs::MetricsRegistry;
+
+    let world = presets::table2_world(cfg.seed);
+    let registry = Arc::new(MetricsRegistry::new());
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards: 64,
+            ..CorpusConfig::default()
+        },
+    )
+    .with_observer(registry.clone());
+    let surveyor =
+        Surveyor::new(world.kb().clone(), cfg.surveyor()).with_observer(registry.clone());
+    surveyor.run(&CorpusSource::new(&generator));
+    registry.report()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,9 @@ pub enum Command {
         rho: u64,
         /// Corpus shards.
         shards: usize,
+        /// Run-report destination: a JSON path, or `-` for a human table
+        /// on stdout (no report when absent).
+        report: Option<String>,
     },
     /// Query a mined store.
     Query {
@@ -101,7 +104,8 @@ impl fmt::Display for ParseError {
 /// Usage text.
 pub const USAGE: &str = "\
 usage:
-  surveyor mine   --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N]
+  surveyor mine   --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
+  surveyor run    [--preset NAME] [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
   surveyor query  --store FILE --type NAME --property ADJ [--negative] [--limit N]
   surveyor combos --store FILE
   surveyor corpus --preset NAME [--seed N] [--shard N] [--limit N]
@@ -174,15 +178,25 @@ impl Cli {
     pub fn parse(args: &[String]) -> Result<Self, ParseError> {
         let (command, rest) = args.split_first().ok_or(ParseError::MissingCommand)?;
         let command = match command.as_str() {
-            "mine" => {
+            // `run` is `mine` with a defaulted preset — the spelling the
+            // paper reproduction docs use for an observed end-to-end run.
+            name @ ("mine" | "run") => {
                 let flags = Flags::parse(rest, &[])?;
-                flags.validate_known(&["--preset", "--out", "--seed", "--rho", "--shards"])?;
+                flags.validate_known(&[
+                    "--preset", "--out", "--seed", "--rho", "--shards", "--report",
+                ])?;
+                let preset = if name == "run" {
+                    flags.take("--preset").unwrap_or("table2").to_owned()
+                } else {
+                    flags.required("--preset")?
+                };
                 Command::Mine {
-                    preset: flags.required("--preset")?,
+                    preset,
                     out: flags.take("--out").map(str::to_owned),
                     seed: flags.numeric("--seed", 2015)?,
                     rho: flags.numeric("--rho", 100)?,
                     shards: flags.numeric("--shards", 8)?,
+                    report: flags.take("--report").map(str::to_owned),
                 }
             }
             "query" => {
@@ -255,8 +269,28 @@ mod tests {
                 seed: 2015,
                 rho: 100,
                 shards: 8,
+                report: None,
             }
         );
+    }
+
+    #[test]
+    fn run_defaults_preset_and_takes_report() {
+        let cli = parse(&["run", "--report", "out.json"]).unwrap();
+        match cli.command {
+            Command::Mine { preset, report, .. } => {
+                assert_eq!(preset, "table2");
+                assert_eq!(report.as_deref(), Some("out.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `run` still honors an explicit preset; `mine` still requires one.
+        let cli = parse(&["run", "--preset", "cities"]).unwrap();
+        match cli.command {
+            Command::Mine { preset, .. } => assert_eq!(preset, "cities"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse(&["mine"]), Err(ParseError::MissingFlag("--preset")));
     }
 
     #[test]
@@ -273,10 +307,12 @@ mod tests {
                 seed,
                 rho,
                 shards,
+                report,
             } => {
                 assert_eq!(preset, "cities");
                 assert_eq!(out.as_deref(), Some("s.json"));
                 assert_eq!((seed, rho, shards), (7, 40, 2));
+                assert_eq!(report, None);
             }
             other => panic!("unexpected {other:?}"),
         }

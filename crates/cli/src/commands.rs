@@ -1,6 +1,7 @@
 //! Command implementations.
 
 use std::sync::Arc;
+use surveyor::obs::MetricsRegistry;
 use surveyor::prelude::*;
 use surveyor::{link_objective, CorpusSource, LinkDirection, SubjectiveKb};
 use surveyor_corpus::{presets, World};
@@ -22,6 +23,7 @@ fn mine_store(
     seed: u64,
     rho: u64,
     shards: usize,
+    observer: Option<Arc<MetricsRegistry>>,
 ) -> Result<
     (
         SubjectiveKb,
@@ -33,41 +35,57 @@ fn mine_store(
 > {
     let world = preset_world(preset, seed)?;
     let kb = world.kb().clone();
-    let generator = CorpusGenerator::new(
+    let mut generator = CorpusGenerator::new(
         world.clone(),
         CorpusConfig {
             num_shards: shards.max(1),
             ..CorpusConfig::default()
         },
     );
-    let surveyor = Surveyor::new(
+    let mut surveyor = Surveyor::new(
         kb.clone(),
         SurveyorConfig {
             rho,
             ..SurveyorConfig::default()
         },
     );
+    if let Some(obs) = observer {
+        generator = generator.with_observer(obs.clone());
+        surveyor = surveyor.with_observer(obs);
+    }
     let output = surveyor.run(&CorpusSource::new(&generator));
     let store = SubjectiveKb::from_output(&output, &kb);
     Ok((store, output, kb, world))
 }
 
-/// `surveyor mine`
+/// `surveyor mine` / `surveyor run`
 pub fn mine(
     preset: &str,
     out: Option<&str>,
     seed: u64,
     rho: u64,
     shards: usize,
+    report: Option<&str>,
 ) -> Result<String, String> {
-    let (store, output, _, _) = mine_store(preset, seed, rho, shards)?;
+    let registry = report.map(|_| Arc::new(MetricsRegistry::new()));
+    let (store, output, _, _) = mine_store(preset, seed, rho, shards, registry.clone())?;
     let json = store.to_json();
-    let summary = format!(
+    let mut summary = format!(
         "mined {} statements into {} associations over {} combinations (rho = {rho})",
         output.evidence.total_statements(),
         store.len(),
         store.blocks().len(),
     );
+    if let (Some(dest), Some(registry)) = (report, &registry) {
+        let run_report = registry.report();
+        if dest == "-" {
+            summary = format!("{}\n{summary}", run_report.render());
+        } else {
+            std::fs::write(dest, run_report.to_json())
+                .map_err(|e| format!("cannot write {dest}: {e}"))?;
+            summary.push_str(&format!("\nwrote run report to {dest}"));
+        }
+    }
     match out {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -182,7 +200,7 @@ pub fn link(preset: &str, attribute: &str, seed: u64, rho: u64) -> Result<String
     if preset != "cities" {
         return Err("`link` currently supports --preset cities (population)".to_owned());
     }
-    let (_, output, kb, world) = mine_store(preset, seed, rho, 8)?;
+    let (_, output, kb, world) = mine_store(preset, seed, rho, 8, None)?;
     let domain = &world.domains()[0];
     let link = link_objective(
         &output,
@@ -240,7 +258,7 @@ mod tests {
         let path_str = path.to_str().unwrap();
 
         // Small, fast configuration.
-        let summary = mine("cities", Some(path_str), 5, 40, 2).unwrap();
+        let summary = mine("cities", Some(path_str), 5, 40, 2, None).unwrap();
         assert!(summary.contains("mined"), "{summary}");
 
         let out = query(path_str, "city", "big", false, 5).unwrap();
@@ -266,5 +284,32 @@ mod tests {
     #[test]
     fn query_missing_store_is_an_error() {
         assert!(query("/nonexistent/store.json", "city", "big", false, 5).is_err());
+    }
+
+    #[test]
+    fn mine_writes_a_parseable_run_report() {
+        let dir = std::env::temp_dir().join("surveyor-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let report_str = report_path.to_str().unwrap();
+
+        let summary = mine("cities", None, 5, 40, 2, Some(report_str)).unwrap();
+        assert!(summary.contains("wrote run report"), "{summary}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        let report = surveyor::obs::RunReport::from_json(&json).unwrap();
+        assert_eq!(report.version, surveyor::obs::REPORT_VERSION);
+        for phase in ["extract", "group", "model", "decide", "index"] {
+            assert!(report.phase(phase).is_some(), "report misses {phase}");
+        }
+        assert!(!report.em_groups.is_empty());
+        std::fs::remove_file(report_path).ok();
+    }
+
+    #[test]
+    fn mine_report_dash_renders_a_table() {
+        let out = mine("cities", None, 5, 40, 2, Some("-")).unwrap();
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("extract"), "{out}");
+        assert!(out.contains("EM convergence"), "{out}");
     }
 }

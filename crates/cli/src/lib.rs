@@ -1,7 +1,8 @@
 //! Command-line interface for the Surveyor subjective-property miner.
 //!
 //! ```text
-//! surveyor mine   --preset table2 --out store.json [--seed N] [--rho N] [--shards N]
+//! surveyor mine   --preset table2 --out store.json [--seed N] [--rho N] [--shards N] [--report FILE|-]
+//! surveyor run    [--preset NAME] [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
 //! surveyor query  --store store.json --type city --property big [--negative] [--limit N]
 //! surveyor combos --store store.json
 //! surveyor corpus --preset table2 [--seed N] [--shard N] [--limit N]
@@ -28,7 +29,15 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             seed,
             rho,
             shards,
-        } => commands::mine(preset, out.as_deref(), *seed, *rho, *shards),
+            report,
+        } => commands::mine(
+            preset,
+            out.as_deref(),
+            *seed,
+            *rho,
+            *shards,
+            report.as_deref(),
+        ),
         Command::Query {
             store,
             type_name,

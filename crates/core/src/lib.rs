@@ -51,8 +51,26 @@
 //! | `surveyor-corpus` | generative Web-snapshot simulator |
 //! | `surveyor-extract` | Figure 4 patterns, polarity, counters, shard runner |
 //! | `surveyor-model` | Bayesian user model, EM, baselines |
+//! | `surveyor-obs` | metrics registry, phase spans, run reports |
 //! | `surveyor-crowd` | AMT worker-panel simulator |
 //! | `surveyor` (this) | Algorithm 1 orchestration and the public API |
+//!
+//! ## Observability
+//!
+//! Attach a [`obs::MetricsRegistry`] with [`Surveyor::with_observer`] to
+//! record per-phase wall time, extraction counters, and per-combination
+//! EM convergence telemetry, then snapshot a versioned JSON run report:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use surveyor::obs::MetricsRegistry;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! // let surveyor = Surveyor::new(kb, config).with_observer(registry.clone());
+//! // surveyor.run(&source);
+//! let report = registry.report();
+//! println!("{}", report.to_json());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +96,7 @@ pub mod prelude {
     pub use surveyor_extract::{ExtractionConfig, PatternVersion};
     pub use surveyor_kb::{EntityId, KnowledgeBase, KnowledgeBaseBuilder, Property, TypeId};
     pub use surveyor_model::{Decision, EmConfig, ModelParams, OpinionModel, SurveyorModel};
+    pub use surveyor_obs::{MetricsRegistry, RunReport};
 }
 
 // Re-export the subsystem crates under stable names.
@@ -87,4 +106,5 @@ pub use surveyor_extract as extract;
 pub use surveyor_kb as kb;
 pub use surveyor_model as model;
 pub use surveyor_nlp as nlp;
+pub use surveyor_obs as obs;
 pub use surveyor_prob as prob;

@@ -16,15 +16,17 @@ use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use surveyor_extract::{
-    run_sharded_full, EvidenceTable, ExtractionConfig, GroupKey, GroupedEvidence, ProvenanceTable,
-    ShardSource,
+    run_sharded_full, run_sharded_observed, EvidenceTable, ExtractionConfig, GroupKey,
+    GroupedEvidence, ProvenanceTable, ShardSource,
 };
 use surveyor_kb::{EntityId, KnowledgeBase, Property, PropertyId};
 use surveyor_model::{
     decide, posterior_positive, Decision, EmConfig, EmFit, ModelDecision, ObservedCounts,
     SurveyorModel,
 };
+use surveyor_obs::{EmGroupReport, MetricsRegistry};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,12 +153,33 @@ impl SurveyorOutput {
 pub struct Surveyor {
     kb: Arc<KnowledgeBase>,
     config: SurveyorConfig,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl Surveyor {
     /// Creates a pipeline.
     pub fn new(kb: Arc<KnowledgeBase>, config: SurveyorConfig) -> Self {
-        Self { kb, config }
+        Self {
+            kb,
+            config,
+            obs: None,
+        }
+    }
+
+    /// Attaches a metrics registry: subsequent runs record the five
+    /// pipeline phases (`extract`, `group`, `model`, `decide`, `index`),
+    /// extraction counters, and per-combination EM telemetry into it.
+    /// Output is identical with or without an observer; overhead is a
+    /// handful of clock reads per combination plus one counter flush per
+    /// worker.
+    pub fn with_observer(mut self, obs: Arc<MetricsRegistry>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn observer(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.obs.as_ref()
     }
 
     /// The knowledge base.
@@ -172,12 +195,27 @@ impl Surveyor {
     /// Runs the full pipeline: sharded extraction over `source`, grouping,
     /// threshold filtering, per-combination EM, and decisions.
     pub fn run<S: ShardSource>(&self, source: &S) -> SurveyorOutput {
-        let extraction = run_sharded_full(
-            source,
-            &self.kb,
-            &self.config.extraction,
-            self.config.threads,
-        );
+        let extraction = match &self.obs {
+            Some(obs) => {
+                let docs_before = obs.counter_value("extract.documents");
+                let mut span = obs.span("extract");
+                let extraction = run_sharded_observed(
+                    source,
+                    &self.kb,
+                    &self.config.extraction,
+                    self.config.threads,
+                    obs,
+                );
+                span.set_items(obs.counter_value("extract.documents") - docs_before);
+                extraction
+            }
+            None => run_sharded_full(
+                source,
+                &self.kb,
+                &self.config.extraction,
+                self.config.threads,
+            ),
+        };
         let mut output = self.run_on_evidence(extraction.evidence);
         output.provenance = extraction.provenance;
         output
@@ -194,7 +232,14 @@ impl Surveyor {
     /// in its combination's rank slot — output order (and therefore the
     /// whole output) is identical for any worker count.
     pub fn run_on_evidence(&self, evidence: EvidenceTable) -> SurveyorOutput {
-        let grouped = GroupedEvidence::from_table(&evidence, &self.kb);
+        let grouped = {
+            let mut span = self.obs.as_deref().map(|obs| obs.span("group"));
+            let grouped = GroupedEvidence::from_table(&evidence, &self.kb);
+            if let Some(span) = span.as_mut() {
+                span.set_items(evidence.total_statements());
+            }
+            grouped
+        };
         let model = SurveyorModel::with_config(self.config.em.clone());
         let combinations: Vec<(&GroupKey, _)> = grouped.above_threshold(self.config.rho).collect();
 
@@ -207,6 +252,13 @@ impl Surveyor {
                 scope.spawn(|_| {
                     // Per-worker scratch, reused across combinations.
                     let mut counts: Vec<ObservedCounts> = Vec::new();
+                    // CPU-time slices accumulated locally and flushed once
+                    // on worker exit, so observation never serializes the
+                    // per-combination loop.
+                    let mut em_time = Duration::ZERO;
+                    let mut decide_time = Duration::ZERO;
+                    let mut groups_fitted = 0u64;
+                    let mut decisions_made = 0u64;
                     loop {
                         let rank = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&(key, group)) = combinations.get(rank) else {
@@ -218,23 +270,41 @@ impl Surveyor {
                             let c = group.counts(e);
                             ObservedCounts::new(c.positive, c.negative)
                         }));
+                        let fit_start = self.obs.as_ref().map(|_| Instant::now());
                         let fit = model.fit_group(&counts);
+                        if let (Some(start), Some(obs)) = (fit_start, self.obs.as_deref()) {
+                            em_time += start.elapsed();
+                            groups_fitted += 1;
+                            self.record_em_telemetry(obs, key, entities.len(), &fit);
+                        }
+                        let decide_start = self.obs.as_ref().map(|_| Instant::now());
                         let decisions: Vec<(EntityId, ModelDecision)> = entities
                             .iter()
                             .zip(&counts)
                             .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
                             .collect();
+                        if let Some(start) = decide_start {
+                            decide_time += start.elapsed();
+                            decisions_made += decisions.len() as u64;
+                        }
                         slots.lock()[rank] = Some(DomainResult {
                             key: *key,
                             fit,
                             decisions,
                         });
                     }
+                    if let Some(obs) = self.obs.as_deref() {
+                        // Summed worker CPU time, not wall time: with N
+                        // workers the "model" phase can exceed elapsed time.
+                        obs.record_phase("model", em_time, groups_fitted);
+                        obs.record_phase("decide", decide_time, decisions_made);
+                    }
                 });
             }
         })
         .expect("interpretation worker panicked");
 
+        let mut index_span = self.obs.as_deref().map(|obs| obs.span("index"));
         let results: Vec<DomainResult> = slots
             .into_inner()
             .into_iter()
@@ -246,6 +316,10 @@ impl Surveyor {
                 index.insert((*e, result.key.property), *d);
             }
         }
+        if let Some(span) = index_span.as_mut() {
+            span.set_items(index.len() as u64);
+        }
+        drop(index_span);
 
         SurveyorOutput {
             evidence,
@@ -254,6 +328,31 @@ impl Surveyor {
             results,
             index,
         }
+    }
+
+    /// Feeds one combination's EM fit into the registry: the iteration
+    /// histogram, a convergence-reason counter, and the full per-group
+    /// report row (traces included).
+    fn record_em_telemetry(
+        &self,
+        obs: &MetricsRegistry,
+        key: &GroupKey,
+        entities: usize,
+        fit: &EmFit,
+    ) {
+        obs.observe("em.iterations", fit.iterations as f64);
+        obs.add(&format!("em.converged.{}", fit.converged.as_str()), 1);
+        obs.record_em_group(EmGroupReport {
+            type_name: self.kb.entity_type(key.type_id).name().to_owned(),
+            property: key.property.resolve().to_string(),
+            entities: entities as u64,
+            iterations: fit.iterations as u64,
+            converged: fit.converged.as_str().to_owned(),
+            log_likelihood: fit.log_likelihood,
+            final_delta: fit.delta_trace.last().copied().unwrap_or(0.0),
+            q_trace: fit.q_trace.clone(),
+            delta_trace: fit.delta_trace.clone(),
+        });
     }
 }
 

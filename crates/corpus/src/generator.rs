@@ -13,7 +13,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 use surveyor_nlp::{annotate, AnnotatedDocument, Lexicon};
+use surveyor_obs::MetricsRegistry;
 use surveyor_prob::{Poisson, SeedStream};
 
 /// A Web region with its own author population.
@@ -82,6 +85,12 @@ pub struct RawDocument {
 pub struct CorpusGenerator {
     world: World,
     config: CorpusConfig,
+    /// Optional metrics sink: when set, [`shard_text`] accumulates a
+    /// `corpus` phase (generation wall time + documents) and
+    /// `corpus.documents` / `corpus.sentences` counters.
+    ///
+    /// [`shard_text`]: Self::shard_text
+    observer: Option<Arc<MetricsRegistry>>,
     /// `region_opinions[r]` is, per domain, the per-entity opinion vector
     /// for region `r` (flips applied deterministically).
     region_opinions: Vec<Vec<Vec<bool>>>,
@@ -133,9 +142,20 @@ impl CorpusGenerator {
         Self {
             world,
             config,
+            observer: None,
             region_opinions,
             region_weights,
         }
+    }
+
+    /// Attaches a metrics registry: subsequent [`shard_text`] calls
+    /// record generation throughput into it. Generated documents are
+    /// identical with or without an observer.
+    ///
+    /// [`shard_text`]: Self::shard_text
+    pub fn with_observer(mut self, observer: Arc<MetricsRegistry>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// The underlying world.
@@ -208,6 +228,7 @@ impl CorpusGenerator {
     /// Panics if `shard >= shard_count()`.
     pub fn shard_text(&self, shard: usize) -> Vec<RawDocument> {
         assert!(shard < self.config.num_shards, "shard out of range");
+        let gen_start = self.observer.as_ref().map(|_| Instant::now());
         let stream = SeedStream::new(self.world.seed())
             .child("shard")
             .index(shard as u64);
@@ -273,6 +294,14 @@ impl CorpusGenerator {
             }
         }
 
+        // The exact sentence total is known before packing; counting here
+        // keeps the observer from re-scanning document text afterwards.
+        let total_sentences: u64 = if self.observer.is_some() {
+            sentences.iter().map(|v| v.len() as u64).sum()
+        } else {
+            0
+        };
+
         // Pack region-homogeneous documents.
         let mut documents = Vec::new();
         let mut seq: u64 = 0;
@@ -299,6 +328,14 @@ impl CorpusGenerator {
                 });
                 seq += 1;
             }
+        }
+        if let (Some(obs), Some(start)) = (&self.observer, gen_start) {
+            // Shards generate inside extraction workers, so the `corpus`
+            // phase accumulates per-shard slices (it overlaps the
+            // `extract` phase rather than adding to it).
+            obs.record_phase("corpus", start.elapsed(), documents.len() as u64);
+            obs.add("corpus.documents", documents.len() as u64);
+            obs.add("corpus.sentences", total_sentences);
         }
         documents
     }
@@ -354,6 +391,23 @@ mod tests {
         let g2 = CorpusGenerator::new(world(3), CorpusConfig::default());
         assert_eq!(g1.shard_text(0), g2.shard_text(0));
         assert_eq!(g1.shard_text(5), g2.shard_text(5));
+    }
+
+    #[test]
+    fn observer_records_generation_throughput_without_changing_output() {
+        let obs = Arc::new(MetricsRegistry::new());
+        let plain = CorpusGenerator::new(world(3), CorpusConfig::default());
+        let observed =
+            CorpusGenerator::new(world(3), CorpusConfig::default()).with_observer(obs.clone());
+        assert_eq!(plain.shard_text(0), observed.shard_text(0));
+
+        let docs = obs.counter_value("corpus.documents");
+        assert_eq!(docs, plain.shard_text(0).len() as u64);
+        assert!(obs.counter_value("corpus.sentences") >= docs);
+        let report = obs.report();
+        let phase = report.phase("corpus").expect("corpus phase recorded");
+        assert_eq!(phase.items, docs);
+        assert!(phase.seconds > 0.0);
     }
 
     #[test]

@@ -108,6 +108,16 @@ impl AntonymLexicon {
     /// registered negative pole is merged, polarity-flipped, into its
     /// canonical pole's row.
     pub fn fold_table(&self, table: &EvidenceTable) -> EvidenceTable {
+        self.fold_table_counting(table).0
+    }
+
+    /// Like [`fold_table`](Self::fold_table), also reporting how many
+    /// statements were rewritten onto a canonical pole (the
+    /// `extract.antonym_rewrites` counter of [`fold_table_observed`]).
+    ///
+    /// [`fold_table_observed`]: Self::fold_table_observed
+    pub fn fold_table_counting(&self, table: &EvidenceTable) -> (EvidenceTable, u64) {
+        let mut rewrites = 0u64;
         let entries = table
             .to_entries()
             .into_iter()
@@ -117,17 +127,33 @@ impl AntonymLexicon {
                 }
                 match self.canonical_of(entry.property.head()) {
                     None => entry,
-                    Some(canonical) => EvidenceEntry {
-                        entity: entry.entity,
-                        property: Property::adjective(canonical),
-                        // Polarity flip swaps the counters.
-                        positive: entry.negative,
-                        negative: entry.positive,
-                    },
+                    Some(canonical) => {
+                        rewrites += entry.positive + entry.negative;
+                        EvidenceEntry {
+                            entity: entry.entity,
+                            property: Property::adjective(canonical),
+                            // Polarity flip swaps the counters.
+                            positive: entry.negative,
+                            negative: entry.positive,
+                        }
+                    }
                 }
             })
             .collect();
-        EvidenceTable::from_entries(entries)
+        (EvidenceTable::from_entries(entries), rewrites)
+    }
+
+    /// Like [`fold_table`](Self::fold_table), adding the number of
+    /// rewritten statements to the `extract.antonym_rewrites` counter of
+    /// `obs`.
+    pub fn fold_table_observed(
+        &self,
+        table: &EvidenceTable,
+        obs: &surveyor_obs::MetricsRegistry,
+    ) -> EvidenceTable {
+        let (folded, rewrites) = self.fold_table_counting(table);
+        obs.add("extract.antonym_rewrites", rewrites);
+        folded
     }
 }
 
@@ -183,6 +209,19 @@ mod tests {
         assert_eq!(counts.negative, 1);
         assert_eq!(folded.pair_count(), 1);
         assert_eq!(folded.total_statements(), 4);
+    }
+
+    #[test]
+    fn fold_table_observed_counts_rewrites() {
+        let lex = AntonymLexicon::core();
+        let mut table = EvidenceTable::new();
+        table.add(&stmt("big", Polarity::Positive)); // untouched
+        table.add(&stmt("small", Polarity::Positive)); // rewritten
+        table.add(&stmt("small", Polarity::Negative)); // rewritten
+        let obs = surveyor_obs::MetricsRegistry::new();
+        let folded = lex.fold_table_observed(&table, &obs);
+        assert_eq!(obs.counter_value("extract.antonym_rewrites"), 2);
+        assert_eq!(folded, lex.fold_table(&table));
     }
 
     #[test]

@@ -34,9 +34,9 @@ pub use config::{ExtractionConfig, PatternVersion, VerbSet};
 pub use evidence::{
     EvidenceCounts, EvidenceEntry, EvidenceTable, GroupKey, GroupedEvidence, Polarity, Statement,
 };
-pub use patterns::extract_sentence;
+pub use patterns::{extract_sentence, extract_sentence_counted, PatternCounts};
 pub use provenance::ProvenanceTable;
 pub use runner::{
-    extract_documents, extract_documents_full, run_sharded, run_sharded_full, ExtractionOutput,
-    ShardSource,
+    extract_documents, extract_documents_full, extract_documents_stats, run_sharded,
+    run_sharded_full, run_sharded_observed, ExtractStats, ExtractionOutput, ShardSource,
 };

@@ -204,6 +204,26 @@ fn match_amod(
     }
 }
 
+/// Per-pattern hit counters for one extraction pass. Hits are counted
+/// before deduplication — they measure how often each Figure 4 pattern
+/// fires, which the observability layer surfaces as
+/// `extract.pattern_hits.*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternCounts {
+    /// Statements produced by the adjectival-complement pattern (4b).
+    pub acomp: u64,
+    /// Statements produced by the adjectival-modifier pattern (4a).
+    pub amod: u64,
+}
+
+impl PatternCounts {
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: PatternCounts) {
+        self.acomp += other.acomp;
+        self.amod += other.amod;
+    }
+}
+
 /// Extracts all evidence statements from one annotated sentence under a
 /// configuration. Duplicate (entity, property, polarity) triples within a
 /// sentence are deduplicated.
@@ -212,13 +232,27 @@ pub fn extract_sentence(
     kb: &KnowledgeBase,
     config: &ExtractionConfig,
 ) -> Vec<Statement> {
+    extract_sentence_counted(sentence, kb, config, &mut PatternCounts::default())
+}
+
+/// Like [`extract_sentence`], also tallying which pattern produced each
+/// raw match into `counts`.
+pub fn extract_sentence_counted(
+    sentence: &AnnotatedSentence,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    counts: &mut PatternCounts,
+) -> Vec<Statement> {
     let mut out = Vec::new();
     let mut scratch = String::new();
     if config.acomp {
         match_acomp(sentence, config, &mut scratch, &mut out);
+        counts.acomp += out.len() as u64;
     }
     if config.amod {
+        let before = out.len();
         match_amod(sentence, kb, config, &mut scratch, &mut out);
+        counts.amod += (out.len() - before) as u64;
     }
     if out.len() > 1 {
         // Order on the resolved property (ids reflect discovery order), so

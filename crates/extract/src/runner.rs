@@ -9,13 +9,14 @@
 
 use crate::config::ExtractionConfig;
 use crate::evidence::EvidenceTable;
-use crate::patterns::extract_sentence;
+use crate::patterns::{extract_sentence_counted, PatternCounts};
 use crate::provenance::ProvenanceTable;
 use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use surveyor_kb::KnowledgeBase;
 use surveyor_nlp::AnnotatedDocument;
+use surveyor_obs::MetricsRegistry;
 
 /// A source of document shards that worker threads can pull from.
 ///
@@ -71,6 +72,39 @@ impl ExtractionOutput {
     }
 }
 
+/// Worker-local extraction tallies. Plain integers incremented on the
+/// hot path; flushed into a [`MetricsRegistry`] once per worker when the
+/// worker finishes, so observation adds no per-document synchronization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Documents processed.
+    pub documents: u64,
+    /// Sentences scanned.
+    pub sentences: u64,
+    /// Statements extracted (post-dedup).
+    pub statements: u64,
+    /// Raw per-pattern hits (pre-dedup).
+    pub patterns: PatternCounts,
+}
+
+impl ExtractStats {
+    fn merge(&mut self, other: ExtractStats) {
+        self.documents += other.documents;
+        self.sentences += other.sentences;
+        self.statements += other.statements;
+        self.patterns.merge(other.patterns);
+    }
+
+    /// Flushes the tallies into `extract.*` counters.
+    fn flush(&self, obs: &MetricsRegistry) {
+        obs.add("extract.documents", self.documents);
+        obs.add("extract.sentences", self.sentences);
+        obs.add("extract.statements", self.statements);
+        obs.add("extract.pattern_hits.acomp", self.patterns.acomp);
+        obs.add("extract.pattern_hits.amod", self.patterns.amod);
+    }
+}
+
 /// Extracts evidence from a document batch sequentially.
 pub fn extract_documents(
     docs: &[AnnotatedDocument],
@@ -88,10 +122,24 @@ pub fn extract_documents_full(
     kb: &KnowledgeBase,
     config: &ExtractionConfig,
 ) -> ExtractionOutput {
+    extract_documents_stats(docs, kb, config, &mut ExtractStats::default())
+}
+
+/// Like [`extract_documents_full`], also tallying throughput counters
+/// into `stats`.
+pub fn extract_documents_stats(
+    docs: &[AnnotatedDocument],
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    stats: &mut ExtractStats,
+) -> ExtractionOutput {
     let mut output = ExtractionOutput::default();
     for doc in docs {
+        stats.documents += 1;
         for sentence in &doc.sentences {
-            for statement in extract_sentence(sentence, kb, config) {
+            stats.sentences += 1;
+            for statement in extract_sentence_counted(sentence, kb, config, &mut stats.patterns) {
+                stats.statements += 1;
                 output.evidence.add(&statement);
                 output.provenance.record(&statement, doc.id);
             }
@@ -127,29 +175,63 @@ pub fn run_sharded_full<S: ShardSource>(
     config: &ExtractionConfig,
     num_threads: usize,
 ) -> ExtractionOutput {
+    run_sharded_impl(source, kb, config, num_threads, None)
+}
+
+/// Like [`run_sharded_full`], flushing per-worker [`ExtractStats`] into
+/// `obs` as `extract.*` counters when the workers join. The extracted
+/// evidence is identical to the unobserved run.
+///
+/// # Panics
+/// Panics if `num_threads == 0`.
+pub fn run_sharded_observed<S: ShardSource>(
+    source: &S,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    num_threads: usize,
+    obs: &MetricsRegistry,
+) -> ExtractionOutput {
+    run_sharded_impl(source, kb, config, num_threads, Some(obs))
+}
+
+fn run_sharded_impl<S: ShardSource>(
+    source: &S,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    num_threads: usize,
+    obs: Option<&MetricsRegistry>,
+) -> ExtractionOutput {
     assert!(num_threads > 0, "need at least one worker thread");
     let cursor = AtomicUsize::new(0);
     let result = Mutex::new(ExtractionOutput::default());
+    let stats = Mutex::new(ExtractStats::default());
     let shard_count = source.shard_count();
 
     crossbeam::scope(|scope| {
         for _ in 0..num_threads.min(shard_count.max(1)) {
             scope.spawn(|_| {
                 let mut local = ExtractionOutput::default();
+                let mut local_stats = ExtractStats::default();
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= shard_count {
                         break;
                     }
                     let docs = source.shard(idx);
-                    local.merge(extract_documents_full(&docs, kb, config));
+                    local.merge(extract_documents_stats(&docs, kb, config, &mut local_stats));
                 }
                 result.lock().merge(local);
+                if obs.is_some() {
+                    stats.lock().merge(local_stats);
+                }
             });
         }
     })
     .expect("extraction worker panicked");
 
+    if let Some(obs) = obs {
+        stats.into_inner().flush(obs);
+    }
     result.into_inner()
 }
 
@@ -238,6 +320,26 @@ mod tests {
             let par = run_sharded(&src, &kb, &config, threads);
             assert_eq!(seq, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn observed_run_matches_and_fills_counters() {
+        let kb = kb();
+        let src = source(kb.clone());
+        let config = ExtractionConfig::paper_final();
+        let plain = run_sharded_full(&src, &kb, &config, 4);
+        let obs = MetricsRegistry::new();
+        let observed = run_sharded_observed(&src, &kb, &config, 4, &obs);
+        assert_eq!(plain, observed);
+        assert_eq!(obs.counter_value("extract.documents"), 40);
+        assert!(obs.counter_value("extract.sentences") >= 40);
+        assert_eq!(
+            obs.counter_value("extract.statements"),
+            observed.evidence.total_statements()
+        );
+        // Every statement in this fixture comes from the acomp pattern
+        // ("Kittens are cute"), none from amod.
+        assert!(obs.counter_value("extract.pattern_hits.acomp") > 0);
     }
 
     #[test]

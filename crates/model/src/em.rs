@@ -53,6 +53,31 @@ impl Default for EmConfig {
     }
 }
 
+/// Why an EM run stopped — the convergence telemetry surfaced per
+/// (type, property) group in run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConvergenceReason {
+    /// No parameter component moved more than the configured tolerance
+    /// (the early exit Algorithm 2 aims for).
+    Tolerance,
+    /// The iteration budget `X` ran out before the tolerance was met.
+    MaxIterations,
+    /// Degenerate evidence: no grid point produced a valid M-step, so
+    /// the current parameters were kept and iteration stopped.
+    Degenerate,
+}
+
+impl ConvergenceReason {
+    /// Stable lowercase label used in serialized run reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Tolerance => "tolerance",
+            Self::MaxIterations => "max_iterations",
+            Self::Degenerate => "degenerate",
+        }
+    }
+}
+
 /// Result of an EM fit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EmFit {
@@ -64,6 +89,15 @@ pub struct EmFit {
     /// useful for regression tests and the likelihood-monotonicity
     /// property test.
     pub q_trace: Vec<f64>,
+    /// Largest parameter movement per iteration (parallel to `q_trace`
+    /// except for the degenerate-stop case, where the final iteration
+    /// records neither).
+    pub delta_trace: Vec<f64>,
+    /// Why the winning restart stopped iterating.
+    pub converged: ConvergenceReason,
+    /// Mixture log-likelihood of the returned parameters — the restart
+    /// selection criterion, exposed so run reports need not recompute it.
+    pub log_likelihood: f64,
 }
 
 /// Sufficient statistics of one E-step.
@@ -172,8 +206,9 @@ pub fn fit(counts: &[ObservedCounts], config: &EmConfig) -> EmFit {
     };
     let mut best: Option<(f64, EmFit)> = None;
     for &share in shares {
-        let candidate = fit_from(counts, config, share);
+        let mut candidate = fit_from(counts, config, share);
         let ll = mixture_log_likelihood(counts, &candidate.params);
+        candidate.log_likelihood = ll;
         if best.as_ref().is_none_or(|(b, _)| ll > *b) {
             best = Some((ll, candidate));
         }
@@ -185,7 +220,9 @@ pub fn fit(counts: &[ObservedCounts], config: &EmConfig) -> EmFit {
 fn fit_from(counts: &[ObservedCounts], config: &EmConfig, share: f64) -> EmFit {
     let mut params = initial_guess(counts, share);
     let mut q_trace = Vec::new();
+    let mut delta_trace = Vec::new();
     let mut iterations = 0;
+    let mut converged = ConvergenceReason::MaxIterations;
 
     for _ in 0..config.max_iterations {
         iterations += 1;
@@ -205,6 +242,7 @@ fn fit_from(counts: &[ObservedCounts], config: &EmConfig, share: f64) -> EmFit {
         let Some((q, next)) = best else {
             // Degenerate evidence (e.g. no statements at all): keep the
             // current parameters and stop.
+            converged = ConvergenceReason::Degenerate;
             break;
         };
         q_trace.push(q);
@@ -213,8 +251,10 @@ fn fit_from(counts: &[ObservedCounts], config: &EmConfig, share: f64) -> EmFit {
             .abs()
             .max((next.rate_pos - params.rate_pos).abs())
             .max((next.rate_neg - params.rate_neg).abs());
+        delta_trace.push(delta);
         params = next;
         if delta < config.tolerance {
+            converged = ConvergenceReason::Tolerance;
             break;
         }
     }
@@ -223,6 +263,11 @@ fn fit_from(counts: &[ObservedCounts], config: &EmConfig, share: f64) -> EmFit {
         params,
         iterations,
         q_trace,
+        delta_trace,
+        converged,
+        // Overwritten by `fit` with the mixture likelihood once the
+        // winning restart is known.
+        log_likelihood: f64::NEG_INFINITY,
     }
 }
 
@@ -344,6 +389,33 @@ mod tests {
         let before = mixture_log_likelihood(&counts, &initial);
         let after = mixture_log_likelihood(&counts, &fit.params);
         assert!(after >= before, "before={before} after={after}");
+    }
+
+    #[test]
+    fn convergence_telemetry_is_recorded() {
+        let truth = ModelParams::new(0.9, 80.0, 6.0);
+        let (counts, _) = sample_counts(&truth, 0.4, 500, 31);
+        let fit = fit(&counts, &EmConfig::default());
+        // A well-separated sample converges on tolerance well before the
+        // iteration budget.
+        assert_eq!(fit.converged, ConvergenceReason::Tolerance);
+        assert_eq!(fit.delta_trace.len(), fit.iterations);
+        assert!(*fit.delta_trace.last().unwrap() < EmConfig::default().tolerance);
+        assert!(fit.log_likelihood.is_finite());
+        assert_eq!(
+            fit.log_likelihood,
+            mixture_log_likelihood(&counts, &fit.params)
+        );
+
+        // An exhausted budget reports max_iterations.
+        let strict = EmConfig {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..EmConfig::default()
+        };
+        let fit = fit_from(&counts, &strict, 0.5);
+        assert_eq!(fit.converged, ConvergenceReason::MaxIterations);
+        assert_eq!(fit.converged.as_str(), "max_iterations");
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Value histograms with nearest-rank percentiles.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A recording histogram: observations are kept exactly (the pipeline
+/// records thousands of values per run, not millions), and percentiles
+/// are computed on demand by nearest rank over the sorted values.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    values: Mutex<Vec<f64>>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        self.values.lock().push(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.values.lock().len() as u64
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) by the nearest-rank definition:
+    /// the `ceil(q·n)`-th smallest observation. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let mut values = self.values.lock().clone();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        Some(values[rank - 1])
+    }
+
+    /// A serializable summary (count, extrema, mean, p50/p90/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        let mut values = self.values.lock().clone();
+        if values.is_empty() {
+            return HistogramSummary::default();
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        let rank = |q: f64| values[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        HistogramSummary {
+            count: n as u64,
+            min: values[0],
+            max: values[n - 1],
+            mean: values.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        }
+    }
+}
+
+/// Point-in-time digest of a [`Histogram`], as embedded in run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile (nearest rank).
+    pub p90: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_empty_summary() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.percentile(0.50), Some(50.0));
+        assert_eq!(h.percentile(0.90), Some(90.0));
+        assert_eq!(h.percentile(0.99), Some(99.0));
+        assert_eq!(h.percentile(1.0), Some(100.0));
+        // Tiny quantiles clamp to the smallest observation.
+        assert_eq!(h.percentile(0.001), Some(1.0));
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max), (100, 1.0, 100.0));
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_is_every_percentile() {
+        let h = Histogram::new();
+        h.observe(7.0);
+        assert_eq!(h.percentile(0.5), Some(7.0));
+        assert_eq!(h.percentile(0.99), Some(7.0));
+        let s = h.summary();
+        assert_eq!((s.p50, s.p90, s.p99), (7.0, 7.0, 7.0));
+    }
+}

@@ -1,0 +1,69 @@
+//! Cross-thread behavior of the metrics registry: the registry is shared
+//! by extraction and interpretation workers, so counter increments,
+//! histogram observations, and phase records must all merge losslessly
+//! under contention.
+
+use std::sync::Arc;
+use std::time::Duration;
+use surveyor_obs::MetricsRegistry;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let reg = Arc::new(MetricsRegistry::new());
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 10_000;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                // Resolve the handle once, like a hot loop should.
+                let counter = reg.counter("docs");
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+                reg.add("shards", 1);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(reg.counter_value("docs"), THREADS as u64 * INCREMENTS);
+    assert_eq!(reg.counter_value("shards"), THREADS as u64);
+}
+
+#[test]
+fn concurrent_histogram_and_phase_records_merge() {
+    let reg = Arc::new(MetricsRegistry::new());
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 250;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    reg.observe("em.iterations", (t * PER_THREAD + i) as f64);
+                }
+                reg.record_phase("model", Duration::from_millis(1), PER_THREAD);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = reg.report();
+    let hist = &report.histograms["em.iterations"];
+    assert_eq!(hist.count, THREADS * PER_THREAD);
+    assert_eq!(hist.min, 0.0);
+    assert_eq!(hist.max, (THREADS * PER_THREAD - 1) as f64);
+
+    // All four per-worker slices merged into one phase row.
+    assert_eq!(report.phases.len(), 1);
+    let model = report.phase("model").unwrap();
+    assert_eq!(model.items, THREADS * PER_THREAD);
+    assert!((model.seconds - 0.004).abs() < 1e-3);
+}

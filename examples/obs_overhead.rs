@@ -1,0 +1,40 @@
+//! In-process overhead check: observed vs plain Surveyor::run.
+use std::sync::Arc;
+use std::time::Instant;
+use surveyor::obs::MetricsRegistry;
+use surveyor::prelude::*;
+use surveyor::CorpusSource;
+use surveyor_corpus::presets;
+
+fn main() {
+    let world = presets::table2_world(2015);
+    let kb = world.kb().clone();
+    let config = SurveyorConfig {
+        rho: 100,
+        ..SurveyorConfig::default()
+    };
+    let mut plain_best = f64::INFINITY;
+    let mut obs_best = f64::INFINITY;
+    for _ in 0..15 {
+        let generator = CorpusGenerator::new(world.clone(), CorpusConfig::default());
+        let s = Surveyor::new(kb.clone(), config.clone());
+        let t = Instant::now();
+        let out = s.run(&CorpusSource::new(&generator));
+        plain_best = plain_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let generator =
+            CorpusGenerator::new(world.clone(), CorpusConfig::default()).with_observer(reg.clone());
+        let s = Surveyor::new(kb.clone(), config.clone()).with_observer(reg.clone());
+        let t = Instant::now();
+        let out = s.run(&CorpusSource::new(&generator));
+        obs_best = obs_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+        std::hint::black_box(reg.report());
+    }
+    println!(
+        "plain {plain_best:.4}s observed {obs_best:.4}s overhead {:.2}%",
+        100.0 * (obs_best / plain_best - 1.0)
+    );
+}
