@@ -9,25 +9,80 @@ pub struct Cli {
     pub command: Command,
 }
 
+/// How `mine` treats shards that exhaust their attempt budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicyArg {
+    /// Abort on the first failed shard (the default: identical behavior
+    /// to a run without the fault-tolerance flags).
+    #[default]
+    FailFast,
+    /// Quarantine failed shards and keep going while coverage stays at
+    /// or above `--min-shard-coverage`.
+    Degrade,
+}
+
+impl std::str::FromStr for FailurePolicyArg {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "failfast" | "fail-fast" => Ok(Self::FailFast),
+            "degrade" => Ok(Self::Degrade),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Everything `surveyor mine` / `surveyor run` takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineArgs {
+    /// Preset name: `table2`, `cities`, or `longtail`.
+    pub preset: String,
+    /// Output JSON path (stdout when absent).
+    pub out: Option<String>,
+    /// Master seed.
+    pub seed: u64,
+    /// Occurrence threshold ρ.
+    pub rho: u64,
+    /// Corpus shards.
+    pub shards: usize,
+    /// Run-report destination: a JSON path, or `-` for a human table
+    /// on stdout (no report when absent).
+    pub report: Option<String>,
+    /// Restrict mining to one author region (§2 region-specific mode).
+    pub region: Option<String>,
+    /// What to do when a shard exhausts its attempt budget.
+    pub failure_policy: FailurePolicyArg,
+    /// Minimum fraction of shards that must survive under `degrade`.
+    pub min_shard_coverage: f64,
+    /// Seed for the fault-injection harness (`--chaos-seed`, or the
+    /// `SURVEYOR_CHAOS_SEED` environment variable as a fallback).
+    pub chaos_seed: Option<u64>,
+}
+
+impl MineArgs {
+    /// Args for `preset` with every flag at its CLI default.
+    pub fn new(preset: &str) -> Self {
+        Self {
+            preset: preset.to_owned(),
+            out: None,
+            seed: 2015,
+            rho: 100,
+            shards: 8,
+            report: None,
+            region: None,
+            failure_policy: FailurePolicyArg::default(),
+            min_shard_coverage: 0.9,
+            chaos_seed: None,
+        }
+    }
+}
+
 /// Subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Mine a preset world into a subjective knowledge base.
-    Mine {
-        /// Preset name: `table2`, `cities`, or `longtail`.
-        preset: String,
-        /// Output JSON path (stdout when absent).
-        out: Option<String>,
-        /// Master seed.
-        seed: u64,
-        /// Occurrence threshold ρ.
-        rho: u64,
-        /// Corpus shards.
-        shards: usize,
-        /// Run-report destination: a JSON path, or `-` for a human table
-        /// on stdout (no report when absent).
-        report: Option<String>,
-    },
+    Mine(MineArgs),
     /// Query a mined store.
     Query {
         /// Store JSON path.
@@ -105,7 +160,8 @@ impl fmt::Display for ParseError {
 pub const USAGE: &str = "\
 usage:
   surveyor mine   --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
-  surveyor run    [--preset NAME] [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
+                  [--region NAME] [--failure-policy failfast|degrade] [--min-shard-coverage F] [--chaos-seed N]
+  surveyor run    [--preset NAME] [mine flags...]
   surveyor query  --store FILE --type NAME --property ADJ [--negative] [--limit N]
   surveyor combos --store FILE
   surveyor corpus --preset NAME [--seed N] [--shard N] [--limit N]
@@ -183,21 +239,53 @@ impl Cli {
             name @ ("mine" | "run") => {
                 let flags = Flags::parse(rest, &[])?;
                 flags.validate_known(&[
-                    "--preset", "--out", "--seed", "--rho", "--shards", "--report",
+                    "--preset",
+                    "--out",
+                    "--seed",
+                    "--rho",
+                    "--shards",
+                    "--report",
+                    "--region",
+                    "--failure-policy",
+                    "--min-shard-coverage",
+                    "--chaos-seed",
                 ])?;
                 let preset = if name == "run" {
                     flags.take("--preset").unwrap_or("table2").to_owned()
                 } else {
                     flags.required("--preset")?
                 };
-                Command::Mine {
+                let failure_policy = match flags.take("--failure-policy") {
+                    None => FailurePolicyArg::default(),
+                    Some(v) => v.parse().map_err(|()| {
+                        ParseError::BadValue("--failure-policy".to_owned(), v.to_owned())
+                    })?,
+                };
+                let min_shard_coverage: f64 = flags.numeric("--min-shard-coverage", 0.9)?;
+                if !(0.0..=1.0).contains(&min_shard_coverage) {
+                    return Err(ParseError::BadValue(
+                        "--min-shard-coverage".to_owned(),
+                        min_shard_coverage.to_string(),
+                    ));
+                }
+                let chaos_seed = match flags.take("--chaos-seed") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        ParseError::BadValue("--chaos-seed".to_owned(), v.to_owned())
+                    })?),
+                };
+                Command::Mine(MineArgs {
                     preset,
                     out: flags.take("--out").map(str::to_owned),
                     seed: flags.numeric("--seed", 2015)?,
                     rho: flags.numeric("--rho", 100)?,
                     shards: flags.numeric("--shards", 8)?,
                     report: flags.take("--report").map(str::to_owned),
-                }
+                    region: flags.take("--region").map(str::to_owned),
+                    failure_policy,
+                    min_shard_coverage,
+                    chaos_seed,
+                })
             }
             "query" => {
                 let flags = Flags::parse(rest, &["--negative"])?;
@@ -261,33 +349,23 @@ mod tests {
     #[test]
     fn mine_with_defaults() {
         let cli = parse(&["mine", "--preset", "table2"]).unwrap();
-        assert_eq!(
-            cli.command,
-            Command::Mine {
-                preset: "table2".into(),
-                out: None,
-                seed: 2015,
-                rho: 100,
-                shards: 8,
-                report: None,
-            }
-        );
+        assert_eq!(cli.command, Command::Mine(MineArgs::new("table2")));
     }
 
     #[test]
     fn run_defaults_preset_and_takes_report() {
         let cli = parse(&["run", "--report", "out.json"]).unwrap();
         match cli.command {
-            Command::Mine { preset, report, .. } => {
-                assert_eq!(preset, "table2");
-                assert_eq!(report.as_deref(), Some("out.json"));
+            Command::Mine(args) => {
+                assert_eq!(args.preset, "table2");
+                assert_eq!(args.report.as_deref(), Some("out.json"));
             }
             other => panic!("unexpected {other:?}"),
         }
         // `run` still honors an explicit preset; `mine` still requires one.
         let cli = parse(&["run", "--preset", "cities"]).unwrap();
         match cli.command {
-            Command::Mine { preset, .. } => assert_eq!(preset, "cities"),
+            Command::Mine(args) => assert_eq!(args.preset, "cities"),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(parse(&["mine"]), Err(ParseError::MissingFlag("--preset")));
@@ -301,21 +379,65 @@ mod tests {
         ])
         .unwrap();
         match cli.command {
-            Command::Mine {
-                preset,
-                out,
-                seed,
-                rho,
-                shards,
-                report,
-            } => {
-                assert_eq!(preset, "cities");
-                assert_eq!(out.as_deref(), Some("s.json"));
-                assert_eq!((seed, rho, shards), (7, 40, 2));
-                assert_eq!(report, None);
+            Command::Mine(args) => {
+                assert_eq!(args.preset, "cities");
+                assert_eq!(args.out.as_deref(), Some("s.json"));
+                assert_eq!((args.seed, args.rho, args.shards), (7, 40, 2));
+                assert_eq!(args.report, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn mine_fault_tolerance_flags() {
+        let cli = parse(&[
+            "mine",
+            "--preset",
+            "table2",
+            "--region",
+            "west",
+            "--failure-policy",
+            "degrade",
+            "--min-shard-coverage",
+            "0.75",
+            "--chaos-seed",
+            "99",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Mine(args) => {
+                assert_eq!(args.region.as_deref(), Some("west"));
+                assert_eq!(args.failure_policy, FailurePolicyArg::Degrade);
+                assert_eq!(args.min_shard_coverage, 0.75);
+                assert_eq!(args.chaos_seed, Some(99));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Both spellings of fail-fast parse; junk does not.
+        for spelling in ["failfast", "fail-fast"] {
+            let cli = parse(&["mine", "--preset", "table2", "--failure-policy", spelling]);
+            match cli.unwrap().command {
+                Command::Mine(args) => {
+                    assert_eq!(args.failure_policy, FailurePolicyArg::FailFast)
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(
+            parse(&["mine", "--preset", "table2", "--failure-policy", "shrug"]),
+            Err(ParseError::BadValue(
+                "--failure-policy".into(),
+                "shrug".into()
+            ))
+        );
+        assert_eq!(
+            parse(&["mine", "--preset", "table2", "--min-shard-coverage", "1.5"]),
+            Err(ParseError::BadValue(
+                "--min-shard-coverage".into(),
+                "1.5".into()
+            ))
+        );
     }
 
     #[test]
@@ -371,7 +493,7 @@ mod tests {
     fn last_flag_occurrence_wins() {
         let cli = parse(&["mine", "--preset", "a", "--preset", "b"]).unwrap();
         match cli.command {
-            Command::Mine { preset, .. } => assert_eq!(preset, "b"),
+            Command::Mine(args) => assert_eq!(args.preset, "b"),
             other => panic!("unexpected {other:?}"),
         }
     }

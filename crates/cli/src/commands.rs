@@ -1,51 +1,54 @@
 //! Command implementations.
 
+use crate::args::{FailurePolicyArg, MineArgs};
+use crate::error::CliError;
 use std::sync::Arc;
 use surveyor::obs::MetricsRegistry;
 use surveyor::prelude::*;
-use surveyor::{link_objective, CorpusSource, LinkDirection, SubjectiveKb};
+use surveyor::{link_objective, LinkDirection, SubjectiveKb};
 use surveyor_corpus::{presets, World};
 
 /// Builds a preset world by name.
-fn preset_world(preset: &str, seed: u64) -> Result<World, String> {
+fn preset_world(preset: &str, seed: u64) -> Result<World, CliError> {
     match preset {
         "table2" => Ok(presets::table2_world(seed)),
         "cities" => Ok(presets::big_cities_world(seed)),
         "longtail" => Ok(presets::long_tail_world(40, 120, 8, seed)),
-        other => Err(format!(
+        other => Err(CliError::Usage(format!(
             "unknown preset: {other} (expected table2, cities, or longtail)"
-        )),
+        ))),
     }
 }
 
+/// The chaos seed in effect: the `--chaos-seed` flag, or the
+/// `SURVEYOR_CHAOS_SEED` environment variable as a fallback (how the
+/// verify script's chaos gate switches injection on without touching
+/// every invocation).
+fn chaos_seed(args: &MineArgs) -> Option<u64> {
+    args.chaos_seed.or_else(|| {
+        std::env::var("SURVEYOR_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
 fn mine_store(
-    preset: &str,
-    seed: u64,
-    rho: u64,
-    shards: usize,
+    args: &MineArgs,
     observer: Option<Arc<MetricsRegistry>>,
-) -> Result<
-    (
-        SubjectiveKb,
-        surveyor::SurveyorOutput,
-        Arc<KnowledgeBase>,
-        World,
-    ),
-    String,
-> {
-    let world = preset_world(preset, seed)?;
+) -> Result<(SubjectiveKb, SurveyorRun, Arc<KnowledgeBase>, World), CliError> {
+    let world = preset_world(&args.preset, args.seed)?;
     let kb = world.kb().clone();
     let mut generator = CorpusGenerator::new(
         world.clone(),
         CorpusConfig {
-            num_shards: shards.max(1),
+            num_shards: args.shards.max(1),
             ..CorpusConfig::default()
         },
     );
     let mut surveyor = Surveyor::new(
         kb.clone(),
         SurveyorConfig {
-            rho,
+            rho: args.rho,
             ..SurveyorConfig::default()
         },
     );
@@ -53,51 +56,81 @@ fn mine_store(
         generator = generator.with_observer(obs.clone());
         surveyor = surveyor.with_observer(obs);
     }
-    let output = surveyor.run(&CorpusSource::new(&generator));
-    let store = SubjectiveKb::from_output(&output, &kb);
-    Ok((store, output, kb, world))
+    let source = match &args.region {
+        Some(region) => CorpusSource::try_for_region(&generator, region)
+            .map_err(|e| CliError::Usage(e.to_string()))?,
+        None => CorpusSource::new(&generator),
+    };
+    let retry = RetryPolicy::default();
+    let policy = match args.failure_policy {
+        FailurePolicyArg::FailFast => FailurePolicy::FailFast,
+        FailurePolicyArg::Degrade => FailurePolicy::Degrade {
+            min_shard_coverage: args.min_shard_coverage,
+        },
+    };
+    let run = match chaos_seed(args) {
+        Some(seed) => {
+            let injector =
+                FaultInjector::new(source, FaultPlan::from_seed(seed, generator.shard_count()));
+            surveyor.try_run(&injector, &retry, &policy)?
+        }
+        None => surveyor.try_run(&source, &retry, &policy)?,
+    };
+    let store = SubjectiveKb::from_output(&run.output, &kb);
+    Ok((store, run, kb, world))
 }
 
 /// `surveyor mine` / `surveyor run`
-pub fn mine(
-    preset: &str,
-    out: Option<&str>,
-    seed: u64,
-    rho: u64,
-    shards: usize,
-    report: Option<&str>,
-) -> Result<String, String> {
-    let registry = report.map(|_| Arc::new(MetricsRegistry::new()));
-    let (store, output, _, _) = mine_store(preset, seed, rho, shards, registry.clone())?;
+pub fn mine(args: &MineArgs) -> Result<String, CliError> {
+    let registry = args
+        .report
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let (store, run, _, _) = mine_store(args, registry.clone())?;
     let json = store.to_json();
     let mut summary = format!(
-        "mined {} statements into {} associations over {} combinations (rho = {rho})",
-        output.evidence.total_statements(),
+        "mined {} statements into {} associations over {} combinations (rho = {})",
+        run.output.evidence.total_statements(),
         store.len(),
         store.blocks().len(),
+        args.rho,
     );
-    if let (Some(dest), Some(registry)) = (report, &registry) {
+    let coverage = &run.coverage;
+    if coverage.succeeded < coverage.shard_count || coverage.retries > 0 {
+        summary.push_str(&format!(
+            "\nshard coverage {:.3} ({}/{}); retries {}; quarantined {:?}",
+            coverage.fraction(),
+            coverage.succeeded,
+            coverage.shard_count,
+            coverage.retries,
+            coverage.quarantined_shards(),
+        ));
+    }
+    if let (Some(dest), Some(registry)) = (args.report.as_deref(), &registry) {
         let run_report = registry.report();
         if dest == "-" {
             summary = format!("{}\n{summary}", run_report.render());
         } else {
             std::fs::write(dest, run_report.to_json())
-                .map_err(|e| format!("cannot write {dest}: {e}"))?;
+                .map_err(|e| CliError::Io(format!("cannot write {dest}: {e}")))?;
             summary.push_str(&format!("\nwrote run report to {dest}"));
         }
     }
-    match out {
+    match args.out.as_deref() {
         Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
             Ok(format!("{summary}\nwrote {path}"))
         }
         None => Ok(format!("{summary}\n{json}")),
     }
 }
 
-fn load_store(path: &str) -> Result<SubjectiveKb, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    SubjectiveKb::from_json(&json).map_err(|e| format!("invalid store {path}: {e}"))
+fn load_store(path: &str) -> Result<SubjectiveKb, CliError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    SubjectiveKb::from_json(&json)
+        .map_err(|e| CliError::InvalidInput(format!("invalid store {path}: {e}")))
 }
 
 /// `surveyor query`
@@ -107,9 +140,10 @@ pub fn query(
     property: &str,
     negative: bool,
     limit: usize,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let store = load_store(store_path)?;
-    let property = Property::parse(property).ok_or("empty property")?;
+    let property =
+        Property::parse(property).ok_or_else(|| CliError::Usage("empty property".to_owned()))?;
     let hits = if negative {
         store.query_negative(type_name, &property)
     } else {
@@ -153,7 +187,7 @@ pub fn query(
 }
 
 /// `surveyor combos`
-pub fn combos(store_path: &str) -> Result<String, String> {
+pub fn combos(store_path: &str) -> Result<String, CliError> {
     let store = load_store(store_path)?;
     let mut out = format!("{} combinations:\n", store.blocks().len());
     for block in store.blocks() {
@@ -173,14 +207,14 @@ pub fn combos(store_path: &str) -> Result<String, String> {
 }
 
 /// `surveyor corpus`
-pub fn corpus(preset: &str, seed: u64, shard: usize, limit: usize) -> Result<String, String> {
+pub fn corpus(preset: &str, seed: u64, shard: usize, limit: usize) -> Result<String, CliError> {
     let world = preset_world(preset, seed)?;
     let generator = CorpusGenerator::new(world, CorpusConfig::default());
     if shard >= generator.shard_count() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "shard {shard} out of range (corpus has {} shards)",
             generator.shard_count()
-        ));
+        )));
     }
     let docs = generator.shard_text(shard);
     let mut out = format!(
@@ -196,21 +230,33 @@ pub fn corpus(preset: &str, seed: u64, shard: usize, limit: usize) -> Result<Str
 }
 
 /// `surveyor link`
-pub fn link(preset: &str, attribute: &str, seed: u64, rho: u64) -> Result<String, String> {
+pub fn link(preset: &str, attribute: &str, seed: u64, rho: u64) -> Result<String, CliError> {
     if preset != "cities" {
-        return Err("`link` currently supports --preset cities (population)".to_owned());
+        return Err(CliError::Usage(
+            "`link` currently supports --preset cities (population)".to_owned(),
+        ));
     }
-    let (_, output, kb, world) = mine_store(preset, seed, rho, 8, None)?;
+    let args = MineArgs {
+        seed,
+        rho,
+        ..MineArgs::new(preset)
+    };
+    let (_, run, kb, world) = mine_store(&args, None)?;
     let domain = &world.domains()[0];
     let link = link_objective(
-        &output,
+        &run.output,
         &kb,
         domain.type_id,
         &domain.property,
         attribute,
         10,
     )
-    .ok_or_else(|| format!("no {attribute} link found for `{}`", domain.property))?;
+    .ok_or_else(|| {
+        CliError::InvalidInput(format!(
+            "no {attribute} link found for `{}`",
+            domain.property
+        ))
+    })?;
     Ok(format!(
         "`{} {}` aligns with {attribute} {} {:.0}\n\
          agreement {:.1}% over {} decided entities\n\
@@ -258,7 +304,14 @@ mod tests {
         let path_str = path.to_str().unwrap();
 
         // Small, fast configuration.
-        let summary = mine("cities", Some(path_str), 5, 40, 2, None).unwrap();
+        let args = MineArgs {
+            out: Some(path_str.to_owned()),
+            seed: 5,
+            rho: 40,
+            shards: 2,
+            ..MineArgs::new("cities")
+        };
+        let summary = mine(&args).unwrap();
         assert!(summary.contains("mined"), "{summary}");
 
         let out = query(path_str, "city", "big", false, 5).unwrap();
@@ -293,7 +346,14 @@ mod tests {
         let report_path = dir.join("report.json");
         let report_str = report_path.to_str().unwrap();
 
-        let summary = mine("cities", None, 5, 40, 2, Some(report_str)).unwrap();
+        let args = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: 2,
+            report: Some(report_str.to_owned()),
+            ..MineArgs::new("cities")
+        };
+        let summary = mine(&args).unwrap();
         assert!(summary.contains("wrote run report"), "{summary}");
         let json = std::fs::read_to_string(&report_path).unwrap();
         let report = surveyor::obs::RunReport::from_json(&json).unwrap();
@@ -307,9 +367,57 @@ mod tests {
 
     #[test]
     fn mine_report_dash_renders_a_table() {
-        let out = mine("cities", None, 5, 40, 2, Some("-")).unwrap();
+        let args = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: 2,
+            report: Some("-".to_owned()),
+            ..MineArgs::new("cities")
+        };
+        let out = mine(&args).unwrap();
         assert!(out.contains("phase"), "{out}");
         assert!(out.contains("extract"), "{out}");
         assert!(out.contains("EM convergence"), "{out}");
+    }
+
+    #[test]
+    fn mine_unknown_region_is_a_usage_error_listing_known_regions() {
+        let args = MineArgs {
+            region: Some("atlantis".to_owned()),
+            ..MineArgs::new("table2")
+        };
+        match mine(&args) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("unknown region: atlantis"), "{msg}");
+                assert!(msg.contains("known regions:"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mine_under_chaos_degrades_and_reports_coverage() {
+        let args = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: 4,
+            chaos_seed: Some(7),
+            failure_policy: FailurePolicyArg::Degrade,
+            min_shard_coverage: 0.0,
+            ..MineArgs::new("cities")
+        };
+        let summary = mine(&args).unwrap();
+        assert!(summary.contains("mined"), "{summary}");
+        // The summary carries the coverage line exactly when the seeded
+        // plan costs the run retries or shards.
+        let plan = FaultPlan::from_seed(7, 4);
+        let max_attempts = RetryPolicy::default().max_attempts;
+        if plan.expected_retries(max_attempts) > 0
+            || !plan.expected_quarantine(max_attempts).is_empty()
+        {
+            assert!(summary.contains("shard coverage"), "{summary}");
+        } else {
+            assert!(!summary.contains("shard coverage"), "{summary}");
+        }
     }
 }

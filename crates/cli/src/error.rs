@@ -1,0 +1,72 @@
+//! The CLI's error type: every failure a command can hit, with the
+//! process exit code it maps to.
+
+use std::fmt;
+use surveyor::RunError;
+
+/// Why a CLI command failed. [`exit_code`](Self::exit_code) follows the
+/// sysexits-ish convention the scripts rely on: bad invocations exit 2,
+/// environment/data trouble exits 1, and a pipeline that ran but failed
+/// under its failure policy exits 3 — so a chaos harness can tell "you
+/// typed it wrong" from "the run degraded past its floor".
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// The invocation itself is wrong: unknown preset, unknown region,
+    /// out-of-range value. Exits 2.
+    Usage(String),
+    /// The filesystem let us down (unreadable store, unwritable output).
+    /// Exits 1.
+    Io(String),
+    /// An input file exists but does not parse. Exits 1.
+    InvalidInput(String),
+    /// The pipeline ran and failed under its failure policy. Exits 3.
+    Run(RunError),
+}
+
+impl CliError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Self::Usage(_) => 2,
+            Self::Io(_) | Self::InvalidInput(_) => 1,
+            Self::Run(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) | Self::Io(msg) | Self::InvalidInput(msg) => f.write_str(msg),
+            Self::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        Self::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(CliError::Usage("bad".into()).exit_code(), 2);
+        assert_eq!(CliError::Io("gone".into()).exit_code(), 1);
+        assert_eq!(CliError::InvalidInput("mangled".into()).exit_code(), 1);
+        let run = CliError::Run(RunError::CoverageBelowFloor {
+            succeeded: 3,
+            shard_count: 8,
+            min_shard_coverage: 0.9,
+            quarantined: vec![1, 2, 4, 5, 7],
+        });
+        assert_eq!(run.exit_code(), 3);
+        assert!(run.to_string().contains("coverage"));
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! surveyor mine   --preset table2 --out store.json [--seed N] [--rho N] [--shards N] [--report FILE|-]
-//! surveyor run    [--preset NAME] [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
+//!                 [--region NAME] [--failure-policy failfast|degrade] [--min-shard-coverage F] [--chaos-seed N]
+//! surveyor run    [--preset NAME] [mine flags...]
 //! surveyor query  --store store.json --type city --property big [--negative] [--limit N]
 //! surveyor combos --store store.json
 //! surveyor corpus --preset table2 [--seed N] [--shard N] [--limit N]
@@ -10,34 +11,24 @@
 //! ```
 //!
 //! Argument parsing and command execution live here so they are unit
-//! testable; `main.rs` is a thin shim.
+//! testable; `main.rs` is a thin shim. Failures map to exit codes via
+//! [`CliError::exit_code`]: usage errors exit 2, environment/data errors
+//! exit 1, and a pipeline failing under its failure policy exits 3.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
-pub use args::{Cli, Command, ParseError};
+pub use args::{Cli, Command, FailurePolicyArg, MineArgs, ParseError};
+pub use error::CliError;
 
 /// Runs a parsed command, returning the text to print.
-pub fn run(cli: &Cli) -> Result<String, String> {
+pub fn run(cli: &Cli) -> Result<String, CliError> {
     match &cli.command {
-        Command::Mine {
-            preset,
-            out,
-            seed,
-            rho,
-            shards,
-            report,
-        } => commands::mine(
-            preset,
-            out.as_deref(),
-            *seed,
-            *rho,
-            *shards,
-            report.as_deref(),
-        ),
+        Command::Mine(args) => commands::mine(args),
         Command::Query {
             store,
             type_name,

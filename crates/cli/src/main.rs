@@ -18,7 +18,8 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            // A malformed invocation is a usage error: exit 2.
+            return ExitCode::from(2);
         }
     };
     match run(&cli) {
@@ -28,7 +29,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -81,19 +81,28 @@ pub mod source;
 pub mod store;
 
 pub use objective::{adjudicate_with_link, link_objective, LinkDirection, ObjectiveLink};
-pub use pipeline::{DomainResult, OpinionTriple, Surveyor, SurveyorConfig, SurveyorOutput};
-pub use source::CorpusSource;
+pub use pipeline::{
+    DomainResult, OpinionTriple, Surveyor, SurveyorConfig, SurveyorOutput, SurveyorRun,
+};
+pub use source::{CorpusSource, UnknownRegion};
 pub use store::{CombinationBlock, StoredOpinion, SubjectiveKb};
+pub use surveyor_extract::{
+    FailurePolicy, FallibleShardSource, Fault, FaultInjector, FaultPlan, QuarantinedShard,
+    RetryPolicy, RunError, ShardCoverage, ShardError,
+};
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::pipeline::{Surveyor, SurveyorConfig, SurveyorOutput};
-    pub use crate::source::CorpusSource;
+    pub use crate::pipeline::{Surveyor, SurveyorConfig, SurveyorOutput, SurveyorRun};
+    pub use crate::source::{CorpusSource, UnknownRegion};
     pub use surveyor_corpus::{
         CorpusConfig, CorpusGenerator, DomainParams, OpinionRule, PopularityRule, World,
         WorldBuilder,
     };
     pub use surveyor_extract::{ExtractionConfig, PatternVersion};
+    pub use surveyor_extract::{
+        FailurePolicy, FaultInjector, FaultPlan, RetryPolicy, RunError, ShardCoverage,
+    };
     pub use surveyor_kb::{EntityId, KnowledgeBase, KnowledgeBaseBuilder, Property, TypeId};
     pub use surveyor_model::{Decision, EmConfig, ModelParams, OpinionModel, SurveyorModel};
     pub use surveyor_obs::{MetricsRegistry, RunReport};

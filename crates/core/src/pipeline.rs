@@ -18,15 +18,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use surveyor_extract::{
-    run_sharded_full, run_sharded_observed, EvidenceTable, ExtractionConfig, GroupKey,
-    GroupedEvidence, ProvenanceTable, ShardSource,
+    run_sharded_fault_tolerant, run_sharded_full, run_sharded_observed, EvidenceTable,
+    ExtractionConfig, FailurePolicy, FallibleShardSource, GroupKey, GroupedEvidence,
+    ProvenanceTable, RetryPolicy, RunError, ShardCoverage, ShardSource,
 };
 use surveyor_kb::{EntityId, KnowledgeBase, Property, PropertyId};
 use surveyor_model::{
     decide, posterior_positive, Decision, EmConfig, EmFit, ModelDecision, ObservedCounts,
     SurveyorModel,
 };
-use surveyor_obs::{EmGroupReport, MetricsRegistry};
+use surveyor_obs::{EmGroupReport, FaultSummary, MetricsRegistry};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -148,6 +149,16 @@ impl SurveyorOutput {
     }
 }
 
+/// A fault-tolerant pipeline run: the full output plus the extraction
+/// shard accounting behind it. Produced by [`Surveyor::try_run`].
+#[derive(Debug, Clone)]
+pub struct SurveyorRun {
+    /// The pipeline output over every surviving shard.
+    pub output: SurveyorOutput,
+    /// What extraction attempted, retried, and lost.
+    pub coverage: ShardCoverage,
+}
+
 /// The Surveyor pipeline over a fixed knowledge base.
 #[derive(Debug, Clone)]
 pub struct Surveyor {
@@ -219,6 +230,65 @@ impl Surveyor {
         let mut output = self.run_on_evidence(extraction.evidence);
         output.provenance = extraction.provenance;
         output
+    }
+
+    /// Runs the full pipeline under a failure policy: extraction shards
+    /// that fail are retried per `retry` and, if the budget is exhausted,
+    /// handled per `policy` — aborting the run ([`FailurePolicy::FailFast`])
+    /// or quarantining the shard and continuing on the survivors
+    /// ([`FailurePolicy::Degrade`]).
+    ///
+    /// With an observer attached, the run additionally stamps a
+    /// [`FaultSummary`] into the registry so the resulting report carries
+    /// the coverage, retry, and quarantine accounting — a degraded answer
+    /// is never silent.
+    ///
+    /// For an infallible source and `FailurePolicy::FailFast` with
+    /// [`RetryPolicy::no_retries`], the output is bit-identical to
+    /// [`run`](Self::run).
+    pub fn try_run<F: FallibleShardSource>(
+        &self,
+        source: &F,
+        retry: &RetryPolicy,
+        policy: &FailurePolicy,
+    ) -> Result<SurveyorRun, RunError> {
+        let outcome = match &self.obs {
+            Some(obs) => {
+                let docs_before = obs.counter_value("extract.documents");
+                let mut span = obs.span("extract");
+                let outcome = run_sharded_fault_tolerant(
+                    source,
+                    &self.kb,
+                    &self.config.extraction,
+                    self.config.threads,
+                    retry,
+                    policy,
+                    Some(obs),
+                )?;
+                span.set_items(obs.counter_value("extract.documents") - docs_before);
+                obs.record_fault_summary(FaultSummary {
+                    coverage: outcome.coverage.fraction(),
+                    retries: outcome.coverage.retries,
+                    quarantined_shards: outcome.coverage.quarantined_shards(),
+                });
+                outcome
+            }
+            None => run_sharded_fault_tolerant(
+                source,
+                &self.kb,
+                &self.config.extraction,
+                self.config.threads,
+                retry,
+                policy,
+                None,
+            )?,
+        };
+        let mut output = self.run_on_evidence(outcome.output.evidence);
+        output.provenance = outcome.output.provenance;
+        Ok(SurveyorRun {
+            output,
+            coverage: outcome.coverage,
+        })
     }
 
     /// Runs the interpretation phase on pre-extracted evidence (Algorithm 1

@@ -6,9 +6,34 @@
 //! can pull them without materializing the whole snapshot.
 
 use std::borrow::Cow;
+use std::fmt;
 use surveyor_corpus::CorpusGenerator;
 use surveyor_extract::ShardSource;
 use surveyor_nlp::{AnnotatedDocument, Lexicon};
+
+/// A region name that does not exist in the generator's config. Carries
+/// the known region names so callers (notably the CLI) can tell the user
+/// what would have worked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRegion {
+    /// The name that failed to resolve.
+    pub requested: String,
+    /// Every region the generator does know, in config order.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown region: {} (known regions: {})",
+            self.requested,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownRegion {}
 
 /// Shard source over a corpus generator, optionally restricted to one
 /// region (the §2 region-specific mode).
@@ -29,19 +54,40 @@ impl<'a> CorpusSource<'a> {
         }
     }
 
+    /// A source restricted to the named region, or [`UnknownRegion`]
+    /// (listing the regions that do exist) when the name doesn't resolve.
+    pub fn try_for_region(
+        generator: &'a CorpusGenerator,
+        region: &str,
+    ) -> Result<Self, UnknownRegion> {
+        let Some(region_index) = generator.region_index(region) else {
+            return Err(UnknownRegion {
+                requested: region.to_owned(),
+                known: generator
+                    .config()
+                    .regions
+                    .iter()
+                    .map(|r| r.name.clone())
+                    .collect(),
+            });
+        };
+        Ok(Self {
+            generator,
+            lexicon: generator.lexicon(),
+            region: Some(region_index),
+        })
+    }
+
     /// A source restricted to the named region.
     ///
     /// # Panics
     /// Panics if the region does not exist in the generator's config.
+    #[deprecated(
+        note = "use `try_for_region`, which reports the known regions instead of panicking"
+    )]
     pub fn for_region(generator: &'a CorpusGenerator, region: &str) -> Self {
-        let region_index = generator
-            .region_index(region)
-            .unwrap_or_else(|| panic!("unknown region: {region}"));
-        Self {
-            generator,
-            lexicon: generator.lexicon(),
-            region: Some(region_index),
-        }
+        Self::try_for_region(generator, region)
+            .unwrap_or_else(|e| panic!("unknown region: {}", e.requested))
     }
 }
 
@@ -92,8 +138,24 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unknown region")]
+    #[allow(deprecated)]
     fn unknown_region_panics() {
         let g = generator();
         let _ = CorpusSource::for_region(&g, "atlantis");
+    }
+
+    #[test]
+    fn try_for_region_lists_known_regions() {
+        let g = generator();
+        let err = CorpusSource::try_for_region(&g, "atlantis").unwrap_err();
+        assert_eq!(err.requested, "atlantis");
+        assert_eq!(err.known, vec!["global"]);
+        assert_eq!(
+            err.to_string(),
+            "unknown region: atlantis (known regions: global)"
+        );
+        for name in &err.known {
+            assert!(CorpusSource::try_for_region(&g, name).is_ok());
+        }
     }
 }

@@ -66,8 +66,10 @@ pub fn run_region_experiment(
             ..SurveyorConfig::default()
         },
     );
-    let out_a = surveyor.run(&CorpusSource::for_region(&generator, "a"));
-    let out_b = surveyor.run(&CorpusSource::for_region(&generator, "b"));
+    let out_a =
+        surveyor.run(&CorpusSource::try_for_region(&generator, "a").expect("region exists"));
+    let out_b =
+        surveyor.run(&CorpusSource::try_for_region(&generator, "b").expect("region exists"));
 
     let mut compared = 0usize;
     let mut diverged = 0usize;

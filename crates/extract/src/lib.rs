@@ -15,6 +15,9 @@
 //!   keyed by entity-property pairs, plus grouping by (type, property).
 //! - [`runner`]: a sharded, multi-threaded extraction driver (the
 //!   reproduction's stand-in for the paper's 5000-node MapReduce cluster).
+//! - [`fault`]: the fault-tolerance layer — typed shard errors, the
+//!   fallible source trait, retry/quarantine policies, and a seeded
+//!   chaos injector for tests and the bench harness.
 //! - [`antonyms`]: the antonym-as-negation alternative the paper rejected
 //!   in §4, implemented so the ablation can measure why.
 
@@ -24,6 +27,7 @@
 pub mod antonyms;
 pub mod config;
 pub mod evidence;
+pub mod fault;
 pub mod patterns;
 pub mod polarity;
 pub mod provenance;
@@ -34,9 +38,14 @@ pub use config::{ExtractionConfig, PatternVersion, VerbSet};
 pub use evidence::{
     EvidenceCounts, EvidenceEntry, EvidenceTable, GroupKey, GroupedEvidence, Polarity, Statement,
 };
+pub use fault::{
+    FailurePolicy, FallibleShardSource, Fault, FaultInjector, FaultPlan, QuarantinedShard,
+    RetryPolicy, RunError, RunOutcome, ShardCoverage, ShardError,
+};
 pub use patterns::{extract_sentence, extract_sentence_counted, PatternCounts};
 pub use provenance::ProvenanceTable;
 pub use runner::{
     extract_documents, extract_documents_full, extract_documents_stats, run_sharded,
-    run_sharded_full, run_sharded_observed, ExtractStats, ExtractionOutput, ShardSource,
+    run_sharded_fault_tolerant, run_sharded_full, run_sharded_observed, ExtractStats,
+    ExtractionOutput, ShardSource,
 };

@@ -6,14 +6,26 @@
 //! producing a local [`EvidenceTable`] that is merged reduce-style — merge
 //! is associative and commutative, so completion order is irrelevant and
 //! the result is deterministic.
+//!
+//! All entry points funnel into [`run_sharded_fault_tolerant`], the
+//! hardened driver: per-shard work runs under `catch_unwind` so a
+//! poisoned shard cannot take down the run, transient failures retry with
+//! capped exponential backoff, and shards that exhaust their attempt
+//! budget are quarantined (see [`crate::fault`]). The legacy infallible
+//! wrappers use a one-attempt budget and re-raise the first panic, so
+//! their behavior — and their output, bit for bit — is unchanged.
 
 use crate::config::ExtractionConfig;
 use crate::evidence::EvidenceTable;
+use crate::fault::{
+    FailurePolicy, FallibleShardSource, QuarantinedShard, RetryPolicy, RunError, RunOutcome,
+    ShardCoverage, ShardError,
+};
 use crate::patterns::{extract_sentence_counted, PatternCounts};
 use crate::provenance::ProvenanceTable;
 use parking_lot::Mutex;
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use surveyor_kb::KnowledgeBase;
 use surveyor_nlp::AnnotatedDocument;
 use surveyor_obs::MetricsRegistry;
@@ -201,10 +213,114 @@ fn run_sharded_impl<S: ShardSource>(
     num_threads: usize,
     obs: Option<&MetricsRegistry>,
 ) -> ExtractionOutput {
+    match run_sharded_fault_tolerant(
+        source,
+        kb,
+        config,
+        num_threads,
+        &RetryPolicy::no_retries(),
+        &FailurePolicy::FailFast,
+        obs,
+    ) {
+        Ok(outcome) => outcome.output,
+        // Preserve the historical contract of the infallible API: a
+        // panicking shard panics the run (isolation is opt-in via
+        // `run_sharded_fault_tolerant`).
+        Err(RunError::ShardFailed { shard, error, .. }) => {
+            panic!(
+                "extraction worker panicked on shard {shard}: {}",
+                error.message()
+            )
+        }
+        // Infallible sources cannot produce shard errors and FailFast
+        // never checks a coverage floor.
+        Err(e) => panic!("extraction failed: {e}"),
+    }
+}
+
+/// One attempt at materializing and extracting a shard, with panics
+/// caught and classified as [`ShardError::Panicked`]. Stats and output
+/// are produced fresh per attempt so a failed attempt leaves no residue.
+fn attempt_shard<F: FallibleShardSource>(
+    source: &F,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    index: usize,
+    attempt: u32,
+) -> Result<(ExtractionOutput, ExtractStats), ShardError> {
+    let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        source.try_shard(index, attempt).map(|docs| {
+            let mut stats = ExtractStats::default();
+            let output = extract_documents_stats(&docs, kb, config, &mut stats);
+            (output, stats)
+        })
+    }));
+    match unwind {
+        Ok(result) => result,
+        Err(payload) => Err(ShardError::Panicked(panic_message(&payload))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs extraction over all shards of a fallible `source` with panic
+/// isolation, retry, and quarantine — the hardened driver behind every
+/// `run_sharded*` entry point.
+///
+/// Per shard: up to `retry.max_attempts` attempts, each under
+/// `catch_unwind`. Transient errors retry after a capped-exponential
+/// backoff ([`RetryPolicy::backoff`]); permanent errors and panics fail
+/// the shard immediately. A shard that exhausts its budget is handled per
+/// `policy`:
+///
+/// - [`FailurePolicy::FailFast`] — workers stop pulling new shards and
+///   the run returns [`RunError::ShardFailed`] naming the lowest-indexed
+///   failed shard. (The shard cursor is monotonic, so every shard below
+///   the first faulty one was already pulled and clean — the lowest
+///   observed failure is deterministic for a deterministic source.)
+/// - [`FailurePolicy::Degrade`] — the shard is quarantined and the run
+///   continues; once all shards are settled the coverage fraction is
+///   checked against the floor and the run either returns
+///   [`RunError::CoverageBelowFloor`] or the merged output of every
+///   surviving shard, plus the full [`ShardCoverage`] accounting.
+///
+/// Dropping or retrying shards is semantically safe because evidence
+/// merge is associative and commutative: the output over the surviving
+/// shard set is bit-identical to a clean run over only those shards, for
+/// any worker count and completion order. Observation (`obs`) flushes
+/// stats from surviving shards only, and only on success.
+///
+/// # Panics
+/// Panics if `num_threads == 0`.
+pub fn run_sharded_fault_tolerant<F: FallibleShardSource>(
+    source: &F,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    num_threads: usize,
+    retry: &RetryPolicy,
+    policy: &FailurePolicy,
+    obs: Option<&MetricsRegistry>,
+) -> Result<RunOutcome, RunError> {
     assert!(num_threads > 0, "need at least one worker thread");
+    let max_attempts = retry.max_attempts.max(1);
+    let fail_fast = matches!(policy, FailurePolicy::FailFast);
     let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
     let result = Mutex::new(ExtractionOutput::default());
     let stats = Mutex::new(ExtractStats::default());
+    let succeeded = AtomicUsize::new(0);
+    let retries = AtomicU64::new(0);
+    let quarantined: Mutex<Vec<QuarantinedShard>> = Mutex::new(Vec::new());
+    let first_failure: Mutex<Option<(usize, u32, ShardError)>> = Mutex::new(None);
     let shard_count = source.shard_count();
 
     crossbeam::scope(|scope| {
@@ -212,27 +328,94 @@ fn run_sharded_impl<S: ShardSource>(
             scope.spawn(|_| {
                 let mut local = ExtractionOutput::default();
                 let mut local_stats = ExtractStats::default();
-                loop {
+                let mut local_succeeded = 0usize;
+                let mut local_retries = 0u64;
+                'shards: loop {
+                    if fail_fast && abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= shard_count {
                         break;
                     }
-                    let docs = source.shard(idx);
-                    local.merge(extract_documents_stats(&docs, kb, config, &mut local_stats));
+                    let mut attempt = 0u32;
+                    let failure = loop {
+                        match attempt_shard(source, kb, config, idx, attempt) {
+                            Ok((output, attempt_stats)) => {
+                                local.merge(output);
+                                local_stats.merge(attempt_stats);
+                                local_succeeded += 1;
+                                continue 'shards;
+                            }
+                            Err(error) if error.is_transient() && attempt + 1 < max_attempts => {
+                                let delay = retry.backoff(attempt);
+                                if !delay.is_zero() {
+                                    std::thread::sleep(delay);
+                                }
+                                local_retries += 1;
+                                attempt += 1;
+                            }
+                            Err(error) => break (attempt + 1, error),
+                        }
+                    };
+                    let (attempts, error) = failure;
+                    if fail_fast {
+                        let mut slot = first_failure.lock();
+                        if slot.as_ref().is_none_or(|(s, _, _)| idx < *s) {
+                            *slot = Some((idx, attempts, error));
+                        }
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    quarantined.lock().push(QuarantinedShard {
+                        shard: idx,
+                        attempts,
+                        error,
+                    });
                 }
                 result.lock().merge(local);
+                succeeded.fetch_add(local_succeeded, Ordering::Relaxed);
+                retries.fetch_add(local_retries, Ordering::Relaxed);
                 if obs.is_some() {
                     stats.lock().merge(local_stats);
                 }
             });
         }
     })
-    .expect("extraction worker panicked");
+    .expect("fault-tolerant workers never unwind");
 
+    if let Some((shard, attempts, error)) = first_failure.into_inner() {
+        return Err(RunError::ShardFailed {
+            shard,
+            attempts,
+            error,
+        });
+    }
+    let mut quarantined = quarantined.into_inner();
+    quarantined.sort_by_key(|q| q.shard);
+    let coverage = ShardCoverage {
+        shard_count,
+        succeeded: succeeded.into_inner(),
+        retries: retries.into_inner(),
+        quarantined,
+    };
+    if let FailurePolicy::Degrade { min_shard_coverage } = policy {
+        if coverage.fraction() < *min_shard_coverage {
+            return Err(RunError::CoverageBelowFloor {
+                succeeded: coverage.succeeded,
+                shard_count: coverage.shard_count,
+                min_shard_coverage: *min_shard_coverage,
+                quarantined: coverage.quarantined_shards(),
+            });
+        }
+    }
     if let Some(obs) = obs {
         stats.into_inner().flush(obs);
     }
-    result.into_inner()
+    Ok(RunOutcome {
+        output: result.into_inner(),
+        coverage,
+    })
 }
 
 #[cfg(test)]
@@ -367,5 +550,222 @@ mod tests {
         let docs: Vec<AnnotatedDocument> = Vec::new();
         let slice: &[AnnotatedDocument] = &docs;
         let _ = run_sharded(&slice, &kb, &ExtractionConfig::paper_final(), 0);
+    }
+
+    mod fault_tolerance {
+        use super::*;
+        use crate::fault::{FailurePolicy, Fault, FaultInjector, FaultPlan, RetryPolicy, RunError};
+
+        fn chaotic(plan: FaultPlan) -> (KnowledgeBase, FaultInjector<TextShards>) {
+            let kb = kb();
+            let src = source(kb.clone());
+            (kb, FaultInjector::new(src, plan))
+        }
+
+        #[test]
+        fn zero_faults_output_is_bit_identical_to_plain_runner() {
+            let kb = kb();
+            let src = source(kb.clone());
+            let config = ExtractionConfig::paper_final();
+            let plain = run_sharded_full(&src, &kb, &config, 4);
+            for threads in [1, 4] {
+                let outcome = run_sharded_fault_tolerant(
+                    &src,
+                    &kb,
+                    &config,
+                    threads,
+                    &RetryPolicy::default(),
+                    &FailurePolicy::Degrade {
+                        min_shard_coverage: 1.0,
+                    },
+                    None,
+                )
+                .unwrap();
+                assert_eq!(outcome.output, plain);
+                assert_eq!(outcome.coverage.succeeded, ShardSource::shard_count(&src));
+                assert_eq!(outcome.coverage.retries, 0);
+                assert!(outcome.coverage.quarantined.is_empty());
+                assert_eq!(outcome.coverage.fraction(), 1.0);
+            }
+        }
+
+        #[test]
+        fn panicking_shard_is_isolated_and_quarantined() {
+            let (kb, src) = chaotic(FaultPlan::none().with(3, Fault::Panic));
+            let config = ExtractionConfig::paper_final();
+            let outcome = run_sharded_fault_tolerant(
+                &src,
+                &kb,
+                &config,
+                4,
+                &RetryPolicy::immediate(),
+                &FailurePolicy::degrade_unchecked(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(outcome.coverage.quarantined_shards(), vec![3]);
+            assert_eq!(outcome.coverage.succeeded, 7);
+            assert_eq!(outcome.coverage.attempted(), 8);
+            // Panics do not burn retries.
+            assert_eq!(outcome.coverage.quarantined[0].attempts, 1);
+            assert!(matches!(
+                outcome.coverage.quarantined[0].error,
+                crate::fault::ShardError::Panicked(_)
+            ));
+            // The surviving output equals a clean run over the other shards.
+            let full = run_sharded_full(src.inner(), &kb, &config, 4);
+            assert!(outcome.output.evidence.total_statements() < full.evidence.total_statements());
+        }
+
+        #[test]
+        fn transient_faults_recover_via_retry_with_identical_output() {
+            let plan = FaultPlan::none()
+                .with(1, Fault::Transient { failures: 1 })
+                .with(5, Fault::Transient { failures: 2 });
+            let (kb, src) = chaotic(plan);
+            let config = ExtractionConfig::paper_final();
+            let outcome = run_sharded_fault_tolerant(
+                &src,
+                &kb,
+                &config,
+                4,
+                &RetryPolicy::immediate(),
+                &FailurePolicy::Degrade {
+                    min_shard_coverage: 1.0,
+                },
+                None,
+            )
+            .unwrap();
+            assert_eq!(outcome.coverage.succeeded, 8);
+            assert_eq!(outcome.coverage.retries, 3);
+            assert!(outcome.coverage.quarantined.is_empty());
+            assert_eq!(
+                outcome.output,
+                run_sharded_full(src.inner(), &kb, &config, 4)
+            );
+        }
+
+        #[test]
+        fn exhausted_transient_shard_is_quarantined_with_attempt_budget() {
+            let (kb, src) = chaotic(FaultPlan::none().with(2, Fault::Transient { failures: 99 }));
+            let outcome = run_sharded_fault_tolerant(
+                &src,
+                &kb,
+                &ExtractionConfig::paper_final(),
+                2,
+                &RetryPolicy::immediate(),
+                &FailurePolicy::degrade_unchecked(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(outcome.coverage.quarantined_shards(), vec![2]);
+            assert_eq!(
+                outcome.coverage.quarantined[0].attempts,
+                RetryPolicy::immediate().max_attempts
+            );
+            assert_eq!(
+                outcome.coverage.retries,
+                u64::from(RetryPolicy::immediate().max_attempts - 1)
+            );
+        }
+
+        #[test]
+        fn fail_fast_names_the_lowest_failed_shard() {
+            let plan = FaultPlan::none()
+                .with(2, Fault::Permanent)
+                .with(6, Fault::Panic);
+            let (kb, src) = chaotic(plan);
+            for threads in [1, 4] {
+                let err = run_sharded_fault_tolerant(
+                    &src,
+                    &kb,
+                    &ExtractionConfig::paper_final(),
+                    threads,
+                    &RetryPolicy::immediate(),
+                    &FailurePolicy::FailFast,
+                    None,
+                )
+                .unwrap_err();
+                match err {
+                    RunError::ShardFailed { shard, .. } => assert_eq!(shard, 2),
+                    other => panic!("unexpected error: {other:?}"),
+                }
+            }
+        }
+
+        #[test]
+        fn coverage_floor_rejects_too_degraded_runs() {
+            let plan = FaultPlan::none()
+                .with(0, Fault::Permanent)
+                .with(1, Fault::Permanent)
+                .with(2, Fault::Permanent);
+            let (kb, src) = chaotic(plan);
+            let err = run_sharded_fault_tolerant(
+                &src,
+                &kb,
+                &ExtractionConfig::paper_final(),
+                4,
+                &RetryPolicy::immediate(),
+                &FailurePolicy::Degrade {
+                    min_shard_coverage: 0.9,
+                },
+                None,
+            )
+            .unwrap_err();
+            match err {
+                RunError::CoverageBelowFloor {
+                    succeeded,
+                    shard_count,
+                    quarantined,
+                    ..
+                } => {
+                    assert_eq!((succeeded, shard_count), (5, 8));
+                    assert_eq!(quarantined, vec![0, 1, 2]);
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "extraction worker panicked on shard")]
+        fn legacy_api_still_panics_on_poisoned_shard() {
+            struct Poisoned;
+            impl ShardSource for Poisoned {
+                fn shard_count(&self) -> usize {
+                    2
+                }
+                fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]> {
+                    if index == 1 {
+                        panic!("poisoned shard");
+                    }
+                    Cow::Owned(Vec::new())
+                }
+            }
+            let kb = kb();
+            let _ = run_sharded(&Poisoned, &kb, &ExtractionConfig::paper_final(), 2);
+        }
+
+        #[test]
+        fn slow_shard_still_succeeds() {
+            let (kb, src) = chaotic(FaultPlan::none().with(4, Fault::Slow { millis: 1 }));
+            let config = ExtractionConfig::paper_final();
+            let outcome = run_sharded_fault_tolerant(
+                &src,
+                &kb,
+                &config,
+                4,
+                &RetryPolicy::immediate(),
+                &FailurePolicy::Degrade {
+                    min_shard_coverage: 1.0,
+                },
+                None,
+            )
+            .unwrap();
+            assert_eq!(outcome.coverage.succeeded, 8);
+            assert_eq!(
+                outcome.output,
+                run_sharded_full(src.inner(), &kb, &config, 4)
+            );
+        }
     }
 }

@@ -1,0 +1,196 @@
+//! Property-based tests for the fault-tolerant runner: for arbitrary
+//! fault plans and worker counts, the output over surviving shards is
+//! bit-identical to a clean run over those same shards, and the shard
+//! accounting always balances.
+//!
+//! Panic faults are exercised in the runner's unit tests instead — under
+//! hundreds of proptest cases the default panic hook would flood stderr.
+
+use proptest::prelude::*;
+use std::borrow::Cow;
+use surveyor_extract::{
+    run_sharded_fault_tolerant, run_sharded_full, ExtractionConfig, FailurePolicy, Fault,
+    FaultInjector, FaultPlan, RetryPolicy, ShardSource,
+};
+use surveyor_kb::{KnowledgeBase, KnowledgeBaseBuilder};
+use surveyor_nlp::{annotate, AnnotatedDocument, Lexicon};
+
+const SHARDS: usize = 6;
+
+struct TextShards {
+    shards: Vec<Vec<String>>,
+    kb: KnowledgeBase,
+    lexicon: Lexicon,
+}
+
+impl ShardSource for TextShards {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]> {
+        Cow::Owned(
+            self.shards[index]
+                .iter()
+                .enumerate()
+                .map(|(i, text)| annotate((index * 1000 + i) as u64, text, &self.kb, &self.lexicon))
+                .collect(),
+        )
+    }
+}
+
+/// The shards of `inner` at the original indices in `keep` — documents
+/// keep their original ids, so a clean run over a subset compares
+/// bit-for-bit against a faulty run that lost the other shards.
+struct SubsetShards<'a> {
+    inner: &'a TextShards,
+    keep: Vec<usize>,
+}
+
+impl ShardSource for SubsetShards<'_> {
+    fn shard_count(&self) -> usize {
+        self.keep.len()
+    }
+
+    fn shard(&self, index: usize) -> Cow<'_, [AnnotatedDocument]> {
+        self.inner.shard(self.keep[index])
+    }
+}
+
+fn kb() -> KnowledgeBase {
+    let mut b = KnowledgeBaseBuilder::new();
+    let animal = b.add_type("animal", &["animal"], &[]);
+    b.add_entity("Kitten", animal).finish();
+    b.add_entity("Tiger", animal).finish();
+    b.build()
+}
+
+fn source(kb: KnowledgeBase) -> TextShards {
+    let mut shards = Vec::new();
+    for s in 0..SHARDS {
+        let mut docs = Vec::new();
+        for d in 0..3 {
+            if (s + d) % 3 == 0 {
+                docs.push("Kittens are cute. Tigers are not cute.".to_owned());
+            } else {
+                docs.push("Kittens are cute animals.".to_owned());
+            }
+        }
+        shards.push(docs);
+    }
+    TextShards {
+        shards,
+        kb,
+        lexicon: Lexicon::new(),
+    }
+}
+
+/// Non-panicking faults only (see the module doc).
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (1u32..=2).prop_map(|failures| Fault::Transient { failures }),
+        Just(Fault::Permanent),
+        Just(Fault::Slow { millis: 1 }),
+    ]
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((0usize..SHARDS, fault_strategy()), 0..=SHARDS).prop_map(|assignments| {
+        let mut plan = FaultPlan::none();
+        for (shard, fault) in assignments {
+            plan = plan.with(shard, fault);
+        }
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaotic_output_is_bit_identical_to_clean_run_over_survivors(
+        plan in plan_strategy(),
+        threads in 1usize..=4,
+    ) {
+        let kb = kb();
+        let src = source(kb.clone());
+        let config = ExtractionConfig::paper_final();
+        let retry = RetryPolicy::immediate();
+        let injector = FaultInjector::new(src, plan);
+
+        let outcome = run_sharded_fault_tolerant(
+            &injector,
+            &kb,
+            &config,
+            threads,
+            &retry,
+            &FailurePolicy::degrade_unchecked(),
+            None,
+        )
+        .expect("degrade without a floor always completes");
+
+        // The accounting balances for every plan.
+        let coverage = &outcome.coverage;
+        prop_assert_eq!(coverage.shard_count, SHARDS);
+        prop_assert_eq!(coverage.succeeded + coverage.quarantined.len(), SHARDS);
+        prop_assert_eq!(
+            coverage.quarantined_shards(),
+            injector.plan().expected_quarantine(retry.max_attempts)
+        );
+        prop_assert_eq!(
+            coverage.retries,
+            injector.plan().expected_retries(retry.max_attempts)
+        );
+
+        // The output equals a clean (fault-free, single-threaded) run over
+        // exactly the surviving shards — retries and completion order
+        // leave no trace.
+        let lost = coverage.quarantined_shards();
+        let survivors = SubsetShards {
+            inner: injector.inner(),
+            keep: (0..SHARDS).filter(|s| !lost.contains(s)).collect(),
+        };
+        let clean = run_sharded_full(&survivors, &kb, &config, 1);
+        prop_assert_eq!(&outcome.output, &clean);
+
+        // And it is identical for any other worker count.
+        for other_threads in [1, 3] {
+            let again = run_sharded_fault_tolerant(
+                &injector,
+                &kb,
+                &config,
+                other_threads,
+                &retry,
+                &FailurePolicy::degrade_unchecked(),
+                None,
+            )
+            .expect("degrade without a floor always completes");
+            prop_assert_eq!(&again.output, &outcome.output);
+            prop_assert_eq!(&again.coverage, &outcome.coverage);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_balance_for_any_seed(seed in 0u64..1_000, shards in 1usize..=12) {
+        let plan = FaultPlan::from_seed(seed, shards);
+        let max_attempts = RetryPolicy::default().max_attempts;
+        let quarantined = plan.expected_quarantine(max_attempts);
+        // Every quarantined shard is in range and listed once, sorted.
+        prop_assert!(quarantined.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(quarantined.iter().all(|&s| s < shards));
+        // Transient shards within budget cost retries but no coverage.
+        let recovered_retries: u64 = plan
+            .assignments()
+            .iter()
+            .filter_map(|&(shard, fault)| match fault {
+                Fault::Transient { failures }
+                    if failures < max_attempts && !quarantined.contains(&shard) =>
+                {
+                    Some(u64::from(failures))
+                }
+                _ => None,
+            })
+            .sum();
+        prop_assert!(plan.expected_retries(max_attempts) >= recovered_retries);
+    }
+}

@@ -43,7 +43,7 @@ pub mod registry;
 pub mod report;
 
 pub use histogram::{Histogram, HistogramSummary};
-pub use registry::{Counter, MetricsRegistry, SpanGuard};
+pub use registry::{Counter, FaultSummary, MetricsRegistry, SpanGuard};
 pub use report::{EmGroupReport, PhaseReport, RunReport, REPORT_VERSION};
 
 /// Opens a phase span on a registry: `span!(registry, "extract")` is

@@ -41,6 +41,19 @@ struct PhaseAccum {
     items: u64,
 }
 
+/// Fault-tolerance accounting for one run, stamped by the pipeline when
+/// it runs under a failure policy and copied verbatim into the v2 fields
+/// of [`RunReport`] — so a degraded answer is never silent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Fraction of shards whose evidence reached the output, in `[0, 1]`.
+    pub coverage: f64,
+    /// Total shard retry attempts.
+    pub retries: u64,
+    /// Quarantined shard indices, sorted.
+    pub quarantined_shards: Vec<usize>,
+}
+
 /// A thread-safe registry of counters, gauges, histograms, phase
 /// records, and EM group telemetry — one per observed pipeline run.
 ///
@@ -56,6 +69,7 @@ pub struct MetricsRegistry {
     /// Phase records in first-recorded order (reports preserve it).
     phases: Mutex<Vec<PhaseAccum>>,
     em_groups: Mutex<Vec<EmGroupReport>>,
+    fault: Mutex<Option<FaultSummary>>,
 }
 
 impl MetricsRegistry {
@@ -148,6 +162,16 @@ impl MetricsRegistry {
         self.em_groups.lock().push(group);
     }
 
+    /// Stamps the run's fault-tolerance accounting (last write wins).
+    pub fn record_fault_summary(&self, summary: FaultSummary) {
+        *self.fault.lock() = Some(summary);
+    }
+
+    /// The stamped fault-tolerance accounting, if any.
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        self.fault.lock().clone()
+    }
+
     /// Snapshots everything into a versioned [`RunReport`]. Phases keep
     /// first-recorded order; maps are name-sorted; EM groups are sorted
     /// by (type, property) so worker completion order never leaks into
@@ -191,6 +215,7 @@ impl MetricsRegistry {
             (a.type_name.as_str(), a.property.as_str())
                 .cmp(&(b.type_name.as_str(), b.property.as_str()))
         });
+        let fault = self.fault.lock().clone().unwrap_or_default();
         RunReport {
             version: REPORT_VERSION,
             phases,
@@ -198,6 +223,9 @@ impl MetricsRegistry {
             gauges,
             histograms,
             em_groups,
+            coverage: self.fault.lock().as_ref().map(|f| f.coverage),
+            retries: fault.retries,
+            quarantined_shards: fault.quarantined_shards,
         }
     }
 }

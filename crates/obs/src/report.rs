@@ -7,7 +7,11 @@ use std::fmt::Write as _;
 
 /// Current report schema version. Bump on any breaking field change so
 /// `bench diff` can refuse to compare incompatible artifacts.
-pub const REPORT_VERSION: u32 = 1;
+///
+/// v2 adds the fault-tolerance accounting (`coverage`, `retries`,
+/// `quarantined_shards`); v1 reports parse with those fields defaulted,
+/// so a v1 baseline still diffs against a v2 report.
+pub const REPORT_VERSION: u32 = 2;
 
 /// One pipeline phase: accumulated wall (or summed per-worker CPU) time
 /// plus the item count it processed and the derived throughput.
@@ -65,6 +69,16 @@ pub struct RunReport {
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// EM telemetry, sorted by (type, property).
     pub em_groups: Vec<EmGroupReport>,
+    /// Shard coverage of the extraction phase in `[0, 1]` (v2; `None`
+    /// for v1 reports and runs without a fault-tolerance layer).
+    #[serde(default)]
+    pub coverage: Option<f64>,
+    /// Total shard retry attempts (v2; 0 for v1 reports).
+    #[serde(default)]
+    pub retries: u64,
+    /// Quarantined shard indices, sorted (v2; empty for v1 reports).
+    #[serde(default)]
+    pub quarantined_shards: Vec<usize>,
 }
 
 impl RunReport {
@@ -121,6 +135,12 @@ impl RunReport {
                 );
             }
         }
+        if let Some(coverage) = self.coverage {
+            out.push_str("\nfault tolerance:\n");
+            let _ = writeln!(out, "  shard coverage = {coverage:.3}");
+            let _ = writeln!(out, "  retries = {}", self.retries);
+            let _ = writeln!(out, "  quarantined shards = {:?}", self.quarantined_shards);
+        }
         if !self.em_groups.is_empty() {
             out.push_str("\nEM convergence:\n");
             let _ = writeln!(
@@ -145,16 +165,28 @@ impl RunReport {
     }
 
     /// Compares this run against a `baseline` report: per-phase time
-    /// ratios and counter deltas. Reports with different schema versions
-    /// are flagged rather than compared field-by-field.
+    /// ratios, counter deltas, and (when present) fault-tolerance
+    /// accounting. Known schema versions (1..=[`REPORT_VERSION`])
+    /// compare against each other — a v1 baseline diffs against a v2
+    /// report with the fault fields treated as absent; unknown (newer)
+    /// versions are flagged rather than compared field-by-field.
     pub fn diff(&self, baseline: &RunReport) -> String {
-        if self.version != baseline.version {
+        let known = 1..=REPORT_VERSION;
+        if !known.contains(&self.version) || !known.contains(&baseline.version) {
             return format!(
                 "schema mismatch: this report is v{}, baseline is v{} — not comparable",
                 self.version, baseline.version
             );
         }
-        let mut out = String::from("phase comparison (current vs baseline):\n");
+        let mut out = String::new();
+        if self.version != baseline.version {
+            let _ = writeln!(
+                out,
+                "note: comparing schema v{} against v{} (v1 reports carry no fault-tolerance fields)",
+                self.version, baseline.version
+            );
+        }
+        out.push_str("phase comparison (current vs baseline):\n");
         let _ = writeln!(
             out,
             "  {:<10} {:>12} {:>12} {:>9}",
@@ -203,6 +235,19 @@ impl RunReport {
                 out.push_str(&line);
                 out.push('\n');
             }
+        }
+        if self.coverage.is_some() || baseline.coverage.is_some() {
+            let show = |c: Option<f64>| c.map_or("-".to_owned(), |c| format!("{c:.3}"));
+            let _ = writeln!(
+                out,
+                "fault tolerance: coverage {} -> {}, retries {} -> {}, quarantined {:?} -> {:?}",
+                show(baseline.coverage),
+                show(self.coverage),
+                baseline.retries,
+                self.retries,
+                baseline.quarantined_shards,
+                self.quarantined_shards,
+            );
         }
         out
     }
@@ -276,10 +321,70 @@ mod tests {
     }
 
     #[test]
-    fn diff_refuses_mismatched_versions() {
+    fn diff_refuses_unknown_versions() {
         let baseline = sample();
         let mut current = sample();
         current.version = REPORT_VERSION + 1;
         assert!(current.diff(&baseline).contains("schema mismatch"));
+        current.version = 0;
+        assert!(current.diff(&baseline).contains("schema mismatch"));
+    }
+
+    /// A v1 report as written by the previous schema: no fault fields.
+    fn v1_json() -> String {
+        let mut value = serde_json::to_value(sample()).unwrap();
+        let serde_json::Value::Object(ref mut fields) = value else {
+            panic!("report serializes as an object");
+        };
+        fields.insert("version".to_owned(), serde_json::to_value(1u32).unwrap());
+        for v2_field in ["coverage", "retries", "quarantined_shards"] {
+            fields.remove(v2_field);
+        }
+        serde_json::to_string_pretty(&value).unwrap()
+    }
+
+    #[test]
+    fn v1_report_parses_with_defaulted_fault_fields() {
+        let json = v1_json();
+        assert!(!json.contains("coverage"), "fixture still has v2 fields");
+        let report = RunReport::from_json(&json).unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(report.coverage, None);
+        assert_eq!(report.retries, 0);
+        assert!(report.quarantined_shards.is_empty());
+    }
+
+    #[test]
+    fn v2_report_diffs_against_v1_baseline() {
+        let baseline = RunReport::from_json(&v1_json()).unwrap();
+        let mut current = sample();
+        current.coverage = Some(0.875);
+        current.retries = 3;
+        current.quarantined_shards = vec![2, 5];
+        let text = current.diff(&baseline);
+        assert!(text.contains("comparing schema v2 against v1"), "{text}");
+        assert!(text.contains("phase comparison"), "{text}");
+        assert!(text.contains("coverage - -> 0.875"), "{text}");
+    }
+
+    #[test]
+    fn fault_summary_round_trips_and_renders() {
+        let reg = MetricsRegistry::new();
+        reg.record_phase("extract", Duration::from_millis(10), 100);
+        reg.record_fault_summary(crate::FaultSummary {
+            coverage: 0.75,
+            retries: 4,
+            quarantined_shards: vec![1, 3],
+        });
+        let report = reg.report();
+        assert_eq!(report.version, REPORT_VERSION);
+        assert_eq!(report.coverage, Some(0.75));
+        assert_eq!(report.retries, 4);
+        assert_eq!(report.quarantined_shards, vec![1, 3]);
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        let text = report.render();
+        assert!(text.contains("fault tolerance:"), "{text}");
+        assert!(text.contains("quarantined shards = [1, 3]"), "{text}");
     }
 }

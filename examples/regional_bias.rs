@@ -27,8 +27,10 @@ fn main() {
         },
     );
     println!("running Surveyor separately on the `west` and `east` author regions...\n");
-    let west = surveyor.run(&CorpusSource::for_region(&generator, "west"));
-    let east = surveyor.run(&CorpusSource::for_region(&generator, "east"));
+    let west =
+        surveyor.run(&CorpusSource::try_for_region(&generator, "west").expect("region exists"));
+    let east =
+        surveyor.run(&CorpusSource::try_for_region(&generator, "east").expect("region exists"));
 
     let mut agreements = 0usize;
     let mut divergences = Vec::new();

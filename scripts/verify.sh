@@ -9,3 +9,8 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Chaos gate: the fault-injection suite under a seeded fault plan. The
+# seed selects which shards panic/fail (FaultPlan::from_seed); the suite
+# asserts the run's coverage accounting matches the plan's predictions.
+SURVEYOR_CHAOS_SEED="${SURVEYOR_CHAOS_SEED:-2015}" cargo test -q --test fault_injection

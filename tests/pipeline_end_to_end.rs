@@ -138,8 +138,10 @@ fn regional_restriction_changes_opinions() {
             ..SurveyorConfig::default()
         },
     );
-    let west = surveyor.run(&CorpusSource::for_region(&generator, "west"));
-    let east = surveyor.run(&CorpusSource::for_region(&generator, "east"));
+    let west =
+        surveyor.run(&CorpusSource::try_for_region(&generator, "west").expect("region exists"));
+    let east =
+        surveyor.run(&CorpusSource::try_for_region(&generator, "east").expect("region exists"));
     let cute = Property::adjective("cute");
     let domain = &world.domains()[0];
     let entities = kb.entities_of_type(domain.type_id);

@@ -4,9 +4,12 @@
 //! Written against `proc_macro` alone (no `syn`/`quote`, which cannot be
 //! fetched offline). The parser handles exactly the item shapes in this
 //! workspace: non-generic structs (named, tuple, unit) and enums with
-//! unit/tuple/struct variants, plus the `#[serde(skip)]` and
-//! `#[serde(with = "module")]` field attributes. Enum representation is
-//! externally tagged, matching real serde's default.
+//! unit/tuple/struct variants, plus the `#[serde(skip)]`,
+//! `#[serde(default)]`, and `#[serde(with = "module")]` field attributes.
+//! Enum representation is externally tagged, matching real serde's
+//! default. `default` mirrors real serde: a key absent from the input
+//! object falls back to `Default::default()`, which is what lets a
+//! versioned schema grow trailing fields without breaking old artifacts.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +17,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
     with: Option<String>,
 }
 
@@ -144,10 +148,11 @@ fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
 }
 
 /// Reads `#[serde(...)]` markers off the front of a field/variant token
-/// list, returning (skip, with) and the index of the first non-attribute,
-/// non-visibility token.
-fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, Option<String>, usize) {
+/// list, returning (skip, default, with) and the index of the first
+/// non-attribute, non-visibility token.
+fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, bool, Option<String>, usize) {
     let mut skip = false;
+    let mut default = false;
     let mut with = None;
     let mut i = 0;
     while let Some(TokenTree::Punct(p)) = tokens.get(i) {
@@ -163,6 +168,7 @@ fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, Option<String>, usize) {
                     let args: Vec<TokenTree> = args.stream().into_iter().collect();
                     match args.first() {
                         Some(TokenTree::Ident(id)) if id.to_string() == "skip" => skip = true,
+                        Some(TokenTree::Ident(id)) if id.to_string() == "default" => default = true,
                         Some(TokenTree::Ident(id)) if id.to_string() == "with" => {
                             match args.get(2) {
                                 Some(TokenTree::Literal(lit)) => {
@@ -196,7 +202,7 @@ fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, Option<String>, usize) {
             }
         }
     }
-    (skip, with, i)
+    (skip, default, with, i)
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
@@ -204,12 +210,17 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_commas(&tokens)
         .iter()
         .map(|part| {
-            let (skip, with, i) = parse_field_attrs(part);
+            let (skip, default, with, i) = parse_field_attrs(part);
             let name = match part.get(i) {
                 Some(TokenTree::Ident(id)) => id.to_string(),
                 other => panic!("serde shim: expected field name, found {other:?}"),
             };
-            Field { name, skip, with }
+            Field {
+                name,
+                skip,
+                default,
+                with,
+            }
         })
         .collect()
 }
@@ -219,9 +230,9 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     split_top_commas(&tokens)
         .iter()
         .map(|part| {
-            let (skip, with, i) = parse_field_attrs(part);
+            let (skip, default, with, i) = parse_field_attrs(part);
             assert!(
-                !skip && with.is_none(),
+                !skip && !default && with.is_none(),
                 "serde shim: serde attributes on enum variants are not supported"
             );
             let name = match part.get(i) {
@@ -253,16 +264,32 @@ fn ser_field_expr(field: &Field, access: &str) -> String {
     }
 }
 
-fn de_field_expr(field: &Field, source: &str) -> String {
+/// The expression rebuilding one named field from the object bound to
+/// `map`. `skip` fields never read the input; `default` fields fall back
+/// to `Default::default()` when the key is absent (real serde's
+/// `#[serde(default)]`), so newer schemas can read older artifacts.
+fn de_field_expr(field: &Field, map: &str) -> String {
     if field.skip {
         return "::std::default::Default::default()".to_string();
     }
     let name = &field.name;
-    match &field.with {
+    let parse = |source: &str| match &field.with {
         Some(path) => format!("{path}::from_value({source}).map_err(|e| e.in_field(\"{name}\"))?"),
         None => format!(
             "::serde::Deserialize::from_value({source}).map_err(|e| e.in_field(\"{name}\"))?"
         ),
+    };
+    if field.default {
+        format!(
+            "match {map}.get(\"{name}\") {{\n\
+             ::std::option::Option::Some(field_value) => {},\n\
+             ::std::option::Option::None => ::std::default::Default::default(),\n}}",
+            parse("field_value")
+        )
+    } else {
+        parse(&format!(
+            "{map}.get(\"{name}\").unwrap_or(&::serde::Value::Null)"
+        ))
     }
 }
 
@@ -351,8 +378,7 @@ fn gen_deserialize(name: &str, body: &Body) -> String {
         Body::NamedStruct(fields) => {
             let mut inits = String::new();
             for f in fields {
-                let source = format!("obj.get(\"{}\").unwrap_or(&::serde::Value::Null)", f.name);
-                inits.push_str(&format!("{}: {},\n", f.name, de_field_expr(f, &source)));
+                inits.push_str(&format!("{}: {},\n", f.name, de_field_expr(f, "obj")));
             }
             format!(
                 "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\", v))?;\n\
@@ -407,14 +433,10 @@ fn gen_deserialize(name: &str, body: &Body) -> String {
                     VariantKind::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            let source = format!(
-                                "fields.get(\"{}\").unwrap_or(&::serde::Value::Null)",
-                                f.name
-                            );
                             inits.push_str(&format!(
                                 "{}: {},\n",
                                 f.name,
-                                de_field_expr(f, &source)
+                                de_field_expr(f, "fields")
                             ));
                         }
                         tagged_arms.push_str(&format!(
