@@ -14,6 +14,8 @@
 //!
 //! `diff` compares two such run reports phase by phase.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::process::ExitCode;
 use surveyor::obs::RunReport;

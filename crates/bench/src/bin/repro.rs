@@ -11,6 +11,8 @@
 //! (fig10 prints Figures 10 and 11; table3 prints Table 3 and Figure 12.)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::process::ExitCode;
 use surveyor_bench::experiments::{self, ReproConfig};

@@ -1,6 +1,8 @@
 //! `surveyor` — the command-line entry point. All logic lives in the
 //! library ([`surveyor_cli`]) where it is unit tested.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use surveyor_cli::{run, Cli};
 

@@ -89,7 +89,7 @@ pub fn link_objective(
     if points.len() < min_samples.max(2) {
         return None;
     }
-    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite attributes"));
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total_pos = points.iter().filter(|(_, p)| *p).count();
     let total = points.len();
     if total_pos == 0 || total_pos == total {

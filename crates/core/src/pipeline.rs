@@ -340,14 +340,14 @@ impl Surveyor {
                             let c = group.counts(e);
                             ObservedCounts::new(c.positive, c.negative)
                         }));
-                        let fit_start = self.obs.as_ref().map(|_| Instant::now());
+                        let fit_start = self.obs.as_ref().map(|_| Instant::now()); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
                         let fit = model.fit_group(&counts);
                         if let (Some(start), Some(obs)) = (fit_start, self.obs.as_deref()) {
                             em_time += start.elapsed();
                             groups_fitted += 1;
                             self.record_em_telemetry(obs, key, entities.len(), &fit);
                         }
-                        let decide_start = self.obs.as_ref().map(|_| Instant::now());
+                        let decide_start = self.obs.as_ref().map(|_| Instant::now()); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
                         let decisions: Vec<(EntityId, ModelDecision)> = entities
                             .iter()
                             .zip(&counts)
@@ -372,13 +372,13 @@ impl Surveyor {
                 });
             }
         })
-        .expect("interpretation worker panicked");
+        .expect("interpretation worker panicked"); // lint:allow(no-panic-in-lib): a worker panic is a pipeline bug; the infallible API propagates it
 
         let mut index_span = self.obs.as_deref().map(|obs| obs.span("index"));
         let results: Vec<DomainResult> = slots
             .into_inner()
             .into_iter()
-            .map(|slot| slot.expect("every combination above threshold is processed"))
+            .map(|slot| slot.expect("every combination above threshold is processed")) // lint:allow(no-panic-in-lib): each rank-indexed slot is filled by exactly one worker before join
             .collect();
         let mut index = FxHashMap::default();
         for result in &results {

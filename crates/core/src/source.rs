@@ -87,7 +87,7 @@ impl<'a> CorpusSource<'a> {
     )]
     pub fn for_region(generator: &'a CorpusGenerator, region: &str) -> Self {
         Self::try_for_region(generator, region)
-            .unwrap_or_else(|e| panic!("unknown region: {}", e.requested))
+            .unwrap_or_else(|e| panic!("unknown region: {}", e.requested)) // lint:allow(no-panic-in-lib): deprecated shim with a documented panic; callers migrate to try_for_region
     }
 }
 

@@ -111,8 +111,7 @@ impl SubjectiveKb {
                 .collect();
             opinions.sort_by(|a, b| {
                 b.probability
-                    .partial_cmp(&a.probability)
-                    .expect("finite probabilities")
+                    .total_cmp(&a.probability)
                     .then_with(|| b.positive_statements.cmp(&a.positive_statements))
                     .then_with(|| a.entity.cmp(&b.entity))
             });
@@ -208,7 +207,7 @@ impl SubjectiveKb {
 
     /// Serializes the store to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.blocks).expect("store serializes")
+        serde_json::to_string_pretty(&self.blocks).expect("store serializes") // lint:allow(no-panic-in-lib): the store value tree holds only serializable primitives
     }
 
     /// Restores a store from JSON produced by [`Self::to_json`].

@@ -290,7 +290,7 @@ impl WorldBuilder {
         let type_id = self
             .kb
             .type_by_name(type_name)
-            .unwrap_or_else(|| panic!("unknown type: {type_name}"));
+            .unwrap_or_else(|| panic!("unknown type: {type_name}")); // lint:allow(no-panic-in-lib): type names come from the same WorldConfig that registered them
         let entities = self.kb.entities_of_type(type_id);
         let stream = SeedStream::new(self.seed)
             .child("domain")
@@ -337,7 +337,7 @@ impl WorldBuilder {
                     .map(|&e| self.kb.entity(e).attribute(attr).unwrap_or(0.0).max(1e-9))
                     .collect();
                 let mut sorted = values.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite attributes"));
+                sorted.sort_by(|a, b| a.total_cmp(b));
                 let median = sorted[sorted.len() / 2];
                 values
                     .iter()

@@ -94,7 +94,7 @@ pub fn bootstrap_metrics(
 
     let alpha = (1.0 - level) / 2.0;
     let interval = |samples: &mut Vec<f64>, estimate: f64| {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         Interval {
             estimate,
             lower: surveyor_prob::percentile_sorted(samples, alpha * 100.0),

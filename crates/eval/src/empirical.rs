@@ -118,7 +118,7 @@ pub fn run_empirical(
         let e = world.kb().entity(entity);
         let attribute = e
             .attribute(attribute_key)
-            .unwrap_or_else(|| panic!("{} lacks attribute {attribute_key}", e.name()));
+            .unwrap_or_else(|| panic!("{} lacks attribute {attribute_key}", e.name())); // lint:allow(no-panic-in-lib): planted worlds attach the domain attribute to every entity
         let model_decision = output
             .opinion(entity, &domain.property)
             .map(|d| (d.decision, d.probability.unwrap_or(0.5)))
@@ -134,7 +134,7 @@ pub fn run_empirical(
             planted: domain.opinions[i],
         });
     }
-    points.sort_by(|a, b| a.attribute.partial_cmp(&b.attribute).expect("finite attrs"));
+    points.sort_by(|a, b| a.attribute.total_cmp(&b.attribute));
 
     let attrs: Vec<f64> = points.iter().map(|p| p.attribute.max(1e-12).ln()).collect();
     let mv_scores: Vec<f64> = points.iter().map(|p| polarity_score(p.majority)).collect();

@@ -45,7 +45,7 @@ pub fn snapshot_stats(evidence: &EvidenceTable, kb: &KnowledgeBase, rho: u64) ->
         .iter()
         .map(|e| mention_totals.get(&e.id()).copied().unwrap_or(0) as f64)
         .collect();
-    per_entity_counts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_entity_counts.sort_by(|a, b| a.total_cmp(b));
 
     // (b) statements per combination.
     let grouped = GroupedEvidence::from_table(evidence, kb);
@@ -53,7 +53,7 @@ pub fn snapshot_stats(evidence: &EvidenceTable, kb: &KnowledgeBase, rho: u64) ->
         .iter()
         .map(|(_, g)| g.total_statements() as f64)
         .collect();
-    per_combo.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_combo.sort_by(|a, b| a.total_cmp(b));
 
     // (c) properties above rho per type.
     let mut per_type = vec![0.0f64; kb.types().len()];
@@ -62,7 +62,7 @@ pub fn snapshot_stats(evidence: &EvidenceTable, kb: &KnowledgeBase, rho: u64) ->
             per_type[key.type_id.index()] += 1.0;
         }
     }
-    per_type.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_type.sort_by(|a, b| a.total_cmp(b));
 
     SnapshotStats {
         statements_total: evidence.total_statements(),

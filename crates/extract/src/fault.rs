@@ -271,7 +271,7 @@ impl<S: FallibleShardSource> FallibleShardSource for FaultInjector<S> {
         attempt: u32,
     ) -> Result<Cow<'_, [AnnotatedDocument]>, ShardError> {
         match self.plan.fault(index) {
-            Some(Fault::Panic) => panic!("injected panic in shard {index}"),
+            Some(Fault::Panic) => panic!("injected panic in shard {index}"), // lint:allow(no-panic-in-lib): deliberate: the injector panics so catch_unwind isolation is exercised
             Some(Fault::Transient { failures }) if attempt < failures => Err(
                 ShardError::Transient(format!("injected transient fault in shard {index}")),
             ),

@@ -57,7 +57,8 @@ fn property_at(
         scratch.push(' ');
     }
     scratch.push_str(tokens.lower_of(adj));
-    PropertyId::intern_surface(scratch).expect("adjective surface is non-empty")
+    let id = PropertyId::intern_surface(scratch);
+    id.expect("adjective surface is non-empty") // lint:allow(no-panic-in-lib): the tokenizer never yields an empty adjective token
 }
 
 /// Whether the pattern's top node carries a prepositional constriction

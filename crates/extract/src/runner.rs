@@ -227,14 +227,15 @@ fn run_sharded_impl<S: ShardSource>(
         // panicking shard panics the run (isolation is opt-in via
         // `run_sharded_fault_tolerant`).
         Err(RunError::ShardFailed { shard, error, .. }) => {
-            panic!(
+            let msg = format!(
                 "extraction worker panicked on shard {shard}: {}",
                 error.message()
-            )
+            );
+            panic!("{msg}") // lint:allow(no-panic-in-lib): documented: the legacy entry point propagates shard panics
         }
         // Infallible sources cannot produce shard errors and FailFast
         // never checks a coverage floor.
-        Err(e) => panic!("extraction failed: {e}"),
+        Err(e) => panic!("extraction failed: {e}"), // lint:allow(no-panic-in-lib): infallible sources cannot fail and FailFast checks no floor
     }
 }
 
@@ -382,7 +383,7 @@ pub fn run_sharded_fault_tolerant<F: FallibleShardSource>(
             });
         }
     })
-    .expect("fault-tolerant workers never unwind");
+    .expect("fault-tolerant workers never unwind"); // lint:allow(no-panic-in-lib): every shard attempt runs under catch_unwind, so workers never unwind
 
     if let Some((shard, attempts, error)) = first_failure.into_inner() {
         return Err(RunError::ShardFailed {

@@ -41,7 +41,7 @@ impl KnowledgeBaseBuilder {
             !self.types.iter().any(|t| t.name() == name),
             "duplicate type name: {name}"
         );
-        let id = TypeId(u32::try_from(self.types.len()).expect("type count fits in u32"));
+        let id = TypeId(u32::try_from(self.types.len()).expect("type count fits in u32")); // lint:allow(no-panic-in-lib): a KB cannot reach 2^32 types
         self.types.push(EntityType::new(
             id,
             name,
@@ -107,7 +107,7 @@ impl EntityBuilder<'_> {
     /// Commits the entity and returns its id.
     pub fn finish(self) -> EntityId {
         let id =
-            EntityId(u32::try_from(self.builder.entities.len()).expect("entity count fits in u32"));
+            EntityId(u32::try_from(self.builder.entities.len()).expect("entity count fits in u32")); // lint:allow(no-panic-in-lib): a KB cannot reach 2^32 entities
         self.builder.entities.push(Entity::new(
             id,
             self.name,

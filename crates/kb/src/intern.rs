@@ -19,9 +19,10 @@
 //! vocabulary of a corpus is small, so this is by design.
 
 use crate::property::Property;
+use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
 
 /// Identifier of an interned [`Property`].
 ///
@@ -44,7 +45,7 @@ impl Interner {
         if let Some(&id) = self.by_property.get(property) {
             return id;
         }
-        let id = u32::try_from(self.properties.len()).expect("property interner overflow");
+        let id = u32::try_from(self.properties.len()).expect("property interner overflow"); // lint:allow(no-panic-in-lib): a corpus cannot reach 2^32 distinct properties
         self.by_property.insert(property.clone(), id);
         self.by_surface.insert(property.to_string(), id);
         self.properties.push(property.clone());
@@ -66,10 +67,10 @@ impl PropertyId {
 
     /// Interns a property, returning its stable id (idempotent).
     pub fn intern(property: &Property) -> Self {
-        if let Some(&id) = table().read().unwrap().by_property.get(property) {
+        if let Some(&id) = table().read().by_property.get(property) {
             return PropertyId(id);
         }
-        PropertyId(table().write().unwrap().insert(property))
+        PropertyId(table().write().insert(property))
     }
 
     /// The id `property` already has, if it was ever interned.
@@ -79,7 +80,6 @@ impl PropertyId {
     pub fn lookup(property: &Property) -> Option<Self> {
         table()
             .read()
-            .unwrap()
             .by_property
             .get(property)
             .map(|&id| PropertyId(id))
@@ -89,11 +89,11 @@ impl PropertyId {
     /// spaces, e.g. `"very big"`); allocation-free when the surface was seen
     /// before. Returns `None` for a blank surface.
     pub fn intern_surface(surface: &str) -> Option<Self> {
-        if let Some(&id) = table().read().unwrap().by_surface.get(surface) {
+        if let Some(&id) = table().read().by_surface.get(surface) {
             return Some(PropertyId(id));
         }
         let property = Property::parse(surface)?;
-        Some(PropertyId(table().write().unwrap().insert(&property)))
+        Some(PropertyId(table().write().insert(&property)))
     }
 
     /// The property behind this id.
@@ -101,7 +101,7 @@ impl PropertyId {
     /// # Panics
     /// Panics on an id that did not come from this process's interner.
     pub fn resolve(self) -> Property {
-        table().read().unwrap().properties[self.index()].clone()
+        table().read().properties[self.index()].clone()
     }
 }
 

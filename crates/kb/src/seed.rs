@@ -619,7 +619,7 @@ pub fn long_tail_kb(num_types: usize, entities_per_type: usize, seed: u64) -> Kn
             format!("{base} group {}", i / LONG_TAIL_DOMAINS.len())
         };
         // Head noun is the final word of the type name ("car model" -> "model").
-        let head = base.rsplit(' ').next().expect("non-empty domain name");
+        let head = base.rsplit(' ').next().unwrap_or(base);
         let t = b.add_type(&name, &[head, head2], &[]);
         for _ in 0..entities_per_type {
             let entity_name = synth_name(&mut rng, &mut used);

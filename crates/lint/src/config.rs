@@ -1,0 +1,445 @@
+//! The committed `lint.toml` configuration: which paths are scanned
+//! and where each rule applies.
+//!
+//! The workspace is offline (no crates-io), so this is a hand-rolled
+//! parser for the small TOML subset the config actually uses:
+//!
+//! ```toml
+//! # Paths never scanned (prefix patterns, `*` matches one segment).
+//! exclude = ["vendor/", "crates/lint/tests/fixtures/"]
+//!
+//! [rules.no-panic-in-lib]
+//! # The rule does not run under these paths.
+//! skip = ["tests/", "crates/*/tests/"]
+//!
+//! [rules.no-unordered-iter]
+//! # The rule runs ONLY under these paths (empty/absent = everywhere).
+//! only = ["crates/obs/", "crates/core/"]
+//!
+//! [rules.no-wall-clock]
+//! enabled = true
+//! ```
+//!
+//! Supported syntax: comments, bare `key = value` pairs, `[rules.<name>]`
+//! sections, string values, booleans, and (possibly multi-line) arrays
+//! of strings. Anything else is a [`ConfigError`], reported with its
+//! line number — a config typo must fail the lint run loudly (exit 2),
+//! never silently scan the wrong set of files.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where one rule applies. Paths are workspace-relative with `/`
+/// separators; see [`path_matches`] for pattern semantics.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// The rule does not run for paths matching any of these.
+    pub skip: Vec<String>,
+    /// Non-empty: the rule runs only for paths matching one of these.
+    pub only: Vec<String>,
+    /// `false` disables the rule outright.
+    pub enabled: bool,
+}
+
+impl RuleScope {
+    /// A scope that applies everywhere.
+    pub fn everywhere() -> Self {
+        Self {
+            skip: Vec::new(),
+            only: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether the rule should run on `rel_path`.
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        if !self.only.is_empty() && !self.only.iter().any(|p| path_matches(p, rel_path)) {
+            return false;
+        }
+        !self.skip.iter().any(|p| path_matches(p, rel_path))
+    }
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Paths never scanned at all (on top of the built-in `target/`,
+    /// `.git/` skips).
+    pub exclude: Vec<String>,
+    /// Per-rule scoping, keyed by rule name.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl LintConfig {
+    /// The scope for `rule`, defaulting to everywhere when the config
+    /// has no section for it.
+    pub fn scope(&self, rule: &str) -> RuleScope {
+        self.rules
+            .get(rule)
+            .cloned()
+            .unwrap_or_else(RuleScope::everywhere)
+    }
+
+    /// Whether `rel_path` is globally excluded from scanning.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| path_matches(p, rel_path))
+    }
+}
+
+/// A malformed `lint.toml`, with the 1-based line it was detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number in the config file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Matches a workspace-relative path (always `/`-separated) against a
+/// config pattern:
+///
+/// - a trailing `/` makes the pattern a directory prefix (`crates/obs/`
+///   matches everything under that directory);
+/// - `*` matches any run of characters within one path segment
+///   (`crates/*/tests/` matches each crate's `tests/` directory);
+/// - otherwise the pattern must match the full path exactly.
+pub fn path_matches(pattern: &str, path: &str) -> bool {
+    let (dir_prefix, pattern) = match pattern.strip_suffix('/') {
+        Some(p) => (true, p),
+        None => (false, pattern),
+    };
+    let pat_segs: Vec<&str> = pattern.split('/').collect();
+    let path_segs: Vec<&str> = path.split('/').collect();
+    if dir_prefix {
+        path_segs.len() > pat_segs.len()
+            && pat_segs
+                .iter()
+                .zip(&path_segs)
+                .all(|(p, s)| segment_matches(p, s))
+    } else {
+        path_segs.len() == pat_segs.len()
+            && pat_segs
+                .iter()
+                .zip(&path_segs)
+                .all(|(p, s)| segment_matches(p, s))
+    }
+}
+
+/// Matches one path segment against a pattern segment where each `*`
+/// matches any (possibly empty) run of non-`/` characters.
+fn segment_matches(pattern: &str, segment: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    if parts.len() == 1 {
+        return pattern == segment;
+    }
+    let mut rest = segment;
+    for (i, part) in parts.iter().enumerate() {
+        if i == 0 {
+            rest = match rest.strip_prefix(part) {
+                Some(r) => r,
+                None => return false,
+            };
+        } else if i == parts.len() - 1 {
+            return part.is_empty() || rest.ends_with(part);
+        } else if !part.is_empty() {
+            rest = match rest.find(part) {
+                Some(at) => &rest[at + part.len()..],
+                None => return false,
+            };
+        }
+    }
+    true
+}
+
+/// One parsed TOML value (the subset the config uses).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Array(Vec<String>),
+}
+
+/// Parses `lint.toml` source text.
+pub fn parse(src: &str) -> Result<LintConfig, ConfigError> {
+    let mut config = LintConfig::default();
+    let mut section: Option<String> = None;
+    let mut lines = src.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.strip_suffix(']').ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unterminated section header `{raw}`"),
+            })?;
+            let rule = header.strip_prefix("rules.").ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unknown section `[{header}]` (expected `[rules.<name>]`)"),
+            })?;
+            config
+                .rules
+                .entry(rule.to_owned())
+                .or_insert_with(RuleScope::everywhere);
+            section = Some(rule.to_owned());
+            continue;
+        }
+        let (key, value_src) = line.split_once('=').ok_or_else(|| ConfigError {
+            line: line_no,
+            message: format!("expected `key = value`, got `{line}`"),
+        })?;
+        let key = key.trim();
+        // Multi-line arrays: accumulate until the bracket closes
+        // outside a string literal.
+        let mut value_text = value_src.trim().to_owned();
+        while value_text.starts_with('[') && !array_closed(&value_text) {
+            let (_, next_raw) = lines.next().ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unterminated array for key `{key}`"),
+            })?;
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next_raw).trim());
+        }
+        let value = parse_value(&value_text, line_no)?;
+        apply(&mut config, section.as_deref(), key, value, line_no)?;
+    }
+    Ok(config)
+}
+
+/// Removes a `#` comment, respecting `"` string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether `text` (starting with `[`) contains its matching `]`
+/// outside any string literal.
+fn array_closed(text: &str) -> bool {
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ']' if !in_str => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_value(text: &str, line: u32) -> Result<Value, ConfigError> {
+    let text = text.trim();
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| ConfigError {
+            line,
+            message: "unterminated array".to_owned(),
+        })?;
+        let mut items = Vec::new();
+        for item in split_array_items(inner) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item, line)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("array items must be strings, got `{item}`"),
+                    })
+                }
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner.strip_suffix('"').ok_or_else(|| ConfigError {
+            line,
+            message: format!("unterminated string `{text}`"),
+        })?;
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(ConfigError {
+                line,
+                message: format!("escapes are not supported in config strings: `{text}`"),
+            });
+        }
+        return Ok(Value::Str(inner.to_owned()));
+    }
+    Err(ConfigError {
+        line,
+        message: format!("unsupported value `{text}` (expected string, bool, or array)"),
+    })
+}
+
+/// Splits array body text on commas that sit outside string literals.
+fn split_array_items(inner: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    items.push(current);
+    items
+}
+
+fn apply(
+    config: &mut LintConfig,
+    section: Option<&str>,
+    key: &str,
+    value: Value,
+    line: u32,
+) -> Result<(), ConfigError> {
+    let err = |message: String| ConfigError { line, message };
+    match section {
+        None => match (key, value) {
+            ("exclude", Value::Array(items)) => {
+                config.exclude = items;
+                Ok(())
+            }
+            ("exclude", _) => Err(err("`exclude` must be an array of paths".to_owned())),
+            _ => Err(err(format!("unknown top-level key `{key}`"))),
+        },
+        Some(rule) => {
+            let scope = config
+                .rules
+                .entry(rule.to_owned())
+                .or_insert_with(RuleScope::everywhere);
+            match (key, value) {
+                ("skip", Value::Array(items)) => {
+                    scope.skip = items;
+                    Ok(())
+                }
+                ("only", Value::Array(items)) => {
+                    scope.only = items;
+                    Ok(())
+                }
+                ("enabled", Value::Bool(b)) => {
+                    scope.enabled = b;
+                    Ok(())
+                }
+                ("skip" | "only", _) => Err(err(format!("`{key}` must be an array of paths"))),
+                ("enabled", _) => Err(err("`enabled` must be a bool".to_owned())),
+                _ => Err(err(format!("unknown rule key `{key}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_shape() {
+        let src = r#"
+# global
+exclude = ["vendor/", "crates/lint/tests/fixtures/"]
+
+[rules.no-panic-in-lib]
+skip = [
+    "tests/",          # integration tests
+    "crates/*/tests/",
+]
+
+[rules.no-unordered-iter]
+only = ["crates/obs/"]
+
+[rules.no-wall-clock]
+enabled = false
+"#;
+        let config = parse(src).expect("config parses");
+        assert_eq!(config.exclude.len(), 2);
+        let panic_scope = config.scope("no-panic-in-lib");
+        assert!(panic_scope.applies_to("crates/core/src/pipeline.rs"));
+        assert!(!panic_scope.applies_to("tests/fault_injection.rs"));
+        assert!(!panic_scope.applies_to("crates/kb/tests/proptests.rs"));
+        let iter_scope = config.scope("no-unordered-iter");
+        assert!(iter_scope.applies_to("crates/obs/src/registry.rs"));
+        assert!(!iter_scope.applies_to("crates/nlp/src/lexicon.rs"));
+        assert!(!config
+            .scope("no-wall-clock")
+            .applies_to("crates/core/src/lib.rs"));
+        // A rule with no section applies everywhere.
+        assert!(config.scope("no-unseeded-rng").applies_to("anything.rs"));
+        assert!(config.is_excluded("vendor/rand/src/lib.rs"));
+        assert!(!config.is_excluded("crates/lint/src/lexer.rs"));
+    }
+
+    #[test]
+    fn pattern_semantics() {
+        assert!(path_matches("crates/obs/", "crates/obs/src/lib.rs"));
+        assert!(!path_matches("crates/obs/", "crates/obs"));
+        assert!(path_matches(
+            "crates/*/tests/",
+            "crates/kb/tests/proptests.rs"
+        ));
+        assert!(!path_matches("crates/*/tests/", "crates/kb/src/tests.rs"));
+        assert!(path_matches(
+            "crates/*/src/bin/*.rs",
+            "crates/bench/src/bin/repro.rs"
+        ));
+        assert!(path_matches("tests/", "tests/obs_report.rs"));
+        assert!(!path_matches("tests/", "crates/kb/tests/x.rs"));
+        assert!(path_matches("lint.toml", "lint.toml"));
+        assert!(!path_matches("lint.toml", "sub/lint.toml"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("exclude = [\"a\"\n").expect_err("unterminated");
+        assert_eq!(err.line, 1);
+        let err = parse("\n\nbogus\n").expect_err("no equals");
+        assert_eq!(err.line, 3);
+        assert!(parse("[wrong]\n").is_err());
+        assert!(parse("[rules.x]\nskip = true\n").is_err());
+        assert!(parse("[rules.x]\nweird = \"v\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_multiline_arrays() {
+        let src = "exclude = [ # trailing\n  \"a/\", # one\n  \"b/#not-a-comment\",\n]\n";
+        let config = parse(src).expect("parses");
+        assert_eq!(config.exclude, vec!["a/", "b/#not-a-comment"]);
+    }
+}

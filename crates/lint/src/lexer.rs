@@ -1,0 +1,556 @@
+//! A hand-rolled Rust lexer over raw bytes.
+//!
+//! The linter's rules are token-level, so this lexer only has to be
+//! right about the things that would make a text search lie: comments,
+//! string literals (including raw strings with arbitrary `#` fences and
+//! byte variants), char literals vs. lifetimes, and nested block
+//! comments. It does not parse; it produces a flat stream of
+//! byte-range [`Token`]s that exactly tile the input.
+//!
+//! Guarantees (property-tested in `tests/lexer_props.rs`):
+//!
+//! - never panics, on any byte string (valid UTF-8 or not);
+//! - tokens are contiguous and cover the whole input: concatenating
+//!   `src[t.start..t.end]` over all tokens reproduces `src` byte for
+//!   byte;
+//! - every token is non-empty.
+//!
+//! Unterminated literals and comments extend to end of input rather
+//! than erroring: the linter's job is to scan code that `rustc`
+//! already accepted, so recovery only has to be non-destructive.
+
+/// What a [`Token`] is. Keywords are not distinguished from other
+/// identifiers; rules match on identifier text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime or loop label, quote included (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal, suffix included (`0x1f`, `1.5e-3`, `8u64`).
+    Number,
+    /// `"..."` or `b"..."` string literal, quotes included.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br##"..."##` raw string literal.
+    RawStr,
+    /// `'a'`, `'\n'`, or `b'a'` character literal.
+    Char,
+    /// `// ...` comment, up to but not including the newline.
+    LineComment,
+    /// `/* ... */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, ...).
+    Punct,
+    /// A run of ASCII whitespace.
+    Whitespace,
+    /// Bytes the lexer cannot classify (e.g. non-ASCII outside
+    /// literals). Grouped into maximal runs.
+    Unknown,
+}
+
+/// One lexed token: a kind plus the half-open byte range it occupies
+/// in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text, as a byte slice of `src`. Returns an empty
+    /// slice rather than panicking if the token does not belong to
+    /// `src`.
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(&[])
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c)
+}
+
+/// Lexes `src` into a complete, contiguous token stream.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    Lexer { src, pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            // Defensive: every arm advances, but a zero-width token
+            // would loop forever, so force progress.
+            if self.pos == start {
+                self.pos += 1;
+            }
+            tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.src.len());
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = match self.peek(0) {
+            Some(b) => b,
+            None => return TokenKind::Unknown,
+        };
+        match b {
+            _ if is_space(b) => {
+                while self.peek(0).is_some_and(is_space) {
+                    self.bump(1);
+                }
+                TokenKind::Whitespace
+            }
+            b'/' => match self.peek(1) {
+                Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump(1);
+                    }
+                    TokenKind::LineComment
+                }
+                Some(b'*') => self.block_comment(),
+                _ => {
+                    self.bump(1);
+                    TokenKind::Punct
+                }
+            },
+            b'"' => self.quoted_string(),
+            b'b' => match (self.peek(1), self.peek(2)) {
+                (Some(b'"'), _) => {
+                    self.bump(1);
+                    self.quoted_string()
+                }
+                (Some(b'\''), _) => {
+                    self.bump(1);
+                    self.char_literal()
+                }
+                (Some(b'r'), Some(b'"' | b'#')) => {
+                    self.bump(1);
+                    self.raw_string_or_ident()
+                }
+                _ => self.ident(),
+            },
+            b'r' => match self.peek(1) {
+                Some(b'"' | b'#') => self.raw_string_or_ident(),
+                _ => self.ident(),
+            },
+            b'\'' => self.char_or_lifetime(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii() => {
+                self.bump(1);
+                TokenKind::Punct
+            }
+            _ => {
+                while self.peek(0).is_some_and(|c| !c.is_ascii()) {
+                    self.bump(1);
+                }
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump(1);
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Digits, underscores, radix prefixes and type suffixes all
+        // fall under "alphanumeric or `_`"; a `.` joins the literal
+        // only when a digit follows (so `1..2` stays two numbers and
+        // two dots), and an exponent sign only directly after e/E.
+        while let Some(c) = self.peek(0) {
+            let joins = c.is_ascii_alphanumeric()
+                || c == b'_'
+                || (c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == b'+' || c == b'-')
+                    && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !joins {
+                break;
+            }
+            self.bump(1);
+        }
+        TokenKind::Number
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // Rust block comments nest; an unterminated comment runs to
+        // end of input.
+        self.bump(2);
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump(2);
+                }
+                _ => self.bump(1),
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Consumes a `"..."` string starting at the opening quote.
+    fn quoted_string(&mut self) -> TokenKind {
+        self.bump(1);
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump(2),
+                b'"' => {
+                    self.bump(1);
+                    break;
+                }
+                _ => self.bump(1),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// At an `r` that might open a raw string (`r"`, `r#"`) or a raw
+    /// identifier (`r#match`). Any other shape falls back to lexing
+    /// the `r` as a plain identifier.
+    fn raw_string_or_ident(&mut self) -> TokenKind {
+        let r_pos = self.pos;
+        let mut hashes = 0usize;
+        while self.src.get(r_pos + 1 + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        match self.src.get(r_pos + 1 + hashes) {
+            Some(b'"') => {
+                self.bump(1 + hashes + 1);
+                // Scan for `"` followed by `hashes` hashes.
+                while self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'"')
+                        && (0..hashes).all(|i| self.src.get(self.pos + 1 + i) == Some(&b'#'))
+                    {
+                        self.bump(1 + hashes);
+                        return TokenKind::RawStr;
+                    }
+                    self.bump(1);
+                }
+                TokenKind::RawStr
+            }
+            Some(&c) if hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#match`.
+                self.bump(2);
+                self.ident()
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// Consumes a char literal starting at the opening quote.
+    fn char_literal(&mut self) -> TokenKind {
+        self.bump(1);
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump(2),
+                b'\'' => {
+                    self.bump(1);
+                    break;
+                }
+                b'\n' => break,
+                _ => self.bump(1),
+            }
+        }
+        TokenKind::Char
+    }
+
+    /// At a `'`: decide between a char literal and a lifetime. The
+    /// rule mirrors rustc's: `'` + escape is always a char; otherwise
+    /// an identifier-ish run closed by `'` is a char, and an
+    /// identifier-ish run not closed by `'` is a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(),
+            Some(b'\'') => {
+                // `''`: empty (invalid) char literal; consume both.
+                self.bump(2);
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut len = 1;
+                while self
+                    .src
+                    .get(self.pos + 1 + len)
+                    .copied()
+                    .is_some_and(is_ident_continue)
+                {
+                    len += 1;
+                }
+                if self.src.get(self.pos + 1 + len) == Some(&b'\'') {
+                    self.bump(1 + len + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump(1 + len);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(c) if !c.is_ascii() => {
+                // A multi-byte UTF-8 scalar like 'é': char if closed.
+                let mut len = 1;
+                while self
+                    .src
+                    .get(self.pos + 1 + len)
+                    .is_some_and(|b| !b.is_ascii())
+                {
+                    len += 1;
+                }
+                if self.src.get(self.pos + 1 + len) == Some(&b'\'') {
+                    self.bump(1 + len + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump(1);
+                    TokenKind::Punct
+                }
+            }
+            // `'x'` where x is a digit or symbol byte.
+            Some(c) if self.src.get(self.pos + 2) == Some(&b'\'') && c != b'\n' => {
+                self.bump(3);
+                TokenKind::Char
+            }
+            Some(_) => {
+                self.bump(1);
+                TokenKind::Punct
+            }
+            None => {
+                self.bump(1);
+                TokenKind::Punct
+            }
+        }
+    }
+}
+
+/// Maps byte offsets to 1-based `(line, column)` pairs. Columns count
+/// bytes from the start of the line, which matches how `rustc` reports
+/// ASCII source and keeps the mapping total for arbitrary bytes.
+#[derive(Debug)]
+pub struct LineIndex {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `src`.
+    pub fn new(src: &[u8]) -> Self {
+        let mut line_starts = vec![0];
+        for (i, &b) in src.iter().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { line_starts }
+    }
+
+    /// The 1-based `(line, column)` of byte `offset`. Offsets past the
+    /// end of input map to the end of the last line.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line as u32 + 1, col as u32 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| {
+                (
+                    t.kind,
+                    std::str::from_utf8(t.text(src.as_bytes())).unwrap_or("<bin>"),
+                )
+            })
+            .collect()
+    }
+
+    fn sig(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| !matches!(k, TokenKind::Whitespace))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            sig("x.unwrap()"),
+            vec![
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "unwrap"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_hide_their_contents() {
+        let toks = sig("a // unwrap()\n/* panic! /* nested */ */ b");
+        assert_eq!(toks[0], (TokenKind::Ident, "a"));
+        assert_eq!(toks[1], (TokenKind::LineComment, "// unwrap()"));
+        assert_eq!(toks[2].0, TokenKind::BlockComment);
+        assert_eq!(toks[3], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = sig(r##"f("unwrap()", r#"panic!"#, b"x")"##);
+        let lit_kinds: Vec<TokenKind> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Str | TokenKind::RawStr))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(
+            lit_kinds,
+            vec![TokenKind::Str, TokenKind::RawStr, TokenKind::Str]
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && (*s == "unwrap" || *s == "panic")));
+    }
+
+    #[test]
+    fn raw_string_fences() {
+        assert_eq!(
+            sig(r##"r#"a"b"#"##),
+            vec![(TokenKind::RawStr, r##"r#"a"b"#"##)]
+        );
+        assert_eq!(sig(r#"r"plain""#), vec![(TokenKind::RawStr, r#"r"plain""#)]);
+        assert_eq!(
+            sig("br#\"bytes\"#"),
+            vec![(TokenKind::RawStr, "br#\"bytes\"#")]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        assert_eq!(sig("r#match"), vec![(TokenKind::Ident, "r#match")]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(
+            sig("'a' 'x: &'static str '\\n' ''"),
+            vec![
+                (TokenKind::Char, "'a'"),
+                (TokenKind::Lifetime, "'x"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Ident, "str"),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Char, "''"),
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_in_char_does_not_open_string() {
+        // A naive scanner would treat the `'"'` as opening a string
+        // and swallow the rest of the file.
+        assert_eq!(
+            sig(r#"split('"').unwrap()"#)
+                .iter()
+                .filter(|(k, s)| *k == TokenKind::Ident && *s == "unwrap")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_stay_whole() {
+        assert_eq!(
+            sig("0x1f 1.5e-3 8u64 1..2"),
+            vec![
+                (TokenKind::Number, "0x1f"),
+                (TokenKind::Number, "1.5e-3"),
+                (TokenKind::Number, "8u64"),
+                (TokenKind::Number, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "2"),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokens_tile_the_input() {
+        let src = "fn main() { let s = \"\\\"q\"; } // done\n".as_bytes();
+        let toks = lex(src);
+        let mut rebuilt = Vec::new();
+        for t in &toks {
+            assert!(t.start < t.end, "empty token {t:?}");
+            rebuilt.extend_from_slice(t.text(src));
+        }
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'\\", "b\"open"] {
+            let toks = lex(src.as_bytes());
+            assert_eq!(
+                toks.iter().map(|t| t.end - t.start).sum::<usize>(),
+                src.len()
+            );
+        }
+    }
+
+    #[test]
+    fn line_index_round_trip() {
+        let src = b"ab\ncd\n\nx";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(4), (2, 2));
+        assert_eq!(idx.line_col(6), (3, 1));
+        assert_eq!(idx.line_col(7), (4, 1));
+        assert_eq!(idx.line_col(800), (4, 794));
+    }
+}

@@ -1,0 +1,120 @@
+//! `surveyor-lint` — a workspace static-analysis pass enforcing the
+//! determinism and panic-freedom invariants earlier PRs promised.
+//!
+//! Surveyor guarantees bit-identical output across thread counts,
+//! schema-stable run reports, and panic-isolated fault-tolerant
+//! sharding — none of which the compiler checks. A stray `unwrap()` in
+//! a shard worker silently converts a typed `ShardError` into a
+//! quarantine; an `Instant::now()` or unseeded RNG in a decision path
+//! breaks reproducibility; a `std::collections::HashMap` feeding a
+//! report breaks `diff`-ability. Clippy has no notion of these domain
+//! rules, and the offline vendored toolchain rules out dylint/syn, so
+//! this crate rebuilds the analyzer from scratch:
+//!
+//! - [`lexer`] — a hand-rolled, panic-free Rust lexer (comments,
+//!   strings, raw strings, char-vs-lifetime, byte-range spans);
+//! - [`config`] — the committed `lint.toml` scoping rules to
+//!   crates/paths, parsed by a minimal hand-rolled TOML-subset reader;
+//! - [`rules`] — the rule table and token-level scan engine, with
+//!   per-line `// lint:allow(<rule>)` pragmas and unused-allow
+//!   detection;
+//! - [`walker`] — deterministic sorted workspace traversal;
+//! - [`output`] — `file:line:col` human listings and a versioned JSON
+//!   report.
+//!
+//! The binary (`cargo run --release -p surveyor-lint`) exits 0 on a
+//! clean workspace, 1 when there are findings, and 2 on usage or
+//! configuration errors — `scripts/verify.sh` treats any nonzero exit
+//! as a gate failure.
+//!
+//! ```
+//! use surveyor_lint::{config::LintConfig, rules};
+//!
+//! let mut findings = Vec::new();
+//! rules::scan_file(
+//!     "crates/demo/src/lib.rs",
+//!     b"fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+//!     false,
+//!     &LintConfig::default(),
+//!     &mut findings,
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "no-panic-in-lib");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod output;
+pub mod rules;
+pub mod walker;
+
+use std::path::Path;
+
+/// Result of linting a workspace: sorted findings plus scan stats.
+#[derive(Debug, Clone, Default)]
+pub struct LintRun {
+    /// All findings, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<rules::Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Errors that stop a lint run before any file is judged.
+#[derive(Debug)]
+pub enum LintError {
+    /// `lint.toml` is missing or malformed.
+    Config(String),
+    /// The workspace could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(m) | Self::Io(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints every `.rs` file under `root` using `config`. Findings come
+/// back sorted, so two runs over the same tree are byte-identical.
+pub fn lint_workspace(root: &Path, config: &config::LintConfig) -> Result<LintRun, LintError> {
+    let files = walker::collect_rust_files(root, config)
+        .map_err(|e| LintError::Io(format!("walking {}: {e}", root.display())))?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let src = std::fs::read(&file.abs)
+            .map_err(|e| LintError::Io(format!("reading {}: {e}", file.rel)))?;
+        rules::scan_file(&file.rel, &src, file.is_crate_root, config, &mut findings);
+    }
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Ok(LintRun {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Loads `lint.toml` from `path`.
+pub fn load_config(path: &Path) -> Result<config::LintConfig, LintError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| LintError::Config(format!("reading {}: {e}", path.display())))?;
+    let parsed = config::parse(&src).map_err(|e| LintError::Config(e.to_string()))?;
+    for rule in parsed.rules.keys() {
+        if rules::rule_by_name(rule).is_none() {
+            return Err(LintError::Config(format!(
+                "lint.toml configures unknown rule `{rule}` (known: {})",
+                rules::RULES
+                    .iter()
+                    .map(|r| r.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+    }
+    Ok(parsed)
+}

@@ -1,0 +1,152 @@
+//! `surveyor-lint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! surveyor-lint [--root DIR] [--config FILE] [--format human|json]
+//!               [--json-out FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings reported, 2 usage/config/IO error.
+//! This file is the only place in the crate allowed to print.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use surveyor_lint::{lint_workspace, load_config, output, rules};
+
+const USAGE: &str = "\
+surveyor-lint: enforce Surveyor's determinism and panic-freedom invariants
+
+USAGE:
+    surveyor-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR         Workspace root to scan (default: current directory)
+    --config FILE      Config path (default: <root>/lint.toml)
+    --format FMT       Output format: human (default) or json
+    --json-out FILE    Additionally write the JSON report to FILE
+    --list-rules       Print the rule table and exit
+    -h, --help         Show this help
+
+EXIT CODES:
+    0  no findings
+    1  findings reported
+    2  usage, config, or IO error";
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    json_out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Human,
+        json_out: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_owned())?);
+            }
+            "--config" => {
+                opts.config = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--config needs a value".to_owned())?,
+                ));
+            }
+            "--format" => {
+                opts.format = match it
+                    .next()
+                    .ok_or_else(|| "--format needs a value".to_owned())?
+                    .as_str()
+                {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--json-out" => {
+                opts.json_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--json-out needs a value".to_owned())?,
+                ));
+            }
+            "--list-rules" => opts.list_rules = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("surveyor-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!("{:24} {}", rule.name, rule.summary);
+        }
+        let meta_summary = "meta-rule: a lint:allow pragma that suppresses nothing";
+        println!("{:24} {meta_summary}", rules::UNUSED_ALLOW);
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.toml"));
+    let config = match load_config(&config_path) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("surveyor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match lint_workspace(&opts.root, &config) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("surveyor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.json_out {
+        let json = output::render_json(&run.findings, run.files_scanned);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("surveyor-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    match opts.format {
+        Format::Human => println!("{}", output::render_human(&run.findings, run.files_scanned)),
+        Format::Json => print!("{}", output::render_json(&run.findings, run.files_scanned)),
+    }
+    if run.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic workspace traversal.
+//!
+//! Collects every `.rs` file under the workspace root, sorted by
+//! relative path, so findings come out in the same order on every
+//! machine. `target/`, `.git/`, and dot-directories are always
+//! skipped; further exclusions (`vendor/`, fixture directories) come
+//! from `lint.toml`'s `exclude` list.
+
+use crate::config::{path_matches, LintConfig};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file to scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkspaceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Absolute path for reading.
+    pub abs: PathBuf,
+    /// Whether this file is a crate root (`src/lib.rs`, `src/main.rs`,
+    /// or `src/bin/*.rs` of a workspace crate) and must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Directory names never descended into, regardless of config.
+const ALWAYS_SKIPPED_DIRS: &[&str] = &["target", ".git"];
+
+/// Collects the `.rs` files to scan, sorted by relative path.
+pub fn collect_rust_files(root: &Path, config: &LintConfig) -> io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    walk(root, root, config, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    config: &LintConfig,
+    out: &mut Vec<WorkspaceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            if ALWAYS_SKIPPED_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            // Excluding a directory pattern prunes the whole subtree.
+            let dir_rel = format!("{rel}/");
+            if config
+                .exclude
+                .iter()
+                .any(|p| path_matches(p, &format!("{dir_rel}x")) || p.trim_end_matches('/') == rel)
+            {
+                continue;
+            }
+            walk(root, &path, config, out)?;
+        } else if name.ends_with(".rs") && !config.is_excluded(&rel) {
+            out.push(WorkspaceFile {
+                is_crate_root: is_crate_root(&rel),
+                abs: path,
+                rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize to `/` so patterns and reports are OS-independent.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Whether `rel` is a crate root of a workspace crate.
+fn is_crate_root(rel: &str) -> bool {
+    path_matches("crates/*/src/lib.rs", rel)
+        || path_matches("crates/*/src/main.rs", rel)
+        || path_matches("crates/*/src/bin/*.rs", rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_classification() {
+        assert!(is_crate_root("crates/kb/src/lib.rs"));
+        assert!(is_crate_root("crates/cli/src/main.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/repro.rs"));
+        assert!(!is_crate_root("crates/kb/src/intern.rs"));
+        assert!(!is_crate_root("tests/obs_report.rs"));
+        assert!(!is_crate_root("examples/quickstart.rs"));
+    }
+
+    #[test]
+    fn walks_sorted_and_prunes_excludes() {
+        let dir = std::env::temp_dir().join(format!(
+            "surveyor-lint-walker-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        for sub in ["crates/a/src", "vendor/x/src", "target/debug"] {
+            fs::create_dir_all(dir.join(sub)).expect("mkdir");
+        }
+        for f in [
+            "crates/a/src/lib.rs",
+            "crates/a/src/zeta.rs",
+            "crates/a/src/alpha.rs",
+            "vendor/x/src/lib.rs",
+            "target/debug/junk.rs",
+            "notes.txt",
+        ] {
+            fs::write(dir.join(f), "fn x() {}").expect("write");
+        }
+        let config = crate::config::parse("exclude = [\"vendor/\"]").expect("config");
+        let files = collect_rust_files(&dir, &config).expect("walk");
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(
+            rels,
+            vec![
+                "crates/a/src/alpha.rs",
+                "crates/a/src/lib.rs",
+                "crates/a/src/zeta.rs"
+            ]
+        );
+        assert!(files[1].is_crate_root);
+        assert!(!files[0].is_crate_root);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: wall-clock reads and unseeded randomness.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    4
+}
+
+pub fn seed_from_nowhere() {
+    let _rng = rand::rngs::StdRng::from_entropy();
+}

@@ -1,0 +1,18 @@
+//! Fixture crate root: missing `#![forbid(unsafe_code)]`, panics, prints.
+
+pub fn first_char(s: &str) -> char {
+    s.chars().next().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("value required")
+}
+
+pub fn shout(msg: &str) {
+    println!("{msg}");
+    eprintln!("{msg}");
+}
+
+pub fn unfinished() {
+    todo!()
+}

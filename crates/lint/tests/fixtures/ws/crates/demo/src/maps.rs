@@ -1,0 +1,11 @@
+//! Fixture: unordered map in a serialization path.
+
+use std::collections::HashMap;
+
+pub fn tally(words: &[&str]) -> HashMap<String, u32> {
+    let mut out: std::collections::HashMap<String, u32> = HashMap::new();
+    for w in words {
+        *out.entry((*w).to_owned()).or_default() += 1;
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! Fixture: pragma suppression, unused pragmas, and unknown rule names.
+
+/// Doc comments mentioning `lint:allow(no-panic-in-lib)` are not pragmas.
+pub fn suppressed(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no-panic-in-lib): fixture invariant
+}
+
+pub fn clean() -> u32 {
+    7 // lint:allow(no-panic-in-lib): nothing to suppress here
+}
+
+pub fn misspelled() -> u32 {
+    9 // lint:allow(no-such-rule)
+}

@@ -1,0 +1,17 @@
+//! Fixture: test code is exempt from panic and print rules.
+
+pub fn double(v: u32) -> u32 {
+    v * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let v: Option<u32> = Some(2);
+        assert_eq!(double(v.unwrap()), 4);
+        println!("test output is fine");
+    }
+}

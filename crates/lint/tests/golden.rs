@@ -1,0 +1,103 @@
+//! Golden tests: the linter's findings over the fixture workspace must
+//! match the committed expected outputs byte for byte.
+//!
+//! The fixture workspace under `tests/fixtures/ws/` reintroduces one
+//! violation per rule (plus pragma-suppression, unused-pragma, and
+//! cfg(test)-exemption cases); the goldens pin the exact sorted finding
+//! list, so any change to matching, ordering, or message wording shows up
+//! as a diff. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p surveyor-lint -- --root crates/lint/tests/fixtures/ws \
+//!     > crates/lint/tests/fixtures/expected.txt
+//! ```
+
+use std::path::{Path, PathBuf};
+use surveyor_lint::output::{render_human, render_json};
+use surveyor_lint::rules::{RULES, UNUSED_ALLOW};
+use surveyor_lint::{lint_workspace, load_config};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn expected(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading golden {}: {e}", path.display()))
+}
+
+fn run_fixture() -> surveyor_lint::LintRun {
+    let root = fixture_root();
+    let config = load_config(&root.join("lint.toml")).expect("fixture lint.toml parses");
+    lint_workspace(&root, &config).expect("fixture workspace lints")
+}
+
+#[test]
+fn human_output_matches_golden() {
+    let run = run_fixture();
+    let rendered = render_human(&run.findings, run.files_scanned);
+    assert_eq!(rendered.trim_end(), expected("expected.txt").trim_end());
+}
+
+#[test]
+fn json_output_matches_golden() {
+    let run = run_fixture();
+    let rendered = render_json(&run.findings, run.files_scanned);
+    assert_eq!(rendered.trim_end(), expected("expected.json").trim_end());
+}
+
+#[test]
+fn findings_are_deterministic_across_runs() {
+    let a = run_fixture();
+    let b = run_fixture();
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.files_scanned, b.files_scanned);
+}
+
+#[test]
+fn findings_are_sorted() {
+    let run = run_fixture();
+    let mut sorted = run.findings.clone();
+    sorted.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    assert_eq!(run.findings, sorted);
+}
+
+#[test]
+fn every_rule_fires_in_the_fixture() {
+    let run = run_fixture();
+    for rule in RULES {
+        assert!(
+            run.findings.iter().any(|f| f.rule == rule.name),
+            "rule {} produced no fixture finding",
+            rule.name
+        );
+    }
+    // The unused-allow meta-rule fires for both the no-op pragma and the
+    // unknown-rule pragma.
+    let unused = run
+        .findings
+        .iter()
+        .filter(|f| f.rule == UNUSED_ALLOW)
+        .count();
+    assert_eq!(unused, 2);
+}
+
+#[test]
+fn pragma_suppresses_the_same_line_only() {
+    let run = run_fixture();
+    // pragmas.rs line 5 holds a pragma-suppressed `.unwrap()`: no
+    // no-panic-in-lib finding may point there.
+    assert!(!run
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("pragmas.rs") && f.rule == "no-panic-in-lib"));
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let run = run_fixture();
+    assert!(!run.findings.iter().any(|f| f.file.ends_with("testcode.rs")));
+}

@@ -1,0 +1,96 @@
+//! Property tests: the lexer never panics and its tokens tile the input.
+//!
+//! The linter runs over every byte the walker hands it — including files
+//! that are not valid Rust, not valid UTF-8, or truncated mid-literal. The
+//! lexer's contract is total: any byte string lexes to a token stream whose
+//! spans are non-empty, contiguous, start at 0, and end at the input
+//! length, so concatenating `token.text(src)` reproduces the input exactly.
+
+use proptest::prelude::*;
+use surveyor_lint::lexer::{lex, LineIndex};
+
+/// Asserts the tiling invariant for one input.
+fn assert_tiles(src: &[u8]) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos}");
+        assert!(t.end > t.start, "zero-width token at byte {pos}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover the whole input");
+    let rebuilt: Vec<u8> = tokens.iter().flat_map(|t| t.text(src).to_vec()).collect();
+    assert_eq!(rebuilt, src, "token texts must concatenate to the input");
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_lex_without_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..400)
+    ) {
+        assert_tiles(&bytes);
+    }
+
+    #[test]
+    fn rust_flavoured_bytes_lex_without_panic(
+        pieces in prop::collection::vec(prop_oneof![
+            Just("fn "), Just("r#\""), Just("r##"), Just("\""), Just("'"),
+            Just("'a"), Just("//"), Just("/*"), Just("*/"), Just("\n"),
+            Just("\\"), Just("b\""), Just("0x1f"), Just("1.5e-3"), Just("::"),
+            Just("unwrap()"), Just("é"), Just("#"), Just("r#match"),
+            Just("// lint:allow(no-panic-in-lib)")
+        ], 0..60)
+    ) {
+        // Adversarial concatenations of Rust lexical fragments: unterminated
+        // literals, dangling raw-string fences, stray escapes.
+        let src: String = pieces.concat();
+        assert_tiles(src.as_bytes());
+    }
+
+    #[test]
+    fn line_index_agrees_with_manual_count(
+        pieces in prop::collection::vec(prop_oneof![
+            Just("x"), Just("\n"), Just("ab"), Just("\r\n"), Just("é")
+        ], 0..80),
+        probe in 0usize..200
+    ) {
+        let src: String = pieces.concat();
+        let bytes = src.as_bytes();
+        let offset = probe.min(bytes.len());
+        let index = LineIndex::new(bytes);
+        let (line, col) = index.line_col(offset);
+        // Manual recount: 1-based line is newlines before offset + 1,
+        // 1-based col is bytes since the last newline + 1.
+        let newlines = bytes[..offset].iter().filter(|&&b| b == b'\n').count();
+        let line_start = bytes[..offset]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        prop_assert_eq!(line as usize, newlines + 1);
+        prop_assert_eq!(col as usize, offset - line_start + 1);
+    }
+}
+
+#[test]
+fn fixed_edge_cases_tile() {
+    let cases: &[&[u8]] = &[
+        b"",
+        b"\"unterminated",
+        b"r#\"never closed",
+        b"r####",
+        b"/* nested /* deeper */ still open",
+        b"'",
+        b"'\\",
+        b"b'",
+        b"0b",
+        b"1..=2",
+        b"\xff\xfe\x00",
+        "é'é'é".as_bytes(),
+        b"r#match r#\"raw\"# r\"plain\"",
+    ];
+    for case in cases {
+        let tokens = lex(case);
+        let total: usize = tokens.iter().map(|t| t.end - t.start).sum();
+        assert_eq!(total, case.len());
+    }
+}

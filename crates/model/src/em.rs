@@ -213,7 +213,7 @@ pub fn fit(counts: &[ObservedCounts], config: &EmConfig) -> EmFit {
             best = Some((ll, candidate));
         }
     }
-    best.expect("at least one restart").1
+    best.expect("at least one restart").1 // lint:allow(no-panic-in-lib): shares is never empty (defaulted above), so the loop always sets best
 }
 
 /// One EM run from a share-seeded initialization.

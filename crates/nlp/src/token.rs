@@ -138,11 +138,15 @@ impl TokenizedSentence {
                 self.lower.push(lc);
             }
         }
+        // Span offsets are stored as u32 to keep `Token` at 20 bytes; a
+        // single sentence longer than 4 GiB cannot occur (documents are
+        // split into sentences far below that).
+        let offset = |n: usize| u32::try_from(n).expect("sentence fits in u32"); // lint:allow(no-panic-in-lib): a sentence cannot exceed 4 GiB
         self.tokens.push(Token {
-            start: u32::try_from(start).expect("sentence fits in u32"),
-            end: u32::try_from(end).expect("sentence fits in u32"),
-            lower_start: u32::try_from(lower_start).expect("sentence fits in u32"),
-            lower_end: u32::try_from(self.lower.len()).expect("sentence fits in u32"),
+            start: offset(start),
+            end: offset(end),
+            lower_start: offset(lower_start),
+            lower_end: offset(self.lower.len()),
             pos: Pos::Other,
         });
         self.lower.push(' ');

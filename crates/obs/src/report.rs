@@ -84,7 +84,7 @@ pub struct RunReport {
 impl RunReport {
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report is serializable")
+        serde_json::to_string_pretty(self).expect("report is serializable") // lint:allow(no-panic-in-lib): the report value tree holds only serializable primitives
     }
 
     /// Parses a report written by [`to_json`](Self::to_json). Errors on

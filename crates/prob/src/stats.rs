@@ -108,7 +108,7 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     }
     assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(percentile_sorted(&sorted, q))
 }
 
@@ -166,7 +166,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("non-NaN"));
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -38,7 +38,7 @@ impl Zipf {
             *v /= total;
         }
         // Pin the last entry so binary search can never run off the end.
-        *cdf.last_mut().expect("non-empty support") = 1.0;
+        *cdf.last_mut().expect("non-empty support") = 1.0; // lint:allow(no-panic-in-lib): support size is asserted nonzero in the constructor
         Self { cdf, exponent: s }
     }
 

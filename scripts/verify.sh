@@ -10,6 +10,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# Static-analysis gate: surveyor-lint enforces the determinism and
+# panic-freedom invariants (DESIGN.md §6e) over the whole workspace,
+# itself included (its deliberately-violating fixture workspace is
+# excluded by lint.toml). Exit 1 = findings, 2 = config error; the JSON
+# report is archived next to the repro artifacts either way.
+mkdir -p artifacts
+cargo run --release -q -p surveyor-lint -- --json-out artifacts/lint_report.json
+
 # Chaos gate: the fault-injection suite under a seeded fault plan. The
 # seed selects which shards panic/fail (FaultPlan::from_seed); the suite
 # asserts the run's coverage accounting matches the plan's predictions.
