@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench pipeline [--seed N] [--threads N] [--out PATH] [--baseline PATH] [--report PATH]
+//! bench scale [--seed N] [--out PATH] [--quick]
 //! bench diff <current.json> <baseline.json>
 //! ```
 //!
@@ -11,6 +12,11 @@
 //! artifact, the output also reports the throughput ratio against it.
 //! `--report` additionally runs an observed end-to-end pass and writes a
 //! versioned run report (phase times, counters, EM telemetry).
+//!
+//! `scale` sweeps 1/2/4/8 worker threads over a ~10× larger corpus, timing
+//! extraction and the model phase separately, and writes
+//! `BENCH_scale.json` (schema-validated before writing). `--quick` shrinks
+//! the corpus for CI smoke tests.
 //!
 //! `diff` compares two such run reports phase by phase.
 
@@ -23,6 +29,7 @@ use surveyor_bench::experiments::{self, ReproConfig};
 
 const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
                      [--out PATH] [--baseline PATH] [--report PATH]\n\
+                     \u{20}      bench scale [--seed N] [--out PATH] [--quick]\n\
                      \u{20}      bench diff <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
@@ -33,6 +40,7 @@ fn main() -> ExitCode {
     };
     match command {
         "pipeline" => pipeline(rest),
+        "scale" => scale(rest),
         "diff" => diff(rest),
         _ => {
             eprintln!("{USAGE}");
@@ -152,6 +160,109 @@ fn pipeline(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `bench scale`: the thread-scaling sweep behind `BENCH_scale.json`.
+fn scale(rest: &[String]) -> ExitCode {
+    let mut config = ReproConfig::default();
+    let mut out = "BENCH_scale.json".to_owned();
+    let mut quick = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(v) = value.parse::<u64>() else {
+                    eprintln!("invalid numeric value for {arg}: {value}");
+                    return ExitCode::FAILURE;
+                };
+                config.seed = v;
+            }
+            "--out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out = value.clone();
+            }
+            _ => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (text, value) = experiments::scale_sweep(&config, quick);
+    println!("{text}");
+
+    if let Err(e) = validate_scale_schema(&value) {
+        eprintln!("internal error: scale artifact failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    match std::fs::File::create(&out).and_then(|mut f| {
+        f.write_all(
+            serde_json::to_string_pretty(&value)
+                .expect("serializable artifact")
+                .as_bytes(),
+        )
+    }) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Checks the `BENCH_scale.json` shape before anything is written, so a
+/// malformed artifact can never land on disk (verify.sh greps these same
+/// keys as a second line of defense).
+fn validate_scale_schema(value: &serde_json::Value) -> Result<(), String> {
+    for key in [
+        "preset",
+        "seed",
+        "shards",
+        "documents",
+        "host_cpus",
+        "timing",
+    ] {
+        if value.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    for phase in ["extraction", "model"] {
+        let rows = value["phases"][phase]
+            .as_array()
+            .ok_or_else(|| format!("phases.{phase} is not an array"))?;
+        if rows.is_empty() {
+            return Err(format!("phases.{phase} is empty"));
+        }
+        for row in rows {
+            for key in ["threads", "seconds", "speedup"] {
+                if row[key].as_f64().is_none() {
+                    return Err(format!("phases.{phase} row missing numeric {key:?}"));
+                }
+            }
+        }
+    }
+    for key in ["statements_identical", "decided_pairs_identical"] {
+        if value["determinism"][key].as_bool().is_none() {
+            return Err(format!("determinism.{key} is not a boolean"));
+        }
+    }
+    for key in ["hits", "global_lookups", "hit_rate"] {
+        if value["intern_cache"][key].as_f64().is_none() {
+            return Err(format!("intern_cache.{key} is not a number"));
+        }
+    }
+    Ok(())
 }
 
 /// `docs_per_sec` of the extraction row with the given thread count.

@@ -11,7 +11,6 @@
 //!             emit ⟨entity, property, −⟩ if prb < ½
 //! ```
 
-use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,6 +78,18 @@ pub struct DomainResult {
     /// Decisions for every entity of the type (not just mentioned ones),
     /// parallel to `kb.entities_of_type(key.type_id)`.
     pub decisions: Vec<(EntityId, ModelDecision)>,
+}
+
+/// Everything one interpretation worker accumulated, handed back by value
+/// over the join handle: rank-tagged results plus locally-buffered timing,
+/// so the combination loop shares nothing but the claim cursor.
+#[derive(Debug, Default)]
+struct ModelWorkerOutcome {
+    results: Vec<(usize, DomainResult)>,
+    em_time: Duration,
+    decide_time: Duration,
+    groups_fitted: u64,
+    decisions_made: u64,
 }
 
 /// Full pipeline output.
@@ -298,9 +309,10 @@ impl Surveyor {
     /// Combinations above ρ are independent of each other, so they fan out
     /// over `config.threads` workers the same way extraction shards do: a
     /// dynamic atomic cursor balances skewed group sizes, each worker reuses
-    /// one counts scratch buffer across combinations, and every result lands
-    /// in its combination's rank slot — output order (and therefore the
-    /// whole output) is identical for any worker count.
+    /// one counts scratch buffer across combinations, and each result comes
+    /// back rank-tagged by value over the join — a final sort by rank makes
+    /// output order (and therefore the whole output) identical for any
+    /// worker count, and no lock is taken anywhere in the loop.
     pub fn run_on_evidence(&self, evidence: EvidenceTable) -> SurveyorOutput {
         let grouped = {
             let mut span = self.obs.as_deref().map(|obs| obs.span("group"));
@@ -314,72 +326,89 @@ impl Surveyor {
         let combinations: Vec<(&GroupKey, _)> = grouped.above_threshold(self.config.rho).collect();
 
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<DomainResult>>> = Mutex::new(vec![None; combinations.len()]);
         let workers = self.config.threads.max(1).min(combinations.len().max(1));
+        let timed = self.obs.is_some();
 
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| {
-                    // Per-worker scratch, reused across combinations.
-                    let mut counts: Vec<ObservedCounts> = Vec::new();
-                    // CPU-time slices accumulated locally and flushed once
-                    // on worker exit, so observation never serializes the
-                    // per-combination loop.
-                    let mut em_time = Duration::ZERO;
-                    let mut decide_time = Duration::ZERO;
-                    let mut groups_fitted = 0u64;
-                    let mut decisions_made = 0u64;
-                    loop {
-                        let rank = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(key, group)) = combinations.get(rank) else {
-                            break;
-                        };
-                        let entities = self.kb.entities_of_type(key.type_id);
-                        counts.clear();
-                        counts.extend(entities.iter().map(|&e| {
-                            let c = group.counts(e);
-                            ObservedCounts::new(c.positive, c.negative)
-                        }));
-                        let fit_start = self.obs.as_ref().map(|_| Instant::now()); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
-                        let fit = model.fit_group(&counts);
-                        if let (Some(start), Some(obs)) = (fit_start, self.obs.as_deref()) {
-                            em_time += start.elapsed();
-                            groups_fitted += 1;
-                            self.record_em_telemetry(obs, key, entities.len(), &fit);
+        // Per-worker results ride back by value over the join handle as
+        // (rank, result) pairs; nothing in the combination loop touches
+        // shared state beyond the claim cursor. EM telemetry is likewise
+        // buffered in the result (the fit survives inside `DomainResult`)
+        // and flushed post-join in rank order, so the registry's group
+        // report rows come out in the same order for any worker count.
+        let outcomes = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        // Per-worker scratch, reused across combinations.
+                        let mut counts: Vec<ObservedCounts> = Vec::new();
+                        let mut outcome = ModelWorkerOutcome::default();
+                        loop {
+                            let rank = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(key, group)) = combinations.get(rank) else {
+                                break;
+                            };
+                            let entities = self.kb.entities_of_type(key.type_id);
+                            counts.clear();
+                            counts.extend(entities.iter().map(|&e| {
+                                let c = group.counts(e);
+                                ObservedCounts::new(c.positive, c.negative)
+                            }));
+                            let fit_start = timed.then(Instant::now); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
+                            let fit = model.fit_group(&counts);
+                            if let Some(start) = fit_start {
+                                outcome.em_time += start.elapsed();
+                                outcome.groups_fitted += 1;
+                            }
+                            let decide_start = timed.then(Instant::now); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
+                            let decisions: Vec<(EntityId, ModelDecision)> = entities
+                                .iter()
+                                .zip(&counts)
+                                .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
+                                .collect();
+                            if let Some(start) = decide_start {
+                                outcome.decide_time += start.elapsed();
+                                outcome.decisions_made += decisions.len() as u64;
+                            }
+                            outcome.results.push((
+                                rank,
+                                DomainResult {
+                                    key: *key,
+                                    fit,
+                                    decisions,
+                                },
+                            ));
                         }
-                        let decide_start = self.obs.as_ref().map(|_| Instant::now()); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
-                        let decisions: Vec<(EntityId, ModelDecision)> = entities
-                            .iter()
-                            .zip(&counts)
-                            .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
-                            .collect();
-                        if let Some(start) = decide_start {
-                            decide_time += start.elapsed();
-                            decisions_made += decisions.len() as u64;
-                        }
-                        slots.lock()[rank] = Some(DomainResult {
-                            key: *key,
-                            fit,
-                            decisions,
-                        });
-                    }
-                    if let Some(obs) = self.obs.as_deref() {
-                        // Summed worker CPU time, not wall time: with N
-                        // workers the "model" phase can exceed elapsed time.
-                        obs.record_phase("model", em_time, groups_fitted);
-                        obs.record_phase("decide", decide_time, decisions_made);
-                    }
-                });
-            }
+                        outcome
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("interpretation worker panicked")) // lint:allow(no-panic-in-lib): a worker panic is a pipeline bug; the infallible API propagates it
+                .collect::<Vec<ModelWorkerOutcome>>()
         })
         .expect("interpretation worker panicked"); // lint:allow(no-panic-in-lib): a worker panic is a pipeline bug; the infallible API propagates it
 
+        let mut ranked: Vec<(usize, DomainResult)> = Vec::with_capacity(combinations.len());
+        for outcome in outcomes {
+            if let Some(obs) = self.obs.as_deref() {
+                // Summed worker CPU time, not wall time: with N workers the
+                // "model" phase can exceed elapsed time.
+                obs.record_phase("model", outcome.em_time, outcome.groups_fitted);
+                obs.record_phase("decide", outcome.decide_time, outcome.decisions_made);
+            }
+            ranked.extend(outcome.results);
+        }
+        ranked.sort_by_key(|&(rank, _)| rank);
+        let results: Vec<DomainResult> = ranked.into_iter().map(|(_, result)| result).collect();
+        debug_assert_eq!(results.len(), combinations.len());
+        if let Some(obs) = self.obs.as_deref() {
+            for result in &results {
+                self.record_em_telemetry(obs, &result.key, result.decisions.len(), &result.fit);
+            }
+        }
+
         let mut index_span = self.obs.as_deref().map(|obs| obs.span("index"));
-        let results: Vec<DomainResult> = slots
-            .into_inner()
-            .into_iter()
-            .map(|slot| slot.expect("every combination above threshold is processed")) // lint:allow(no-panic-in-lib): each rank-indexed slot is filled by exactly one worker before join
-            .collect();
         let mut index = FxHashMap::default();
         for result in &results {
             for (e, d) in &result.decisions {

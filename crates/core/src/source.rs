@@ -77,18 +77,6 @@ impl<'a> CorpusSource<'a> {
             region: Some(region_index),
         })
     }
-
-    /// A source restricted to the named region.
-    ///
-    /// # Panics
-    /// Panics if the region does not exist in the generator's config.
-    #[deprecated(
-        note = "use `try_for_region`, which reports the known regions instead of panicking"
-    )]
-    pub fn for_region(generator: &'a CorpusGenerator, region: &str) -> Self {
-        Self::try_for_region(generator, region)
-            .unwrap_or_else(|e| panic!("unknown region: {}", e.requested)) // lint:allow(no-panic-in-lib): deprecated shim with a documented panic; callers migrate to try_for_region
-    }
 }
 
 impl ShardSource for CorpusSource<'_> {
@@ -134,14 +122,6 @@ mod tests {
         assert_eq!(source.shard_count(), g.shard_count());
         let docs = source.shard(0);
         assert!(!docs.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown region")]
-    #[allow(deprecated)]
-    fn unknown_region_panics() {
-        let g = generator();
-        let _ = CorpusSource::for_region(&g, "atlantis");
     }
 
     #[test]

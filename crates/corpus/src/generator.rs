@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
-use surveyor_nlp::{annotate, AnnotatedDocument, Lexicon};
+use surveyor_nlp::{annotate_with, AnnotateScratch, AnnotatedDocument, Lexicon};
 use surveyor_obs::MetricsRegistry;
 use surveyor_prob::{Poisson, SeedStream};
 
@@ -348,10 +348,11 @@ impl CorpusGenerator {
         lexicon: &Lexicon,
         region_filter: Option<u32>,
     ) -> Vec<AnnotatedDocument> {
+        let mut scratch = AnnotateScratch::default();
         self.shard_text(shard)
             .into_iter()
             .filter(|d| region_filter.is_none_or(|r| d.region == r))
-            .map(|d| annotate(d.id, &d.text, self.world.kb(), lexicon))
+            .map(|d| annotate_with(d.id, &d.text, self.world.kb(), lexicon, &mut scratch))
             .collect()
     }
 }

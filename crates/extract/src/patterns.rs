@@ -25,9 +25,9 @@
 use crate::config::{ExtractionConfig, VerbSet};
 use crate::evidence::Statement;
 use crate::polarity::statement_polarity;
-use surveyor_kb::{EntityId, KnowledgeBase, PropertyId};
+use surveyor_kb::{CacheStats, EntityId, InternCache, KnowledgeBase, PropertyId};
 use surveyor_nlp::coref::predicate_nominal_corefs;
-use surveyor_nlp::{AnnotatedSentence, DepRel, DepTree, Pos, TokenizedSentence};
+use surveyor_nlp::{AnnotatedSentence, DepRel, DepTree, Pos};
 
 /// Forms of "to be" admitted by the restrictive verb set.
 const TO_BE_FORMS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "am"];
@@ -36,28 +36,53 @@ fn is_to_be(word: &str) -> bool {
     TO_BE_FORMS.contains(&word)
 }
 
+/// Reusable per-worker extraction state: the property-surface scratch
+/// buffer plus the worker-local [`InternCache`].
+///
+/// One context lives for a whole worker's run and is threaded through
+/// every sentence, so the steady-state hot path (a repeat property
+/// surface) costs one local hash probe — no allocation, no locks, no
+/// shared memory.
+#[derive(Debug, Default)]
+pub struct ExtractContext {
+    /// Scratch for assembling the canonical property surface.
+    surface: String,
+    /// Worker-local surface → id and id → property cache.
+    cache: InternCache,
+}
+
+impl ExtractContext {
+    /// A fresh context with a cold cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interner cache's hit/fallback tallies so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
 /// Interns the property at an adjective token: its adverb modifiers
 /// (surface order) plus the adjective itself. The surface form is assembled
-/// in `scratch`, so a property seen before interns without allocating.
-fn property_at(
-    tokens: &TokenizedSentence,
-    tree: &DepTree,
-    adj: usize,
-    scratch: &mut String,
-) -> PropertyId {
+/// in the context's scratch buffer and interned through the worker-local
+/// cache, so a property seen before costs no allocation and no locks.
+fn property_at(sentence: &AnnotatedSentence, adj: usize, cx: &mut ExtractContext) -> PropertyId {
+    let tokens = &sentence.tokens;
+    let tree = &sentence.tree;
     let mut adverbs: Vec<usize> = tree
         .children_with_rel(adj, DepRel::Advmod)
         .into_iter()
         .filter(|&i| tokens[i].pos == Pos::Adverb)
         .collect();
     adverbs.sort_unstable();
-    scratch.clear();
+    cx.surface.clear();
     for &i in &adverbs {
-        scratch.push_str(tokens.lower_of(i));
-        scratch.push(' ');
+        cx.surface.push_str(tokens.lower_of(i));
+        cx.surface.push(' ');
     }
-    scratch.push_str(tokens.lower_of(adj));
-    let id = PropertyId::intern_surface(scratch);
+    cx.surface.push_str(tokens.lower_of(adj));
+    let id = cx.cache.intern_surface(&cx.surface);
     id.expect("adjective surface is non-empty") // lint:allow(no-panic-in-lib): the tokenizer never yields an empty adjective token
 }
 
@@ -74,14 +99,14 @@ fn emit_matches(
     entity: EntityId,
     adj: usize,
     config: &ExtractionConfig,
-    scratch: &mut String,
+    cx: &mut ExtractContext,
     out: &mut Vec<Statement>,
 ) {
     let tokens = &sentence.tokens;
     let tree = &sentence.tree;
     out.push(Statement {
         entity,
-        property: property_at(tokens, tree, adj, scratch),
+        property: property_at(sentence, adj, cx),
         polarity: statement_polarity(tree, adj),
     });
     if config.conj {
@@ -94,7 +119,7 @@ fn emit_matches(
             }
             out.push(Statement {
                 entity,
-                property: property_at(tokens, tree, conj, scratch),
+                property: property_at(sentence, conj, cx),
                 polarity: statement_polarity(tree, conj),
             });
         }
@@ -105,7 +130,7 @@ fn emit_matches(
 fn match_acomp(
     sentence: &AnnotatedSentence,
     config: &ExtractionConfig,
-    scratch: &mut String,
+    cx: &mut ExtractContext,
     out: &mut Vec<Statement>,
 ) {
     let tokens = &sentence.tokens;
@@ -139,7 +164,7 @@ fn match_acomp(
         if config.intrinsic_checks && has_constriction(tree, pred) {
             continue;
         }
-        emit_matches(sentence, mention.entity, pred, config, scratch, out);
+        emit_matches(sentence, mention.entity, pred, config, cx, out);
     }
 }
 
@@ -148,7 +173,7 @@ fn match_amod(
     sentence: &AnnotatedSentence,
     kb: &KnowledgeBase,
     config: &ExtractionConfig,
-    scratch: &mut String,
+    cx: &mut ExtractContext,
     out: &mut Vec<Statement>,
 ) {
     let tokens = &sentence.tokens;
@@ -168,7 +193,7 @@ fn match_amod(
                 if tokens[adj].pos != Pos::Adjective {
                     continue;
                 }
-                emit_matches(sentence, entity, adj, config, scratch, out);
+                emit_matches(sentence, entity, adj, config, cx, out);
             }
         }
     }
@@ -200,7 +225,7 @@ fn match_amod(
             if mention.covers(adj) {
                 continue;
             }
-            emit_matches(sentence, mention.entity, adj, config, scratch, out);
+            emit_matches(sentence, mention.entity, adj, config, cx, out);
         }
     }
 }
@@ -245,30 +270,60 @@ pub fn extract_sentence_counted(
     counts: &mut PatternCounts,
 ) -> Vec<Statement> {
     let mut out = Vec::new();
-    let mut scratch = String::new();
+    extract_sentence_into(
+        sentence,
+        kb,
+        config,
+        counts,
+        &mut ExtractContext::new(),
+        &mut out,
+    );
+    out
+}
+
+/// The worker entry point: like [`extract_sentence_counted`] but writing
+/// into a caller-owned buffer through a long-lived [`ExtractContext`], so
+/// a worker pays no per-sentence allocation and — once the context's cache
+/// is warm — no locks.
+pub fn extract_sentence_into(
+    sentence: &AnnotatedSentence,
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    counts: &mut PatternCounts,
+    cx: &mut ExtractContext,
+    out: &mut Vec<Statement>,
+) {
+    out.clear();
     if config.acomp {
-        match_acomp(sentence, config, &mut scratch, &mut out);
+        match_acomp(sentence, config, cx, out);
         counts.acomp += out.len() as u64;
     }
     if config.amod {
         let before = out.len();
-        match_amod(sentence, kb, config, &mut scratch, &mut out);
+        match_amod(sentence, kb, config, cx, out);
         counts.amod += (out.len() - before) as u64;
     }
     if out.len() > 1 {
         // Order on the resolved property (ids reflect discovery order), so
         // per-sentence statement order is reproducible across runs. Only
-        // multi-statement sentences — the rare case — pay the resolution.
-        out.sort_by_cached_key(|s| {
-            (
-                s.entity,
-                s.property.resolve(),
-                s.polarity == crate::Polarity::Negative,
-            )
+        // multi-statement sentences — the rare case — pay the resolution,
+        // and the context's cache makes repeat resolutions lock-free.
+        for s in out.iter() {
+            cx.cache.ensure_resolved(s.property);
+        }
+        let cache = &cx.cache;
+        out.sort_by(|a, b| {
+            let key = |s: &Statement| {
+                (
+                    s.entity,
+                    cache.peek(s.property),
+                    s.polarity == crate::Polarity::Negative,
+                )
+            };
+            key(a).cmp(&key(b))
         });
         out.dedup();
     }
-    out
 }
 
 #[cfg(test)]

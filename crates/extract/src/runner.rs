@@ -16,17 +16,17 @@
 //! their behavior — and their output, bit for bit — is unchanged.
 
 use crate::config::ExtractionConfig;
-use crate::evidence::EvidenceTable;
+use crate::evidence::{EvidenceTable, Statement};
 use crate::fault::{
     FailurePolicy, FallibleShardSource, QuarantinedShard, RetryPolicy, RunError, RunOutcome,
     ShardCoverage, ShardError,
 };
-use crate::patterns::{extract_sentence_counted, PatternCounts};
+use crate::patterns::{extract_sentence_into, ExtractContext, PatternCounts};
 use crate::provenance::ProvenanceTable;
-use parking_lot::Mutex;
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use surveyor_kb::KnowledgeBase;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use surveyor_kb::{CacheStats, KnowledgeBase};
 use surveyor_nlp::AnnotatedDocument;
 use surveyor_obs::MetricsRegistry;
 
@@ -145,15 +145,38 @@ pub fn extract_documents_stats(
     config: &ExtractionConfig,
     stats: &mut ExtractStats,
 ) -> ExtractionOutput {
+    extract_documents_ctx(docs, kb, config, stats, &mut ExtractContext::new())
+}
+
+/// The worker loop: like [`extract_documents_stats`] but threading a
+/// long-lived [`ExtractContext`] through every sentence, so statement
+/// buffers and the interner cache persist across documents (and across
+/// shards, when the caller reuses the context).
+pub fn extract_documents_ctx(
+    docs: &[AnnotatedDocument],
+    kb: &KnowledgeBase,
+    config: &ExtractionConfig,
+    stats: &mut ExtractStats,
+    cx: &mut ExtractContext,
+) -> ExtractionOutput {
     let mut output = ExtractionOutput::default();
+    let mut statements: Vec<Statement> = Vec::new();
     for doc in docs {
         stats.documents += 1;
         for sentence in &doc.sentences {
             stats.sentences += 1;
-            for statement in extract_sentence_counted(sentence, kb, config, &mut stats.patterns) {
+            extract_sentence_into(
+                sentence,
+                kb,
+                config,
+                &mut stats.patterns,
+                cx,
+                &mut statements,
+            );
+            for statement in &statements {
                 stats.statements += 1;
-                output.evidence.add(&statement);
-                output.provenance.record(&statement, doc.id);
+                output.evidence.add(statement);
+                output.provenance.record(statement, doc.id);
             }
         }
     }
@@ -242,17 +265,21 @@ fn run_sharded_impl<S: ShardSource>(
 /// One attempt at materializing and extracting a shard, with panics
 /// caught and classified as [`ShardError::Panicked`]. Stats and output
 /// are produced fresh per attempt so a failed attempt leaves no residue.
+/// The context survives across attempts: its cache only holds mappings
+/// the global interner handed out, so an unwound attempt cannot leave it
+/// inconsistent.
 fn attempt_shard<F: FallibleShardSource>(
     source: &F,
     kb: &KnowledgeBase,
     config: &ExtractionConfig,
     index: usize,
     attempt: u32,
+    cx: &mut ExtractContext,
 ) -> Result<(ExtractionOutput, ExtractStats), ShardError> {
     let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         source.try_shard(index, attempt).map(|docs| {
             let mut stats = ExtractStats::default();
-            let output = extract_documents_stats(&docs, kb, config, &mut stats);
+            let output = extract_documents_ctx(&docs, kb, config, &mut stats, cx);
             (output, stats)
         })
     }));
@@ -316,88 +343,135 @@ pub fn run_sharded_fault_tolerant<F: FallibleShardSource>(
     let fail_fast = matches!(policy, FailurePolicy::FailFast);
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let result = Mutex::new(ExtractionOutput::default());
-    let stats = Mutex::new(ExtractStats::default());
-    let succeeded = AtomicUsize::new(0);
-    let retries = AtomicU64::new(0);
-    let quarantined: Mutex<Vec<QuarantinedShard>> = Mutex::new(Vec::new());
-    let first_failure: Mutex<Option<(usize, u32, ShardError)>> = Mutex::new(None);
+    let timed = obs.is_some();
     let shard_count = source.shard_count();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..num_threads.min(shard_count.max(1)) {
-            scope.spawn(|_| {
-                let mut local = ExtractionOutput::default();
-                let mut local_stats = ExtractStats::default();
-                let mut local_succeeded = 0usize;
-                let mut local_retries = 0u64;
-                'shards: loop {
-                    if fail_fast && abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= shard_count {
-                        break;
-                    }
-                    let mut attempt = 0u32;
-                    let failure = loop {
-                        match attempt_shard(source, kb, config, idx, attempt) {
-                            Ok((output, attempt_stats)) => {
-                                local.merge(output);
-                                local_stats.merge(attempt_stats);
-                                local_succeeded += 1;
-                                continue 'shards;
-                            }
-                            Err(error) if error.is_transient() && attempt + 1 < max_attempts => {
-                                let delay = retry.backoff(attempt);
-                                if !delay.is_zero() {
-                                    std::thread::sleep(delay);
+    // Workers share nothing but the two atomics above. Everything they
+    // accumulate comes back by value over the join handle and is merged
+    // here, on the calling thread, ordered by each worker's lowest shard
+    // index — so the merge sequence is a function of shard assignment,
+    // never of completion order. (Evidence merge is commutative, so this
+    // ordering is belt and braces for bit-identity across thread counts.)
+    let mut outcomes = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..num_threads.min(shard_count.max(1)))
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut outcome = WorkerOutcome::default();
+                    let mut cx = ExtractContext::new();
+                    let started = timed.then(Instant::now); // lint:allow(no-wall-clock): feeds the obs straggler histograms only, never the output
+                    'shards: loop {
+                        if fail_fast && abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= shard_count {
+                            break;
+                        }
+                        outcome.first_shard = outcome.first_shard.min(idx);
+                        let shard_started = timed.then(Instant::now); // lint:allow(no-wall-clock): feeds the obs straggler histograms only, never the output
+                        let mut attempt = 0u32;
+                        let failure = loop {
+                            match attempt_shard(source, kb, config, idx, attempt, &mut cx) {
+                                Ok((output, attempt_stats)) => {
+                                    outcome.output.merge(output);
+                                    outcome.stats.merge(attempt_stats);
+                                    outcome.succeeded += 1;
+                                    if let Some(s) = shard_started {
+                                        outcome.work += s.elapsed();
+                                    }
+                                    continue 'shards;
                                 }
-                                local_retries += 1;
-                                attempt += 1;
+                                Err(error)
+                                    if error.is_transient() && attempt + 1 < max_attempts =>
+                                {
+                                    let delay = retry.backoff(attempt);
+                                    if !delay.is_zero() {
+                                        std::thread::sleep(delay);
+                                    }
+                                    outcome.retries += 1;
+                                    attempt += 1;
+                                }
+                                Err(error) => break (attempt + 1, error),
                             }
-                            Err(error) => break (attempt + 1, error),
+                        };
+                        let (attempts, error) = failure;
+                        if let Some(s) = shard_started {
+                            outcome.work += s.elapsed();
                         }
-                    };
-                    let (attempts, error) = failure;
-                    if fail_fast {
-                        let mut slot = first_failure.lock();
-                        if slot.as_ref().is_none_or(|(s, _, _)| idx < *s) {
-                            *slot = Some((idx, attempts, error));
+                        if fail_fast {
+                            outcome.first_failure = Some((idx, attempts, error));
+                            abort.store(true, Ordering::Relaxed);
+                            break;
                         }
-                        abort.store(true, Ordering::Relaxed);
-                        break;
+                        outcome.quarantined.push(QuarantinedShard {
+                            shard: idx,
+                            attempts,
+                            error,
+                        });
                     }
-                    quarantined.lock().push(QuarantinedShard {
-                        shard: idx,
-                        attempts,
-                        error,
-                    });
-                }
-                result.lock().merge(local);
-                succeeded.fetch_add(local_succeeded, Ordering::Relaxed);
-                retries.fetch_add(local_retries, Ordering::Relaxed);
-                if obs.is_some() {
-                    stats.lock().merge(local_stats);
-                }
-            });
-        }
+                    if let Some(started) = started {
+                        outcome.wait = started.elapsed().saturating_sub(outcome.work);
+                    }
+                    outcome.cache = cx.cache_stats();
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("fault-tolerant workers never unwind")) // lint:allow(no-panic-in-lib): every shard attempt runs under catch_unwind, so workers never unwind
+            .collect::<Vec<WorkerOutcome>>()
     })
     .expect("fault-tolerant workers never unwind"); // lint:allow(no-panic-in-lib): every shard attempt runs under catch_unwind, so workers never unwind
 
-    if let Some((shard, attempts, error)) = first_failure.into_inner() {
+    outcomes.sort_by_key(|o| o.first_shard);
+    let first_failure = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.first_failure.as_ref().map(|f| (f.0, i)))
+        .min()
+        .map(|(_, i)| i);
+    if let Some(i) = first_failure {
+        // Take the lowest-indexed failure by value; the cursor is
+        // monotonic, so for a deterministic source this shard is the same
+        // for every worker count.
+        let (shard, attempts, error) = outcomes
+            .swap_remove(i)
+            .first_failure
+            .expect("selected outcome carries a failure"); // lint:allow(no-panic-in-lib): the index was selected from outcomes with first_failure set
         return Err(RunError::ShardFailed {
             shard,
             attempts,
             error,
         });
     }
-    let mut quarantined = quarantined.into_inner();
+
+    let mut result = ExtractionOutput::default();
+    let mut stats = ExtractStats::default();
+    let mut cache = CacheStats::default();
+    let mut succeeded = 0usize;
+    let mut retries = 0u64;
+    let mut quarantined: Vec<QuarantinedShard> = Vec::new();
+    for outcome in outcomes {
+        result.merge(outcome.output);
+        stats.merge(outcome.stats);
+        cache.merge(outcome.cache);
+        succeeded += outcome.succeeded;
+        retries += outcome.retries;
+        quarantined.extend(outcome.quarantined);
+        if let Some(obs) = obs {
+            obs.observe("extract.worker.work_seconds", outcome.work.as_secs_f64());
+            obs.observe(
+                "extract.worker.queue_wait_seconds",
+                outcome.wait.as_secs_f64(),
+            );
+        }
+    }
     quarantined.sort_by_key(|q| q.shard);
     let coverage = ShardCoverage {
         shard_count,
-        succeeded: succeeded.into_inner(),
-        retries: retries.into_inner(),
+        succeeded,
+        retries,
         quarantined,
     };
     if let FailurePolicy::Degrade { min_shard_coverage } = policy {
@@ -411,12 +485,53 @@ pub fn run_sharded_fault_tolerant<F: FallibleShardSource>(
         }
     }
     if let Some(obs) = obs {
-        stats.into_inner().flush(obs);
+        stats.flush(obs);
+        obs.add("extract.intern.cache_hits", cache.hits);
+        obs.add("extract.intern.global_lookups", cache.global_lookups);
     }
     Ok(RunOutcome {
-        output: result.into_inner(),
+        output: result,
         coverage,
     })
+}
+
+/// Everything one worker accumulated, handed back by value over the join
+/// handle — the shared-`Mutex` merge path this replaced serialized every
+/// worker's exit on one lock.
+struct WorkerOutcome {
+    /// Lowest shard index this worker pulled (`usize::MAX` if none): the
+    /// deterministic merge-order key.
+    first_shard: usize,
+    output: ExtractionOutput,
+    stats: ExtractStats,
+    cache: CacheStats,
+    succeeded: usize,
+    retries: u64,
+    quarantined: Vec<QuarantinedShard>,
+    /// Under `FailFast`, the lowest-indexed shard this worker saw fail.
+    first_failure: Option<(usize, u32, ShardError)>,
+    /// Time inside shard attempts, when an observer requested timing.
+    work: Duration,
+    /// Worker lifetime minus `work`: scheduling plus cursor waits — the
+    /// straggler signal surfaced as `extract.worker.queue_wait_seconds`.
+    wait: Duration,
+}
+
+impl Default for WorkerOutcome {
+    fn default() -> Self {
+        Self {
+            first_shard: usize::MAX,
+            output: ExtractionOutput::default(),
+            stats: ExtractStats::default(),
+            cache: CacheStats::default(),
+            succeeded: 0,
+            retries: 0,
+            quarantined: Vec::new(),
+            first_failure: None,
+            work: Duration::ZERO,
+            wait: Duration::ZERO,
+        }
+    }
 }
 
 #[cfg(test)]

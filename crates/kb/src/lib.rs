@@ -9,7 +9,9 @@
 //! - [`ids`]: compact, type-safe identifiers for entities and types.
 //! - [`property`]: subjective properties (adjective + optional adverbs).
 //! - [`intern`]: the process-global `Property` ↔ `PropertyId` interner
-//!   that lets hot structures key on `(EntityId, PropertyId)` `u32` pairs.
+//!   that lets hot structures key on `(EntityId, PropertyId)` `u32` pairs —
+//!   a sharded global table plus the worker-local [`InternCache`] that
+//!   makes the steady-state extraction path lock-free.
 //! - [`entity`]: the entity record.
 //! - [`kb`]: the [`KnowledgeBase`] store with alias and type indexes.
 //! - [`builder`]: a fluent builder for assembling knowledge bases.
@@ -32,6 +34,6 @@ pub mod seed;
 pub use builder::KnowledgeBaseBuilder;
 pub use entity::Entity;
 pub use ids::{EntityId, TypeId};
-pub use intern::PropertyId;
+pub use intern::{CacheStats, InternCache, PropertyId};
 pub use kb::{EntityType, KnowledgeBase};
 pub use property::Property;

@@ -72,6 +72,12 @@ pub const RULES: &[RuleDef] = &[
         summary: "crate roots must carry #![forbid(unsafe_code)]",
         exempt_test_code: false,
     },
+    RuleDef {
+        name: "no-shared-lock-in-worker-loop",
+        summary: "Mutex/RwLock acquisition in extract/core worker code serializes the \
+                  hot path; accumulate worker-locally and merge after the join",
+        exempt_test_code: true,
+    },
 ];
 
 /// Looks up a rule definition by name.
@@ -191,6 +197,22 @@ pub fn scan_file(
                         format!(
                             "`.{}()` can panic in library code; return a typed error or \
                                  document the invariant with a pragma",
+                            string_of(tok.text(src))
+                        ),
+                    );
+                }
+                b"lock" | b"read" | b"write"
+                    if rule_on("no-shared-lock-in-worker-loop")
+                        && prev_text_is(&sig, i, src, b".")
+                        && next_text_is(&sig, i, src, b"(") =>
+                {
+                    push(
+                        "no-shared-lock-in-worker-loop",
+                        tok.start,
+                        format!(
+                            "`.{}()` acquires a shared lock on the worker hot path; \
+                                 hand results back by value over the join and merge in \
+                                 shard order",
                             string_of(tok.text(src))
                         ),
                     );

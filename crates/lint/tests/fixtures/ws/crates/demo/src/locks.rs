@@ -1,0 +1,32 @@
+//! Fixture: shared-lock acquisitions in worker code.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn drain(shared: &Mutex<Vec<u32>>) -> usize {
+    shared.lock().map(|v| v.len()).unwrap_or(0)
+}
+
+pub fn snapshot(table: &RwLock<Vec<u32>>) -> usize {
+    table.read().map(|v| v.len()).unwrap_or(0)
+}
+
+pub fn publish(table: &RwLock<Vec<u32>>, value: u32) {
+    if let Ok(mut v) = table.write() {
+        v.push(value);
+    }
+}
+
+pub fn allowed(shared: &Mutex<Vec<u32>>) -> usize {
+    shared.lock().map(|v| v.len()).unwrap_or(0) // lint:allow(no-shared-lock-in-worker-loop): outside the worker loop, once per run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_lock() {
+        let shared = Mutex::new(vec![1, 2]);
+        assert_eq!(shared.lock().map(|v| v.len()).unwrap_or(0), 2);
+    }
+}

@@ -7,7 +7,7 @@
 use crate::lexicon::Lexicon;
 use crate::parser::{parse, DepTree};
 use crate::tagger::{tag_entities, Mention};
-use crate::token::{split_sentences, tokenize, TokenizedSentence};
+use crate::token::{split_sentence_bounds, tokenize_with, TokenizedSentence};
 use serde::{Deserialize, Serialize};
 use surveyor_kb::KnowledgeBase;
 
@@ -43,14 +43,41 @@ impl AnnotatedDocument {
     }
 }
 
+/// Reusable intermediate buffers for [`annotate_with`].
+///
+/// The annotated output owns its tokens and trees, so those cannot be
+/// pooled — but the sentence-boundary list and the tokenizer's
+/// trailing-punctuation queue are pure intermediates. One scratch per
+/// worker, reused across every document it annotates, removes the
+/// per-document and per-word allocations those used to cost.
+#[derive(Debug, Default)]
+pub struct AnnotateScratch {
+    sentence_bounds: Vec<(usize, usize)>,
+    trailing: Vec<(usize, usize)>,
+}
+
 /// Runs the full annotation pipeline on raw text: sentence split →
 /// tokenize → POS-tag → parse → entity-tag.
 ///
 /// Sentences that fail to parse (empty after tokenization) are skipped.
 pub fn annotate(id: u64, text: &str, kb: &KnowledgeBase, lexicon: &Lexicon) -> AnnotatedDocument {
+    annotate_with(id, text, kb, lexicon, &mut AnnotateScratch::default())
+}
+
+/// [`annotate`] with caller-owned scratch buffers, for loops that annotate
+/// many documents (the corpus generator and the bench shard sources).
+pub fn annotate_with(
+    id: u64,
+    text: &str,
+    kb: &KnowledgeBase,
+    lexicon: &Lexicon,
+    scratch: &mut AnnotateScratch,
+) -> AnnotatedDocument {
     let mut sentences = Vec::new();
-    for raw in split_sentences(text) {
-        let mut tokens = tokenize(raw);
+    scratch.sentence_bounds.clear();
+    split_sentence_bounds(text, &mut scratch.sentence_bounds);
+    for &(from, to) in &scratch.sentence_bounds {
+        let mut tokens = tokenize_with(&mut scratch.trailing, &text[from..to]);
         if tokens.is_empty() {
             continue;
         }

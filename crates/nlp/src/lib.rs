@@ -35,8 +35,10 @@ pub mod parser;
 pub mod tagger;
 pub mod token;
 
-pub use document::{annotate, AnnotatedDocument, AnnotatedSentence};
+pub use document::{
+    annotate, annotate_with, AnnotateScratch, AnnotatedDocument, AnnotatedSentence,
+};
 pub use lexicon::Lexicon;
 pub use parser::{parse, DepRel, DepTree};
 pub use tagger::{tag_entities, Mention};
-pub use token::{split_sentences, tokenize, Pos, Token, TokenizedSentence};
+pub use token::{split_sentences, tokenize, tokenize_with, Pos, Token, TokenizedSentence};

@@ -167,22 +167,33 @@ impl std::ops::Deref for TokenizedSentence {
 /// dropped. Abbreviation handling is deliberately absent: the corpus
 /// generator never emits abbreviations with periods.
 pub fn split_sentences(text: &str) -> Vec<&str> {
-    let mut out = Vec::new();
+    let mut bounds = Vec::new();
+    split_sentence_bounds(text, &mut bounds);
+    bounds.iter().map(|&(from, to)| &text[from..to]).collect()
+}
+
+/// Appends the trimmed byte range of each sentence in `text` to `out`.
+///
+/// The allocation-free core of [`split_sentences`]: callers that annotate
+/// many documents reuse one bounds vector across all of them (see
+/// [`crate::document::AnnotateScratch`]).
+pub fn split_sentence_bounds(text: &str, out: &mut Vec<(usize, usize)>) {
+    let mut push_trimmed = |from: usize, to: usize| {
+        let s = &text[from..to];
+        let lead = s.len() - s.trim_start().len();
+        let trimmed_len = s.trim_end().len();
+        if trimmed_len > lead {
+            out.push((from + lead, from + trimmed_len));
+        }
+    };
     let mut start = 0;
     for (i, ch) in text.char_indices() {
         if matches!(ch, '.' | '!' | '?') {
-            let s = text[start..i].trim();
-            if !s.is_empty() {
-                out.push(s);
-            }
+            push_trimmed(start, i);
             start = i + ch.len_utf8();
         }
     }
-    let tail = text[start..].trim();
-    if !tail.is_empty() {
-        out.push(tail);
-    }
-    out
+    push_trimmed(start, text.len());
 }
 
 /// Tokenizes one sentence.
@@ -192,6 +203,16 @@ pub fn split_sentences(text: &str) -> Vec<&str> {
 /// `do` + `n't`, `isn't` → `is` + `n't`), which the negation detector of
 /// paper Figure 5 relies on.
 pub fn tokenize(sentence: &str) -> TokenizedSentence {
+    tokenize_with(&mut Vec::new(), sentence)
+}
+
+/// [`tokenize`] with a caller-owned scratch vector for the
+/// trailing-punctuation queue.
+///
+/// The queue used to be allocated once per word; a caller that tokenizes
+/// many sentences passes the same vector every time and the per-word
+/// allocation disappears entirely. The vector is cleared on entry.
+pub fn tokenize_with(trailing: &mut Vec<(usize, usize)>, sentence: &str) -> TokenizedSentence {
     let mut out = TokenizedSentence {
         text: sentence.to_owned(),
         lower: String::with_capacity(sentence.len() + 8),
@@ -220,7 +241,7 @@ pub fn tokenize(sentence: &str) -> TokenizedSentence {
             offset += width;
         }
         // Peel trailing punctuation into a queue emitted after the word.
-        let mut trailing = Vec::new();
+        trailing.clear();
         while let Some(last) = word.chars().last() {
             if last.is_alphanumeric() {
                 break;
@@ -237,7 +258,7 @@ pub fn tokenize(sentence: &str) -> TokenizedSentence {
         if !word.is_empty() {
             push_word(&mut out, word, offset);
         }
-        for (from, to) in trailing.into_iter().rev() {
+        for &(from, to) in trailing.iter().rev() {
             out.push_span(from, to);
         }
     }

@@ -22,3 +22,15 @@ cargo run --release -q -p surveyor-lint -- --json-out artifacts/lint_report.json
 # seed selects which shards panic/fail (FaultPlan::from_seed); the suite
 # asserts the run's coverage accounting matches the plan's predictions.
 SURVEYOR_CHAOS_SEED="${SURVEYOR_CHAOS_SEED:-2015}" cargo test -q --test fault_injection
+
+# Bench smoke: the thread-scaling harness on its quick preset. The bench
+# binary validates the artifact schema before writing; the greps below
+# are a second line of defense pinning the keys EXPERIMENTS.md documents.
+cargo run --release -q -p surveyor-bench --bin bench -- \
+    scale --quick --out artifacts/scale_smoke.json > /dev/null
+for key in '"host_cpus"' '"timing"' '"extraction"' '"model"' \
+           '"statements_identical"' '"decided_pairs_identical"' \
+           '"hits"' '"global_lookups"'; do
+    grep -q "$key" artifacts/scale_smoke.json \
+        || { echo "scale_smoke.json missing $key" >&2; exit 1; }
+done
