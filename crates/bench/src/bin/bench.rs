@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench pipeline [--seed N] [--threads N] [--out PATH] [--baseline PATH] [--report PATH]
-//! bench scale [--seed N] [--out PATH] [--quick]
+//! bench scale [--seed N] [--out PATH] [--quick] [--assert-scaling] [--scaling-tolerance T]
 //! bench diff <current.json> <baseline.json>
 //! ```
 //!
@@ -14,9 +14,13 @@
 //! versioned run report (phase times, counters, EM telemetry).
 //!
 //! `scale` sweeps 1/2/4/8 worker threads over a ~10× larger corpus, timing
-//! extraction and the model phase separately, and writes
-//! `BENCH_scale.json` (schema-validated before writing). `--quick` shrinks
-//! the corpus for CI smoke tests.
+//! the generation, extraction, model, and grouping phases separately, and
+//! writes `BENCH_scale.json` (schema-validated before writing). `--quick`
+//! shrinks the corpus for CI smoke tests. `--assert-scaling` additionally
+//! checks every phase's speedup curve against its per-phase target curve
+//! (see `surveyor_bench::scaling`), embeds the verdict in the artifact
+//! under `assert_scaling`, and exits nonzero on regression;
+//! `--scaling-tolerance T` overrides the default slack (0 ≤ T < 1).
 //!
 //! `diff` compares two such run reports phase by phase.
 
@@ -29,7 +33,8 @@ use surveyor_bench::experiments::{self, ReproConfig};
 
 const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
                      [--out PATH] [--baseline PATH] [--report PATH]\n\
-                     \u{20}      bench scale [--seed N] [--out PATH] [--quick]\n\
+                     \u{20}      bench scale [--seed N] [--out PATH] [--quick] \
+                     [--assert-scaling] [--scaling-tolerance T]\n\
                      \u{20}      bench diff <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
@@ -167,10 +172,13 @@ fn scale(rest: &[String]) -> ExitCode {
     let mut config = ReproConfig::default();
     let mut out = "BENCH_scale.json".to_owned();
     let mut quick = false;
+    let mut assert_scaling = false;
+    let mut tolerance = surveyor_bench::scaling::DEFAULT_TOLERANCE;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--assert-scaling" => assert_scaling = true,
             "--seed" => {
                 let Some(value) = it.next() else {
                     eprintln!("missing value for {arg}\n{USAGE}");
@@ -181,6 +189,19 @@ fn scale(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 config.seed = v;
+            }
+            "--scaling-tolerance" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<f64>() {
+                    Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                    _ => {
+                        eprintln!("invalid tolerance for {arg}: {value} (want 0 <= T < 1)");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--out" => {
                 let Some(value) = it.next() else {
@@ -196,8 +217,18 @@ fn scale(rest: &[String]) -> ExitCode {
         }
     }
 
-    let (text, value) = experiments::scale_sweep(&config, quick);
+    let (text, mut value) = experiments::scale_sweep(&config, quick);
     println!("{text}");
+
+    let mut regression = false;
+    if assert_scaling {
+        let verdict = surveyor_bench::scaling::evaluate(&value, tolerance);
+        println!("{}", surveyor_bench::scaling::render(&verdict));
+        regression = !surveyor_bench::scaling::passed(&verdict);
+        if let serde_json::Value::Object(obj) = &mut value {
+            obj.insert("assert_scaling".to_owned(), verdict);
+        }
+    }
 
     if let Err(e) = validate_scale_schema(&value) {
         eprintln!("internal error: scale artifact failed schema validation: {e}");
@@ -212,6 +243,10 @@ fn scale(rest: &[String]) -> ExitCode {
     }) {
         Ok(()) => {
             eprintln!("wrote {out}");
+            if regression {
+                eprintln!("assert-scaling: regression detected (see verdict above)");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -226,6 +261,7 @@ fn scale(rest: &[String]) -> ExitCode {
 /// keys as a second line of defense).
 fn validate_scale_schema(value: &serde_json::Value) -> Result<(), String> {
     for key in [
+        "schema_version",
         "preset",
         "seed",
         "shards",
@@ -237,7 +273,10 @@ fn validate_scale_schema(value: &serde_json::Value) -> Result<(), String> {
             return Err(format!("missing top-level key {key:?}"));
         }
     }
-    for phase in ["extraction", "model"] {
+    if value["schema_version"].as_u64() != Some(2) {
+        return Err("schema_version is not 2".to_owned());
+    }
+    for phase in ["generation", "extraction", "model", "group"] {
         let rows = value["phases"][phase]
             .as_array()
             .ok_or_else(|| format!("phases.{phase} is not an array"))?;
@@ -252,9 +291,19 @@ fn validate_scale_schema(value: &serde_json::Value) -> Result<(), String> {
             }
         }
     }
-    for key in ["statements_identical", "decided_pairs_identical"] {
+    for key in [
+        "documents_identical",
+        "statements_identical",
+        "decided_pairs_identical",
+        "groups_identical",
+    ] {
         if value["determinism"][key].as_bool().is_none() {
             return Err(format!("determinism.{key} is not a boolean"));
+        }
+    }
+    if let Some(verdict) = value.get("assert_scaling") {
+        if verdict["verdict"].as_str().is_none() {
+            return Err("assert_scaling.verdict is not a string".to_owned());
         }
     }
     for key in ["hits", "global_lookups", "hit_rate"] {

@@ -880,16 +880,40 @@ fn timing_block(timed_runs: usize) -> Value {
     json!({"warmup_runs": 1, "timed_runs": timed_runs, "statistic": "median"})
 }
 
+/// FNV-1a fingerprint of a materialized corpus: folds every document's id,
+/// region, and text bytes, so two sweeps collide only if they produced
+/// byte-identical shards (up to hash collision).
+fn fingerprint_shards(shards: &[Vec<surveyor_corpus::RawDocument>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+    for doc in shards.iter().flatten() {
+        for byte in doc.id.to_le_bytes() {
+            eat(byte);
+        }
+        for byte in doc.region.to_le_bytes() {
+            eat(byte);
+        }
+        for &byte in doc.text.as_bytes() {
+            eat(byte);
+        }
+    }
+    hash
+}
+
 /// `bench scale`: thread-scaling sweep over a corpus roughly 10× the
-/// `bench pipeline` preset, timing the extraction and model phases
-/// separately at 1/2/4/8 workers — the numbers behind `BENCH_scale.json`.
+/// `bench pipeline` preset, timing the generation, extraction, model, and
+/// grouping phases separately at 1/2/4/8 workers — the numbers behind
+/// `BENCH_scale.json` (`schema_version` 2).
 ///
 /// Besides the speedup curves the artifact records `host_cpus` (speedup is
 /// bounded by physical parallelism — on a 1-CPU host every curve is flat
 /// and that is the honest result), a determinism block asserting that
-/// statement counts and decided pairs are identical across thread counts,
-/// and the interner cache counters that prove the steady-state extraction
-/// path stays off the global table.
+/// document fingerprints, statement counts, decided pairs, and grouped
+/// evidence are identical across thread counts, and the interner cache
+/// counters that prove the steady-state extraction path stays off the
+/// global table.
 ///
 /// `quick` shrinks the corpus and run count so `scripts/verify.sh` can
 /// smoke-test the artifact schema in seconds.
@@ -939,9 +963,42 @@ pub fn scale_sweep(cfg: &ReproConfig, quick: bool) -> (String, Value) {
         },
     );
     let lexicon = generator.lexicon();
-    let shards: Vec<Vec<RawDocument>> = (0..generator.shard_count())
-        .map(|s| generator.shard_text(s))
-        .collect();
+
+    // Generation sweep: parallel corpus materialization at each worker
+    // count. The last sweep's output (byte-identical across worker counts
+    // by construction, cross-checked below) feeds the extraction source.
+    let mut rows = Vec::new();
+    let mut generation = Vec::new();
+    let mut document_fingerprints = Vec::new();
+    let mut shards: Vec<Vec<RawDocument>> = Vec::new();
+    let mut generation_t1 = 0.0f64;
+    for threads in thread_counts {
+        let mut samples = Vec::with_capacity(timed_runs);
+        for run in 0..=timed_runs {
+            let start = Instant::now();
+            shards = generator.all_shards_text(threads);
+            if run > 0 {
+                samples.push(start.elapsed().as_secs_f64());
+            }
+        }
+        let seconds = median(&mut samples);
+        if threads == 1 {
+            generation_t1 = seconds;
+        }
+        let speedup = generation_t1 / seconds;
+        let docs: usize = shards.iter().map(Vec::len).sum();
+        document_fingerprints.push(fingerprint_shards(&shards));
+        rows.push(vec![
+            format!("generation, {threads} threads"),
+            format!("{seconds:.2}s"),
+            format!("{speedup:.2}x"),
+            format!("{docs} documents"),
+        ]);
+        generation.push(json!({
+            "threads": threads, "seconds": seconds, "speedup": speedup,
+            "documents": docs,
+        }));
+    }
     let documents: usize = shards.iter().map(Vec::len).sum();
     let source = RawShards {
         shards,
@@ -952,7 +1009,6 @@ pub fn scale_sweep(cfg: &ReproConfig, quick: bool) -> (String, Value) {
 
     // Extraction sweep. One warmup then `timed_runs` timed runs per thread
     // count; the warmup also yields the evidence reused by the model sweep.
-    let mut rows = Vec::new();
     let mut extraction = Vec::new();
     let mut statement_counts = Vec::new();
     let mut evidence = EvidenceTable::new();
@@ -1025,8 +1081,52 @@ pub fn scale_sweep(cfg: &ReproConfig, quick: bool) -> (String, Value) {
         }));
     }
 
+    // Grouping sweep: sharded aggregation of the evidence table into
+    // per-(type, property) groups. Quick mode keeps the table small enough
+    // that `from_table_parallel` falls back to the serial path below its
+    // range threshold — the timing is still honest, it measures the call
+    // the pipeline actually makes.
+    let mut group = Vec::new();
+    let mut group_snapshots: Vec<surveyor_extract::GroupedEvidence> = Vec::new();
+    let mut group_t1 = 0.0f64;
+    for threads in thread_counts {
+        let mut samples = Vec::with_capacity(timed_runs);
+        let mut grouped = None;
+        for run in 0..=timed_runs {
+            let start = Instant::now();
+            let g = surveyor_extract::GroupedEvidence::from_table_parallel(
+                &evidence,
+                world.kb(),
+                threads,
+            );
+            if run > 0 {
+                samples.push(start.elapsed().as_secs_f64());
+            }
+            grouped = Some(g);
+        }
+        let seconds = median(&mut samples);
+        if threads == 1 {
+            group_t1 = seconds;
+        }
+        let speedup = group_t1 / seconds;
+        let grouped = grouped.unwrap_or_default();
+        rows.push(vec![
+            format!("group, {threads} threads"),
+            format!("{seconds:.3}s"),
+            format!("{speedup:.2}x"),
+            format!("{} combinations", grouped.len()),
+        ]);
+        group.push(json!({
+            "threads": threads, "seconds": seconds, "speedup": speedup,
+            "combinations": grouped.len(),
+        }));
+        group_snapshots.push(grouped);
+    }
+
+    let documents_identical = document_fingerprints.windows(2).all(|w| w[0] == w[1]);
     let statements_identical = statement_counts.windows(2).all(|w| w[0] == w[1]);
     let decided_identical = decided_counts.windows(2).all(|w| w[0] == w[1]);
+    let groups_identical = group_snapshots.windows(2).all(|w| w[0] == w[1]);
 
     // One observed run surfaces the interner cache counters: steady-state
     // extraction is lock-free exactly when global lookups stay a small
@@ -1054,6 +1154,7 @@ pub fn scale_sweep(cfg: &ReproConfig, quick: bool) -> (String, Value) {
         hit_rate * 100.0,
     );
     let value = json!({
+        "schema_version": 2,
         "preset": "table2_world_sized",
         "background_per_type": background_per_type,
         "seed": cfg.seed, "shards": num_shards,
@@ -1062,12 +1163,17 @@ pub fn scale_sweep(cfg: &ReproConfig, quick: bool) -> (String, Value) {
         "quick": quick,
         "timing": timing_block(timed_runs),
         "phases": json!({
+            "generation": generation,
             "extraction": extraction,
             "model": model,
+            "group": group,
         }),
         "determinism": json!({
+            "documents_identical": documents_identical,
             "statements_identical": statements_identical,
             "decided_pairs_identical": decided_identical,
+            "groups_identical": groups_identical,
+            "document_fingerprints": document_fingerprints,
             "statements": statement_counts,
             "decided_pairs": decided_counts,
         }),

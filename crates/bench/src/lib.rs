@@ -7,5 +7,6 @@
 
 pub mod experiments;
 pub mod render;
+pub mod scaling;
 
 pub use experiments::ReproConfig;

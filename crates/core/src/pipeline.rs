@@ -105,6 +105,12 @@ pub struct SurveyorOutput {
     /// One result per combination above the threshold.
     pub results: Vec<DomainResult>,
     index: FxHashMap<(EntityId, PropertyId), ModelDecision>,
+    /// The knowledge base the run decided over — kept so
+    /// [`triples`](Self::triples) can resolve canonical entity names.
+    kb: Arc<KnowledgeBase>,
+    /// Decided-pair count, cached at construction instead of recounted on
+    /// every call.
+    decided: usize,
 }
 
 impl SurveyorOutput {
@@ -122,9 +128,11 @@ impl SurveyorOutput {
     }
 
     /// All decided triples (skips unsolved entities), in deterministic
-    /// order.
+    /// order. The output vector is pre-sized from the cached decided-pair
+    /// count, and entity names come straight from the knowledge base (a
+    /// single buffer copy each) instead of the `Display` machinery.
     pub fn triples(&self) -> Vec<OpinionTriple> {
-        let mut out = Vec::with_capacity(self.decided_pairs());
+        let mut out = Vec::with_capacity(self.decided);
         for result in &self.results {
             // One resolve per combination, not one `to_string` per triple.
             let property = result.key.property.resolve().to_string();
@@ -135,7 +143,7 @@ impl SurveyorOutput {
                     Decision::Unsolved => continue,
                 };
                 out.push(OpinionTriple {
-                    entity: format!("{entity}"),
+                    entity: self.kb.entity(*entity).name().to_owned(),
                     property: property.clone(),
                     polarity,
                     probability: decision.probability.unwrap_or(0.5),
@@ -150,13 +158,9 @@ impl SurveyorOutput {
         self.results.len()
     }
 
-    /// Total decided entity-property pairs.
+    /// Total decided entity-property pairs (counted once at construction).
     pub fn decided_pairs(&self) -> usize {
-        self.results
-            .iter()
-            .flat_map(|r| &r.decisions)
-            .filter(|(_, d)| d.decision.is_solved())
-            .count()
+        self.decided
     }
 }
 
@@ -316,9 +320,14 @@ impl Surveyor {
     pub fn run_on_evidence(&self, evidence: EvidenceTable) -> SurveyorOutput {
         let grouped = {
             let mut span = self.obs.as_deref().map(|obs| obs.span("group"));
-            let grouped = GroupedEvidence::from_table(&evidence, &self.kb);
+            let grouped =
+                GroupedEvidence::from_table_parallel(&evidence, &self.kb, self.config.threads);
             if let Some(span) = span.as_mut() {
                 span.set_items(evidence.total_statements());
+            }
+            if let Some(obs) = self.obs.as_deref() {
+                obs.add("group.pairs", evidence.pair_count() as u64);
+                obs.add("group.combinations", grouped.len() as u64);
             }
             grouped
         };
@@ -409,9 +418,17 @@ impl Surveyor {
         }
 
         let mut index_span = self.obs.as_deref().map(|obs| obs.span("index"));
-        let mut index = FxHashMap::default();
+        // Every decision lands in the index exactly once, so the capacity
+        // is known up front — no rehash during the build.
+        let decisions_total: usize = results.iter().map(|r| r.decisions.len()).sum();
+        let mut index: FxHashMap<(EntityId, PropertyId), ModelDecision> =
+            FxHashMap::with_capacity_and_hasher(decisions_total, Default::default());
+        let mut decided = 0usize;
         for result in &results {
             for (e, d) in &result.decisions {
+                if d.decision.is_solved() {
+                    decided += 1;
+                }
                 index.insert((*e, result.key.property), *d);
             }
         }
@@ -426,6 +443,8 @@ impl Surveyor {
             grouped,
             results,
             index,
+            kb: self.kb.clone(),
+            decided,
         }
     }
 
@@ -553,5 +572,9 @@ mod tests {
             .iter()
             .all(|t| t.polarity == '+' || t.polarity == '-'));
         assert!(triples.iter().all(|t| t.property == "cute"));
+        // Entities surface under their canonical KB names, not raw ids.
+        assert!(triples
+            .iter()
+            .all(|t| kb.entity_by_name(&t.entity).is_some()));
     }
 }

@@ -7,12 +7,14 @@
 //! distributed snapshot processing. All randomness derives from
 //! `(world seed, shard index)`, making every shard bit-reproducible.
 
-use crate::templates::Realizer;
+use crate::templates::{Realizer, SentenceBuf};
 use crate::world::World;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use surveyor_nlp::{annotate_with, AnnotateScratch, AnnotatedDocument, Lexicon};
@@ -78,6 +80,22 @@ pub struct RawDocument {
     pub region: u32,
     /// Document text.
     pub text: String,
+}
+
+/// Reusable per-worker generation scratch.
+///
+/// Holds one [`SentenceBuf`] arena per region plus the realized property
+/// surface, so a worker that materializes many shards in a row
+/// ([`CorpusGenerator::all_shards_text`]) pays the arena allocations once
+/// and reuses them for every subsequent shard — the same discipline as
+/// `AnnotateScratch` on the annotation side.
+#[derive(Debug, Default)]
+pub struct GenScratch {
+    /// One sentence arena per region.
+    regions: Vec<SentenceBuf>,
+    /// The current domain's property surface ("very cute"), realized once
+    /// per domain instead of once per sentence.
+    property: String,
 }
 
 /// Generates the synthetic Web snapshot for a [`World`].
@@ -227,6 +245,17 @@ impl CorpusGenerator {
     /// # Panics
     /// Panics if `shard >= shard_count()`.
     pub fn shard_text(&self, shard: usize) -> Vec<RawDocument> {
+        self.shard_text_with(shard, &mut GenScratch::default())
+    }
+
+    /// [`shard_text`](Self::shard_text) with caller-owned scratch buffers,
+    /// for loops that materialize many shards (the parallel fan-out and
+    /// the bench shard sources). Output is byte-identical to
+    /// [`shard_text`](Self::shard_text) regardless of scratch reuse.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_text_with(&self, shard: usize, scratch: &mut GenScratch) -> Vec<RawDocument> {
         assert!(shard < self.config.num_shards, "shard out of range");
         let gen_start = self.observer.as_ref().map(|_| Instant::now()); // lint:allow(no-wall-clock): feeds the obs phase report only, never the generated text
         let stream = SeedStream::new(self.world.seed())
@@ -235,8 +264,16 @@ impl CorpusGenerator {
         let mut rng = StdRng::seed_from_u64(stream.seed());
         let shards = self.config.num_shards as f64;
 
-        // Sentences per region.
-        let mut sentences: Vec<Vec<String>> = vec![Vec::new(); self.config.regions.len()];
+        // Sentence arenas per region: one flat text buffer plus spans,
+        // reused across shards. No per-sentence `String` exists anywhere.
+        if scratch.regions.len() < self.config.regions.len() {
+            scratch
+                .regions
+                .resize_with(self.config.regions.len(), SentenceBuf::new);
+        }
+        for buf in &mut scratch.regions {
+            buf.clear();
+        }
         for (di, domain) in self.world.domains().iter().enumerate() {
             let etype = self.world.kb().entity_type(domain.type_id);
             let head_noun = etype
@@ -245,9 +282,12 @@ impl CorpusGenerator {
                 .map(String::as_str)
                 .unwrap_or(etype.name());
             let realizer = Realizer::new(head_noun, domain.params.plural_subjects);
+            // One property realization per domain, not one per sentence.
+            scratch.property.clear();
+            let _ = write!(scratch.property, "{}", domain.property);
             let entities = self.world.kb().entities_of_type(domain.type_id);
             for (ei, &entity) in entities.iter().enumerate() {
-                let name = self.world.kb().entity(entity).name().to_owned();
+                let name = self.world.kb().entity(entity).name();
                 let pop = domain.popularity[ei];
                 for (ri, region_weight) in self.region_weights.iter().enumerate() {
                     let opinion = self.region_opinions[ri][di][ei];
@@ -256,39 +296,41 @@ impl CorpusGenerator {
                     let n_pos = Poisson::new(rate_pos * scale).sample(&mut rng);
                     let n_neg = Poisson::new(rate_neg * scale).sample(&mut rng);
                     for _ in 0..n_pos {
-                        sentences[ri].push(realizer.statement(
+                        realizer.statement_into(
                             &mut rng,
-                            &name,
-                            &domain.property.to_string(),
+                            name,
+                            &scratch.property,
                             true,
                             domain.params.extended_verb_share,
                             domain.params.double_negation_share,
-                        ));
+                            &mut scratch.regions[ri],
+                        );
                     }
                     for _ in 0..n_neg {
-                        sentences[ri].push(realizer.statement(
+                        realizer.statement_into(
                             &mut rng,
-                            &name,
-                            &domain.property.to_string(),
+                            name,
+                            &scratch.property,
                             false,
                             domain.params.extended_verb_share,
                             domain.params.double_negation_share,
-                        ));
+                            &mut scratch.regions[ri],
+                        );
                     }
                     let n_aspect =
                         Poisson::new(domain.params.aspect_noise * pop * scale).sample(&mut rng);
                     for _ in 0..n_aspect {
-                        sentences[ri].push(realizer.aspect_noise(&mut rng, &name));
+                        realizer.aspect_noise_into(&mut rng, name, &mut scratch.regions[ri]);
                     }
                     let n_part =
                         Poisson::new(domain.params.part_of_noise * pop * scale).sample(&mut rng);
                     for _ in 0..n_part {
-                        sentences[ri].push(realizer.part_of_noise(&mut rng, &name));
+                        realizer.part_of_noise_into(&mut rng, name, &mut scratch.regions[ri]);
                     }
                     let n_fill =
                         Poisson::new(domain.params.filler_noise * pop * scale).sample(&mut rng);
                     for _ in 0..n_fill {
-                        sentences[ri].push(realizer.filler(&mut rng, &name));
+                        realizer.filler_into(&mut rng, name, &mut scratch.regions[ri]);
                     }
                 }
             }
@@ -297,26 +339,36 @@ impl CorpusGenerator {
         // The exact sentence total is known before packing; counting here
         // keeps the observer from re-scanning document text afterwards.
         let total_sentences: u64 = if self.observer.is_some() {
-            sentences.iter().map(|v| v.len() as u64).sum()
+            scratch.regions.iter().map(|b| b.len() as u64).sum()
         } else {
             0
         };
 
-        // Pack region-homogeneous documents.
+        // Pack region-homogeneous documents. Only the spans are shuffled
+        // (the arena text stays put); the shuffle consumes randomness
+        // purely as a function of slice length, so the draw sequence is
+        // identical to the old owned-`String` shuffle.
         let mut documents = Vec::new();
         let mut seq: u64 = 0;
         let mean_len = self.config.mean_sentences_per_document.max(1.0);
         let continue_prob = 1.0 - 1.0 / mean_len;
-        for (ri, mut region_sentences) in sentences.into_iter().enumerate() {
-            region_sentences.shuffle(&mut rng);
-            let mut iter = region_sentences.into_iter().peekable();
-            while iter.peek().is_some() {
+        for (ri, buf) in scratch
+            .regions
+            .iter_mut()
+            .enumerate()
+            .take(self.config.regions.len())
+        {
+            buf.spans_mut().shuffle(&mut rng);
+            let count = buf.len();
+            let mut i = 0;
+            while i < count {
                 let mut text = String::new();
-                for s in iter.by_ref() {
+                while i < count {
                     if !text.is_empty() {
                         text.push(' ');
                     }
-                    text.push_str(&s);
+                    text.push_str(buf.sentence(i));
+                    i += 1;
                     if !rng.gen_bool(continue_prob) {
                         break;
                     }
@@ -348,12 +400,131 @@ impl CorpusGenerator {
         lexicon: &Lexicon,
         region_filter: Option<u32>,
     ) -> Vec<AnnotatedDocument> {
-        let mut scratch = AnnotateScratch::default();
-        self.shard_text(shard)
+        self.shard_annotated_with(
+            shard,
+            lexicon,
+            region_filter,
+            &mut GenScratch::default(),
+            &mut AnnotateScratch::default(),
+        )
+    }
+
+    /// [`shard_annotated`](Self::shard_annotated) with caller-owned
+    /// generation and annotation scratch, for workers that process many
+    /// shards.
+    pub fn shard_annotated_with(
+        &self,
+        shard: usize,
+        lexicon: &Lexicon,
+        region_filter: Option<u32>,
+        gen_scratch: &mut GenScratch,
+        annotate_scratch: &mut AnnotateScratch,
+    ) -> Vec<AnnotatedDocument> {
+        self.shard_text_with(shard, gen_scratch)
             .into_iter()
             .filter(|d| region_filter.is_none_or(|r| d.region == r))
-            .map(|d| annotate_with(d.id, &d.text, self.world.kb(), lexicon, &mut scratch))
+            .map(|d| annotate_with(d.id, &d.text, self.world.kb(), lexicon, annotate_scratch))
             .collect()
+    }
+
+    /// Materializes every shard's raw documents, fanning shards over
+    /// `workers` threads.
+    ///
+    /// Shards are independently generable by construction (all randomness
+    /// derives from `(world seed, shard index)`), so the fan-out follows
+    /// the extraction runner's pattern: workers pull shard indexes off an
+    /// atomic claim cursor, accumulate `(shard, documents)` pairs locally
+    /// (reusing one [`GenScratch`] per worker), and hand them back by
+    /// value over the join; the caller reassembles in shard-index order.
+    /// No lock is taken anywhere, and the result is byte-identical to
+    /// calling [`shard_text`](Self::shard_text) serially for every shard,
+    /// for any worker count.
+    pub fn all_shards_text(&self, workers: usize) -> Vec<Vec<RawDocument>> {
+        let shard_count = self.config.num_shards;
+        let workers = workers.clamp(1, shard_count);
+        if workers == 1 {
+            let mut scratch = GenScratch::default();
+            return (0..shard_count)
+                .map(|s| self.shard_text_with(s, &mut scratch))
+                .collect();
+        }
+        self.fan_out_shards(workers, |shard, scratch, _| {
+            self.shard_text_with(shard, scratch)
+        })
+    }
+
+    /// Materializes and annotates every shard over `workers` threads; the
+    /// parallel counterpart of calling
+    /// [`shard_annotated`](Self::shard_annotated) per shard, with
+    /// per-worker [`GenScratch`] and [`AnnotateScratch`] reuse. Output is
+    /// byte-identical to the serial path for any worker count.
+    pub fn all_shards_annotated(
+        &self,
+        workers: usize,
+        lexicon: &Lexicon,
+        region_filter: Option<u32>,
+    ) -> Vec<Vec<AnnotatedDocument>> {
+        let shard_count = self.config.num_shards;
+        let workers = workers.clamp(1, shard_count);
+        if workers == 1 {
+            let mut gen_scratch = GenScratch::default();
+            let mut annotate_scratch = AnnotateScratch::default();
+            return (0..shard_count)
+                .map(|s| {
+                    self.shard_annotated_with(
+                        s,
+                        lexicon,
+                        region_filter,
+                        &mut gen_scratch,
+                        &mut annotate_scratch,
+                    )
+                })
+                .collect();
+        }
+        self.fan_out_shards(workers, |shard, gen_scratch, annotate_scratch| {
+            self.shard_annotated_with(shard, lexicon, region_filter, gen_scratch, annotate_scratch)
+        })
+    }
+
+    /// The shared fan-out skeleton: an atomic claim cursor, per-worker
+    /// scratch, results returned by value and reassembled in shard order.
+    fn fan_out_shards<T, F>(&self, workers: usize, materialize: F) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, &mut GenScratch, &mut AnnotateScratch) -> Vec<T> + Sync,
+    {
+        let shard_count = self.config.num_shards;
+        let cursor = AtomicUsize::new(0);
+        let mut produced = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut gen_scratch = GenScratch::default();
+                        let mut annotate_scratch = AnnotateScratch::default();
+                        let mut produced: Vec<(usize, Vec<T>)> = Vec::new();
+                        loop {
+                            let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                            if shard >= shard_count {
+                                break;
+                            }
+                            produced.push((
+                                shard,
+                                materialize(shard, &mut gen_scratch, &mut annotate_scratch),
+                            ));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("generation worker panicked")) // lint:allow(no-panic-in-lib): a worker panic is a generator bug; the infallible API propagates it
+                .collect::<Vec<(usize, Vec<T>)>>()
+        })
+        .expect("generation worker panicked"); // lint:allow(no-panic-in-lib): a worker panic is a generator bug; the infallible API propagates it
+        produced.sort_by_key(|&(shard, _)| shard);
+        debug_assert_eq!(produced.len(), shard_count);
+        produced.into_iter().map(|(_, docs)| docs).collect()
     }
 }
 
@@ -409,6 +580,35 @@ mod tests {
         let phase = report.phase("corpus").expect("corpus phase recorded");
         assert_eq!(phase.items, docs);
         assert!(phase.seconds > 0.0);
+    }
+
+    #[test]
+    fn parallel_materialization_matches_serial() {
+        let g = CorpusGenerator::new(world(3), CorpusConfig::default());
+        let serial: Vec<Vec<RawDocument>> = (0..g.shard_count()).map(|s| g.shard_text(s)).collect();
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(serial, g.all_shards_text(workers), "{workers} workers");
+        }
+        let lex = g.lexicon();
+        let serial_annotated: Vec<_> = (0..g.shard_count())
+            .map(|s| g.shard_annotated(s, &lex, None))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(
+                serial_annotated,
+                g.all_shards_annotated(workers, &lex, None),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_output() {
+        let g = CorpusGenerator::new(world(3), CorpusConfig::default());
+        let mut scratch = GenScratch::default();
+        for s in 0..g.shard_count() {
+            assert_eq!(g.shard_text(s), g.shard_text_with(s, &mut scratch));
+        }
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub mod presets;
 pub mod templates;
 pub mod world;
 
-pub use generator::{CorpusConfig, CorpusGenerator, RawDocument};
+pub use generator::{CorpusConfig, CorpusGenerator, GenScratch, RawDocument};
+pub use templates::SentenceBuf;
 pub use world::{DomainParams, DomainSpec, OpinionRule, PopularityRule, World, WorldBuilder};

@@ -8,8 +8,15 @@
 //! (small clauses, extended copulas) or intentionally *rejected* by the
 //! intrinsicness filters (aspect and part-of distractors) — that contrast
 //! is what reproduces Table 4.
+//!
+//! Realization is allocation-free on the hot path: every `*_into` method
+//! appends one sentence to a reusable [`SentenceBuf`] arena (one per
+//! worker per region), so generating a shard costs zero per-sentence
+//! `String` temporaries. The `String`-returning methods are thin wrappers
+//! kept for tests and one-off callers.
 
 use rand::Rng;
+use std::fmt::Write;
 
 /// Realization context for one domain.
 #[derive(Debug, Clone)]
@@ -33,27 +40,106 @@ const ASPECTS: &[&str] = &[
 /// Directional adjectives for part-of distractors ("*southern* France").
 const DIRECTIONS: &[&str] = &["southern", "northern", "eastern", "western"];
 
+/// A reusable sentence arena: one flat text buffer plus `(start, end)`
+/// byte spans, one span per realized sentence.
+///
+/// The generator realizes a whole region's sentences into one arena,
+/// shuffles the *spans* (the `rand` shuffle consumes randomness purely as
+/// a function of slice length, so shuffling spans draws exactly what
+/// shuffling owned `String`s used to draw), and packs documents straight
+/// from the span list — no per-sentence allocation anywhere. Spans are
+/// `u32` offsets: a single shard's arena stays far below 4 GiB.
+#[derive(Debug, Clone, Default)]
+pub struct SentenceBuf {
+    text: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl SentenceBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the arena, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.text.clear();
+        self.spans.clear();
+    }
+
+    /// Number of sentences held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the buffer holds no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th sentence in current span order.
+    pub fn sentence(&self, i: usize) -> &str {
+        let (start, end) = self.spans[i];
+        &self.text[start as usize..end as usize]
+    }
+
+    /// The sentence spans, mutable — exposed so callers can reorder
+    /// sentences (the generator shuffles document packing order) without
+    /// touching the arena text.
+    pub fn spans_mut(&mut self) -> &mut [(u32, u32)] {
+        &mut self.spans
+    }
+
+    /// Marks the start of a new sentence; pass the result to
+    /// [`commit`](Self::commit) once the sentence is fully written.
+    fn begin(&mut self) -> u32 {
+        self.text.len() as u32
+    }
+
+    /// Records the span of the sentence started at `start`.
+    fn commit(&mut self, start: u32) {
+        self.spans.push((start, self.text.len() as u32));
+    }
+}
+
+/// Appends the plural of a (possibly multi-word) name: last word gains an
+/// `s` (`es` after a sibilant, `y` → `ies` after a consonant). The
+/// buffered core of [`pluralize`]; byte-for-byte the same output, zero
+/// allocations.
+pub fn pluralize_into(name: &str, out: &mut String) {
+    let last_start = name.rfind(' ').map_or(0, |i| i + 1);
+    let last = &name[last_start..];
+    let bytes = last.as_bytes();
+    // ASCII-case-insensitive suffix probe (names are ASCII; non-ASCII
+    // bytes simply never match a letter class, as with `to_lowercase`).
+    let tail = |back: usize| {
+        bytes
+            .get(bytes.len().wrapping_sub(back))
+            .map(u8::to_ascii_lowercase)
+    };
+    out.push_str(&name[..last_start]);
+    let sibilant = matches!(tail(1), Some(b's' | b'x'))
+        || (matches!(tail(1), Some(b'h')) && matches!(tail(2), Some(b'c')));
+    if sibilant {
+        out.push_str(last);
+        out.push_str("es");
+    } else if matches!(tail(1), Some(b'y'))
+        && !matches!(tail(2), Some(b'a' | b'e' | b'i' | b'o' | b'u'))
+    {
+        out.push_str(&last[..last.len() - 1]);
+        out.push_str("ies");
+    } else {
+        out.push_str(last);
+        out.push('s');
+    }
+}
+
 /// Pluralizes a (possibly multi-word) name: last word gains an `s`
 /// (`y` → `ies` after a consonant).
 pub fn pluralize(name: &str) -> String {
-    let (head, last) = match name.rfind(' ') {
-        Some(i) => (&name[..=i], &name[i + 1..]),
-        None => ("", name),
-    };
-    let lower = last.to_lowercase();
-    let plural = if lower.ends_with('s') || lower.ends_with('x') || lower.ends_with("ch") {
-        format!("{last}es")
-    } else if lower.ends_with('y')
-        && !matches!(
-            lower.as_bytes().get(lower.len().wrapping_sub(2)),
-            Some(b'a' | b'e' | b'i' | b'o' | b'u')
-        )
-    {
-        format!("{}ies", &last[..last.len() - 1])
-    } else {
-        format!("{last}s")
-    };
-    format!("{head}{plural}")
+    let mut out = String::with_capacity(name.len() + 3);
+    pluralize_into(name, &mut out);
+    out
 }
 
 impl Realizer {
@@ -80,23 +166,56 @@ impl Realizer {
         extended_verb_share: f64,
         double_negation_share: f64,
     ) -> String {
+        let mut buf = SentenceBuf::new();
+        self.statement_into(
+            rng,
+            entity,
+            property,
+            positive,
+            extended_verb_share,
+            double_negation_share,
+            &mut buf,
+        );
+        buf.sentence(0).to_owned()
+    }
+
+    /// [`statement`](Self::statement) appending into a reusable buffer:
+    /// identical bytes, identical randomness consumption, zero temporary
+    /// allocations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn statement_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        property: &str,
+        positive: bool,
+        extended_verb_share: f64,
+        double_negation_share: f64,
+        buf: &mut SentenceBuf,
+    ) {
+        let start = buf.begin();
         if rng.gen_bool(extended_verb_share.clamp(0.0, 1.0)) {
-            return self.extended_verb_statement(rng, entity, property, positive);
-        }
-        if rng.gen_bool(double_negation_share.clamp(0.0, 1.0)) {
-            return self.double_negation_statement(rng, entity, property, positive);
-        }
-        if positive {
-            self.plain_positive(rng, entity, property)
+            self.extended_verb_statement(rng, entity, property, positive, &mut buf.text);
+        } else if rng.gen_bool(double_negation_share.clamp(0.0, 1.0)) {
+            self.double_negation_statement(rng, entity, property, positive, &mut buf.text);
+        } else if positive {
+            self.plain_positive(rng, entity, property, &mut buf.text);
         } else {
-            self.plain_negative(rng, entity, property)
+            self.plain_negative(rng, entity, property, &mut buf.text);
         }
+        buf.commit(start);
     }
 
     /// Positive realizations lean attributive/predicate-nominal (the
     /// `amod` pattern) the way Web text does — Table 4's V1 (amod-only)
     /// extracts more than V3 (complement-only) on the real snapshot.
-    fn plain_positive<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str, property: &str) -> String {
+    fn plain_positive<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        property: &str,
+        out: &mut String,
+    ) {
         let noun = &self.head_noun;
         // Weighted choice: (weight, template id). Plural variants are only
         // natural for some types.
@@ -125,20 +244,50 @@ impl Realizer {
             }
             roll -= w;
         }
+        // Writing into a `String` is infallible, hence the discarded
+        // results.
         match id {
-            0 => format!("{entity} is {property}."),
-            1 => format!("{entity} is a {property} {noun}."),
-            2 => format!("I think that {entity} is {property}."),
-            3 => format!("I think {entity} is {property}."),
-            4 => format!("I love the {property} {entity}."),
-            5 => format!("{} are {property}.", pluralize(entity)),
-            6 => format!("{} are {property} {}.", pluralize(entity), pluralize(noun)),
-            7 => format!("We saw the {property} {entity}."),
-            _ => format!("{entity} is a {noun} that is {property}."),
+            0 => {
+                let _ = write!(out, "{entity} is {property}.");
+            }
+            1 => {
+                let _ = write!(out, "{entity} is a {property} {noun}.");
+            }
+            2 => {
+                let _ = write!(out, "I think that {entity} is {property}.");
+            }
+            3 => {
+                let _ = write!(out, "I think {entity} is {property}.");
+            }
+            4 => {
+                let _ = write!(out, "I love the {property} {entity}.");
+            }
+            5 => {
+                pluralize_into(entity, out);
+                let _ = write!(out, " are {property}.");
+            }
+            6 => {
+                pluralize_into(entity, out);
+                let _ = write!(out, " are {property} ");
+                pluralize_into(noun, out);
+                out.push('.');
+            }
+            7 => {
+                let _ = write!(out, "We saw the {property} {entity}.");
+            }
+            _ => {
+                let _ = write!(out, "{entity} is a {noun} that is {property}.");
+            }
         }
     }
 
-    fn plain_negative<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str, property: &str) -> String {
+    fn plain_negative<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        property: &str,
+        out: &mut String,
+    ) {
         let noun = &self.head_noun;
         let choice = if self.plural_ok {
             rng.gen_range(0..6)
@@ -146,12 +295,25 @@ impl Realizer {
             rng.gen_range(0..5)
         };
         match choice {
-            0 => format!("{entity} is not {property}."),
-            1 => format!("{entity} is not a {property} {noun}."),
-            2 => format!("I don't think that {entity} is {property}."),
-            3 => format!("I do not believe {entity} is {property}."),
-            4 => format!("{entity} is never {property}."),
-            _ => format!("{} are not {property}.", pluralize(entity)),
+            0 => {
+                let _ = write!(out, "{entity} is not {property}.");
+            }
+            1 => {
+                let _ = write!(out, "{entity} is not a {property} {noun}.");
+            }
+            2 => {
+                let _ = write!(out, "I don't think that {entity} is {property}.");
+            }
+            3 => {
+                let _ = write!(out, "I do not believe {entity} is {property}.");
+            }
+            4 => {
+                let _ = write!(out, "{entity} is never {property}.");
+            }
+            _ => {
+                pluralize_into(entity, out);
+                let _ = write!(out, " are not {property}.");
+            }
         }
     }
 
@@ -163,15 +325,16 @@ impl Realizer {
         entity: &str,
         property: &str,
         positive: bool,
-    ) -> String {
-        match (positive, rng.gen_range(0..3)) {
-            (true, 0) => format!("I find {entity} {property}."),
-            (true, 1) => format!("{entity} is considered {property}."),
-            (true, _) => format!("{entity} seems {property}."),
-            (false, 0) => format!("{entity} does not seem {property}."),
-            (false, 1) => format!("{entity} is not considered {property}."),
-            (false, _) => format!("I don't find {entity} {property}."),
-        }
+        out: &mut String,
+    ) {
+        let _ = match (positive, rng.gen_range(0..3)) {
+            (true, 0) => write!(out, "I find {entity} {property}."),
+            (true, 1) => write!(out, "{entity} is considered {property}."),
+            (true, _) => write!(out, "{entity} seems {property}."),
+            (false, 0) => write!(out, "{entity} does not seem {property}."),
+            (false, 1) => write!(out, "{entity} is not considered {property}."),
+            (false, _) => write!(out, "I don't find {entity} {property}."),
+        };
     }
 
     /// A double-negation realization (Figure 5): the surface carries two
@@ -182,32 +345,60 @@ impl Realizer {
         entity: &str,
         property: &str,
         positive: bool,
-    ) -> String {
+        out: &mut String,
+    ) {
         if positive {
-            if rng.gen_bool(0.5) {
-                format!("I don't think that {entity} is never {property}.")
+            let _ = if rng.gen_bool(0.5) {
+                write!(out, "I don't think that {entity} is never {property}.")
             } else {
-                format!("I do not believe {entity} is never {property}.")
-            }
+                write!(out, "I do not believe {entity} is never {property}.")
+            };
         } else {
             // Negative statements have no natural even-negation surface;
             // fall back to the single-negation embedded form.
-            format!("I don't think that {entity} is {property}.")
+            let _ = write!(out, "I don't think that {entity} is {property}.");
         }
     }
 
     /// A non-intrinsic aspect distractor: "X is good/bad for parking".
     /// Filtered by the intrinsicness check; counted by V1/V2.
     pub fn aspect_noise<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
+        let mut buf = SentenceBuf::new();
+        self.aspect_noise_into(rng, entity, &mut buf);
+        buf.sentence(0).to_owned()
+    }
+
+    /// [`aspect_noise`](Self::aspect_noise) into a reusable buffer.
+    pub fn aspect_noise_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        buf: &mut SentenceBuf,
+    ) {
+        let start = buf.begin();
         let aspect = ASPECTS[rng.gen_range(0..ASPECTS.len())];
         let adjective = if rng.gen_bool(0.5) { "good" } else { "bad" };
-        format!("{entity} is {adjective} for {aspect}.")
+        let _ = write!(buf.text, "{entity} is {adjective} for {aspect}.");
+        buf.commit(start);
     }
 
     /// A part-of distractor: "southern X is warm". The amod lands on the
     /// subject mention, which V1/V2 extract and V4's coreference
     /// requirement rejects.
     pub fn part_of_noise<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
+        let mut buf = SentenceBuf::new();
+        self.part_of_noise_into(rng, entity, &mut buf);
+        buf.sentence(0).to_owned()
+    }
+
+    /// [`part_of_noise`](Self::part_of_noise) into a reusable buffer.
+    pub fn part_of_noise_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &str,
+        buf: &mut SentenceBuf,
+    ) {
+        let start = buf.begin();
         let direction = DIRECTIONS[rng.gen_range(0..DIRECTIONS.len())];
         let predicate = if rng.gen_bool(0.5) { "warm" } else { "cold" };
         let season = if rng.gen_bool(0.5) {
@@ -218,17 +409,30 @@ impl Realizer {
         // The prepositional tail makes the predicate non-intrinsic, so the
         // checked versions also reject the acomp reading; only the
         // spurious amod on the subject survives for V1/V2.
-        format!("{direction} {entity} is {predicate} in the {season}.")
+        let _ = write!(
+            buf.text,
+            "{direction} {entity} is {predicate} in the {season}."
+        );
+        buf.commit(start);
     }
 
     /// Neutral filler mentioning the entity without claiming a property.
     pub fn filler<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str) -> String {
-        match rng.gen_range(0..4) {
-            0 => format!("I visited {entity} during the summer."),
-            1 => format!("People love {entity}."),
-            2 => format!("We saw {entity} at the weekend."),
-            _ => format!("{entity} is in the north."),
-        }
+        let mut buf = SentenceBuf::new();
+        self.filler_into(rng, entity, &mut buf);
+        buf.sentence(0).to_owned()
+    }
+
+    /// [`filler`](Self::filler) into a reusable buffer.
+    pub fn filler_into<R: Rng + ?Sized>(&self, rng: &mut R, entity: &str, buf: &mut SentenceBuf) {
+        let start = buf.begin();
+        let _ = match rng.gen_range(0..4) {
+            0 => write!(buf.text, "I visited {entity} during the summer."),
+            1 => write!(buf.text, "People love {entity}."),
+            2 => write!(buf.text, "We saw {entity} at the weekend."),
+            _ => write!(buf.text, "{entity} is in the north."),
+        };
+        buf.commit(start);
     }
 }
 
@@ -248,6 +452,13 @@ mod tests {
         assert_eq!(pluralize("Monkey"), "Monkeys");
     }
 
+    #[test]
+    fn pluralize_into_appends_without_clearing() {
+        let mut out = String::from("The ");
+        pluralize_into("Fox", &mut out);
+        assert_eq!(out, "The Foxes");
+    }
+
     fn rng() -> StdRng {
         StdRng::seed_from_u64(77)
     }
@@ -264,6 +475,24 @@ mod tests {
                 assert!(s.ends_with('.'), "{s}");
             }
         }
+    }
+
+    #[test]
+    fn buffered_statements_accumulate_spans() {
+        let r = Realizer::new("animal", true);
+        let mut rng = rng();
+        let mut buf = SentenceBuf::new();
+        for i in 0..10 {
+            r.statement_into(&mut rng, "Kitten", "cute", true, 0.2, 0.05, &mut buf);
+            assert_eq!(buf.len(), i + 1);
+        }
+        for i in 0..10 {
+            let s = buf.sentence(i);
+            assert!(s.contains("cute"), "{s}");
+            assert!(s.ends_with('.'), "{s}");
+        }
+        buf.clear();
+        assert!(buf.is_empty());
     }
 
     #[test]

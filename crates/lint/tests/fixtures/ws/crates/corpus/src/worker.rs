@@ -1,0 +1,15 @@
+//! Fixture: shared-lock acquisitions in corpus-generation worker code.
+//! The lock rule's `only` scope covers this tree, so both acquisitions
+//! below must fire; the pragma-carrying one must not.
+
+use std::sync::Mutex;
+
+pub fn merge_shard(shared: &Mutex<Vec<String>>, shard: Vec<String>) {
+    if let Ok(mut docs) = shared.lock() {
+        docs.extend(shard);
+    }
+}
+
+pub fn shard_len(shared: &Mutex<Vec<String>>) -> usize {
+    shared.lock().map(|v| v.len()).unwrap_or(0) // lint:allow(no-shared-lock-in-worker-loop): once per run, outside the claim loop
+}

@@ -1,0 +1,8 @@
+//! Fixture: a lock acquisition OUTSIDE the lock rule's `only` scope.
+//! No finding may point here — this file proves the scoping works.
+
+use std::sync::Mutex;
+
+pub fn drain(shared: &Mutex<Vec<u32>>) -> usize {
+    shared.lock().map(|v| v.len()).unwrap_or(0)
+}

@@ -101,3 +101,24 @@ fn test_code_is_exempt() {
     let run = run_fixture();
     assert!(!run.findings.iter().any(|f| f.file.ends_with("testcode.rs")));
 }
+
+#[test]
+fn lock_rule_fires_inside_its_corpus_scope() {
+    // worker.rs holds two acquisitions: the bare one at line 8 must fire,
+    // the pragma-carrying one must not.
+    let run = run_fixture();
+    let hits: Vec<_> = run
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("worker.rs"))
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "no-shared-lock-in-worker-loop");
+}
+
+#[test]
+fn lock_rule_is_silent_outside_its_scope() {
+    // unscoped.rs locks a mutex but sits outside the rule's `only` paths.
+    let run = run_fixture();
+    assert!(!run.findings.iter().any(|f| f.file.ends_with("unscoped.rs")));
+}

@@ -23,13 +23,20 @@ cargo run --release -q -p surveyor-lint -- --json-out artifacts/lint_report.json
 # asserts the run's coverage accounting matches the plan's predictions.
 SURVEYOR_CHAOS_SEED="${SURVEYOR_CHAOS_SEED:-2015}" cargo test -q --test fault_injection
 
-# Bench smoke: the thread-scaling harness on its quick preset. The bench
-# binary validates the artifact schema before writing; the greps below
-# are a second line of defense pinning the keys EXPERIMENTS.md documents.
+# Bench smoke: the thread-scaling harness on its quick preset, with the
+# scaling-regression gate armed (nonzero exit on a phase that regresses
+# past its target curve; the permissive tolerance absorbs the noise of a
+# shared 1-CPU CI host). The bench binary validates the artifact schema
+# before writing; the greps below are a second line of defense pinning
+# the keys EXPERIMENTS.md documents.
 cargo run --release -q -p surveyor-bench --bin bench -- \
-    scale --quick --out artifacts/scale_smoke.json > /dev/null
-for key in '"host_cpus"' '"timing"' '"extraction"' '"model"' \
-           '"statements_identical"' '"decided_pairs_identical"' \
+    scale --quick --assert-scaling --scaling-tolerance 0.5 \
+    --out artifacts/scale_smoke.json > /dev/null
+for key in '"schema_version"' '"host_cpus"' '"timing"' \
+           '"generation"' '"extraction"' '"model"' '"group"' \
+           '"documents_identical"' '"statements_identical"' \
+           '"decided_pairs_identical"' '"groups_identical"' \
+           '"assert_scaling"' '"verdict"' \
            '"hits"' '"global_lookups"'; do
     grep -q "$key" artifacts/scale_smoke.json \
         || { echo "scale_smoke.json missing $key" >&2; exit 1; }

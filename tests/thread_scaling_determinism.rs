@@ -2,7 +2,9 @@
 //! results back by value and merges them in shard order, so the evidence
 //! table, the provenance samples, and the decided triples must be
 //! byte-identical for 1/2/4/8 worker threads — on a clean run and under
-//! a chaos plan that quarantines a shard.
+//! a chaos plan that quarantines a shard. The same contract covers the
+//! parallel corpus-materialization and evidence-grouping paths against
+//! their serial counterparts.
 
 use std::sync::Arc;
 use surveyor::prelude::*;
@@ -136,6 +138,60 @@ fn chaos_runs_are_byte_identical_across_thread_counts() {
                 assert_eq!(reference.2, fp.2, "decisions differ at {threads} threads");
             }
         }
+    }
+}
+
+#[test]
+fn parallel_generation_is_byte_identical_to_serial() {
+    // Corpus materialization fans shards over a claim cursor; each shard
+    // is an independent function of the seed, so the merged result must
+    // match the one-shard-at-a-time serial path byte for byte at any
+    // worker count — for both raw text and annotated documents.
+    let (_kb, generator) = generator(17);
+    let serial_text: Vec<_> = (0..generator.shard_count())
+        .map(|s| generator.shard_text(s))
+        .collect();
+    let serial_ann: Vec<_> = {
+        let lexicon = generator.lexicon();
+        (0..generator.shard_count())
+            .map(|s| generator.shard_annotated(s, &lexicon, None))
+            .collect()
+    };
+    let serial_text_json = serde_json::to_string(&serial_text).expect("documents serialize");
+    let serial_ann_json = serde_json::to_string(&serial_ann).expect("annotations serialize");
+    let lexicon = generator.lexicon();
+    for threads in THREAD_COUNTS {
+        let text = generator.all_shards_text(threads);
+        assert_eq!(
+            serial_text_json,
+            serde_json::to_string(&text).expect("documents serialize"),
+            "raw documents differ at {threads} workers"
+        );
+        let ann = generator.all_shards_annotated(threads, &lexicon, None);
+        assert_eq!(
+            serial_ann_json,
+            serde_json::to_string(&ann).expect("annotations serialize"),
+            "annotated documents differ at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn parallel_grouping_is_identical_to_serial() {
+    // Grouping shards the evidence table over range claims and merges the
+    // partial maps in range order; the grouped evidence (including the
+    // property-resolved group ordering) must match the serial build.
+    let (kb, generator) = generator(17);
+    let run = surveyor(kb.clone(), 4).run(&CorpusSource::new(&generator));
+    let serial = surveyor_extract::GroupedEvidence::from_table(&run.evidence, &kb);
+    assert!(!serial.is_empty());
+    for threads in THREAD_COUNTS {
+        let parallel =
+            surveyor_extract::GroupedEvidence::from_table_parallel(&run.evidence, &kb, threads);
+        assert_eq!(
+            serial, parallel,
+            "grouped evidence differs at {threads} workers"
+        );
     }
 }
 
