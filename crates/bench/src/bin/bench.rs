@@ -22,6 +22,13 @@
 //! under `assert_scaling`, and exits nonzero on regression;
 //! `--scaling-tolerance T` overrides the default slack (0 ≤ T < 1).
 //!
+//! `snapshot` measures binary snapshot throughput: re-mine time vs
+//! `surveyor-wire` encode/decode time on the pipeline preset, and writes
+//! `BENCH_snapshot.json` (schema-validated before writing). The artifact
+//! records `speedup_load_vs_remine` and a `byte_identical` round-trip
+//! verdict. `--assert-speedup X` exits nonzero when the speedup falls
+//! below `X` or the round trip is not byte-identical.
+//!
 //! `diff` compares two such run reports phase by phase.
 
 #![forbid(unsafe_code)]
@@ -35,6 +42,8 @@ const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
                      [--out PATH] [--baseline PATH] [--report PATH]\n\
                      \u{20}      bench scale [--seed N] [--out PATH] [--quick] \
                      [--assert-scaling] [--scaling-tolerance T]\n\
+                     \u{20}      bench snapshot [--seed N] [--out PATH] [--quick] \
+                     [--assert-speedup X]\n\
                      \u{20}      bench diff <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
@@ -46,6 +55,7 @@ fn main() -> ExitCode {
     match command {
         "pipeline" => pipeline(rest),
         "scale" => scale(rest),
+        "snapshot" => snapshot(rest),
         "diff" => diff(rest),
         _ => {
             eprintln!("{USAGE}");
@@ -254,6 +264,127 @@ fn scale(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `bench snapshot`: binary snapshot throughput behind `BENCH_snapshot.json`.
+fn snapshot(rest: &[String]) -> ExitCode {
+    let mut config = ReproConfig::default();
+    let mut out = "BENCH_snapshot.json".to_owned();
+    let mut quick = false;
+    let mut assert_speedup: Option<f64> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(v) = value.parse::<u64>() else {
+                    eprintln!("invalid numeric value for {arg}: {value}");
+                    return ExitCode::FAILURE;
+                };
+                config.seed = v;
+            }
+            "--assert-speedup" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<f64>() {
+                    Ok(x) if x > 0.0 => assert_speedup = Some(x),
+                    _ => {
+                        eprintln!("invalid speedup floor for {arg}: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out = value.clone();
+            }
+            _ => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (text, value) = experiments::snapshot_bench(&config, quick);
+    println!("{text}");
+
+    if let Err(e) = validate_snapshot_schema(&value) {
+        eprintln!("internal error: snapshot artifact failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    match std::fs::File::create(&out).and_then(|mut f| {
+        f.write_all(
+            serde_json::to_string_pretty(&value)
+                .expect("serializable artifact")
+                .as_bytes(),
+        )
+    }) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            if let Some(floor) = assert_speedup {
+                let speedup = value["speedup_load_vs_remine"].as_f64().unwrap_or(0.0);
+                let identical = value["byte_identical"].as_bool() == Some(true);
+                if speedup < floor || !identical {
+                    eprintln!(
+                        "assert-speedup: failed (speedup {speedup:.1}x vs floor {floor:.1}x, \
+                         byte identical: {identical})"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Checks the `BENCH_snapshot.json` shape before anything is written
+/// (verify.sh greps these same keys as a second line of defense).
+fn validate_snapshot_schema(value: &serde_json::Value) -> Result<(), String> {
+    for key in [
+        "schema_version",
+        "preset",
+        "seed",
+        "shards",
+        "timing",
+        "format_version",
+    ] {
+        if value.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    if value["schema_version"].as_u64() != Some(1) {
+        return Err("schema_version is not 1".to_owned());
+    }
+    for key in [
+        "snapshot_bytes",
+        "remine_seconds",
+        "encode_seconds",
+        "encode_mb_s",
+        "load_seconds",
+        "decode_mb_s",
+        "speedup_load_vs_remine",
+    ] {
+        if value[key].as_f64().is_none() {
+            return Err(format!("{key} is not a number"));
+        }
+    }
+    if value["byte_identical"].as_bool().is_none() {
+        return Err("byte_identical is not a boolean".to_owned());
+    }
+    Ok(())
 }
 
 /// Checks the `BENCH_scale.json` shape before anything is written, so a

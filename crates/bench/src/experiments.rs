@@ -1186,6 +1186,126 @@ pub fn scale_sweep(cfg: &ReproConfig, quick: bool) -> (String, Value) {
     (text, value)
 }
 
+/// `bench snapshot`: binary snapshot throughput — the numbers behind
+/// `BENCH_snapshot.json`.
+///
+/// Mines the `bench pipeline` preset once, then times three things over
+/// the same mined world: re-mining it from the corpus (the cost a
+/// snapshot avoids), encoding it to `surveyor-wire` bytes, and decoding
+/// those bytes back into a full [`SurveyorOutput`]. The headline number
+/// is `speedup_load_vs_remine`; the artifact also asserts the round trip
+/// is byte-identical (decode → re-encode reproduces the input exactly).
+///
+/// `quick` shrinks the corpus and run count so `scripts/verify.sh` can
+/// smoke-test the artifact schema in seconds.
+pub fn snapshot_bench(cfg: &ReproConfig, quick: bool) -> (String, Value) {
+    let num_shards = if quick { 16 } else { 64 };
+    let timed_runs = if quick { 3 } else { TIMED_RUNS };
+
+    let world = presets::table2_world(cfg.seed);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards,
+            ..CorpusConfig::default()
+        },
+    );
+    let source = CorpusSource::new(&generator);
+    let surveyor = Surveyor::new(world.kb().clone(), cfg.surveyor());
+
+    // Re-mine timings: the full pipeline (generation + extraction +
+    // grouping + EM + decisions) a snapshot load replaces.
+    let mut output = surveyor.run(&source);
+    let mut remine_samples = Vec::with_capacity(timed_runs);
+    for run in 0..=timed_runs {
+        let start = Instant::now();
+        output = surveyor.run(&source);
+        if run > 0 {
+            remine_samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+    let remine_seconds = median(&mut remine_samples);
+
+    // Encode timings.
+    let mut bytes = surveyor::save_snapshot(&output);
+    let mut encode_samples = Vec::with_capacity(timed_runs);
+    for run in 0..=timed_runs {
+        let start = Instant::now();
+        bytes = surveyor::save_snapshot(&output);
+        if run > 0 {
+            encode_samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+    let encode_seconds = median(&mut encode_samples);
+    let megabytes = bytes.len() as f64 / (1024.0 * 1024.0);
+    let encode_mb_s = megabytes / encode_seconds.max(f64::EPSILON);
+
+    // Decode (load) timings: bytes back to a full mined world.
+    let mut loaded = surveyor::load_snapshot(&bytes).expect("own snapshot decodes");
+    let mut load_samples = Vec::with_capacity(timed_runs);
+    for run in 0..=timed_runs {
+        let start = Instant::now();
+        loaded = surveyor::load_snapshot(&bytes).expect("own snapshot decodes");
+        if run > 0 {
+            load_samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+    let load_seconds = median(&mut load_samples);
+    let decode_mb_s = megabytes / load_seconds.max(f64::EPSILON);
+    let speedup = remine_seconds / load_seconds.max(f64::EPSILON);
+
+    // Round-trip fidelity: the loaded world re-encodes to the exact same
+    // bytes, and its queryable store is the same JSON.
+    let byte_identical = surveyor::save_snapshot(&loaded) == bytes
+        && surveyor::SubjectiveKb::from_output(&loaded, loaded.kb()).to_json()
+            == surveyor::SubjectiveKb::from_output(&output, output.kb()).to_json();
+
+    let rows = vec![
+        vec![
+            "re-mine".to_owned(),
+            format!("{remine_seconds:.3}s"),
+            format!("{} statements", output.evidence.total_statements()),
+        ],
+        vec![
+            "encode".to_owned(),
+            format!("{encode_seconds:.4}s"),
+            format!("{:.1} MB/s, {} bytes", encode_mb_s, bytes.len()),
+        ],
+        vec![
+            "load".to_owned(),
+            format!("{load_seconds:.4}s"),
+            format!("{decode_mb_s:.1} MB/s"),
+        ],
+        vec![
+            "speedup".to_owned(),
+            format!("{speedup:.0}x"),
+            format!("byte identical: {byte_identical}"),
+        ],
+    ];
+    let text = format!(
+        "Snapshot throughput — load vs re-mine (table2_world, {num_shards} shards)\n{}",
+        render::table(&["Stage", "Median time", "Detail"], &rows)
+    );
+    let value = json!({
+        "schema_version": 1,
+        "preset": "table2_world", "seed": cfg.seed, "shards": num_shards,
+        "quick": quick,
+        "timing": timing_block(timed_runs),
+        "snapshot_bytes": bytes.len(),
+        "format_version": surveyor::wire::FORMAT_VERSION,
+        "remine_seconds": remine_seconds,
+        "encode_seconds": encode_seconds,
+        "encode_mb_s": encode_mb_s,
+        "load_seconds": load_seconds,
+        "decode_mb_s": decode_mb_s,
+        "speedup_load_vs_remine": speedup,
+        "byte_identical": byte_identical,
+        "statements": output.evidence.total_statements(),
+        "decided_pairs": output.decided_pairs(),
+    });
+    (text, value)
+}
+
 /// An observed end-to-end run on the `bench pipeline` preset: attaches a
 /// metrics registry to the generator and pipeline and returns the
 /// versioned run report, so two bench invocations can be compared phase

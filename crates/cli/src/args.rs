@@ -124,6 +124,24 @@ pub enum Command {
         /// Occurrence threshold ρ.
         rho: u64,
     },
+    /// Mine a preset and save the whole mined world as a binary
+    /// `surveyor-wire` snapshot (see FORMAT.md).
+    Snapshot {
+        /// Mining configuration (same flags as `mine`; its `out` field
+        /// is unused — the snapshot path is `out` below).
+        args: MineArgs,
+        /// Snapshot output path (required).
+        out: String,
+        /// Also write the store JSON here (optional).
+        store: Option<String>,
+    },
+    /// Load a binary snapshot and emit the store JSON without re-mining.
+    Load {
+        /// Snapshot input path.
+        snapshot: String,
+        /// Store JSON output path (stdout when absent).
+        out: Option<String>,
+    },
 }
 
 /// Why parsing failed.
@@ -159,13 +177,15 @@ impl fmt::Display for ParseError {
 /// Usage text.
 pub const USAGE: &str = "\
 usage:
-  surveyor mine   --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
-                  [--region NAME] [--failure-policy failfast|degrade] [--min-shard-coverage F] [--chaos-seed N]
-  surveyor run    [--preset NAME] [mine flags...]
-  surveyor query  --store FILE --type NAME --property ADJ [--negative] [--limit N]
-  surveyor combos --store FILE
-  surveyor corpus --preset NAME [--seed N] [--shard N] [--limit N]
-  surveyor link   --preset cities --attribute KEY [--seed N] [--rho N]";
+  surveyor mine     --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
+                    [--region NAME] [--failure-policy failfast|degrade] [--min-shard-coverage F] [--chaos-seed N]
+  surveyor run      [--preset NAME] [mine flags...]
+  surveyor query    --store FILE --type NAME --property ADJ [--negative] [--limit N]
+  surveyor combos   --store FILE
+  surveyor corpus   --preset NAME [--seed N] [--shard N] [--limit N]
+  surveyor link     --preset cities --attribute KEY [--seed N] [--rho N]
+  surveyor snapshot --preset NAME --out FILE.swire [--store FILE] [mine flags...]
+  surveyor load     --snapshot FILE.swire [--out FILE]";
 
 /// Simple flag scanner: collects `--flag value` pairs and boolean flags.
 struct Flags {
@@ -229,6 +249,58 @@ impl Flags {
     }
 }
 
+/// Every flag the `mine` family accepts (shared by `mine`, `run`, and
+/// `snapshot`).
+const MINE_FLAGS: &[&str] = &[
+    "--preset",
+    "--out",
+    "--seed",
+    "--rho",
+    "--shards",
+    "--report",
+    "--region",
+    "--failure-policy",
+    "--min-shard-coverage",
+    "--chaos-seed",
+];
+
+/// Builds [`MineArgs`] from already-validated flags. `preset` is resolved
+/// by the caller (required for `mine`/`snapshot`, defaulted for `run`).
+fn mine_args_from(flags: &Flags, preset: String) -> Result<MineArgs, ParseError> {
+    let failure_policy = match flags.take("--failure-policy") {
+        None => FailurePolicyArg::default(),
+        Some(v) => v
+            .parse()
+            .map_err(|()| ParseError::BadValue("--failure-policy".to_owned(), v.to_owned()))?,
+    };
+    let min_shard_coverage: f64 = flags.numeric("--min-shard-coverage", 0.9)?;
+    if !(0.0..=1.0).contains(&min_shard_coverage) {
+        return Err(ParseError::BadValue(
+            "--min-shard-coverage".to_owned(),
+            min_shard_coverage.to_string(),
+        ));
+    }
+    let chaos_seed = match flags.take("--chaos-seed") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| ParseError::BadValue("--chaos-seed".to_owned(), v.to_owned()))?,
+        ),
+    };
+    Ok(MineArgs {
+        preset,
+        out: flags.take("--out").map(str::to_owned),
+        seed: flags.numeric("--seed", 2015)?,
+        rho: flags.numeric("--rho", 100)?,
+        shards: flags.numeric("--shards", 8)?,
+        report: flags.take("--report").map(str::to_owned),
+        region: flags.take("--region").map(str::to_owned),
+        failure_policy,
+        min_shard_coverage,
+        chaos_seed,
+    })
+}
+
 impl Cli {
     /// Parses a full argument list (without the program name).
     pub fn parse(args: &[String]) -> Result<Self, ParseError> {
@@ -238,54 +310,34 @@ impl Cli {
             // paper reproduction docs use for an observed end-to-end run.
             name @ ("mine" | "run") => {
                 let flags = Flags::parse(rest, &[])?;
-                flags.validate_known(&[
-                    "--preset",
-                    "--out",
-                    "--seed",
-                    "--rho",
-                    "--shards",
-                    "--report",
-                    "--region",
-                    "--failure-policy",
-                    "--min-shard-coverage",
-                    "--chaos-seed",
-                ])?;
+                flags.validate_known(MINE_FLAGS)?;
                 let preset = if name == "run" {
                     flags.take("--preset").unwrap_or("table2").to_owned()
                 } else {
                     flags.required("--preset")?
                 };
-                let failure_policy = match flags.take("--failure-policy") {
-                    None => FailurePolicyArg::default(),
-                    Some(v) => v.parse().map_err(|()| {
-                        ParseError::BadValue("--failure-policy".to_owned(), v.to_owned())
-                    })?,
-                };
-                let min_shard_coverage: f64 = flags.numeric("--min-shard-coverage", 0.9)?;
-                if !(0.0..=1.0).contains(&min_shard_coverage) {
-                    return Err(ParseError::BadValue(
-                        "--min-shard-coverage".to_owned(),
-                        min_shard_coverage.to_string(),
-                    ));
-                }
-                let chaos_seed = match flags.take("--chaos-seed") {
-                    None => None,
-                    Some(v) => Some(v.parse().map_err(|_| {
-                        ParseError::BadValue("--chaos-seed".to_owned(), v.to_owned())
-                    })?),
-                };
-                Command::Mine(MineArgs {
-                    preset,
+                Command::Mine(mine_args_from(&flags, preset)?)
+            }
+            "snapshot" => {
+                let flags = Flags::parse(rest, &[])?;
+                let mut known = MINE_FLAGS.to_vec();
+                known.push("--store");
+                flags.validate_known(&known)?;
+                let preset = flags.required("--preset")?;
+                let out = flags.required("--out")?;
+                let store = flags.take("--store").map(str::to_owned);
+                let mut args = mine_args_from(&flags, preset)?;
+                // `--out` names the snapshot, not a store JSON.
+                args.out = None;
+                Command::Snapshot { args, out, store }
+            }
+            "load" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&["--snapshot", "--out"])?;
+                Command::Load {
+                    snapshot: flags.required("--snapshot")?,
                     out: flags.take("--out").map(str::to_owned),
-                    seed: flags.numeric("--seed", 2015)?,
-                    rho: flags.numeric("--rho", 100)?,
-                    shards: flags.numeric("--shards", 8)?,
-                    report: flags.take("--report").map(str::to_owned),
-                    region: flags.take("--region").map(str::to_owned),
-                    failure_policy,
-                    min_shard_coverage,
-                    chaos_seed,
-                })
+                }
             }
             "query" => {
                 let flags = Flags::parse(rest, &["--negative"])?;
@@ -486,6 +538,51 @@ mod tests {
         assert_eq!(
             parse(&["mine", "--preset", "table2", "--seed", "abc"]),
             Err(ParseError::BadValue("--seed".into(), "abc".into()))
+        );
+    }
+
+    #[test]
+    fn snapshot_requires_preset_and_out() {
+        assert_eq!(
+            parse(&["snapshot", "--out", "w.swire"]),
+            Err(ParseError::MissingFlag("--preset"))
+        );
+        assert_eq!(
+            parse(&["snapshot", "--preset", "table2"]),
+            Err(ParseError::MissingFlag("--out"))
+        );
+        let cli = parse(&[
+            "snapshot", "--preset", "cities", "--out", "w.swire", "--store", "s.json", "--seed",
+            "7", "--rho", "40",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Snapshot { args, out, store } => {
+                assert_eq!(out, "w.swire");
+                assert_eq!(store.as_deref(), Some("s.json"));
+                assert_eq!(args.preset, "cities");
+                assert_eq!((args.seed, args.rho), (7, 40));
+                // `--out` belongs to the snapshot, not the store JSON.
+                assert_eq!(args.out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_takes_snapshot_and_optional_out() {
+        assert_eq!(parse(&["load"]), Err(ParseError::MissingFlag("--snapshot")));
+        let cli = parse(&["load", "--snapshot", "w.swire", "--out", "s.json"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Load {
+                snapshot: "w.swire".to_owned(),
+                out: Some("s.json".to_owned()),
+            }
+        );
+        assert_eq!(
+            parse(&["load", "--snapshot", "w.swire", "--bogus", "1"]),
+            Err(ParseError::UnknownFlag("--bogus".into()))
         );
     }
 

@@ -126,6 +126,51 @@ pub fn mine(args: &MineArgs) -> Result<String, CliError> {
     }
 }
 
+/// `surveyor snapshot` — mine a preset and save the whole mined world
+/// as a binary `surveyor-wire` snapshot (see FORMAT.md).
+pub fn snapshot(args: &MineArgs, out: &str, store: Option<&str>) -> Result<String, CliError> {
+    let (store_kb, run, _, _) = mine_store(args, None)?;
+    let bytes = surveyor::save_snapshot(&run.output);
+    std::fs::write(out, &bytes).map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+    let mut summary = format!(
+        "snapshotted {} statements over {} combinations into {} bytes at {out}",
+        run.output.evidence.total_statements(),
+        run.output.results.len(),
+        bytes.len(),
+    );
+    if let Some(path) = store {
+        std::fs::write(path, store_kb.to_json())
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        summary.push_str(&format!("\nwrote store JSON to {path}"));
+    }
+    Ok(summary)
+}
+
+/// `surveyor load` — decode a binary snapshot back into the mined world
+/// and emit the store JSON without re-mining. Corrupt snapshots are
+/// [`CliError::InvalidInput`] (exit 3), never a panic.
+pub fn load(snapshot_path: &str, out: Option<&str>) -> Result<String, CliError> {
+    let bytes = std::fs::read(snapshot_path)
+        .map_err(|e| CliError::Io(format!("cannot read {snapshot_path}: {e}")))?;
+    let output = surveyor::load_snapshot(&bytes)
+        .map_err(|e| CliError::InvalidInput(format!("invalid snapshot {snapshot_path}: {e}")))?;
+    let store = SubjectiveKb::from_output(&output, output.kb());
+    let json = store.to_json();
+    let summary = format!(
+        "loaded {} associations over {} combinations from {snapshot_path}",
+        store.len(),
+        store.blocks().len(),
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!("{summary}\nwrote {path}"))
+        }
+        None => Ok(format!("{summary}\n{json}")),
+    }
+}
+
 fn load_store(path: &str) -> Result<SubjectiveKb, CliError> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
@@ -393,6 +438,99 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_then_load_reproduces_the_mined_store() {
+        let dir = std::env::temp_dir().join("surveyor-cli-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("world.swire");
+        let mined = dir.join("mined.json");
+        let loaded = dir.join("loaded.json");
+
+        let args = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: 2,
+            ..MineArgs::new("cities")
+        };
+        let summary =
+            snapshot(&args, snap.to_str().unwrap(), Some(mined.to_str().unwrap())).unwrap();
+        assert!(summary.contains("snapshotted"), "{summary}");
+        assert!(summary.contains("wrote store JSON"), "{summary}");
+
+        let summary = load(snap.to_str().unwrap(), Some(loaded.to_str().unwrap())).unwrap();
+        assert!(summary.contains("loaded"), "{summary}");
+
+        // The loaded store is byte-identical JSON to the mined one.
+        let mined_json = std::fs::read_to_string(&mined).unwrap();
+        let loaded_json = std::fs::read_to_string(&loaded).unwrap();
+        assert_eq!(mined_json, loaded_json);
+
+        // Querying the loaded store works exactly like the mined one.
+        let out = query(loaded.to_str().unwrap(), "city", "big", false, 5).unwrap();
+        assert!(out.contains("Pr ="), "{out}");
+
+        for path in [snap, mined, loaded] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_invalid_input_with_exit_3() {
+        let dir = std::env::temp_dir().join("surveyor-cli-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("world.swire");
+        let args = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: 2,
+            ..MineArgs::new("cities")
+        };
+        snapshot(&args, snap.to_str().unwrap(), None).unwrap();
+        let good = std::fs::read(&snap).unwrap();
+
+        // Each corruption is a typed error surfaced as InvalidInput
+        // (exit 3) — never a panic.
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("bad magic", {
+                let mut b = good.clone();
+                b[0] ^= 0xff;
+                b
+            }),
+            ("unsupported version", {
+                let mut b = good.clone();
+                b[8] = 0xff;
+                b
+            }),
+            ("truncated", good[..good.len() / 2].to_vec()),
+            ("crc mismatch", {
+                let mut b = good.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0xff;
+                b
+            }),
+        ];
+        let bad_path = dir.join("bad.swire");
+        for (label, bytes) in cases {
+            std::fs::write(&bad_path, &bytes).unwrap();
+            match load(bad_path.to_str().unwrap(), None) {
+                Err(e @ CliError::InvalidInput(_)) => {
+                    assert_eq!(e.exit_code(), 3, "{label}");
+                    assert!(e.to_string().contains("invalid snapshot"), "{label}: {e}");
+                }
+                other => panic!("{label}: unexpected {other:?}"),
+            }
+        }
+
+        // A missing snapshot file is I/O trouble (exit 1), not corruption.
+        match load("/nonexistent/world.swire", None) {
+            Err(e @ CliError::Io(_)) => assert_eq!(e.exit_code(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        std::fs::remove_file(snap).ok();
+        std::fs::remove_file(bad_path).ok();
     }
 
     #[test]

@@ -6,9 +6,10 @@ use surveyor::RunError;
 
 /// Why a CLI command failed. [`exit_code`](Self::exit_code) follows the
 /// sysexits-ish convention the scripts rely on: bad invocations exit 2,
-/// environment/data trouble exits 1, and a pipeline that ran but failed
-/// under its failure policy exits 3 — so a chaos harness can tell "you
-/// typed it wrong" from "the run degraded past its floor".
+/// I/O trouble exits 1, and invalid or corrupt data — a store that does
+/// not parse, a snapshot that fails validation, or a pipeline that ran
+/// but failed under its failure policy — exits 3. A chaos harness can
+/// tell "you typed it wrong" from "the data or run went bad".
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
     /// The invocation itself is wrong: unknown preset, unknown region,
@@ -17,7 +18,8 @@ pub enum CliError {
     /// The filesystem let us down (unreadable store, unwritable output).
     /// Exits 1.
     Io(String),
-    /// An input file exists but does not parse. Exits 1.
+    /// An input file exists but does not parse or fails validation
+    /// (mangled store JSON, corrupt binary snapshot). Exits 3.
     InvalidInput(String),
     /// The pipeline ran and failed under its failure policy. Exits 3.
     Run(RunError),
@@ -28,8 +30,8 @@ impl CliError {
     pub fn exit_code(&self) -> u8 {
         match self {
             Self::Usage(_) => 2,
-            Self::Io(_) | Self::InvalidInput(_) => 1,
-            Self::Run(_) => 3,
+            Self::Io(_) => 1,
+            Self::InvalidInput(_) | Self::Run(_) => 3,
         }
     }
 }
@@ -59,7 +61,9 @@ mod tests {
     fn exit_codes_distinguish_failure_classes() {
         assert_eq!(CliError::Usage("bad".into()).exit_code(), 2);
         assert_eq!(CliError::Io("gone".into()).exit_code(), 1);
-        assert_eq!(CliError::InvalidInput("mangled".into()).exit_code(), 1);
+        // Corrupt data shares exit 3 with failed runs: both mean "your
+        // invocation was fine, the data wasn't".
+        assert_eq!(CliError::InvalidInput("mangled".into()).exit_code(), 3);
         let run = CliError::Run(RunError::CoverageBelowFloor {
             succeeded: 3,
             shard_count: 8,

@@ -8,12 +8,15 @@
 //! surveyor combos --store store.json
 //! surveyor corpus --preset table2 [--seed N] [--shard N] [--limit N]
 //! surveyor link   --preset cities --attribute population [--seed N] [--rho N]
+//! surveyor snapshot --preset table2 --out world.swire [--store store.json] [mine flags...]
+//! surveyor load   --snapshot world.swire [--out store.json]
 //! ```
 //!
 //! Argument parsing and command execution live here so they are unit
 //! testable; `main.rs` is a thin shim. Failures map to exit codes via
-//! [`CliError::exit_code`]: usage errors exit 2, environment/data errors
-//! exit 1, and a pipeline failing under its failure policy exits 3.
+//! [`CliError::exit_code`]: usage errors exit 2, I/O errors exit 1, and
+//! invalid or corrupt data — including a snapshot that fails validation —
+//! or a pipeline failing under its failure policy exits 3.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,5 +52,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             seed,
             rho,
         } => commands::link(preset, attribute, *seed, *rho),
+        Command::Snapshot { args, out, store } => commands::snapshot(args, out, store.as_deref()),
+        Command::Load { snapshot, out } => commands::load(snapshot, out.as_deref()),
     }
 }

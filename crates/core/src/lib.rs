@@ -53,6 +53,7 @@
 //! | `surveyor-model` | Bayesian user model, EM, baselines |
 //! | `surveyor-obs` | metrics registry, phase spans, run reports |
 //! | `surveyor-crowd` | AMT worker-panel simulator |
+//! | `surveyor-wire` | versioned binary snapshot format (FORMAT.md) |
 //! | `surveyor` (this) | Algorithm 1 orchestration and the public API |
 //!
 //! ## Observability
@@ -77,12 +78,16 @@
 
 pub mod objective;
 pub mod pipeline;
+pub mod snapshot;
 pub mod source;
 pub mod store;
 
 pub use objective::{adjudicate_with_link, link_objective, LinkDirection, ObjectiveLink};
 pub use pipeline::{
     DomainResult, OpinionTriple, Surveyor, SurveyorConfig, SurveyorOutput, SurveyorRun,
+};
+pub use snapshot::{
+    load_snapshot, output_from_snapshot, save_snapshot, snapshot_output, SnapshotError,
 };
 pub use source::{CorpusSource, UnknownRegion};
 pub use store::{CombinationBlock, StoredOpinion, SubjectiveKb};
@@ -117,3 +122,4 @@ pub use surveyor_model as model;
 pub use surveyor_nlp as nlp;
 pub use surveyor_obs as obs;
 pub use surveyor_prob as prob;
+pub use surveyor_wire as wire;

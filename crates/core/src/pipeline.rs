@@ -114,6 +114,44 @@ pub struct SurveyorOutput {
 }
 
 impl SurveyorOutput {
+    /// Reassembles an output from its portable parts (the snapshot load
+    /// path): the decision index and decided-pair count are rebuilt from
+    /// `results`, exactly as [`Surveyor::run_on_evidence`] builds them.
+    pub(crate) fn from_parts(
+        evidence: EvidenceTable,
+        provenance: ProvenanceTable,
+        grouped: GroupedEvidence,
+        results: Vec<DomainResult>,
+        kb: Arc<KnowledgeBase>,
+    ) -> Self {
+        let decisions_total: usize = results.iter().map(|r| r.decisions.len()).sum();
+        let mut index: FxHashMap<(EntityId, PropertyId), ModelDecision> =
+            FxHashMap::with_capacity_and_hasher(decisions_total, Default::default());
+        let mut decided = 0usize;
+        for result in &results {
+            for (e, d) in &result.decisions {
+                if d.decision.is_solved() {
+                    decided += 1;
+                }
+                index.insert((*e, result.key.property), *d);
+            }
+        }
+        Self {
+            evidence,
+            provenance,
+            grouped,
+            results,
+            index,
+            kb,
+            decided,
+        }
+    }
+
+    /// The knowledge base the run decided over.
+    pub fn kb(&self) -> &Arc<KnowledgeBase> {
+        &self.kb
+    }
+
     /// The decision for an entity-property pair, if its combination was
     /// modeled. Allocation-free: the property is looked up in the interner
     /// (a never-extracted property cannot have an opinion).

@@ -46,7 +46,7 @@ pub use patterns::{
     extract_sentence, extract_sentence_counted, extract_sentence_into, ExtractContext,
     PatternCounts,
 };
-pub use provenance::ProvenanceTable;
+pub use provenance::{ProvenanceEntry, ProvenanceTable};
 pub use runner::{
     extract_documents, extract_documents_ctx, extract_documents_full, extract_documents_stats,
     run_sharded, run_sharded_fault_tolerant, run_sharded_full, run_sharded_observed, ExtractStats,

@@ -83,6 +83,49 @@ impl ProvenanceTable {
     pub fn sample_size(&self) -> usize {
         self.sample_size
     }
+
+    /// The table as a portable entry list, sorted by `(entity, property)`
+    /// with properties resolved to their surface form — the same shape the
+    /// serde codec and the binary snapshot format use.
+    pub fn to_entries(&self) -> Vec<ProvenanceEntry> {
+        // Resolve ids before sorting: id values are process-local, the
+        // exported order must not be.
+        let mut entries: Vec<ProvenanceEntry> = self
+            .map
+            .iter()
+            .map(|((entity, property), documents)| ProvenanceEntry {
+                entity: *entity,
+                property: property.resolve(),
+                documents: documents.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.entity, &a.property).cmp(&(b.entity, &b.property)));
+        entries
+    }
+
+    /// Rebuilds a table from an entry list, re-interning the properties in
+    /// this process. Inverse of [`to_entries`](Self::to_entries).
+    pub fn from_entries(sample_size: usize, entries: Vec<ProvenanceEntry>) -> Self {
+        Self {
+            sample_size: sample_size.max(1),
+            map: entries
+                .into_iter()
+                .map(|e| ((e.entity, PropertyId::intern(&e.property)), e.documents))
+                .collect(),
+        }
+    }
+}
+
+/// One portable provenance entry: the pair plus its document sample, with
+/// the property resolved so nothing process-local leaks out.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceEntry {
+    /// The entity.
+    pub entity: EntityId,
+    /// The property, resolved to its surface form.
+    pub property: Property,
+    /// Supporting document ids, ascending.
+    pub documents: Vec<u64>,
 }
 
 /// Inserts `id` into a sorted, deduplicated, bounded id list.
@@ -98,25 +141,17 @@ fn insert_bounded(ids: &mut Vec<u64>, id: u64, bound: usize) {
     }
 }
 
-/// Serde codec: the tuple-keyed map serializes as an entry list.
+/// Serde codec: the tuple-keyed map serializes as the sorted entry list
+/// of [`ProvenanceTable::to_entries`].
 mod entries_codec {
     use super::*;
 
     type ProvenanceMap = FxHashMap<(EntityId, PropertyId), Vec<u64>>;
 
-    #[derive(Serialize, Deserialize)]
-    struct Entry {
-        entity: EntityId,
-        property: Property,
-        documents: Vec<u64>,
-    }
-
     pub fn to_value(map: &ProvenanceMap) -> serde::Value {
-        // Resolve ids before sorting: id values are process-local, the
-        // serialized order must not be.
-        let mut entries: Vec<Entry> = map
+        let mut entries: Vec<ProvenanceEntry> = map
             .iter()
-            .map(|((entity, property), documents)| Entry {
+            .map(|((entity, property), documents)| ProvenanceEntry {
                 entity: *entity,
                 property: property.resolve(),
                 documents: documents.clone(),
@@ -127,7 +162,7 @@ mod entries_codec {
     }
 
     pub fn from_value(value: &serde::Value) -> Result<ProvenanceMap, serde::Error> {
-        let entries: Vec<Entry> = serde::Deserialize::from_value(value)?;
+        let entries: Vec<ProvenanceEntry> = serde::Deserialize::from_value(value)?;
         Ok(entries
             .into_iter()
             .map(|e| ((e.entity, PropertyId::intern(&e.property)), e.documents))
@@ -191,6 +226,24 @@ mod tests {
             ab.documents(EntityId(0), &Property::adjective("cute")),
             [1, 4, 7]
         );
+    }
+
+    #[test]
+    fn entries_round_trip_and_are_sorted() {
+        let mut t = ProvenanceTable::new(2);
+        t.record(&stmt(1, "big"), 9);
+        t.record(&stmt(0, "cute"), 3);
+        t.record(&stmt(0, "big"), 7);
+        let entries = t.to_entries();
+        let keys: Vec<_> = entries
+            .iter()
+            .map(|e| (e.entity, e.property.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let back = ProvenanceTable::from_entries(t.sample_size(), entries);
+        assert_eq!(back, t);
     }
 
     #[test]

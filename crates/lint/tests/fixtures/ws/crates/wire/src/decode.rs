@@ -1,0 +1,13 @@
+//! Fixture: violations inside the wire decoder's scope. The real
+//! crates/wire/src is covered by both no-panic-in-lib (hostile bytes
+//! must yield typed errors, never a panic) and no-unordered-iter (the
+//! snapshot encoding must be byte-stable), mirroring lint.toml.
+
+use std::collections::HashMap;
+
+pub fn section_lengths(header: &[u8]) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    let tag = std::str::from_utf8(&header[..4]).unwrap();
+    out.insert(tag.to_owned(), header.len());
+    out
+}

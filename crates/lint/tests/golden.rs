@@ -122,3 +122,20 @@ fn lock_rule_is_silent_outside_its_scope() {
     let run = run_fixture();
     assert!(!run.findings.iter().any(|f| f.file.ends_with("unscoped.rs")));
 }
+
+#[test]
+fn wire_scope_catches_panics_and_unordered_iteration() {
+    // The wire fixture file mirrors the real lint.toml scoping over
+    // crates/wire/src: the snapshot decoder must stay panic-free on
+    // untrusted bytes and byte-stable on encode, so both rules fire.
+    let run = run_fixture();
+    let rules: Vec<&str> = run
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("wire/src/decode.rs"))
+        .map(|f| f.rule.as_str())
+        .collect();
+    assert_eq!(rules.len(), 2, "{rules:?}");
+    assert!(rules.contains(&"no-unordered-iter"));
+    assert!(rules.contains(&"no-panic-in-lib"));
+}

@@ -76,6 +76,27 @@ impl ConvergenceReason {
             Self::Degenerate => "degenerate",
         }
     }
+
+    /// Stable numeric code used by the binary snapshot format (section
+    /// `MODL` of `FORMAT.md`). Codes are frozen — new reasons must take
+    /// fresh numbers, never reuse these.
+    pub fn code(&self) -> u8 {
+        match self {
+            Self::Tolerance => 0,
+            Self::MaxIterations => 1,
+            Self::Degenerate => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Tolerance),
+            1 => Some(Self::MaxIterations),
+            2 => Some(Self::Degenerate),
+            _ => None,
+        }
+    }
 }
 
 /// Result of an EM fit.
@@ -323,6 +344,19 @@ mod tests {
             labels.push(positive);
         }
         (counts, labels)
+    }
+
+    #[test]
+    fn convergence_codes_round_trip() {
+        for reason in [
+            ConvergenceReason::Tolerance,
+            ConvergenceReason::MaxIterations,
+            ConvergenceReason::Degenerate,
+        ] {
+            assert_eq!(ConvergenceReason::from_code(reason.code()), Some(reason));
+        }
+        assert_eq!(ConvergenceReason::from_code(3), None);
+        assert_eq!(ConvergenceReason::from_code(255), None);
     }
 
     #[test]

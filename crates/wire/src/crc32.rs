@@ -1,0 +1,70 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by zip/gzip/PNG), table-driven.
+//!
+//! Each section frame carries the checksum of its payload so a damaged
+//! snapshot is rejected with [`crate::WireError::CrcMismatch`] instead of
+//! decoding into garbage. The 256-entry table is computed at compile time —
+//! no runtime initialization, no dependencies.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xedb8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `bytes` (initial value `0xffff_ffff`, final XOR-out).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        let index = ((crc ^ u32::from(b)) & 0xff) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    crc ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC-32/ISO-HDLC check value from the catalogue of
+        // parametrised CRC algorithms.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn one_bit_flips_change_the_sum() {
+        let base = crc32(b"surveyor wire");
+        let mut bytes = b"surveyor wire".to_vec();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x01;
+            assert_ne!(crc32(&bytes), base, "flip at byte {i} went unnoticed");
+            bytes[i] ^= 0x01;
+        }
+    }
+}

@@ -1,0 +1,1331 @@
+//! The zero-copy snapshot decoder.
+//!
+//! [`SnapshotReader::new`] verifies the container in one pass — magic,
+//! version, section framing, checksums, canonical order — and stores one
+//! borrowed byte span per section. Record access after that is lazy:
+//! the per-section iterators ([`SnapshotReader::evidence`] and friends)
+//! parse records straight out of the snapshot bytes and hand out borrowed
+//! `&str` spans and sub-iterators instead of allocating per record. Every
+//! read is bounds-checked; no input can make the decoder panic.
+
+use crate::crc32::crc32;
+use crate::cursor::Cursor;
+use crate::error::WireError;
+use crate::section::{
+    SectionTag, CANONICAL_ORDER, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_MODELS,
+    TAG_PROPERTIES, TAG_PROVENANCE, TAG_TYPES,
+};
+use crate::snapshot::{
+    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow, ProvenanceRow, Snapshot,
+    SnapshotEntity, SnapshotProperty, SnapshotType,
+};
+use crate::{FORMAT_VERSION, MAGIC};
+
+/// Positions of the required sections inside [`CANONICAL_ORDER`].
+const SEC_PROPERTIES: usize = 0;
+const SEC_TYPES: usize = 1;
+const SEC_ENTITIES: usize = 2;
+const SEC_EVIDENCE: usize = 3;
+const SEC_PROVENANCE: usize = 4;
+const SEC_MODELS: usize = 5;
+const SEC_DECISIONS: usize = 6;
+
+/// Decodes a snapshot buffer into its owned form in one call.
+///
+/// Shorthand for [`SnapshotReader::new`] followed by
+/// [`SnapshotReader::to_snapshot`]; use the reader directly to stream
+/// records without materializing the whole world.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, WireError> {
+    SnapshotReader::new(bytes)?.to_snapshot()
+}
+
+/// A validated, zero-copy view over an encoded snapshot.
+///
+/// Construction walks the container once (header, frames, CRCs); record
+/// payloads are only parsed when the corresponding iterator is consumed.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotReader<'a> {
+    version: u16,
+    /// Per-section record bytes (payload minus its leading counts).
+    bodies: [&'a [u8]; 7],
+    /// Per-section record counts, already bounded by the payload size.
+    counts: [usize; 7],
+    provenance_sample_size: u64,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the container and returns a reader over it.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, WireError> {
+        let mut magic = [0u8; 8];
+        for (slot, &byte) in magic.iter_mut().zip(bytes.iter()) {
+            *slot = byte;
+        }
+        if bytes.len() < MAGIC.len() || magic != MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let mut cursor = Cursor::new(bytes);
+        cursor.take(MAGIC.len(), "magic")?;
+        let version = cursor.u16("header version")?;
+        if version != FORMAT_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        cursor.u16("header reserved")?; // writers write 0; readers ignore
+        let section_count = cursor.u32("header section count")?;
+
+        let mut bodies: [&'a [u8]; 7] = [&[]; 7];
+        let mut counts = [0usize; 7];
+        let mut provenance_sample_size = 0u64;
+        let mut next_expected = 0usize;
+        for _ in 0..section_count {
+            let tag_bytes = cursor.take(4, "section tag")?;
+            let tag = SectionTag([tag_bytes[0], tag_bytes[1], tag_bytes[2], tag_bytes[3]]);
+            let payload_len = cursor.u64("section length")?;
+            let stored = cursor.u32("section checksum")?;
+            let available = cursor.remaining();
+            let payload_len = match usize::try_from(payload_len) {
+                Ok(len) if len <= available => len,
+                _ => {
+                    return Err(WireError::Truncated {
+                        context: "section payload",
+                        needed: usize::try_from(payload_len).unwrap_or(usize::MAX),
+                        available,
+                    })
+                }
+            };
+            let payload = cursor.take(payload_len, "section payload")?;
+            let computed = crc32(payload);
+            if stored != computed {
+                return Err(WireError::CrcMismatch {
+                    tag,
+                    stored,
+                    computed,
+                });
+            }
+            let Some(position) = CANONICAL_ORDER.iter().position(|t| *t == tag) else {
+                continue; // unknown section: skip (forward compatibility)
+            };
+            if position < next_expected {
+                return Err(WireError::DuplicateSection { tag });
+            }
+            if position > next_expected {
+                return Err(WireError::OutOfOrderSection { tag });
+            }
+            let mut payload_cursor = Cursor::new(payload);
+            if position == SEC_PROVENANCE {
+                provenance_sample_size = payload_cursor.varint("provenance sample size")?;
+            }
+            counts[position] = payload_cursor.count(COUNT_CONTEXTS[position])?;
+            bodies[position] = payload_cursor.take(payload_cursor.remaining(), "section body")?;
+            next_expected += 1;
+        }
+        if next_expected < CANONICAL_ORDER.len() {
+            return Err(WireError::MissingSection {
+                tag: CANONICAL_ORDER[next_expected],
+            });
+        }
+        if !cursor.is_empty() {
+            return Err(WireError::TrailingBytes {
+                count: cursor.remaining(),
+            });
+        }
+        Ok(Self {
+            version,
+            bodies,
+            counts,
+            provenance_sample_size,
+        })
+    }
+
+    /// The format version the header carries.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The provenance sample bound stored in section `PROV`.
+    pub fn provenance_sample_size(&self) -> u64 {
+        self.provenance_sample_size
+    }
+
+    /// Iterates the property table (section `PROP`).
+    pub fn properties(&self) -> PropertyIter<'a> {
+        PropertyIter {
+            cursor: Cursor::new(self.bodies[SEC_PROPERTIES]),
+            remaining: self.counts[SEC_PROPERTIES],
+            finished: false,
+        }
+    }
+
+    /// Iterates the entity types (section `TYPE`).
+    pub fn types(&self) -> TypeIter<'a> {
+        TypeIter {
+            cursor: Cursor::new(self.bodies[SEC_TYPES]),
+            remaining: self.counts[SEC_TYPES],
+            finished: false,
+        }
+    }
+
+    /// Iterates the entities (section `ENTS`).
+    pub fn entities(&self) -> EntityIter<'a> {
+        EntityIter {
+            cursor: Cursor::new(self.bodies[SEC_ENTITIES]),
+            remaining: self.counts[SEC_ENTITIES],
+            finished: false,
+        }
+    }
+
+    /// Iterates the evidence counters (section `EVID`).
+    pub fn evidence(&self) -> EvidenceIter<'a> {
+        EvidenceIter {
+            cursor: Cursor::new(self.bodies[SEC_EVIDENCE]),
+            remaining: self.counts[SEC_EVIDENCE],
+            finished: false,
+        }
+    }
+
+    /// Iterates the provenance samples (section `PROV`).
+    pub fn provenance(&self) -> ProvenanceIter<'a> {
+        ProvenanceIter {
+            cursor: Cursor::new(self.bodies[SEC_PROVENANCE]),
+            remaining: self.counts[SEC_PROVENANCE],
+            finished: false,
+        }
+    }
+
+    /// Iterates the fitted models (section `MODL`).
+    pub fn models(&self) -> ModelIter<'a> {
+        ModelIter {
+            cursor: Cursor::new(self.bodies[SEC_MODELS]),
+            remaining: self.counts[SEC_MODELS],
+            finished: false,
+        }
+    }
+
+    /// Iterates the decision groups (section `DECN`).
+    pub fn decisions(&self) -> DecisionGroupIter<'a> {
+        DecisionGroupIter {
+            cursor: Cursor::new(self.bodies[SEC_DECISIONS]),
+            remaining: self.counts[SEC_DECISIONS],
+            finished: false,
+        }
+    }
+
+    /// Materializes the whole snapshot into its owned form, validating
+    /// every record (including string payloads the lazy iterators defer).
+    pub fn to_snapshot(&self) -> Result<Snapshot, WireError> {
+        let mut properties = Vec::with_capacity(self.counts[SEC_PROPERTIES]);
+        for record in self.properties() {
+            let record = record?;
+            let mut adverbs = Vec::with_capacity(record.adverbs.len());
+            for adverb in record.adverbs {
+                adverbs.push(adverb?.to_string());
+            }
+            properties.push(SnapshotProperty {
+                adverbs,
+                adjective: record.adjective.to_string(),
+            });
+        }
+
+        let mut types = Vec::with_capacity(self.counts[SEC_TYPES]);
+        for record in self.types() {
+            let record = record?;
+            let mut head_nouns = Vec::with_capacity(record.head_nouns.len());
+            for noun in record.head_nouns {
+                head_nouns.push(noun?.to_string());
+            }
+            let mut context_cues = Vec::with_capacity(record.context_cues.len());
+            for cue in record.context_cues {
+                context_cues.push(cue?.to_string());
+            }
+            types.push(SnapshotType {
+                name: record.name.to_string(),
+                head_nouns,
+                context_cues,
+            });
+        }
+
+        let mut entities = Vec::with_capacity(self.counts[SEC_ENTITIES]);
+        for record in self.entities() {
+            let record = record?;
+            let mut aliases = Vec::with_capacity(record.aliases.len());
+            for alias in record.aliases {
+                aliases.push(alias?.to_string());
+            }
+            let mut attributes = Vec::with_capacity(record.attributes.len());
+            for attribute in record.attributes {
+                let (key, value) = attribute?;
+                attributes.push((key.to_string(), value));
+            }
+            entities.push(SnapshotEntity {
+                name: record.name.to_string(),
+                aliases,
+                type_index: record.type_index,
+                attributes,
+            });
+        }
+
+        let mut evidence = Vec::with_capacity(self.counts[SEC_EVIDENCE]);
+        for row in self.evidence() {
+            evidence.push(row?);
+        }
+
+        let mut provenance = Vec::with_capacity(self.counts[SEC_PROVENANCE]);
+        for record in self.provenance() {
+            let record = record?;
+            provenance.push(ProvenanceRow {
+                entity: record.entity,
+                property: record.property,
+                documents: record.documents.collect(),
+            });
+        }
+
+        let mut models = Vec::with_capacity(self.counts[SEC_MODELS]);
+        for record in self.models() {
+            let record = record?;
+            models.push(ModelRow {
+                type_index: record.type_index,
+                property: record.property,
+                p_agree: record.p_agree,
+                rate_pos: record.rate_pos,
+                rate_neg: record.rate_neg,
+                iterations: record.iterations,
+                converged: record.converged,
+                log_likelihood: record.log_likelihood,
+                q_trace: record.q_trace.collect(),
+                delta_trace: record.delta_trace.collect(),
+            });
+        }
+
+        let mut decisions = Vec::with_capacity(self.counts[SEC_DECISIONS]);
+        for record in self.decisions() {
+            let record = record?;
+            let mut rows = Vec::with_capacity(record.decisions.len());
+            for row in record.decisions {
+                rows.push(row?);
+            }
+            decisions.push(DecisionGroupRow {
+                type_index: record.type_index,
+                property: record.property,
+                decisions: rows,
+            });
+        }
+
+        Ok(Snapshot {
+            properties,
+            types,
+            entities,
+            evidence,
+            provenance_sample_size: self.provenance_sample_size,
+            provenance,
+            models,
+            decisions,
+        })
+    }
+}
+
+/// Count-field contexts, indexed like [`CANONICAL_ORDER`].
+const COUNT_CONTEXTS: [&str; 7] = [
+    "property count",
+    "type count",
+    "entity count",
+    "evidence row count",
+    "provenance row count",
+    "model row count",
+    "decision group count",
+];
+
+/// A lazy list of length-prefixed strings borrowed from the snapshot.
+#[derive(Debug, Clone)]
+pub struct StrList<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    context: &'static str,
+}
+
+impl<'a> StrList<'a> {
+    fn new(span: &'a [u8], count: usize, context: &'static str) -> Self {
+        Self {
+            cursor: Cursor::new(span),
+            remaining: count,
+            context,
+        }
+    }
+
+    /// Strings left to yield.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the list is exhausted (or was empty).
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<'a> Iterator for StrList<'a> {
+    type Item = Result<&'a str, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.cursor.str(self.context) {
+            Ok(s) => Some(Ok(s)),
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// A lazy list of varint `u64`s borrowed from the snapshot. Framing was
+/// validated when the owning record was delimited, so iteration is
+/// infallible.
+#[derive(Debug, Clone)]
+pub struct U64List<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    context: &'static str,
+}
+
+impl<'a> U64List<'a> {
+    fn new(span: &'a [u8], count: usize, context: &'static str) -> Self {
+        Self {
+            cursor: Cursor::new(span),
+            remaining: count,
+            context,
+        }
+    }
+
+    /// Values left to yield.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the list is exhausted (or was empty).
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<'a> Iterator for U64List<'a> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.cursor.varint(self.context) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                // Unreachable: the span was skimmed before being handed out.
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+}
+
+/// A lazy list of `f64`s borrowed from the snapshot. The span is exactly
+/// eight bytes per value, so iteration is infallible.
+#[derive(Debug, Clone)]
+pub struct F64List<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+}
+
+impl<'a> F64List<'a> {
+    fn new(span: &'a [u8], count: usize) -> Self {
+        Self {
+            cursor: Cursor::new(span),
+            remaining: count,
+        }
+    }
+
+    /// Values left to yield.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the list is exhausted (or was empty).
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<'a> Iterator for F64List<'a> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.cursor.f64("trace value") {
+            Ok(v) => Some(v),
+            Err(_) => {
+                // Unreachable: the span was sized when the record was cut.
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+}
+
+/// A lazy list of `(key, value)` attribute pairs borrowed from the
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct AttrList<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+}
+
+impl<'a> AttrList<'a> {
+    fn new(span: &'a [u8], count: usize) -> Self {
+        Self {
+            cursor: Cursor::new(span),
+            remaining: count,
+        }
+    }
+
+    /// Pairs left to yield.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the list is exhausted (or was empty).
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<'a> Iterator for AttrList<'a> {
+    type Item = Result<(&'a str, f64), WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let result = self
+            .cursor
+            .str("attribute key")
+            .and_then(|key| self.cursor.f64("attribute value").map(|value| (key, value)));
+        match result {
+            Ok(pair) => Some(Ok(pair)),
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// One property-table record, borrowed from section `PROP`.
+#[derive(Debug, Clone)]
+pub struct PropertyRecord<'a> {
+    /// Preceding adverbs, leftmost first.
+    pub adverbs: StrList<'a>,
+    /// The head adjective.
+    pub adjective: &'a str,
+}
+
+/// Iterator over section `PROP`.
+#[derive(Debug, Clone)]
+pub struct PropertyIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for PropertyIter<'a> {
+    type Item = Result<PropertyRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_PROPERTIES,
+            |cursor| {
+                let adverbs = skim_str_list(cursor, "adverb count", "adverb")?;
+                let adjective = cursor.str("adjective")?;
+                Ok(PropertyRecord { adverbs, adjective })
+            },
+        )
+    }
+}
+
+/// One entity-type record, borrowed from section `TYPE`.
+#[derive(Debug, Clone)]
+pub struct TypeRecord<'a> {
+    /// Lowercase type name.
+    pub name: &'a str,
+    /// Generic nouns denoting the type.
+    pub head_nouns: StrList<'a>,
+    /// Disambiguation cue words.
+    pub context_cues: StrList<'a>,
+}
+
+/// Iterator over section `TYPE`.
+#[derive(Debug, Clone)]
+pub struct TypeIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for TypeIter<'a> {
+    type Item = Result<TypeRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_TYPES,
+            |cursor| {
+                let name = cursor.str("type name")?;
+                let head_nouns = skim_str_list(cursor, "head noun count", "head noun")?;
+                let context_cues = skim_str_list(cursor, "context cue count", "context cue")?;
+                Ok(TypeRecord {
+                    name,
+                    head_nouns,
+                    context_cues,
+                })
+            },
+        )
+    }
+}
+
+/// One entity record, borrowed from section `ENTS`.
+#[derive(Debug, Clone)]
+pub struct EntityRecord<'a> {
+    /// Canonical display name.
+    pub name: &'a str,
+    /// Alternative surface forms.
+    pub aliases: StrList<'a>,
+    /// Index into the type table.
+    pub type_index: u32,
+    /// Objective attributes, sorted by key.
+    pub attributes: AttrList<'a>,
+}
+
+/// Iterator over section `ENTS`.
+#[derive(Debug, Clone)]
+pub struct EntityIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for EntityIter<'a> {
+    type Item = Result<EntityRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_ENTITIES,
+            |cursor| {
+                let name = cursor.str("entity name")?;
+                let aliases = skim_str_list(cursor, "alias count", "alias")?;
+                let type_index = cursor.u32("entity type index")?;
+                let attribute_count = cursor.count("attribute count")?;
+                let mark = *cursor;
+                for _ in 0..attribute_count {
+                    cursor.skip_str("attribute key")?;
+                    cursor.take(8, "attribute value")?;
+                }
+                let span = cursor.span_since(&mark);
+                Ok(EntityRecord {
+                    name,
+                    aliases,
+                    type_index,
+                    attributes: AttrList::new(span, attribute_count),
+                })
+            },
+        )
+    }
+}
+
+/// Iterator over section `EVID`. Rows are plain `Copy` values — nothing
+/// to borrow.
+#[derive(Debug, Clone)]
+pub struct EvidenceIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for EvidenceIter<'a> {
+    type Item = Result<EvidenceRow, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_EVIDENCE,
+            |cursor| {
+                Ok(EvidenceRow {
+                    entity: cursor.u32("evidence entity")?,
+                    property: cursor.u32("evidence property")?,
+                    positive: cursor.varint("positive count")?,
+                    negative: cursor.varint("negative count")?,
+                })
+            },
+        )
+    }
+}
+
+/// One provenance record, borrowed from section `PROV`.
+#[derive(Debug, Clone)]
+pub struct ProvenanceRecord<'a> {
+    /// The entity.
+    pub entity: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Supporting document ids, ascending.
+    pub documents: U64List<'a>,
+}
+
+/// Iterator over section `PROV`.
+#[derive(Debug, Clone)]
+pub struct ProvenanceIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for ProvenanceIter<'a> {
+    type Item = Result<ProvenanceRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_PROVENANCE,
+            |cursor| {
+                let entity = cursor.u32("provenance entity")?;
+                let property = cursor.u32("provenance property")?;
+                let count = cursor.count("document count")?;
+                let mark = *cursor;
+                for _ in 0..count {
+                    cursor.varint("document id")?;
+                }
+                let span = cursor.span_since(&mark);
+                Ok(ProvenanceRecord {
+                    entity,
+                    property,
+                    documents: U64List::new(span, count, "document id"),
+                })
+            },
+        )
+    }
+}
+
+/// One fitted-model record, borrowed from section `MODL`.
+#[derive(Debug, Clone)]
+pub struct ModelRecord<'a> {
+    /// Index into the type table.
+    pub type_index: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Fitted author-agreement probability.
+    pub p_agree: f64,
+    /// Fitted positive statement rate.
+    pub rate_pos: f64,
+    /// Fitted negative statement rate.
+    pub rate_neg: f64,
+    /// EM iterations actually run.
+    pub iterations: u64,
+    /// Convergence-reason code.
+    pub converged: u8,
+    /// Mixture log-likelihood of the fitted parameters.
+    pub log_likelihood: f64,
+    /// Per-iteration Q trace.
+    pub q_trace: F64List<'a>,
+    /// Per-iteration parameter-movement trace.
+    pub delta_trace: F64List<'a>,
+}
+
+/// Iterator over section `MODL`.
+#[derive(Debug, Clone)]
+pub struct ModelIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for ModelIter<'a> {
+    type Item = Result<ModelRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_MODELS,
+            |cursor| {
+                let type_index = cursor.u32("model type index")?;
+                let property = cursor.u32("model property")?;
+                let p_agree = cursor.f64("p_agree")?;
+                let rate_pos = cursor.f64("rate_pos")?;
+                let rate_neg = cursor.f64("rate_neg")?;
+                let iterations = cursor.varint("iteration count")?;
+                let converged = cursor.u8("convergence code")?;
+                let log_likelihood = cursor.f64("log likelihood")?;
+                let q_trace = skim_f64_list(cursor, "q trace count", "q trace")?;
+                let delta_trace = skim_f64_list(cursor, "delta trace count", "delta trace")?;
+                Ok(ModelRecord {
+                    type_index,
+                    property,
+                    p_agree,
+                    rate_pos,
+                    rate_neg,
+                    iterations,
+                    converged,
+                    log_likelihood,
+                    q_trace,
+                    delta_trace,
+                })
+            },
+        )
+    }
+}
+
+/// A lazy list of decision rows borrowed from section `DECN`.
+#[derive(Debug, Clone)]
+pub struct DecisionList<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+}
+
+impl<'a> DecisionList<'a> {
+    /// Rows left to yield.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the list is exhausted (or was empty).
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Parses one decision row at `cursor`.
+fn parse_decision(cursor: &mut Cursor<'_>) -> Result<DecisionRow, WireError> {
+    let flag = cursor.u8("decision flag")?;
+    let code = flag & 0x7f;
+    let Some(decision) = DecisionCode::from_code(code) else {
+        return Err(WireError::BadRecord {
+            section: TAG_DECISIONS,
+            detail: "unknown decision code",
+        });
+    };
+    let probability = if flag & 0x80 != 0 {
+        Some(cursor.f64("decision probability")?)
+    } else {
+        None
+    };
+    let entity = cursor.u32("decision entity")?;
+    Ok(DecisionRow {
+        entity,
+        decision,
+        probability,
+    })
+}
+
+impl<'a> Iterator for DecisionList<'a> {
+    type Item = Result<DecisionRow, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match parse_decision(&mut self.cursor) {
+            Ok(row) => Some(Ok(row)),
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// One decision-group record, borrowed from section `DECN`.
+#[derive(Debug, Clone)]
+pub struct DecisionGroupRecord<'a> {
+    /// Index into the type table.
+    pub type_index: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Decisions for every entity of the type, in entity-table order.
+    pub decisions: DecisionList<'a>,
+}
+
+/// Iterator over section `DECN`.
+#[derive(Debug, Clone)]
+pub struct DecisionGroupIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+}
+
+impl<'a> Iterator for DecisionGroupIter<'a> {
+    type Item = Result<DecisionGroupRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_DECISIONS,
+            |cursor| {
+                let type_index = cursor.u32("group type index")?;
+                let property = cursor.u32("group property")?;
+                let count = cursor.count("decision count")?;
+                let mark = *cursor;
+                for _ in 0..count {
+                    parse_decision(cursor)?;
+                }
+                let span = cursor.span_since(&mark);
+                Ok(DecisionGroupRecord {
+                    type_index,
+                    property,
+                    decisions: DecisionList {
+                        cursor: Cursor::new(span),
+                        remaining: count,
+                    },
+                })
+            },
+        )
+    }
+}
+
+/// Shared record-iterator step: yields the next record, a trailing-bytes
+/// error once the declared count is exhausted but bytes remain, or `None`.
+/// Any parse error poisons the iterator so it cannot yield further items.
+fn next_record<'a, T>(
+    cursor: &mut Cursor<'a>,
+    remaining: &mut usize,
+    finished: &mut bool,
+    section: SectionTag,
+    parse: impl FnOnce(&mut Cursor<'a>) -> Result<T, WireError>,
+) -> Option<Result<T, WireError>> {
+    if *finished {
+        return None;
+    }
+    if *remaining == 0 {
+        *finished = true;
+        if !cursor.is_empty() {
+            return Some(Err(WireError::BadRecord {
+                section,
+                detail: "trailing bytes in section",
+            }));
+        }
+        return None;
+    }
+    *remaining -= 1;
+    match parse(cursor) {
+        Ok(record) => Some(Ok(record)),
+        Err(e) => {
+            *finished = true;
+            Some(Err(e))
+        }
+    }
+}
+
+/// Skims a string list (validating framing, deferring UTF-8) and returns
+/// a lazy iterator over its span.
+fn skim_str_list<'a>(
+    cursor: &mut Cursor<'a>,
+    count_context: &'static str,
+    item_context: &'static str,
+) -> Result<StrList<'a>, WireError> {
+    let count = cursor.count(count_context)?;
+    let mark = *cursor;
+    for _ in 0..count {
+        cursor.skip_str(item_context)?;
+    }
+    let span = cursor.span_since(&mark);
+    Ok(StrList::new(span, count, item_context))
+}
+
+/// Takes a fixed-width `f64` list and returns a lazy iterator over it.
+fn skim_f64_list<'a>(
+    cursor: &mut Cursor<'a>,
+    count_context: &'static str,
+    span_context: &'static str,
+) -> Result<F64List<'a>, WireError> {
+    let count = cursor.count(count_context)?;
+    let span = cursor.take(count.saturating_mul(8), span_context)?;
+    Ok(F64List::new(span, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::{put_u16, put_u32, put_u64, put_varint};
+    use crate::encode::encode;
+    use crate::snapshot::{DecisionGroupRow, DecisionRow, EvidenceRow, SnapshotProperty};
+
+    /// A container holding the given `(tag, payload)` frames.
+    fn container(sections: &[([u8; 4], Vec<u8>)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, FORMAT_VERSION);
+        put_u16(&mut out, 0);
+        put_u32(&mut out, sections.len() as u32);
+        for (tag, payload) in sections {
+            out.extend_from_slice(tag);
+            put_u64(&mut out, payload.len() as u64);
+            put_u32(&mut out, crc32(payload));
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// The seven canonical frames of an empty world.
+    fn empty_sections() -> Vec<([u8; 4], Vec<u8>)> {
+        vec![
+            (*b"PROP", vec![0]),
+            (*b"TYPE", vec![0]),
+            (*b"ENTS", vec![0]),
+            (*b"EVID", vec![0]),
+            (*b"PROV", vec![0, 0]),
+            (*b"MODL", vec![0]),
+            (*b"DECN", vec![0]),
+        ]
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            properties: vec![
+                SnapshotProperty {
+                    adverbs: vec![],
+                    adjective: "big".into(),
+                },
+                SnapshotProperty {
+                    adverbs: vec!["very".into()],
+                    adjective: "big".into(),
+                },
+            ],
+            types: vec![SnapshotType {
+                name: "city".into(),
+                head_nouns: vec!["city".into(), "town".into()],
+                context_cues: vec!["mayor".into()],
+            }],
+            entities: vec![SnapshotEntity {
+                name: "Paris".into(),
+                aliases: vec!["Lutetia".into()],
+                type_index: 0,
+                attributes: vec![("population".into(), 2.1e6)],
+            }],
+            evidence: vec![EvidenceRow {
+                entity: 0,
+                property: 0,
+                positive: 12,
+                negative: 3,
+            }],
+            provenance_sample_size: 16,
+            provenance: vec![ProvenanceRow {
+                entity: 0,
+                property: 0,
+                documents: vec![5, 900, 90_001],
+            }],
+            models: vec![ModelRow {
+                type_index: 0,
+                property: 0,
+                p_agree: 0.9,
+                rate_pos: 2.5,
+                rate_neg: 0.25,
+                iterations: 7,
+                converged: 0,
+                log_likelihood: -42.5,
+                q_trace: vec![-50.0, -43.0],
+                delta_trace: vec![0.5, 0.01],
+            }],
+            decisions: vec![DecisionGroupRow {
+                type_index: 0,
+                property: 0,
+                decisions: vec![
+                    DecisionRow {
+                        entity: 0,
+                        decision: DecisionCode::Positive,
+                        probability: Some(0.97),
+                    },
+                    DecisionRow {
+                        entity: 1,
+                        decision: DecisionCode::Unsolved,
+                        probability: None,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_value_and_byte_identical() {
+        let snapshot = sample();
+        let bytes = encode(&snapshot);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, snapshot);
+        assert_eq!(encode(&decoded), bytes);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snapshot = Snapshot::default();
+        let bytes = encode(&snapshot);
+        assert_eq!(decode(&bytes).unwrap(), snapshot);
+        // The handcrafted empty container is the same thing.
+        assert_eq!(bytes, container(&empty_sections()));
+    }
+
+    #[test]
+    fn bad_magic_is_reported_with_what_was_found() {
+        assert_eq!(
+            SnapshotReader::new(b"NOTWIRE!rest").map(|_| ()),
+            Err(WireError::BadMagic {
+                found: *b"NOTWIRE!"
+            })
+        );
+        // Shorter than the magic itself: zero-padded report.
+        assert_eq!(
+            SnapshotReader::new(b"SUR").map(|_| ()),
+            Err(WireError::BadMagic {
+                found: *b"SUR\0\0\0\0\0"
+            })
+        );
+        assert_eq!(
+            SnapshotReader::new(b"").map(|_| ()),
+            Err(WireError::BadMagic { found: [0; 8] })
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encode(&Snapshot::default());
+        bytes[8] = 0x63; // version 0x0063
+        assert_eq!(
+            SnapshotReader::new(&bytes).map(|_| ()),
+            Err(WireError::UnsupportedVersion { found: 0x63 })
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_typed_error() {
+        let bytes = encode(&sample());
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]).expect_err("prefix decoded");
+            match err {
+                WireError::BadMagic { .. }
+                | WireError::Truncated { .. }
+                | WireError::CrcMismatch { .. }
+                | WireError::MissingSection { .. } => {}
+                other => panic!("prefix of {len} bytes gave unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_names_the_section() {
+        let bytes = encode(&sample());
+        // Flip one byte inside the first section's payload (header is
+        // 16 bytes, frame is 16 bytes, payload follows).
+        let mut damaged = bytes.clone();
+        damaged[32] ^= 0x01;
+        match SnapshotReader::new(&damaged) {
+            Err(WireError::CrcMismatch { tag, .. }) => assert_eq!(tag, TAG_PROPERTIES),
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_section_is_rejected() {
+        let mut sections = empty_sections();
+        sections.push((*b"DECN", vec![0]));
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::DuplicateSection { tag: TAG_DECISIONS })
+        );
+    }
+
+    #[test]
+    fn missing_section_names_the_first_absent_tag() {
+        let mut sections = empty_sections();
+        sections.remove(4); // drop PROV
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::OutOfOrderSection { tag: TAG_MODELS })
+        );
+        sections.truncate(4); // PROP..EVID only
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::MissingSection {
+                tag: TAG_PROVENANCE
+            })
+        );
+        assert_eq!(
+            SnapshotReader::new(&container(&[])).map(|_| ()),
+            Err(WireError::MissingSection {
+                tag: TAG_PROPERTIES
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_order_sections_are_rejected() {
+        let mut sections = empty_sections();
+        sections.swap(0, 1);
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::OutOfOrderSection { tag: TAG_TYPES })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_after_last_section_are_rejected() {
+        let mut bytes = container(&empty_sections());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        // The header still says 7 sections, so the tail is garbage.
+        assert_eq!(
+            SnapshotReader::new(&bytes).map(|_| ()),
+            Err(WireError::TrailingBytes { count: 3 })
+        );
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_for_forward_compat() {
+        let mut sections = empty_sections();
+        sections.insert(3, (*b"XTRA", vec![9, 9, 9]));
+        sections.push((*b"ZEND", vec![]));
+        let bytes = container(&sections);
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(reader.to_snapshot().unwrap(), Snapshot::default());
+    }
+
+    #[test]
+    fn section_trailing_bytes_are_a_bad_record() {
+        let mut sections = empty_sections();
+        sections[3].1.push(0xaa); // EVID declares 0 rows but has a byte
+        let bytes = container(&sections);
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        let err = reader.to_snapshot().expect_err("decoded");
+        assert_eq!(
+            err,
+            WireError::BadRecord {
+                section: TAG_EVIDENCE,
+                detail: "trailing bytes in section",
+            }
+        );
+    }
+
+    #[test]
+    fn impossible_record_count_is_rejected_without_allocating() {
+        let mut sections = empty_sections();
+        // EVID claims u64::MAX rows in a 10-byte payload.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, u64::MAX);
+        sections[3].1 = payload;
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::BadVarint {
+                context: "evidence row count"
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_decision_code_is_a_bad_record() {
+        let mut sections = empty_sections();
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // one group
+        put_u32(&mut payload, 0); // type index
+        put_u32(&mut payload, 0); // property
+        put_varint(&mut payload, 1); // one decision
+        payload.push(0x03); // no such code
+        put_u32(&mut payload, 0); // entity
+        sections[6].1 = payload;
+        let bytes = container(&sections);
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(
+            reader.to_snapshot().expect_err("decoded"),
+            WireError::BadRecord {
+                section: TAG_DECISIONS,
+                detail: "unknown decision code",
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_deferred_to_string_access() {
+        let mut sections = empty_sections();
+        // One type whose sole head noun is invalid UTF-8; name is fine.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // one type
+        let name = "city";
+        put_varint(&mut payload, name.len() as u64);
+        payload.extend_from_slice(name.as_bytes());
+        put_varint(&mut payload, 1); // one head noun
+        put_varint(&mut payload, 2);
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        put_varint(&mut payload, 0); // no cues
+        sections[1].1 = payload;
+        let bytes = container(&sections);
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        // The record itself parses (framing is sound)...
+        let record = reader.types().next().unwrap().unwrap();
+        assert_eq!(record.name, "city");
+        // ...but reading the noun surfaces the typed error.
+        assert_eq!(
+            record.head_nouns.clone().next().unwrap(),
+            Err(WireError::BadUtf8 {
+                context: "head noun"
+            })
+        );
+        assert_eq!(
+            reader.to_snapshot().expect_err("materialized"),
+            WireError::BadUtf8 {
+                context: "head noun"
+            }
+        );
+    }
+
+    #[test]
+    fn reader_exposes_header_fields_and_lazy_iterators() {
+        let snapshot = sample();
+        let bytes = encode(&snapshot);
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(reader.version(), FORMAT_VERSION);
+        assert_eq!(reader.provenance_sample_size(), 16);
+        assert_eq!(reader.properties().count(), 2);
+        let first = reader.properties().next().unwrap().unwrap();
+        assert_eq!(first.adjective, "big");
+        assert!(first.adverbs.is_empty());
+        let entity = reader.entities().next().unwrap().unwrap();
+        assert_eq!(entity.name, "Paris");
+        assert_eq!(
+            entity.aliases.collect::<Result<Vec<_>, _>>().unwrap(),
+            vec!["Lutetia"]
+        );
+        let prov = reader.provenance().next().unwrap().unwrap();
+        assert_eq!(prov.documents.collect::<Vec<_>>(), vec![5, 900, 90_001]);
+        let model = reader.models().next().unwrap().unwrap();
+        assert_eq!(model.q_trace.len(), 2);
+        assert_eq!(model.q_trace.collect::<Vec<_>>(), vec![-50.0, -43.0]);
+        let group = reader.decisions().next().unwrap().unwrap();
+        assert_eq!(group.decisions.len(), 2);
+        let rows: Vec<_> = group.decisions.collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(rows[0].decision, DecisionCode::Positive);
+        assert_eq!(rows[0].probability, Some(0.97));
+        assert_eq!(rows[1].probability, None);
+    }
+}

@@ -1,0 +1,162 @@
+//! The snapshot encoder.
+//!
+//! Encoding is infallible and deterministic: the same [`Snapshot`] value
+//! always produces the same bytes, because every collection in the model
+//! carries an explicit, sorted order (see the invariants on [`Snapshot`]).
+
+use crate::crc32::crc32;
+use crate::cursor::{put_f64, put_str, put_u16, put_u32, put_u64, put_varint};
+use crate::section::{
+    SectionTag, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_MODELS, TAG_PROPERTIES,
+    TAG_PROVENANCE, TAG_TYPES,
+};
+use crate::snapshot::Snapshot;
+use crate::{FORMAT_VERSION, MAGIC};
+
+/// Encodes a snapshot into the version-1 wire format.
+pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    let sections: [(SectionTag, Vec<u8>); 7] = [
+        (TAG_PROPERTIES, encode_properties(snapshot)),
+        (TAG_TYPES, encode_types(snapshot)),
+        (TAG_ENTITIES, encode_entities(snapshot)),
+        (TAG_EVIDENCE, encode_evidence(snapshot)),
+        (TAG_PROVENANCE, encode_provenance(snapshot)),
+        (TAG_MODELS, encode_models(snapshot)),
+        (TAG_DECISIONS, encode_decisions(snapshot)),
+    ];
+    let payload_total: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    // Header (16) + one 16-byte frame per section + payloads.
+    let mut out = Vec::with_capacity(16 + sections.len() * 16 + payload_total);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, FORMAT_VERSION);
+    put_u16(&mut out, 0); // reserved
+    put_u32(&mut out, sections.len() as u32);
+    for (tag, payload) in &sections {
+        out.extend_from_slice(&tag.0);
+        put_u64(&mut out, payload.len() as u64);
+        put_u32(&mut out, crc32(payload));
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+fn encode_properties(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.properties.len() as u64);
+    for property in &snapshot.properties {
+        put_varint(&mut buf, property.adverbs.len() as u64);
+        for adverb in &property.adverbs {
+            put_str(&mut buf, adverb);
+        }
+        put_str(&mut buf, &property.adjective);
+    }
+    buf
+}
+
+fn encode_types(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.types.len() as u64);
+    for t in &snapshot.types {
+        put_str(&mut buf, &t.name);
+        put_varint(&mut buf, t.head_nouns.len() as u64);
+        for noun in &t.head_nouns {
+            put_str(&mut buf, noun);
+        }
+        put_varint(&mut buf, t.context_cues.len() as u64);
+        for cue in &t.context_cues {
+            put_str(&mut buf, cue);
+        }
+    }
+    buf
+}
+
+fn encode_entities(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.entities.len() as u64);
+    for entity in &snapshot.entities {
+        put_str(&mut buf, &entity.name);
+        put_varint(&mut buf, entity.aliases.len() as u64);
+        for alias in &entity.aliases {
+            put_str(&mut buf, alias);
+        }
+        put_u32(&mut buf, entity.type_index);
+        put_varint(&mut buf, entity.attributes.len() as u64);
+        for (key, value) in &entity.attributes {
+            put_str(&mut buf, key);
+            put_f64(&mut buf, *value);
+        }
+    }
+    buf
+}
+
+fn encode_evidence(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.evidence.len() as u64);
+    for row in &snapshot.evidence {
+        put_u32(&mut buf, row.entity);
+        put_u32(&mut buf, row.property);
+        put_varint(&mut buf, row.positive);
+        put_varint(&mut buf, row.negative);
+    }
+    buf
+}
+
+fn encode_provenance(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.provenance_sample_size);
+    put_varint(&mut buf, snapshot.provenance.len() as u64);
+    for row in &snapshot.provenance {
+        put_u32(&mut buf, row.entity);
+        put_u32(&mut buf, row.property);
+        put_varint(&mut buf, row.documents.len() as u64);
+        for &doc in &row.documents {
+            put_varint(&mut buf, doc);
+        }
+    }
+    buf
+}
+
+fn encode_models(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.models.len() as u64);
+    for row in &snapshot.models {
+        put_u32(&mut buf, row.type_index);
+        put_u32(&mut buf, row.property);
+        put_f64(&mut buf, row.p_agree);
+        put_f64(&mut buf, row.rate_pos);
+        put_f64(&mut buf, row.rate_neg);
+        put_varint(&mut buf, row.iterations);
+        buf.push(row.converged);
+        put_f64(&mut buf, row.log_likelihood);
+        put_varint(&mut buf, row.q_trace.len() as u64);
+        for &q in &row.q_trace {
+            put_f64(&mut buf, q);
+        }
+        put_varint(&mut buf, row.delta_trace.len() as u64);
+        for &d in &row.delta_trace {
+            put_f64(&mut buf, d);
+        }
+    }
+    buf
+}
+
+fn encode_decisions(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.decisions.len() as u64);
+    for group in &snapshot.decisions {
+        put_u32(&mut buf, group.type_index);
+        put_u32(&mut buf, group.property);
+        put_varint(&mut buf, group.decisions.len() as u64);
+        for row in &group.decisions {
+            match row.probability {
+                Some(p) => {
+                    buf.push(0x80 | row.decision.code());
+                    put_f64(&mut buf, p);
+                }
+                None => buf.push(row.decision.code()),
+            }
+            put_u32(&mut buf, row.entity);
+        }
+    }
+    buf
+}

@@ -1,0 +1,98 @@
+//! `surveyor-wire` — the versioned binary snapshot format for mined
+//! Surveyor worlds.
+//!
+//! A snapshot captures everything the pipeline mined — the knowledge
+//! base, the evidence counters, the provenance samples, the fitted
+//! per-(type, property) models, and the decided pairs — in one
+//! self-describing byte buffer that can be written to disk and loaded
+//! back without re-mining. The format is fully specified in `FORMAT.md`
+//! at the repository root; this crate is its reference implementation
+//! and has **zero dependencies**.
+//!
+//! # Shape of the format
+//!
+//! A snapshot is a 16-byte header (the [`MAGIC`] `SURVWIRE`, a
+//! little-endian [`FORMAT_VERSION`], a reserved word, and a section
+//! count) followed by framed sections. Each frame carries a four-byte
+//! tag, a payload length, and a CRC-32 of the payload, so damage is
+//! detected before any record is parsed. Version-1 writers emit seven
+//! sections in [`CANONICAL_ORDER`]; readers skip unknown tags, which is
+//! the forward-compatibility hook for additive revisions.
+//!
+//! Inside a payload, integers are little-endian, open-ended counts are
+//! LEB128 varints, floats are IEEE 754 bit patterns (bit-exact round
+//! trips), and strings are length-prefixed UTF-8. Property references
+//! are indexes into the snapshot's own sorted property table — never
+//! process-local interner ids, which depend on thread interleaving.
+//!
+//! # Encoding and decoding
+//!
+//! ```
+//! use surveyor_wire::{decode, encode, Snapshot, SnapshotProperty, SnapshotReader};
+//!
+//! let mut snapshot = Snapshot::default();
+//! snapshot.properties.push(SnapshotProperty {
+//!     adverbs: vec!["very".to_string()],
+//!     adjective: "big".to_string(),
+//! });
+//!
+//! let bytes = encode(&snapshot);
+//! assert_eq!(&bytes[..8], b"SURVWIRE");
+//!
+//! // One-call decode materializes the owned form...
+//! assert_eq!(decode(&bytes).unwrap(), snapshot);
+//!
+//! // ...while the reader streams records without per-record allocation.
+//! let reader = SnapshotReader::new(&bytes).unwrap();
+//! let property = reader.properties().next().unwrap().unwrap();
+//! assert_eq!(property.adjective, "big"); // borrowed from `bytes`
+//! ```
+//!
+//! Encoding is deterministic: equal snapshots produce identical bytes,
+//! which is what makes `mine → save → load` verifiable by byte
+//! comparison downstream.
+//!
+//! # Hostile input
+//!
+//! The decoder never panics. Every malformed buffer maps to a typed
+//! [`WireError`]:
+//!
+//! ```
+//! use surveyor_wire::{SnapshotReader, WireError};
+//!
+//! let err = SnapshotReader::new(b"not a snapshot").map(|_| ()).unwrap_err();
+//! assert!(matches!(err, WireError::BadMagic { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod cursor;
+mod decode;
+mod encode;
+mod error;
+mod section;
+mod snapshot;
+
+pub use decode::{
+    decode, AttrList, DecisionGroupIter, DecisionGroupRecord, DecisionList, EntityIter,
+    EntityRecord, EvidenceIter, F64List, ModelIter, ModelRecord, PropertyIter, PropertyRecord,
+    ProvenanceIter, ProvenanceRecord, SnapshotReader, StrList, TypeIter, TypeRecord, U64List,
+};
+pub use encode::encode;
+pub use error::WireError;
+pub use section::{
+    SectionTag, CANONICAL_ORDER, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_MODELS,
+    TAG_PROPERTIES, TAG_PROVENANCE, TAG_TYPES,
+};
+pub use snapshot::{
+    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow, ProvenanceRow, Snapshot,
+    SnapshotEntity, SnapshotProperty, SnapshotType,
+};
+
+/// The eight magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 8] = *b"SURVWIRE";
+
+/// The format version this crate reads and writes.
+pub const FORMAT_VERSION: u16 = 1;

@@ -1,0 +1,73 @@
+//! Section tags and the canonical section order.
+
+use std::fmt;
+
+/// A four-byte ASCII section tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SectionTag(pub [u8; 4]);
+
+impl fmt::Display for SectionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot-local property table (deduplicated, sorted).
+pub const TAG_PROPERTIES: SectionTag = SectionTag(*b"PROP");
+/// Entity types of the knowledge base.
+pub const TAG_TYPES: SectionTag = SectionTag(*b"TYPE");
+/// Entities of the knowledge base.
+pub const TAG_ENTITIES: SectionTag = SectionTag(*b"ENTS");
+/// Evidence counters per (entity, property) pair.
+pub const TAG_EVIDENCE: SectionTag = SectionTag(*b"EVID");
+/// Supporting-document samples per (entity, property) pair.
+pub const TAG_PROVENANCE: SectionTag = SectionTag(*b"PROV");
+/// Fitted model parameters + EM telemetry per (type, property).
+pub const TAG_MODELS: SectionTag = SectionTag(*b"MODL");
+/// Entity decisions per (type, property) combination.
+pub const TAG_DECISIONS: SectionTag = SectionTag(*b"DECN");
+
+/// Every required section, in the canonical on-disk order. A version-1
+/// writer emits exactly these; a version-1 reader requires all of them,
+/// in this order, and skips unknown tags in between (the forward-compat
+/// hook for additive revisions).
+pub const CANONICAL_ORDER: [SectionTag; 7] = [
+    TAG_PROPERTIES,
+    TAG_TYPES,
+    TAG_ENTITIES,
+    TAG_EVIDENCE,
+    TAG_PROVENANCE,
+    TAG_MODELS,
+    TAG_DECISIONS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_render_as_ascii() {
+        assert_eq!(TAG_PROPERTIES.to_string(), "PROP");
+        assert_eq!(TAG_DECISIONS.to_string(), "DECN");
+        assert_eq!(
+            SectionTag([0x41, 0x00, 0x42, 0xff]).to_string(),
+            "A\\x00B\\xff"
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_duplicate_free() {
+        for (i, a) in CANONICAL_ORDER.iter().enumerate() {
+            for b in &CANONICAL_ORDER[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The owned snapshot model: what a mined world looks like to the wire
+//! layer, stripped of every process-local artifact.
+//!
+//! The model is deliberately neutral — plain strings, dense `u32` table
+//! indexes, raw `f64`s — so the wire crate depends on nothing and the
+//! format outlives any refactor of the pipeline's in-memory types.
+//! Property references are **indexes into the snapshot's own property
+//! table** (section `PROP`), never the process-local interner ids, which
+//! depend on thread interleaving and must not reach disk.
+
+/// A subjective property as stored in the snapshot's property table:
+/// adverbs in surface order, then the head adjective.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SnapshotProperty {
+    /// Preceding adverbs, leftmost first.
+    pub adverbs: Vec<String>,
+    /// The head adjective.
+    pub adjective: String,
+}
+
+/// An entity type row of section `TYPE`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotType {
+    /// Lowercase type name.
+    pub name: String,
+    /// Generic nouns denoting the type.
+    pub head_nouns: Vec<String>,
+    /// Disambiguation cue words.
+    pub context_cues: Vec<String>,
+}
+
+/// An entity row of section `ENTS`. The row index is the entity id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotEntity {
+    /// Canonical display name.
+    pub name: String,
+    /// Alternative surface forms.
+    pub aliases: Vec<String>,
+    /// Index into the type table (= the dense `TypeId`).
+    pub type_index: u32,
+    /// Objective attributes, sorted by key.
+    pub attributes: Vec<(String, f64)>,
+}
+
+/// One evidence counter row of section `EVID`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvidenceRow {
+    /// The entity (row index into `ENTS`).
+    pub entity: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Positive statement count.
+    pub positive: u64,
+    /// Negative statement count.
+    pub negative: u64,
+}
+
+/// One provenance row of section `PROV`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProvenanceRow {
+    /// The entity.
+    pub entity: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Supporting document ids, ascending.
+    pub documents: Vec<u64>,
+}
+
+/// One fitted-model row of section `MODL`: the parameters and EM
+/// telemetry of a (type, property) combination.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelRow {
+    /// Index into the type table.
+    pub type_index: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Fitted author-agreement probability `pA`.
+    pub p_agree: f64,
+    /// Fitted positive statement rate `np+S`.
+    pub rate_pos: f64,
+    /// Fitted negative statement rate `np-S`.
+    pub rate_neg: f64,
+    /// EM iterations actually run.
+    pub iterations: u64,
+    /// Convergence-reason code (the model crate owns the mapping).
+    pub converged: u8,
+    /// Mixture log-likelihood of the fitted parameters.
+    pub log_likelihood: f64,
+    /// Per-iteration expected complete-data log-likelihood trace.
+    pub q_trace: Vec<f64>,
+    /// Per-iteration parameter-movement trace.
+    pub delta_trace: Vec<f64>,
+}
+
+/// The polarity code of one decided pair, as stored on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecisionCode {
+    /// No decision (probability exactly ½).
+    #[default]
+    Unsolved,
+    /// The dominant opinion applies the property.
+    Positive,
+    /// The dominant opinion denies the property.
+    Negative,
+}
+
+impl DecisionCode {
+    /// The two-bit wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Unsolved => 0,
+            Self::Positive => 1,
+            Self::Negative => 2,
+        }
+    }
+
+    /// Decodes a two-bit wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Unsolved),
+            1 => Some(Self::Positive),
+            2 => Some(Self::Negative),
+            _ => None,
+        }
+    }
+}
+
+/// One entity's decision inside a [`DecisionGroupRow`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecisionRow {
+    /// The entity.
+    pub entity: u32,
+    /// The decided polarity.
+    pub decision: DecisionCode,
+    /// The posterior probability behind it, when the model computed one.
+    pub probability: Option<f64>,
+}
+
+/// One combination's decisions in section `DECN`. Groups appear in the
+/// same order as the `MODL` rows they belong to.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecisionGroupRow {
+    /// Index into the type table.
+    pub type_index: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Decisions for every entity of the type, in entity-table order.
+    pub decisions: Vec<DecisionRow>,
+}
+
+/// A complete owned snapshot: the encoder's input and the materialized
+/// form of a decode.
+///
+/// Invariants the encoder relies on for byte-stable output (and
+/// [`crate::SnapshotReader`] verifies or preserves):
+///
+/// - `properties` is deduplicated and sorted (its derived `Ord`), so the
+///   same mined world always produces the same table bytes;
+/// - `evidence` and `provenance` rows are sorted by
+///   `(entity, property)`;
+/// - `models` and `decisions` are parallel: same length, same
+///   `(type_index, property)` per rank, sorted by that key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The property table.
+    pub properties: Vec<SnapshotProperty>,
+    /// The entity types.
+    pub types: Vec<SnapshotType>,
+    /// The entities.
+    pub entities: Vec<SnapshotEntity>,
+    /// Evidence counters.
+    pub evidence: Vec<EvidenceRow>,
+    /// Provenance sample bound (documents kept per pair).
+    pub provenance_sample_size: u64,
+    /// Provenance samples.
+    pub provenance: Vec<ProvenanceRow>,
+    /// Fitted models.
+    pub models: Vec<ModelRow>,
+    /// Decisions per combination.
+    pub decisions: Vec<DecisionGroupRow>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_codes_round_trip() {
+        for d in [
+            DecisionCode::Unsolved,
+            DecisionCode::Positive,
+            DecisionCode::Negative,
+        ] {
+            assert_eq!(DecisionCode::from_code(d.code()), Some(d));
+        }
+        assert_eq!(DecisionCode::from_code(3), None);
+        assert_eq!(DecisionCode::from_code(255), None);
+    }
+
+    #[test]
+    fn property_ordering_is_adverbs_then_adjective() {
+        let bare = SnapshotProperty {
+            adverbs: vec![],
+            adjective: "big".into(),
+        };
+        let very = SnapshotProperty {
+            adverbs: vec!["very".into()],
+            adjective: "big".into(),
+        };
+        assert!(bare < very);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based suites for the wire format: valid snapshots round-trip
+//! byte-identically, and no byte buffer — random, mutated, or truncated —
+//! can make the decoder panic.
+
+use proptest::prelude::*;
+use surveyor_wire::{
+    decode, encode, DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow,
+    ProvenanceRow, Snapshot, SnapshotEntity, SnapshotProperty, SnapshotType, MAGIC,
+};
+
+fn word() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,9}",
+        Just("très grand".to_string()),
+        Just("ぴかぴか".to_string()),
+        Just(String::new()),
+    ]
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e6f64..1.0e6,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MAX),
+    ]
+}
+
+fn property_s() -> impl Strategy<Value = SnapshotProperty> {
+    (prop::collection::vec(word(), 0..3), word())
+        .prop_map(|(adverbs, adjective)| SnapshotProperty { adverbs, adjective })
+}
+
+fn type_s() -> impl Strategy<Value = SnapshotType> {
+    (
+        word(),
+        prop::collection::vec(word(), 0..3),
+        prop::collection::vec(word(), 0..3),
+    )
+        .prop_map(|(name, head_nouns, context_cues)| SnapshotType {
+            name,
+            head_nouns,
+            context_cues,
+        })
+}
+
+fn entity_s() -> impl Strategy<Value = SnapshotEntity> {
+    (
+        word(),
+        prop::collection::vec(word(), 0..3),
+        0u32..8,
+        prop::collection::vec((word(), finite_f64()), 0..3),
+    )
+        .prop_map(|(name, aliases, type_index, attributes)| SnapshotEntity {
+            name,
+            aliases,
+            type_index,
+            attributes,
+        })
+}
+
+fn evidence_s() -> impl Strategy<Value = EvidenceRow> {
+    (0u32..64, 0u32..16, 0u64..10_000, 0u64..10_000).prop_map(
+        |(entity, property, positive, negative)| EvidenceRow {
+            entity,
+            property,
+            positive,
+            negative,
+        },
+    )
+}
+
+fn provenance_s() -> impl Strategy<Value = ProvenanceRow> {
+    (
+        0u32..64,
+        0u32..16,
+        prop::collection::vec(0u64..u64::MAX, 0..5),
+    )
+        .prop_map(|(entity, property, documents)| ProvenanceRow {
+            entity,
+            property,
+            documents,
+        })
+}
+
+fn model_s() -> impl Strategy<Value = ModelRow> {
+    (
+        (0u32..8, 0u32..16),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+        (0u64..500, 0u8..3),
+        (
+            prop::collection::vec(finite_f64(), 0..4),
+            prop::collection::vec(finite_f64(), 0..4),
+        ),
+    )
+        .prop_map(
+            |(
+                (type_index, property),
+                (p_agree, rate_pos, rate_neg, log_likelihood),
+                (iterations, converged),
+                (q_trace, delta_trace),
+            )| ModelRow {
+                type_index,
+                property,
+                p_agree,
+                rate_pos,
+                rate_neg,
+                iterations,
+                converged,
+                log_likelihood,
+                q_trace,
+                delta_trace,
+            },
+        )
+}
+
+fn decision_s() -> impl Strategy<Value = DecisionRow> {
+    (0u32..64, 0u8..3, prop::bool::ANY, finite_f64()).prop_map(
+        |(entity, code, with_probability, p)| DecisionRow {
+            entity,
+            decision: DecisionCode::from_code(code).unwrap_or(DecisionCode::Unsolved),
+            probability: if with_probability { Some(p) } else { None },
+        },
+    )
+}
+
+fn group_s() -> impl Strategy<Value = DecisionGroupRow> {
+    (0u32..8, 0u32..16, prop::collection::vec(decision_s(), 0..5)).prop_map(
+        |(type_index, property, decisions)| DecisionGroupRow {
+            type_index,
+            property,
+            decisions,
+        },
+    )
+}
+
+fn snapshot_s() -> impl Strategy<Value = Snapshot> {
+    (
+        (
+            prop::collection::vec(property_s(), 0..4),
+            prop::collection::vec(type_s(), 0..3),
+            prop::collection::vec(entity_s(), 0..4),
+        ),
+        (
+            prop::collection::vec(evidence_s(), 0..6),
+            0u64..64,
+            prop::collection::vec(provenance_s(), 0..4),
+        ),
+        (
+            prop::collection::vec(model_s(), 0..3),
+            prop::collection::vec(group_s(), 0..3),
+        ),
+    )
+        .prop_map(
+            |(
+                (properties, types, entities),
+                (evidence, provenance_sample_size, provenance),
+                (models, decisions),
+            )| Snapshot {
+                properties,
+                types,
+                entities,
+                evidence,
+                provenance_sample_size,
+                provenance,
+                models,
+                decisions,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// encode → decode → encode is the identity on both the value and
+    /// the bytes.
+    #[test]
+    fn round_trips_are_byte_identical(snapshot in snapshot_s()) {
+        let bytes = encode(&snapshot);
+        let decoded = decode(&bytes).map_err(|e| {
+            TestCaseError::Fail(format!("decode failed: {e}"))
+        })?;
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(encode(&decoded), bytes);
+    }
+
+    /// Arbitrary bytes decode to `Ok` or a typed error — never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode(&data);
+        // Also past the magic gate, so section walking sees the fuzz.
+        let mut framed = MAGIC.to_vec();
+        framed.extend_from_slice(&data);
+        let _ = decode(&framed);
+    }
+
+    /// Single-byte corruptions of a valid snapshot decode to `Ok` or a
+    /// typed error — never a panic. (CRC catches payload damage; header
+    /// damage maps to framing errors.)
+    #[test]
+    fn mutated_snapshots_never_panic(
+        snapshot in snapshot_s(),
+        position in 0u64..u64::MAX,
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode(&snapshot);
+        let index = (position % bytes.len() as u64) as usize;
+        bytes[index] ^= mask;
+        let _ = decode(&bytes);
+    }
+
+    /// Every strict prefix of a valid snapshot is rejected with an error.
+    #[test]
+    fn truncated_snapshots_are_typed_errors(
+        snapshot in snapshot_s(),
+        cut in 0u64..u64::MAX,
+    ) {
+        let bytes = encode(&snapshot);
+        let len = (cut % bytes.len() as u64) as usize;
+        prop_assert!(decode(&bytes[..len]).is_err(), "prefix of {len} decoded");
+    }
+
+    /// Floats survive the wire bit-exactly, NaN payloads included.
+    #[test]
+    fn floats_round_trip_bit_exact(bits in 0u64..=u64::MAX) {
+        let value = f64::from_bits(bits);
+        let snapshot = Snapshot {
+            models: vec![ModelRow {
+                p_agree: value,
+                q_trace: vec![value],
+                ..ModelRow::default()
+            }],
+            ..Snapshot::default()
+        };
+        let decoded = decode(&encode(&snapshot)).map_err(|e| {
+            TestCaseError::Fail(format!("decode failed: {e}"))
+        })?;
+        prop_assert_eq!(decoded.models[0].p_agree.to_bits(), bits);
+        prop_assert_eq!(decoded.models[0].q_trace[0].to_bits(), bits);
+    }
+}

@@ -41,3 +41,35 @@ for key in '"schema_version"' '"host_cpus"' '"timing"' \
     grep -q "$key" artifacts/scale_smoke.json \
         || { echo "scale_smoke.json missing $key" >&2; exit 1; }
 done
+
+# Snapshot gate: the binary wire format round-trips the mined world.
+# `snapshot` mines a preset and writes both the binary snapshot and the
+# store JSON; `load` reconstructs the store from the snapshot alone; the
+# two JSON files must be byte-identical (FORMAT.md's determinism goal).
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    snapshot --preset cities --seed 5 --rho 40 --shards 2 \
+    --out artifacts/world.swire --store artifacts/mined_store.json > /dev/null
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    load --snapshot artifacts/world.swire --out artifacts/loaded_store.json > /dev/null
+cmp artifacts/mined_store.json artifacts/loaded_store.json \
+    || { echo "snapshot round trip is not byte-identical" >&2; exit 1; }
+
+# Corrupt snapshots must surface as invalid input (exit 3), never crash.
+head -c 100 artifacts/world.swire > artifacts/truncated.swire
+rc=0
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    load --snapshot artifacts/truncated.swire > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] \
+    || { echo "truncated snapshot: expected exit 3, got $rc" >&2; exit 1; }
+
+# Snapshot bench smoke: quick encode/decode throughput with the
+# load-vs-remine speedup floor and byte-identity verdict armed.
+cargo run --release -q -p surveyor-bench --bin bench -- \
+    snapshot --quick --assert-speedup 5 \
+    --out artifacts/snapshot_smoke.json > /dev/null
+for key in '"schema_version"' '"format_version"' '"snapshot_bytes"' \
+           '"encode_mb_s"' '"decode_mb_s"' \
+           '"speedup_load_vs_remine"' '"byte_identical"'; do
+    grep -q "$key" artifacts/snapshot_smoke.json \
+        || { echo "snapshot_smoke.json missing $key" >&2; exit 1; }
+done
