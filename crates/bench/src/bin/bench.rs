@@ -29,6 +29,16 @@
 //! verdict. `--assert-speedup X` exits nonzero when the speedup falls
 //! below `X` or the round trip is not byte-identical.
 //!
+//! `serve` boots a `surveyor-server` on a loopback port, replays
+//! `/decide` queries from 1/2/4/8 client threads (p50/p99 latency and
+//! queries/sec), then drives a seeded chaos phase — malformed bytes,
+//! slowloris writes, disconnects, worker panics, concurrent
+//! corrupt-reload attempts — against a deliberately tight second server,
+//! and writes `BENCH_serve.json` (schema-validated before writing).
+//! `--assert-chaos` exits nonzero unless every valid query answered
+//! correctly, every corrupt reload was rejected, and the shed counter
+//! moved under overload.
+//!
 //! `diff` compares two such run reports phase by phase.
 
 #![forbid(unsafe_code)]
@@ -44,6 +54,8 @@ const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
                      [--assert-scaling] [--scaling-tolerance T]\n\
                      \u{20}      bench snapshot [--seed N] [--out PATH] [--quick] \
                      [--assert-speedup X]\n\
+                     \u{20}      bench serve [--seed N] [--out PATH] [--quick] \
+                     [--assert-chaos]\n\
                      \u{20}      bench diff <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
@@ -56,6 +68,7 @@ fn main() -> ExitCode {
         "pipeline" => pipeline(rest),
         "scale" => scale(rest),
         "snapshot" => snapshot(rest),
+        "serve" => serve(rest),
         "diff" => diff(rest),
         _ => {
             eprintln!("{USAGE}");
@@ -348,6 +361,141 @@ fn snapshot(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `bench serve`: server throughput + chaos behind `BENCH_serve.json`.
+fn serve(rest: &[String]) -> ExitCode {
+    let mut config = ReproConfig::default();
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut quick = false;
+    let mut assert_chaos = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--assert-chaos" => assert_chaos = true,
+            "--seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(v) = value.parse::<u64>() else {
+                    eprintln!("invalid numeric value for {arg}: {value}");
+                    return ExitCode::FAILURE;
+                };
+                config.seed = v;
+            }
+            "--out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out = value.clone();
+            }
+            _ => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (text, value) = experiments::serve_bench(&config, quick);
+    println!("{text}");
+
+    if let Err(e) = validate_serve_schema(&value) {
+        eprintln!("internal error: serve artifact failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    match std::fs::File::create(&out).and_then(|mut f| {
+        f.write_all(
+            serde_json::to_string_pretty(&value)
+                .expect("serializable artifact")
+                .as_bytes(),
+        )
+    }) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            if assert_chaos {
+                let chaos = &value["chaos"];
+                let all_valid = chaos["all_valid_answered"].as_bool() == Some(true);
+                let reloads_held = chaos["corrupt_reloads"].as_u64().unwrap_or(0) > 0
+                    && chaos["corrupt_reloads"] == chaos["corrupt_reloads_rejected"];
+                let shed = chaos["overload"]["shed_503"].as_u64().unwrap_or(0) > 0;
+                let graceful = chaos["graceful_shutdown"].as_bool() == Some(true);
+                if !(all_valid && reloads_held && shed && graceful) {
+                    eprintln!(
+                        "assert-chaos: failed (valid answered: {all_valid}, corrupt reloads \
+                         rejected: {reloads_held}, shed under overload: {shed}, graceful \
+                         shutdown: {graceful})"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Checks the `BENCH_serve.json` shape before anything is written
+/// (verify.sh greps these same keys as a second line of defense).
+fn validate_serve_schema(value: &serde_json::Value) -> Result<(), String> {
+    for key in ["schema_version", "preset", "seed", "shards", "associations"] {
+        if value.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    if value["schema_version"].as_u64() != Some(1) {
+        return Err("schema_version is not 1".to_owned());
+    }
+    let rows = value["throughput"]
+        .as_array()
+        .ok_or_else(|| "throughput is not an array".to_owned())?;
+    if rows.len() != 4 {
+        return Err(format!("throughput has {} rows, want 4", rows.len()));
+    }
+    for row in rows {
+        for key in [
+            "threads", "requests", "ok", "errors", "qps", "p50_ms", "p99_ms",
+        ] {
+            if row[key].as_f64().is_none() {
+                return Err(format!("throughput row missing numeric {key:?}"));
+            }
+        }
+    }
+    let chaos = &value["chaos"];
+    for key in [
+        "ops",
+        "valid_queries",
+        "valid_ok",
+        "malformed",
+        "slowloris",
+        "disconnects",
+        "corrupt_reloads",
+        "corrupt_reloads_rejected",
+        "panics_injected",
+    ] {
+        if chaos[key].as_u64().is_none() {
+            return Err(format!("chaos.{key} is not a number"));
+        }
+    }
+    for key in ["all_valid_answered", "accepted_reload", "graceful_shutdown"] {
+        if chaos[key].as_bool().is_none() {
+            return Err(format!("chaos.{key} is not a boolean"));
+        }
+    }
+    if chaos["overload"]["shed_503"].as_u64().is_none() {
+        return Err("chaos.overload.shed_503 is not a number".to_owned());
+    }
+    for key in ["shed", "reload_ok", "reload_rejected", "requests", "panics"] {
+        if chaos["metrics"][key].as_u64().is_none() {
+            return Err(format!("chaos.metrics.{key} is not a number"));
+        }
+    }
+    Ok(())
 }
 
 /// Checks the `BENCH_snapshot.json` shape before anything is written

@@ -1306,6 +1306,478 @@ pub fn snapshot_bench(cfg: &ReproConfig, quick: bool) -> (String, Value) {
     (text, value)
 }
 
+/// One HTTP/1.1 exchange against a bench server: connect, send `request`
+/// verbatim, read to EOF (the server closes every connection), and parse
+/// the status line. `None` covers every transport failure — in the chaos
+/// phase a vanished response is an expected outcome, not a panic.
+fn http_exchange(addr: std::net::SocketAddr, request: &[u8]) -> Option<(u16, String)> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    let patience = Some(std::time::Duration::from_secs(10));
+    stream.set_read_timeout(patience).ok()?;
+    stream.set_write_timeout(patience).ok()?;
+    stream.write_all(request).ok()?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).ok()?;
+    let status = reply.strip_prefix("HTTP/1.1 ")?.get(..3)?.parse().ok()?;
+    Some((status, reply))
+}
+
+/// `GET path` against a bench server.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Option<(u16, String)> {
+    http_exchange(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes(),
+    )
+}
+
+/// `POST path` against a bench server.
+fn http_post(addr: std::net::SocketAddr, path: &str) -> Option<(u16, String)> {
+    http_exchange(
+        addr,
+        format!("POST {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes(),
+    )
+}
+
+/// `GET path` as a well-behaved client under chaos: honors the server's
+/// backpressure by retrying briefly on a shed `503` or queue-expired
+/// `408`. Those are *correct* overload answers, not wrong answers — the
+/// invariant the chaos phase pins is that a valid query is never
+/// answered incorrectly or dropped, not that the server never sheds.
+fn http_get_patient(addr: std::net::SocketAddr, path: &str) -> Option<(u16, String)> {
+    let mut last = None;
+    for _ in 0..5 {
+        last = http_get(addr, path);
+        match last {
+            Some((503, _)) | Some((408, _)) | None => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            _ => break,
+        }
+    }
+    last
+}
+
+/// Nearest-rank percentile of a sample set (sorts in place).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+/// `bench serve`: query-server throughput and chaos resilience — the
+/// numbers behind `BENCH_serve.json`.
+///
+/// Mines the `table2_world` preset once, snapshots it, and boots a
+/// `surveyor-server` on a loopback port. The throughput phase replays
+/// `/decide` queries from 1/2/4/8 client threads and reports p50/p99
+/// latency plus queries/sec. The chaos phase then boots a second,
+/// deliberately tight server (2 workers, 4-slot queue, debug routes) and
+/// drives a seeded [`FaultPlan`] of hostile clients — malformed request
+/// bytes, slowloris partial writes, mid-request disconnects, worker
+/// panics, and concurrent corrupt-reload attempts — interleaved with
+/// valid queries whose answers are asserted against the mined store. An
+/// overload burst against stalled workers pins the shed counter, one
+/// valid reload pins the accept path, and the server is shut down via
+/// `POST /ctl/shutdown` (the graceful drain path, not the test hook).
+///
+/// `quick` shrinks the corpus, request counts, and chaos op count so
+/// `scripts/verify.sh` can smoke-test the artifact schema in seconds.
+pub fn serve_bench(cfg: &ReproConfig, quick: bool) -> (String, Value) {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use surveyor::obs::MetricsRegistry;
+    use surveyor_extract::{Fault, FaultPlan};
+    use surveyor_server::{percent_encode, ServedState, ServerConfig};
+
+    // Mine once, snapshot to bytes: both servers serve the same index.
+    let num_shards = if quick { 4 } else { 16 };
+    let world = presets::table2_world(cfg.seed);
+    let generator = CorpusGenerator::new(
+        world.clone(),
+        CorpusConfig {
+            num_shards,
+            ..CorpusConfig::default()
+        },
+    );
+    let surveyor = Surveyor::new(
+        world.kb().clone(),
+        SurveyorConfig {
+            rho: 40,
+            threads: cfg.threads,
+            ..SurveyorConfig::default()
+        },
+    );
+    let output = surveyor.run(&CorpusSource::new(&generator));
+    let bytes = surveyor::save_snapshot(&output);
+    let state = Arc::new(
+        ServedState::from_snapshot_bytes(&bytes, 1, "bench").expect("own snapshot serves"),
+    );
+    let associations = state.store.len();
+
+    // Query targets: every stored opinion, as a percent-encoded `/decide`
+    // path plus the verdict the store will answer with. The expected bit
+    // comes from `find_opinion` (what the route calls), not the block the
+    // pair was enumerated from — when an entity carries the same property
+    // under two types, the route answers from the most confident block.
+    let targets: Vec<(String, bool)> = state
+        .store
+        .blocks()
+        .iter()
+        .flat_map(|block| {
+            block
+                .opinions
+                .iter()
+                .map(move |o| (o.entity_name.as_str(), &block.property))
+        })
+        .take(256)
+        .map(|(entity, property)| {
+            let (_, opinion) = state
+                .store
+                .find_opinion(entity, property)
+                .expect("enumerated pair resolves");
+            (
+                format!(
+                    "/decide/{}/{}",
+                    percent_encode(entity),
+                    percent_encode(&property.to_string())
+                ),
+                opinion.positive,
+            )
+        })
+        .collect();
+    assert!(!targets.is_empty(), "mined snapshot decided no pairs");
+
+    // ---- Throughput phase: a comfortably provisioned server. ----
+    let registry = Arc::new(MetricsRegistry::new());
+    let handle = surveyor_server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 256,
+            request_budget: Duration::from_secs(5),
+            retry_after_seconds: 1,
+            debug_routes: false,
+        },
+        state.clone(),
+        registry.clone(),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    let per_client = if quick { 40 } else { 300 };
+    for (path, _) in targets.iter().take(8) {
+        let _ = http_get(addr, path); // warmup: TCP stack + first-touch caches
+    }
+    let mut rows = Vec::new();
+    let mut throughput = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let errors = AtomicUsize::new(0);
+        let started = Instant::now();
+        let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let targets = &targets;
+                    let errors = &errors;
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            // Stride by a prime so clients do not walk the
+                            // target list in lockstep.
+                            let (path, _) = &targets[(c * 7919 + i) % targets.len()];
+                            let t0 = Instant::now();
+                            if let Some((200, _)) = http_get(addr, path) {
+                                lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                            } else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let ok = latencies_ms.len();
+        let qps = ok as f64 / wall.max(f64::EPSILON);
+        let p50_ms = percentile(&mut latencies_ms, 50.0);
+        let p99_ms = percentile(&mut latencies_ms, 99.0);
+        let errors = errors.into_inner();
+        rows.push(vec![
+            format!("{clients} clients"),
+            format!("{qps:.0} q/s"),
+            format!("{p50_ms:.2} ms"),
+            format!("{p99_ms:.2} ms"),
+            format!("{ok} ok, {errors} errors"),
+        ]);
+        throughput.push(json!({
+            "threads": clients, "requests": clients * per_client,
+            "ok": ok, "errors": errors,
+            "qps": qps, "p50_ms": p50_ms, "p99_ms": p99_ms,
+        }));
+    }
+    let throughput_requests = registry.counter_value("serve.requests");
+    handle.shutdown();
+
+    // ---- Chaos phase: a tight server under a seeded fault plan. ----
+    let chaos_registry = Arc::new(MetricsRegistry::new());
+    let chaos = surveyor_server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 4,
+            request_budget: Duration::from_secs(2),
+            retry_after_seconds: 1,
+            debug_routes: true,
+        },
+        state.clone(),
+        chaos_registry.clone(),
+    )
+    .expect("bind loopback");
+    let chaos_addr = chaos.addr();
+
+    // Reload candidates on disk: one corrupt (bit-flipped CRC region),
+    // one valid. Unique names so parallel bench runs cannot collide.
+    let pid = std::process::id();
+    let corrupt_path =
+        std::env::temp_dir().join(format!("surveyor_bench_corrupt_{}_{pid}.swire", cfg.seed));
+    let valid_path =
+        std::env::temp_dir().join(format!("surveyor_bench_valid_{}_{pid}.swire", cfg.seed));
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xff;
+    std::fs::write(&corrupt_path, &corrupt).expect("write corrupt reload candidate");
+    std::fs::write(&valid_path, &bytes).expect("write valid reload candidate");
+    let corrupt_route = format!(
+        "/ctl/reload?path={}",
+        percent_encode(corrupt_path.to_str().expect("utf8 temp path"))
+    );
+
+    let ops = if quick { 48 } else { 192 };
+    let plan = FaultPlan::from_seed(cfg.seed, ops);
+    let valid_sent = AtomicUsize::new(0);
+    let valid_ok = AtomicUsize::new(0);
+    let malformed_sent = AtomicUsize::new(0);
+    let slowloris_sent = AtomicUsize::new(0);
+    let disconnects_sent = AtomicUsize::new(0);
+    let corrupt_reloads = AtomicUsize::new(0);
+    let corrupt_rejected = AtomicUsize::new(0);
+    let panics_injected = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let plan = &plan;
+            let targets = &targets;
+            let corrupt_route = corrupt_route.as_str();
+            let valid_sent = &valid_sent;
+            let valid_ok = &valid_ok;
+            let malformed_sent = &malformed_sent;
+            let slowloris_sent = &slowloris_sent;
+            let disconnects_sent = &disconnects_sent;
+            let corrupt_reloads = &corrupt_reloads;
+            let corrupt_rejected = &corrupt_rejected;
+            let panics_injected = &panics_injected;
+            scope.spawn(move || {
+                for i in (worker..ops).step_by(4) {
+                    // The seeded plan decides most ops, but three classes
+                    // are pinned to fixed op slots so every run exercises
+                    // them regardless of how the seed rolls: concurrent
+                    // corrupt reloads (i % 12 == 5), slowloris (== 11),
+                    // and mid-request disconnects (== 3).
+                    let fault = match i % 12 {
+                        5 => Some(Fault::Permanent),
+                        11 => Some(Fault::Slow { millis: 0 }),
+                        3 => Some(Fault::Slow { millis: 1 }),
+                        _ => plan.fault(i),
+                    };
+                    match fault {
+                        Some(Fault::Panic) => {
+                            panics_injected.fetch_add(1, Ordering::Relaxed);
+                            let _ = http_post(chaos_addr, "/ctl/panic");
+                        }
+                        Some(Fault::Transient { failures }) => {
+                            malformed_sent.fetch_add(1, Ordering::Relaxed);
+                            let junk = format!("GET /\u{1}bad op{i} x{failures}\r\n\r\n");
+                            let _ = http_exchange(chaos_addr, junk.as_bytes());
+                        }
+                        Some(Fault::Permanent) => {
+                            // Concurrent corrupt-reload attempt: must be
+                            // rejected, and the very next valid query must
+                            // still answer from the old index.
+                            corrupt_reloads.fetch_add(1, Ordering::Relaxed);
+                            for _ in 0..5 {
+                                match http_post(chaos_addr, corrupt_route) {
+                                    Some((422, _)) => {
+                                        corrupt_rejected.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    // Shed or queue-expired: back off and
+                                    // retry like a real client would.
+                                    Some((503, _)) | Some((408, _)) | None => {
+                                        std::thread::sleep(Duration::from_millis(25));
+                                    }
+                                    Some(_) => break,
+                                }
+                            }
+                            let (path, positive) = &targets[i % targets.len()];
+                            valid_sent.fetch_add(1, Ordering::Relaxed);
+                            if let Some((200, body)) = http_get_patient(chaos_addr, path) {
+                                if body.contains(&format!("\"positive\": {positive}")) {
+                                    valid_ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Some(Fault::Slow { millis: 0 }) => {
+                            // Slowloris: dribble a partial head, then hang
+                            // up without ever finishing it.
+                            slowloris_sent.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(mut s) = std::net::TcpStream::connect(chaos_addr) {
+                                let _ = s.write_all(b"GET /healthz HT");
+                                std::thread::sleep(Duration::from_millis(50));
+                                let _ = s.write_all(b"TP/1.1\r\nHost:");
+                            }
+                        }
+                        Some(Fault::Slow { .. }) => {
+                            // Mid-request disconnect.
+                            disconnects_sent.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(mut s) = std::net::TcpStream::connect(chaos_addr) {
+                                let _ = s.write_all(b"GET /decide/nobody");
+                            }
+                        }
+                        None => {
+                            let (path, positive) = &targets[i % targets.len()];
+                            valid_sent.fetch_add(1, Ordering::Relaxed);
+                            if let Some((200, body)) = http_get_patient(chaos_addr, path) {
+                                if body.contains(&format!("\"positive\": {positive}")) {
+                                    valid_ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let valid_sent = valid_sent.into_inner();
+    let valid_ok = valid_ok.into_inner();
+    let malformed_sent = malformed_sent.into_inner();
+    let slowloris_sent = slowloris_sent.into_inner();
+    let disconnects_sent = disconnects_sent.into_inner();
+    let corrupt_reloads = corrupt_reloads.into_inner();
+    let corrupt_rejected = corrupt_rejected.into_inner();
+    let panics_injected = panics_injected.into_inner();
+
+    // One valid reload must still be accepted after all that abuse.
+    let accepted_reload = matches!(
+        http_post(
+            chaos_addr,
+            &format!(
+                "/ctl/reload?path={}",
+                percent_encode(valid_path.to_str().expect("utf8 temp path"))
+            ),
+        ),
+        Some((200, _))
+    );
+
+    // Overload burst: stall both workers, then pile 24 connections onto
+    // the 4-slot queue — the overflow must shed as immediate 503s.
+    let burst = 24usize;
+    let shed_503 = std::thread::scope(|scope| {
+        let stallers: Vec<_> = (0..2)
+            .map(|_| scope.spawn(move || http_post(chaos_addr, "/ctl/stall?ms=600")))
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        let shed = AtomicUsize::new(0);
+        std::thread::scope(|inner| {
+            for _ in 0..burst {
+                let shed = &shed;
+                inner.spawn(move || {
+                    if let Some((503, reply)) = http_get(chaos_addr, "/healthz") {
+                        assert!(
+                            reply.contains("Retry-After:"),
+                            "shed reply lacks Retry-After"
+                        );
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        for s in stallers {
+            let _ = s.join();
+        }
+        shed.into_inner()
+    });
+
+    // Graceful drain via the control route, then join every thread.
+    let graceful = matches!(http_post(chaos_addr, "/ctl/shutdown"), Some((200, _)));
+    chaos.join();
+    let _ = std::fs::remove_file(&corrupt_path);
+    let _ = std::fs::remove_file(&valid_path);
+
+    let counter = |name: &str| chaos_registry.counter_value(name);
+    let chaos_metrics = json!({
+        "requests": counter("serve.requests"),
+        "shed": counter("serve.shed"),
+        "panics": counter("serve.panics"),
+        "deadline_expired": counter("serve.deadline_expired"),
+        "malformed": counter("serve.malformed"),
+        "disconnects": counter("serve.disconnects"),
+        "reload_ok": counter("serve.reload.ok"),
+        "reload_rejected": counter("serve.reload.rejected"),
+    });
+
+    let text = format!(
+        "Serve throughput — {associations} associations, {} query targets\n{}\n\
+         chaos: {ops} ops — {valid_ok}/{valid_sent} valid queries answered correctly, \
+         {}/{} corrupt reloads rejected, {} panics injected, \
+         {shed_503}/{burst} shed in overload burst, accepted reload: {accepted_reload}, \
+         graceful shutdown: {graceful}",
+        targets.len(),
+        render::table(&["Clients", "Throughput", "p50", "p99", "Detail"], &rows),
+        corrupt_rejected,
+        corrupt_reloads,
+        panics_injected,
+    );
+    let all_valid_answered = valid_sent > 0 && valid_sent == valid_ok;
+    let value = json!({
+        "schema_version": 1,
+        "preset": "table2_world",
+        "seed": cfg.seed,
+        "shards": num_shards,
+        "quick": quick,
+        "associations": associations,
+        "targets": targets.len(),
+        "requests_per_client": per_client,
+        "throughput": throughput,
+        "throughput_requests_served": throughput_requests,
+        "chaos": json!({
+            "ops": ops,
+            "valid_queries": valid_sent,
+            "valid_ok": valid_ok,
+            "all_valid_answered": all_valid_answered,
+            "malformed": malformed_sent,
+            "slowloris": slowloris_sent,
+            "disconnects": disconnects_sent,
+            "corrupt_reloads": corrupt_reloads,
+            "corrupt_reloads_rejected": corrupt_rejected,
+            "panics_injected": panics_injected,
+            "overload": json!({ "burst": burst, "shed_503": shed_503 }),
+            "accepted_reload": accepted_reload,
+            "graceful_shutdown": graceful,
+            "metrics": chaos_metrics,
+        }),
+    });
+    (text, value)
+}
+
 /// An observed end-to-end run on the `bench pipeline` preset: attaches a
 /// metrics registry to the generator and pipeline and returns the
 /// versioned run report, so two bench invocations can be compared phase

@@ -142,6 +142,55 @@ pub enum Command {
         /// Store JSON output path (stdout when absent).
         out: Option<String>,
     },
+    /// Serve a binary snapshot over HTTP with the fault-hardened query
+    /// server (deadlines, load shedding, hot reload).
+    Serve {
+        /// Snapshot input path.
+        snapshot: String,
+        /// Bind address (`host:port`; port 0 lets the OS pick).
+        addr: String,
+        /// Request worker threads.
+        workers: usize,
+        /// Bounded work-queue capacity (the load-shedding threshold).
+        queue: usize,
+        /// Per-request budget in milliseconds.
+        budget_ms: u64,
+        /// Enable the `/ctl/panic` and `/ctl/stall` fault-injection
+        /// routes (tests and chaos benches only).
+        debug_routes: bool,
+    },
+    /// Compare two binary snapshots section by section; exits 0 when
+    /// identical, 1 when they differ.
+    Diff {
+        /// The older snapshot ("removed" means present only here).
+        old: String,
+        /// The newer snapshot ("added" means present only here).
+        new: String,
+        /// Output format.
+        format: DiffFormat,
+    },
+}
+
+/// Output format for `surveyor diff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiffFormat {
+    /// Indented, truncated, human-readable report.
+    #[default]
+    Human,
+    /// Machine-readable JSON with full key lists.
+    Json,
+}
+
+impl std::str::FromStr for DiffFormat {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "human" => Ok(Self::Human),
+            "json" => Ok(Self::Json),
+            _ => Err(()),
+        }
+    }
 }
 
 /// Why parsing failed.
@@ -185,7 +234,10 @@ usage:
   surveyor corpus   --preset NAME [--seed N] [--shard N] [--limit N]
   surveyor link     --preset cities --attribute KEY [--seed N] [--rho N]
   surveyor snapshot --preset NAME --out FILE.swire [--store FILE] [mine flags...]
-  surveyor load     --snapshot FILE.swire [--out FILE]";
+  surveyor load     --snapshot FILE.swire [--out FILE]
+  surveyor serve    --snapshot FILE.swire [--addr HOST:PORT] [--workers N] [--queue N] [--budget-ms N] [--debug-routes]
+  surveyor diff     --old FILE.swire --new FILE.swire [--format human|json]
+global flags: --help | -h, --version | -V";
 
 /// Simple flag scanner: collects `--flag value` pairs and boolean flags.
 struct Flags {
@@ -337,6 +389,40 @@ impl Cli {
                 Command::Load {
                     snapshot: flags.required("--snapshot")?,
                     out: flags.take("--out").map(str::to_owned),
+                }
+            }
+            "serve" => {
+                let flags = Flags::parse(rest, &["--debug-routes"])?;
+                flags.validate_known(&[
+                    "--snapshot",
+                    "--addr",
+                    "--workers",
+                    "--queue",
+                    "--budget-ms",
+                    "--debug-routes",
+                ])?;
+                Command::Serve {
+                    snapshot: flags.required("--snapshot")?,
+                    addr: flags.take("--addr").unwrap_or("127.0.0.1:7387").to_owned(),
+                    workers: flags.numeric("--workers", 4)?,
+                    queue: flags.numeric("--queue", 64)?,
+                    budget_ms: flags.numeric("--budget-ms", 2_000)?,
+                    debug_routes: flags.has("--debug-routes"),
+                }
+            }
+            "diff" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&["--old", "--new", "--format"])?;
+                let format = match flags.take("--format") {
+                    None => DiffFormat::default(),
+                    Some(v) => v
+                        .parse()
+                        .map_err(|()| ParseError::BadValue("--format".to_owned(), v.to_owned()))?,
+                };
+                Command::Diff {
+                    old: flags.required("--old")?,
+                    new: flags.required("--new")?,
+                    format,
                 }
             }
             "query" => {
@@ -583,6 +669,83 @@ mod tests {
         assert_eq!(
             parse(&["load", "--snapshot", "w.swire", "--bogus", "1"]),
             Err(ParseError::UnknownFlag("--bogus".into()))
+        );
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        assert_eq!(
+            parse(&["serve"]),
+            Err(ParseError::MissingFlag("--snapshot"))
+        );
+        let cli = parse(&["serve", "--snapshot", "w.swire"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                snapshot: "w.swire".to_owned(),
+                addr: "127.0.0.1:7387".to_owned(),
+                workers: 4,
+                queue: 64,
+                budget_ms: 2_000,
+                debug_routes: false,
+            }
+        );
+        let cli = parse(&[
+            "serve",
+            "--snapshot",
+            "w.swire",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--budget-ms",
+            "500",
+            "--debug-routes",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                workers,
+                queue,
+                budget_ms,
+                debug_routes,
+                ..
+            } => {
+                assert_eq!((workers, queue, budget_ms), (2, 8, 500));
+                assert!(debug_routes);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diff_requires_both_snapshots_and_validates_format() {
+        assert_eq!(
+            parse(&["diff", "--old", "a.swire"]),
+            Err(ParseError::MissingFlag("--new"))
+        );
+        let cli = parse(&["diff", "--old", "a.swire", "--new", "b.swire"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Diff {
+                old: "a.swire".to_owned(),
+                new: "b.swire".to_owned(),
+                format: DiffFormat::Human,
+            }
+        );
+        let cli = parse(&[
+            "diff", "--old", "a.swire", "--new", "b.swire", "--format", "json",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Diff { format, .. } => assert_eq!(format, DiffFormat::Json),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&["diff", "--old", "a", "--new", "b", "--format", "yaml"]),
+            Err(ParseError::BadValue("--format".into(), "yaml".into()))
         );
     }
 

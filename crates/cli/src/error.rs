@@ -73,4 +73,57 @@ mod tests {
         assert_eq!(run.exit_code(), 3);
         assert!(run.to_string().contains("coverage"));
     }
+
+    #[test]
+    fn every_parse_error_is_a_usage_error() {
+        use crate::args::{Cli, ParseError};
+        // main.rs maps *any* ParseError to stderr + exit 2; pin that the
+        // parser actually produces ParseErrors (not panics or silent
+        // defaults) for each malformed-invocation class, including the
+        // bare invocation with no arguments at all.
+        let cases: Vec<(Vec<&str>, ParseError)> = vec![
+            (vec![], ParseError::MissingCommand),
+            (
+                vec!["explode"],
+                ParseError::UnknownCommand("explode".into()),
+            ),
+            (
+                vec!["mine", "--bogus", "1"],
+                ParseError::UnknownFlag("--bogus".into()),
+            ),
+            (
+                vec!["mine", "--preset"],
+                ParseError::MissingValue("--preset".into()),
+            ),
+            (vec!["serve"], ParseError::MissingFlag("--snapshot")),
+            (vec!["diff", "--old", "a"], ParseError::MissingFlag("--new")),
+        ];
+        for (args, want) in cases {
+            let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+            assert_eq!(Cli::parse(&owned), Err(want), "args {args:?}");
+        }
+        // Usage text rides along on command-level errors so the stderr
+        // message is self-contained.
+        assert!(ParseError::MissingCommand.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn version_string_carries_the_crate_version() {
+        let v = crate::version_string();
+        assert!(v.starts_with("surveyor "), "{v}");
+        assert_eq!(v, format!("surveyor {}", env!("CARGO_PKG_VERSION")));
+    }
+
+    #[test]
+    fn diff_outcome_exit_codes() {
+        use crate::Outcome;
+        // `diff` maps identical → 0, differing → 1 through Outcome, so
+        // the code rides success, not CliError.
+        assert_eq!(Outcome::ok("same".into()).code, 0);
+        let differs = Outcome {
+            text: "differ".into(),
+            code: 1,
+        };
+        assert_eq!(differs.code, 1);
+    }
 }

@@ -10,13 +10,17 @@
 //! surveyor link   --preset cities --attribute population [--seed N] [--rho N]
 //! surveyor snapshot --preset table2 --out world.swire [--store store.json] [mine flags...]
 //! surveyor load   --snapshot world.swire [--out store.json]
+//! surveyor serve  --snapshot world.swire [--addr HOST:PORT] [--workers N] [--queue N] [--budget-ms N] [--debug-routes]
+//! surveyor diff   --old a.swire --new b.swire [--format human|json]
 //! ```
 //!
 //! Argument parsing and command execution live here so they are unit
 //! testable; `main.rs` is a thin shim. Failures map to exit codes via
-//! [`CliError::exit_code`]: usage errors exit 2, I/O errors exit 1, and
-//! invalid or corrupt data — including a snapshot that fails validation —
-//! or a pipeline failing under its failure policy exits 3.
+//! [`CliError::exit_code`]: usage errors exit 2 (printed to stderr),
+//! I/O errors exit 1, and invalid or corrupt data — including a snapshot
+//! that fails validation — or a pipeline failing under its failure
+//! policy exits 3. `diff` additionally exits 1 when the snapshots
+//! differ, carried through [`Outcome::code`] rather than an error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,34 +29,78 @@ pub mod args;
 pub mod commands;
 pub mod error;
 
-pub use args::{Cli, Command, FailurePolicyArg, MineArgs, ParseError};
+pub use args::{Cli, Command, DiffFormat, FailurePolicyArg, MineArgs, ParseError};
 pub use error::CliError;
 
-/// Runs a parsed command, returning the text to print.
-pub fn run(cli: &Cli) -> Result<String, CliError> {
+/// The result of a successful command: the text to print plus the
+/// process exit code. Almost every command exits 0 on success; `diff`
+/// exits 1 when the snapshots differ (mirroring `bench diff`), which is
+/// a *finding*, not a failure — hence not a [`CliError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code.
+    pub code: u8,
+}
+
+impl Outcome {
+    /// A success outcome (exit 0).
+    pub fn ok(text: String) -> Self {
+        Self { text, code: 0 }
+    }
+}
+
+/// The version banner `--version` prints.
+pub fn version_string() -> String {
+    format!("surveyor {}", env!("CARGO_PKG_VERSION"))
+}
+
+/// Runs a parsed command, returning the text to print and exit code.
+pub fn run(cli: &Cli) -> Result<Outcome, CliError> {
     match &cli.command {
-        Command::Mine(args) => commands::mine(args),
+        Command::Mine(args) => commands::mine(args).map(Outcome::ok),
         Command::Query {
             store,
             type_name,
             property,
             negative,
             limit,
-        } => commands::query(store, type_name, property, *negative, *limit),
-        Command::Combos { store } => commands::combos(store),
+        } => commands::query(store, type_name, property, *negative, *limit).map(Outcome::ok),
+        Command::Combos { store } => commands::combos(store).map(Outcome::ok),
         Command::Corpus {
             preset,
             seed,
             shard,
             limit,
-        } => commands::corpus(preset, *seed, *shard, *limit),
+        } => commands::corpus(preset, *seed, *shard, *limit).map(Outcome::ok),
         Command::Link {
             preset,
             attribute,
             seed,
             rho,
-        } => commands::link(preset, attribute, *seed, *rho),
-        Command::Snapshot { args, out, store } => commands::snapshot(args, out, store.as_deref()),
-        Command::Load { snapshot, out } => commands::load(snapshot, out.as_deref()),
+        } => commands::link(preset, attribute, *seed, *rho).map(Outcome::ok),
+        Command::Snapshot { args, out, store } => {
+            commands::snapshot(args, out, store.as_deref()).map(Outcome::ok)
+        }
+        Command::Load { snapshot, out } => {
+            commands::load(snapshot, out.as_deref()).map(Outcome::ok)
+        }
+        Command::Serve {
+            snapshot,
+            addr,
+            workers,
+            queue,
+            budget_ms,
+            debug_routes,
+        } => commands::serve(snapshot, addr, *workers, *queue, *budget_ms, *debug_routes)
+            .map(Outcome::ok),
+        Command::Diff { old, new, format } => {
+            let (text, identical) = commands::diff(old, new, *format)?;
+            Ok(Outcome {
+                text,
+                code: u8::from(!identical),
+            })
+        }
     }
 }

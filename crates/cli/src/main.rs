@@ -8,26 +8,27 @@ use surveyor_cli::{run, Cli};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", surveyor_cli::args::USAGE);
-        return if args.is_empty() {
-            ExitCode::FAILURE
-        } else {
-            ExitCode::SUCCESS
-        };
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("{}", surveyor_cli::version_string());
+        return ExitCode::SUCCESS;
     }
     let cli = match Cli::parse(&args) {
         Ok(cli) => cli,
         Err(e) => {
+            // Every usage error — including a bare `surveyor` — goes to
+            // stderr with exit 2, so scripts piping stdout never see it.
             eprintln!("{e}");
-            // A malformed invocation is a usage error: exit 2.
             return ExitCode::from(2);
         }
     };
     match run(&cli) {
-        Ok(text) => {
-            println!("{text}");
-            ExitCode::SUCCESS
+        Ok(outcome) => {
+            println!("{}", outcome.text);
+            ExitCode::from(outcome.code)
         }
         Err(e) => {
             eprintln!("error: {e}");

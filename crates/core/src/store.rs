@@ -192,6 +192,48 @@ impl SubjectiveKb {
             .collect()
     }
 
+    /// Every stored opinion about `entity_name` across all combinations,
+    /// most confident first (largest `|p − 0.5|`). This is the query
+    /// server's top-k-properties-per-entity scan.
+    pub fn opinions_of_entity(
+        &self,
+        entity_name: &str,
+    ) -> Vec<(&CombinationBlock, &StoredOpinion)> {
+        let mut hits: Vec<(&CombinationBlock, &StoredOpinion)> = self
+            .blocks
+            .iter()
+            .flat_map(|b| {
+                b.opinions
+                    .iter()
+                    .filter(|o| o.entity_name.eq_ignore_ascii_case(entity_name))
+                    .map(move |o| (b, o))
+            })
+            .collect();
+        hits.sort_by(|(ba, a), (bb, b)| {
+            let conf_a = (a.probability - 0.5).abs();
+            let conf_b = (b.probability - 0.5).abs();
+            conf_b
+                .total_cmp(&conf_a)
+                .then_with(|| ba.type_name.cmp(&bb.type_name))
+                .then_with(|| ba.property.to_string().cmp(&bb.property.to_string()))
+        });
+        hits
+    }
+
+    /// The stored opinion for one entity-property pair, searched across
+    /// every type — the query server's `/decide/{entity}/{property}`
+    /// lookup, where the URL carries no type name. When the entity is
+    /// stored under several types (rare), the most confident block wins.
+    pub fn find_opinion(
+        &self,
+        entity_name: &str,
+        property: &Property,
+    ) -> Option<(&CombinationBlock, &StoredOpinion)> {
+        self.opinions_of_entity(entity_name)
+            .into_iter()
+            .find(|(b, _)| &b.property == property)
+    }
+
     /// The opinion on one entity-property pair, if stored.
     pub fn opinion(
         &self,

@@ -1,0 +1,26 @@
+//! Fixture: the server-scope cases. The real crates/server/src is
+//! covered by no-panic-in-lib (a worker panic must stay one isolated
+//! 500), no-wall-clock (only the deadline anchor may read the clock,
+//! under a pragma), and no-unordered-iter (JSON response bodies must be
+//! byte-stable across identical requests), mirroring lint.toml.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Stamp(Instant);
+
+pub fn stamp() -> Stamp {
+    Stamp(Instant::now()) // lint:allow(no-wall-clock): deadline anchor mirror — suppressed, no finding here
+}
+
+pub fn render_counters(counters: &HashMap<String, u64>) -> String {
+    let mut body = String::new();
+    for (name, value) in counters {
+        body.push_str(&format!("{name}: {value}\n"));
+    }
+    body
+}
+
+pub fn parse_status(head: &str) -> u16 {
+    head.split(' ').nth(1).unwrap().parse().unwrap()
+}

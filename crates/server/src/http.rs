@@ -1,0 +1,488 @@
+//! A hand-rolled, total HTTP/1.1 subset: request-head parsing and
+//! response writing over `std::net::TcpStream`.
+//!
+//! The parser is **total**: any byte buffer maps to `Ok(Request)` or a
+//! typed [`HttpError`] — never a panic. That property is what lets the
+//! per-connection `catch_unwind` in the server loop stay a last-resort
+//! backstop instead of a load-bearing control path, and it is pinned by
+//! the vendored-proptest suite in `tests/http_props.rs`.
+//!
+//! Scope is deliberately narrow — the server speaks exactly what its
+//! clients need: `GET`/`POST`, a percent-encoded path with an optional
+//! query string, headers that are scanned for syntactic sanity but not
+//! interpreted, one request per connection, `Connection: close` on every
+//! response. Bodies are never read; control operations carry their
+//! arguments in the query string.
+
+use crate::deadline::Deadline;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on the request head (request line + headers + blank line).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// The two methods the API speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read-only queries.
+    Get,
+    /// Control-plane mutations (`/ctl/...`).
+    Post,
+}
+
+impl Method {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Get => "GET",
+            Self::Post => "POST",
+        }
+    }
+}
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// Percent-decoded path segments (`/decide/Los%20Angeles/big` →
+    /// `["decide", "Los Angeles", "big"]`).
+    pub segments: Vec<String>,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first query value stored under `key`, if any.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The undecoded-path shape for log-style rendering: segments
+    /// re-joined with `/`.
+    pub fn path(&self) -> String {
+        let mut out = String::new();
+        for segment in &self.segments {
+            out.push('/');
+            out.push_str(segment);
+        }
+        if out.is_empty() {
+            out.push('/');
+        }
+        out
+    }
+}
+
+/// Why a request could not be served at the HTTP layer. Every variant
+/// maps to a response status (or a silent close when the peer is gone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The head exceeded [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`] → `431`.
+    TooLarge,
+    /// The bytes are not a parseable request head → `400`.
+    Malformed(&'static str),
+    /// The request's deadline expired while reading → `408`.
+    Expired,
+    /// The peer closed the connection before a full head arrived.
+    Disconnected,
+    /// The socket failed mid-read.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooLarge => write!(f, "request head too large"),
+            Self::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            Self::Expired => write!(f, "deadline expired while reading request"),
+            Self::Disconnected => write!(f, "peer disconnected mid-request"),
+            Self::Io(kind) => write!(f, "socket error while reading request: {kind:?}"),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes. `None` on a dangling or non-hex escape.
+fn percent_decode(raw: &str) -> Option<Vec<u8>> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                // Form-style space, accepted for client convenience.
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Some(out)
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes one path segment or query token for request building
+/// (used by tests, the bench load generator, and clients).
+pub fn percent_encode(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for b in raw.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(*b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(
+                    char::from_digit(u32::from(b >> 4), 16)
+                        .unwrap_or('0')
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit(u32::from(b & 0xf), 16)
+                        .unwrap_or('0')
+                        .to_ascii_uppercase(),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn decode_component(raw: &str, context: &'static str) -> Result<String, HttpError> {
+    let bytes = percent_decode(raw).ok_or(HttpError::Malformed(context))?;
+    String::from_utf8(bytes).map_err(|_| HttpError::Malformed(context))
+}
+
+/// Parses a complete request head (everything up to and including the
+/// blank line). Total: never panics on any input.
+pub fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+
+    let mut parts = request_line.split(' ');
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("POST") => Method::Post,
+        Some(_) => return Err(HttpError::Malformed("unsupported method")),
+        None => return Err(HttpError::Malformed("missing method")),
+    };
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    match parts.next() {
+        Some("HTTP/1.1" | "HTTP/1.0") => {}
+        _ => return Err(HttpError::Malformed("missing or unsupported HTTP version")),
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens on request line"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed("target must be origin-form"));
+    }
+
+    // Headers: bounded count, each line must look like `name: value`.
+    let mut header_count = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line (and any trailing split artifact)
+        }
+        header_count += 1;
+        if header_count > MAX_HEADERS {
+            return Err(HttpError::TooLarge);
+        }
+        let Some(colon) = line.find(':') else {
+            return Err(HttpError::Malformed("header line without colon"));
+        };
+        if colon == 0 {
+            return Err(HttpError::Malformed("header with empty name"));
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let mut segments = Vec::new();
+    for raw in raw_path.split('/').filter(|s| !s.is_empty()) {
+        segments.push(decode_component(raw, "bad percent-escape in path")?);
+    }
+    let mut query = Vec::new();
+    if let Some(raw) = raw_query {
+        for pair in raw.split('&').filter(|s| !s.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((
+                decode_component(k, "bad percent-escape in query key")?,
+                decode_component(v, "bad percent-escape in query value")?,
+            ));
+        }
+    }
+    Ok(Request {
+        method,
+        segments,
+        query,
+    })
+}
+
+/// Reads a request head from `stream` under `deadline`, enforcing
+/// [`MAX_HEAD_BYTES`]. The remaining budget becomes the socket read
+/// timeout, re-derived after every partial read, so a slowloris-style
+/// client that trickles bytes cannot hold a worker past the deadline.
+pub fn read_head(stream: &mut TcpStream, deadline: &Deadline) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    loop {
+        let Some(remaining) = deadline.remaining() else {
+            return Err(HttpError::Expired);
+        };
+        // A zero timeout is rejected by std; clamp to 1ms.
+        let timeout = remaining.max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(timeout)).is_err() {
+            return Err(HttpError::Io(std::io::ErrorKind::InvalidInput));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(HttpError::Disconnected),
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge);
+                }
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    // Trim anything past the head terminator (the start
+                    // of an ignored body).
+                    if let Some(end) = head.windows(4).position(|w| w == b"\r\n\r\n") {
+                        head.truncate(end + 4);
+                    }
+                    return Ok(head);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Expired);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::ConnectionAborted
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                return Err(HttpError::Disconnected);
+            }
+            Err(e) => return Err(HttpError::Io(e.kind())),
+        }
+    }
+}
+
+/// A response about to be written. One per connection; every response
+/// closes the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Optional `Retry-After` seconds (the load-shedding signal).
+    pub retry_after: Option<u32>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from a serializable value.
+    pub fn json(status: u16, value: &serde_json::Value) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            // Serializing a `Value` tree cannot fail; fall back to an
+            // empty object rather than unwrapping.
+            body: serde_json::to_string_pretty(value)
+                .unwrap_or_else(|_| "{}".to_owned())
+                .into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            retry_after: None,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// The shed response: `503` with a `Retry-After` hint, written
+    /// straight from the accept path when the work queue is full.
+    pub fn shed(retry_after_seconds: u32) -> Self {
+        let mut r = Self::json(
+            503,
+            &serde_json::json!({
+                "error": "server overloaded; request shed",
+                "retry_after_seconds": retry_after_seconds,
+            }),
+        );
+        r.retry_after = Some(retry_after_seconds);
+        r
+    }
+
+    /// Renders the full wire form (status line, headers, body).
+    pub fn render(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"Connection: close\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response under the request's deadline. The write
+    /// window never drops below `floor` so even an expired request gets
+    /// a brief chance to carry its error status to the peer.
+    pub fn write_to(&self, stream: &mut TcpStream, deadline: &Deadline) -> std::io::Result<()> {
+        let window = deadline.write_window(Duration::from_millis(100));
+        stream.set_write_timeout(Some(window))?;
+        stream.write_all(&self.render())?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(s: &str) -> Result<Request, HttpError> {
+        parse_head(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = head("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.segments, vec!["healthz"]);
+        assert!(req.query.is_empty());
+        assert_eq!(req.path(), "/healthz");
+    }
+
+    #[test]
+    fn decodes_percent_escapes_and_query() {
+        let req = head("GET /decide/Los%20Angeles/big?k=5&x=a%26b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments, vec!["decide", "Los Angeles", "big"]);
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.query_param("x"), Some("a&b"));
+        assert_eq!(req.query_param("absent"), None);
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        let req = head("GET /decide/Los+Angeles/big HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments[1], "Los Angeles");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for (case, bytes) in [
+            ("bad method", "PUT /x HTTP/1.1\r\n\r\n"),
+            ("no version", "GET /x\r\n\r\n"),
+            ("bad version", "GET /x HTTP/2\r\n\r\n"),
+            ("extra tokens", "GET /x HTTP/1.1 extra\r\n\r\n"),
+            ("not origin form", "GET http://e/x HTTP/1.1\r\n\r\n"),
+            ("dangling escape", "GET /x%2 HTTP/1.1\r\n\r\n"),
+            ("non-hex escape", "GET /x%zz HTTP/1.1\r\n\r\n"),
+            ("colonless header", "GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            ("empty header name", "GET /x HTTP/1.1\r\n: v\r\n\r\n"),
+            ("empty", ""),
+        ] {
+            assert!(head(bytes).is_err(), "{case} should be rejected");
+        }
+    }
+
+    #[test]
+    fn header_flood_is_too_large() {
+        let mut s = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            s.push_str(&format!("h{i}: v\r\n"));
+        }
+        s.push_str("\r\n");
+        assert_eq!(head(&s), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for s in ["Los Angeles", "très grand", "a/b?c&d=e", "ぴかぴか", ""] {
+            let encoded = percent_encode(s);
+            let req = head(&format!("GET /seg/{encoded} HTTP/1.1\r\n\r\n")).unwrap();
+            let want: Vec<&str> = if s.is_empty() {
+                vec!["seg"]
+            } else {
+                vec!["seg", s]
+            };
+            assert_eq!(req.segments, want, "round-tripping {s:?}");
+        }
+    }
+
+    #[test]
+    fn response_renders_with_length_and_close() {
+        let r = Response::text(200, "ok");
+        let rendered = String::from_utf8(r.render()).unwrap();
+        assert!(rendered.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(rendered.contains("Content-Length: 2\r\n"));
+        assert!(rendered.contains("Connection: close\r\n"));
+        assert!(rendered.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let r = Response::shed(1);
+        let rendered = String::from_utf8(r.render()).unwrap();
+        assert!(rendered.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(rendered.contains("Retry-After: 1\r\n"));
+    }
+}

@@ -1,0 +1,540 @@
+//! Section-by-section comparison of two snapshots.
+//!
+//! `wire diff` answers the operational question "what changed between
+//! these two `.swire` files?" without loading either into a pipeline:
+//! every section is keyed by its *stable identity* (names and surface
+//! forms, never dense table indexes), so re-ordering the entity table or
+//! re-interning properties does not masquerade as a content change —
+//! only genuinely added, removed, or changed rows report.
+//!
+//! The crate stays zero-dep: this module emits plain owned structures;
+//! human and JSON rendering belong to the CLI.
+
+use crate::snapshot::{Snapshot, SnapshotProperty};
+use std::collections::BTreeMap;
+
+/// The per-section comparison result. Key lists are sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SectionDelta {
+    /// Section name (`properties`, `types`, `entities`, `evidence`,
+    /// `provenance`, `models`, `decisions`).
+    pub section: &'static str,
+    /// Row count in the first snapshot.
+    pub count_a: usize,
+    /// Row count in the second snapshot.
+    pub count_b: usize,
+    /// Keys present only in the second snapshot.
+    pub added: Vec<String>,
+    /// Keys present only in the first snapshot.
+    pub removed: Vec<String>,
+    /// Keys present in both with different content.
+    pub changed: Vec<String>,
+}
+
+impl SectionDelta {
+    /// Whether the section is identical across the two snapshots.
+    pub fn is_identical(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Total number of differing keys.
+    pub fn difference_count(&self) -> usize {
+        self.added.len() + self.removed.len() + self.changed.len()
+    }
+}
+
+/// The full comparison of two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Wire format version of the first snapshot.
+    pub version_a: u16,
+    /// Wire format version of the second snapshot.
+    pub version_b: u16,
+    /// Whether the provenance sample bounds differ.
+    pub sample_size_changed: bool,
+    /// One delta per section, in canonical section order.
+    pub sections: Vec<SectionDelta>,
+}
+
+impl SnapshotDiff {
+    /// Whether the two snapshots are semantically identical.
+    pub fn is_identical(&self) -> bool {
+        self.version_a == self.version_b
+            && !self.sample_size_changed
+            && self.sections.iter().all(SectionDelta::is_identical)
+    }
+
+    /// Total differing keys across all sections.
+    pub fn difference_count(&self) -> usize {
+        self.sections
+            .iter()
+            .map(SectionDelta::difference_count)
+            .sum()
+    }
+}
+
+fn property_display(p: &SnapshotProperty) -> String {
+    let mut s = String::new();
+    for adverb in &p.adverbs {
+        s.push_str(adverb);
+        s.push(' ');
+    }
+    s.push_str(&p.adjective);
+    s
+}
+
+/// Index→name helpers resolved against one snapshot's own tables, so a
+/// dangling index (possible in hand-built snapshots) renders as a
+/// placeholder instead of failing the diff.
+struct Names<'a> {
+    snapshot: &'a Snapshot,
+}
+
+impl Names<'_> {
+    fn entity(&self, index: u32) -> String {
+        self.snapshot
+            .entities
+            .get(index as usize)
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|| format!("#entity{index}"))
+    }
+
+    fn type_name(&self, index: u32) -> String {
+        self.snapshot
+            .types
+            .get(index as usize)
+            .map(|t| t.name.clone())
+            .unwrap_or_else(|| format!("#type{index}"))
+    }
+
+    fn property(&self, index: u32) -> String {
+        self.snapshot
+            .properties
+            .get(index as usize)
+            .map(property_display)
+            .unwrap_or_else(|| format!("#property{index}"))
+    }
+}
+
+fn section_delta<V: PartialEq>(
+    section: &'static str,
+    a: BTreeMap<String, V>,
+    b: BTreeMap<String, V>,
+) -> SectionDelta {
+    let mut delta = SectionDelta {
+        section,
+        count_a: a.len(),
+        count_b: b.len(),
+        ..SectionDelta::default()
+    };
+    for (key, value) in &a {
+        match b.get(key) {
+            None => delta.removed.push(key.clone()),
+            Some(other) if other != value => delta.changed.push(key.clone()),
+            Some(_) => {}
+        }
+    }
+    for key in b.keys() {
+        if !a.contains_key(key) {
+            delta.added.push(key.clone());
+        }
+    }
+    delta
+}
+
+/// Compares two decoded snapshots section by section.
+pub fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> SnapshotDiff {
+    diff_with_versions(a, b, crate::FORMAT_VERSION, crate::FORMAT_VERSION)
+}
+
+/// Compares two snapshots, recording the wire versions their containers
+/// declared (the CLI reads these off [`crate::SnapshotReader`]).
+pub fn diff_with_versions(
+    a: &Snapshot,
+    b: &Snapshot,
+    version_a: u16,
+    version_b: u16,
+) -> SnapshotDiff {
+    let names_a = Names { snapshot: a };
+    let names_b = Names { snapshot: b };
+
+    let properties = section_delta(
+        "properties",
+        a.properties
+            .iter()
+            .map(|p| (property_display(p), ()))
+            .collect(),
+        b.properties
+            .iter()
+            .map(|p| (property_display(p), ()))
+            .collect(),
+    );
+    let types = section_delta(
+        "types",
+        a.types
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    (t.head_nouns.clone(), t.context_cues.clone()),
+                )
+            })
+            .collect(),
+        b.types
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    (t.head_nouns.clone(), t.context_cues.clone()),
+                )
+            })
+            .collect(),
+    );
+    let entities = section_delta(
+        "entities",
+        a.entities
+            .iter()
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    (
+                        e.aliases.clone(),
+                        names_a.type_name(e.type_index),
+                        e.attributes.clone(),
+                    ),
+                )
+            })
+            .collect(),
+        b.entities
+            .iter()
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    (
+                        e.aliases.clone(),
+                        names_b.type_name(e.type_index),
+                        e.attributes.clone(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let evidence = section_delta(
+        "evidence",
+        a.evidence
+            .iter()
+            .map(|row| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_a.entity(row.entity),
+                        names_a.property(row.property)
+                    ),
+                    (row.positive, row.negative),
+                )
+            })
+            .collect(),
+        b.evidence
+            .iter()
+            .map(|row| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_b.entity(row.entity),
+                        names_b.property(row.property)
+                    ),
+                    (row.positive, row.negative),
+                )
+            })
+            .collect(),
+    );
+    let provenance = section_delta(
+        "provenance",
+        a.provenance
+            .iter()
+            .map(|row| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_a.entity(row.entity),
+                        names_a.property(row.property)
+                    ),
+                    row.documents.clone(),
+                )
+            })
+            .collect(),
+        b.provenance
+            .iter()
+            .map(|row| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_b.entity(row.entity),
+                        names_b.property(row.property)
+                    ),
+                    row.documents.clone(),
+                )
+            })
+            .collect(),
+    );
+    // Model parameters compare bit-exact: snapshots round-trip floats
+    // exactly, so any bit difference is a real content change.
+    let models = section_delta(
+        "models",
+        a.models
+            .iter()
+            .map(|m| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_a.type_name(m.type_index),
+                        names_a.property(m.property)
+                    ),
+                    (
+                        m.p_agree.to_bits(),
+                        m.rate_pos.to_bits(),
+                        m.rate_neg.to_bits(),
+                        m.iterations,
+                        m.converged,
+                    ),
+                )
+            })
+            .collect(),
+        b.models
+            .iter()
+            .map(|m| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_b.type_name(m.type_index),
+                        names_b.property(m.property)
+                    ),
+                    (
+                        m.p_agree.to_bits(),
+                        m.rate_pos.to_bits(),
+                        m.rate_neg.to_bits(),
+                        m.iterations,
+                        m.converged,
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let decision_value = |names: &Names<'_>, group: &crate::DecisionGroupRow| {
+        let mut rows: Vec<(String, u8, Option<u64>)> = group
+            .decisions
+            .iter()
+            .map(|d| {
+                (
+                    names.entity(d.entity),
+                    d.decision.code(),
+                    d.probability.map(f64::to_bits),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    let decisions = section_delta(
+        "decisions",
+        a.decisions
+            .iter()
+            .map(|g| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_a.type_name(g.type_index),
+                        names_a.property(g.property)
+                    ),
+                    decision_value(&names_a, g),
+                )
+            })
+            .collect(),
+        b.decisions
+            .iter()
+            .map(|g| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_b.type_name(g.type_index),
+                        names_b.property(g.property)
+                    ),
+                    decision_value(&names_b, g),
+                )
+            })
+            .collect(),
+    );
+
+    SnapshotDiff {
+        version_a,
+        version_b,
+        sample_size_changed: a.provenance_sample_size != b.provenance_sample_size,
+        sections: vec![
+            properties, types, entities, evidence, provenance, models, decisions,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{
+        DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow, SnapshotEntity,
+        SnapshotType,
+    };
+
+    fn world() -> Snapshot {
+        Snapshot {
+            properties: vec![
+                SnapshotProperty {
+                    adverbs: vec![],
+                    adjective: "big".into(),
+                },
+                SnapshotProperty {
+                    adverbs: vec!["very".into()],
+                    adjective: "safe".into(),
+                },
+            ],
+            types: vec![SnapshotType {
+                name: "city".into(),
+                head_nouns: vec!["city".into()],
+                context_cues: vec![],
+            }],
+            entities: vec![
+                SnapshotEntity {
+                    name: "Springfield".into(),
+                    aliases: vec![],
+                    type_index: 0,
+                    attributes: vec![("population".into(), 167_000.0)],
+                },
+                SnapshotEntity {
+                    name: "Shelbyville".into(),
+                    aliases: vec![],
+                    type_index: 0,
+                    attributes: vec![],
+                },
+            ],
+            evidence: vec![EvidenceRow {
+                entity: 0,
+                property: 0,
+                positive: 10,
+                negative: 2,
+            }],
+            provenance_sample_size: 3,
+            provenance: vec![],
+            models: vec![ModelRow {
+                type_index: 0,
+                property: 0,
+                p_agree: 0.9,
+                rate_pos: 1.5,
+                rate_neg: 0.2,
+                iterations: 12,
+                converged: 1,
+                log_likelihood: -4.2,
+                q_trace: vec![],
+                delta_trace: vec![],
+            }],
+            decisions: vec![DecisionGroupRow {
+                type_index: 0,
+                property: 0,
+                decisions: vec![DecisionRow {
+                    entity: 0,
+                    decision: DecisionCode::Positive,
+                    probability: Some(0.97),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let a = world();
+        let diff = diff_snapshots(&a, &a.clone());
+        assert!(diff.is_identical());
+        assert_eq!(diff.difference_count(), 0);
+        assert_eq!(diff.sections.len(), 7);
+    }
+
+    #[test]
+    fn added_entity_reports_in_entities_section() {
+        let a = world();
+        let mut b = world();
+        b.entities.push(SnapshotEntity {
+            name: "Ogdenville".into(),
+            aliases: vec![],
+            type_index: 0,
+            attributes: vec![],
+        });
+        let diff = diff_snapshots(&a, &b);
+        assert!(!diff.is_identical());
+        let entities = &diff.sections[2];
+        assert_eq!(entities.section, "entities");
+        assert_eq!(entities.count_a, 2);
+        assert_eq!(entities.count_b, 3);
+        assert_eq!(entities.added, vec!["Ogdenville"]);
+        assert!(entities.removed.is_empty());
+    }
+
+    #[test]
+    fn changed_evidence_counts_report_as_changed() {
+        let a = world();
+        let mut b = world();
+        b.evidence[0].positive = 99;
+        let diff = diff_snapshots(&a, &b);
+        let evidence = &diff.sections[3];
+        assert_eq!(evidence.changed, vec!["Springfield × big"]);
+        assert!(evidence.added.is_empty() && evidence.removed.is_empty());
+    }
+
+    #[test]
+    fn model_parameter_drift_is_a_change() {
+        let a = world();
+        let mut b = world();
+        b.models[0].p_agree = 0.91;
+        let diff = diff_snapshots(&a, &b);
+        let models = &diff.sections[5];
+        assert_eq!(models.changed, vec!["city × big"]);
+        // log-likelihood and traces are telemetry, not identity: a pure
+        // trace difference does not flag the model row.
+        let mut c = world();
+        c.models[0].log_likelihood = -9.9;
+        assert!(diff_snapshots(&a, &c).is_identical());
+    }
+
+    #[test]
+    fn decision_flip_is_a_change() {
+        let a = world();
+        let mut b = world();
+        b.decisions[0].decisions[0].decision = DecisionCode::Negative;
+        let diff = diff_snapshots(&a, &b);
+        assert_eq!(diff.sections[6].changed, vec!["city × big"]);
+    }
+
+    #[test]
+    fn reordered_entity_table_is_not_a_difference() {
+        let a = world();
+        let mut b = world();
+        // Swap the entity table and fix up every index reference; the
+        // content is identical, only dense ids moved.
+        b.entities.swap(0, 1);
+        b.evidence[0].entity = 1;
+        b.decisions[0].decisions[0].entity = 1;
+        let diff = diff_snapshots(&a, &b);
+        assert!(
+            diff.is_identical(),
+            "index renumbering must not report: {diff:?}"
+        );
+    }
+
+    #[test]
+    fn version_and_sample_size_mismatches_flag() {
+        let a = world();
+        let diff = diff_with_versions(&a, &a.clone(), 1, 2);
+        assert!(!diff.is_identical());
+        let mut b = world();
+        b.provenance_sample_size = 9;
+        let diff = diff_snapshots(&a, &b);
+        assert!(diff.sample_size_changed);
+        assert!(!diff.is_identical());
+    }
+}

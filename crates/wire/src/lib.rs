@@ -70,6 +70,7 @@
 mod crc32;
 mod cursor;
 mod decode;
+mod diff;
 mod encode;
 mod error;
 mod section;
@@ -80,6 +81,7 @@ pub use decode::{
     EntityRecord, EvidenceIter, F64List, ModelIter, ModelRecord, PropertyIter, PropertyRecord,
     ProvenanceIter, ProvenanceRecord, SnapshotReader, StrList, TypeIter, TypeRecord, U64List,
 };
+pub use diff::{diff_snapshots, diff_with_versions, SectionDelta, SnapshotDiff};
 pub use encode::encode;
 pub use error::WireError;
 pub use section::{

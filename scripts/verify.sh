@@ -73,3 +73,58 @@ for key in '"schema_version"' '"format_version"' '"snapshot_bytes"' \
     grep -q "$key" artifacts/snapshot_smoke.json \
         || { echo "snapshot_smoke.json missing $key" >&2; exit 1; }
 done
+
+# Serve gate: boot the fault-hardened query server on the snapshot the
+# gate above just mined and drive it over bash's /dev/tcp (no curl in
+# the image): a known-answer query (cities/seed 5 is deterministic, so
+# the verdict is pinned), a corrupt hot reload that must be rejected
+# while queries keep answering on the old generation, and a graceful
+# shutdown that must exit 0 with the drain summary printed.
+serve_http() { # method path -> full reply on stdout
+    exec 3<>"/dev/tcp/127.0.0.1/${SERVE_PORT}"
+    printf '%s %s HTTP/1.1\r\nHost: verify\r\n\r\n' "$1" "$2" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+rm -f artifacts/serve_gate.log
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    serve --snapshot artifacts/world.swire --addr 127.0.0.1:0 \
+    > artifacts/serve_gate.log &
+SERVE_JOB=$!
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+    SERVE_PORT=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9][0-9]*\).*|\1|p' \
+        artifacts/serve_gate.log | head -n 1)
+    [ -n "$SERVE_PORT" ] && break
+    sleep 0.1
+done
+[ -n "$SERVE_PORT" ] || { echo "serve gate: server did not boot" >&2; exit 1; }
+serve_http GET '/decide/Los%20Angeles/big' | grep -q '"positive": true' \
+    || { echo "serve gate: known-answer query failed" >&2; exit 1; }
+serve_http POST "/ctl/reload?path=artifacts/truncated.swire" | grep -q '^HTTP/1.1 422' \
+    || { echo "serve gate: corrupt reload was not rejected" >&2; exit 1; }
+serve_http GET '/decide/Los%20Angeles/big' | grep -q '"positive": true' \
+    || { echo "serve gate: query failed after rejected reload" >&2; exit 1; }
+serve_http GET /readyz | grep -q '"generation": 1' \
+    || { echo "serve gate: rejected reload bumped the generation" >&2; exit 1; }
+serve_http POST /ctl/shutdown | grep -q '"shutting_down": true' \
+    || { echo "serve gate: shutdown request failed" >&2; exit 1; }
+wait "$SERVE_JOB" \
+    || { echo "serve gate: server exited nonzero" >&2; exit 1; }
+grep -q 'server stopped' artifacts/serve_gate.log \
+    || { echo "serve gate: missing drain summary" >&2; exit 1; }
+rm -f artifacts/serve_gate.log  # transient (carries an ephemeral port)
+
+# Serve bench smoke: quick throughput sweep plus the seeded chaos phase
+# with its invariants armed — every valid query answered correctly
+# throughout the fault mix, every corrupt reload rejected, overload
+# sheds with Retry-After, graceful shutdown completes. The greps pin
+# the keys EXPERIMENTS.md documents.
+cargo run --release -q -p surveyor-bench --bin bench -- \
+    serve --quick --assert-chaos --out artifacts/serve_smoke.json > /dev/null
+for key in '"schema_version"' '"throughput"' '"qps"' '"p50_ms"' '"p99_ms"' \
+           '"chaos"' '"all_valid_answered"' '"corrupt_reloads_rejected"' \
+           '"shed_503"' '"accepted_reload"' '"graceful_shutdown"'; do
+    grep -q "$key" artifacts/serve_smoke.json \
+        || { echo "serve_smoke.json missing $key" >&2; exit 1; }
+done
