@@ -258,7 +258,7 @@ impl InternCache {
         self.ensure_resolved(id);
         match &self.resolved[id.index()] {
             Some(property) => property,
-            None => unreachable!("ensure_resolved fills the slot"),
+            None => unreachable!("ensure_resolved fills the slot"), // lint:allow(panic-reachability): filled one line up
         }
     }
 

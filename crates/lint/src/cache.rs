@@ -1,0 +1,515 @@
+//! The incremental-analysis cache.
+//!
+//! A lint run persists each file's [`FileScan`] (raw findings, pragmas,
+//! flow summaries) under `artifacts/`, keyed on the file's content
+//! hash. A warm run re-uses the stored scan for every unchanged file
+//! and only re-lexes what actually changed; the graph phase then runs
+//! over the mixed set, so flow rules stay whole-workspace-correct even
+//! when almost nothing was re-read. The cache can only ever *skip
+//! work*, never change results: a cold run and a warm run produce
+//! byte-identical reports, which `scripts/verify.sh` asserts.
+//!
+//! Invalidation is whole-cache on any key mismatch: the cache format
+//! version ([`CACHE_VERSION`]), the rule-set version
+//! ([`crate::rules::RULESET_VERSION`]), and the lint-config hash must
+//! all match, otherwise the file is discarded and the run proceeds
+//! cold. A corrupt or truncated cache file is likewise discarded —
+//! [`crate::json`] never panics on bad input. Hashes are FNV-1a-64
+//! (dependency-free, stable across platforms) and serialize as hex
+//! strings because JSON numbers cannot carry a full u64.
+
+use crate::json::{self, Json};
+use crate::output;
+use crate::rules::{FileScan, Pragma, RULESET_VERSION};
+use crate::{callgraph, output::json_string};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// On-disk cache format version.
+pub const CACHE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit: the same dependency-free hash the kb interner family
+/// uses; stable across platforms and runs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One cached file: its content hash and its full scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// FNV-1a-64 of the file's bytes at scan time.
+    pub hash: u64,
+    /// The scan results to reuse when the hash still matches.
+    pub scan: FileScan,
+}
+
+/// The loaded cache: workspace-relative path → entry.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// Entries by workspace-relative path.
+    pub entries: BTreeMap<String, CacheEntry>,
+}
+
+/// Loads the cache at `path`, returning an empty cache when the file
+/// is missing, corrupt, or keyed for a different (cache version,
+/// rule-set version, config hash) triple.
+pub fn load(path: &Path, config_hash: u64) -> Cache {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Cache::default();
+    };
+    let Ok(doc) = json::parse(&text) else {
+        return Cache::default();
+    };
+    let key_matches = doc.get("version").and_then(Json::as_u32) == Some(CACHE_VERSION)
+        && doc.get("ruleset_version").and_then(Json::as_u32) == Some(RULESET_VERSION)
+        && doc.get("config_hash").and_then(Json::as_str) == Some(hex(config_hash).as_str());
+    if !key_matches {
+        return Cache::default();
+    }
+    let Some(files) = doc.get("files").and_then(Json::as_arr) else {
+        return Cache::default();
+    };
+    let mut entries = BTreeMap::new();
+    for item in files {
+        let Some(entry) = entry_from_json(item) else {
+            // One malformed entry poisons the whole cache: results
+            // must never depend on which half of a corrupt file
+            // happened to parse.
+            return Cache::default();
+        };
+        entries.insert(entry.1, entry.0);
+    }
+    Cache { entries }
+}
+
+/// Writes the cache for this run. Creates the parent directory; errors
+/// are returned so the caller can decide to ignore them (a read-only
+/// checkout must not fail the lint gate).
+pub fn store(
+    path: &Path,
+    config_hash: u64,
+    entries: &BTreeMap<String, CacheEntry>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":{CACHE_VERSION},\"ruleset_version\":{RULESET_VERSION},\"config_hash\":\"{}\",\"files\":[",
+        hex(config_hash)
+    );
+    for (i, (rel, entry)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        entry_to_json(&mut out, rel, entry);
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
+}
+
+fn hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+fn strings_json(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_escaped(out, s);
+    }
+    out.push(']');
+}
+
+/// Reads an optional string array: an absent key is the serializer's
+/// encoding of "empty"; a present key must be a well-formed array.
+fn strings_from_json(v: Option<&Json>) -> Option<Vec<String>> {
+    let Some(v) = v else {
+        return Some(Vec::new());
+    };
+    v.as_arr()?
+        .iter()
+        .map(|s| s.as_str().map(str::to_owned))
+        .collect()
+}
+
+/// Reads an optional bool: absent means `false`.
+fn flag_from_json(v: Option<&Json>) -> Option<bool> {
+    match v {
+        None => Some(false),
+        Some(v) => v.as_bool(),
+    }
+}
+
+/// Reads an optional element array: absent means empty.
+fn list_from_json<'a, T>(
+    v: Option<&'a Json>,
+    item: impl Fn(&'a Json) -> Option<T>,
+) -> Option<Vec<T>> {
+    let Some(v) = v else {
+        return Some(Vec::new());
+    };
+    v.as_arr()?.iter().map(item).collect()
+}
+
+/// Writes `,"key":[...]` only when the list is non-empty — warm-run
+/// speed lives and dies on the cache staying small, so every
+/// default-valued field is omitted on write and defaulted on read.
+fn opt_strings(out: &mut String, key: &str, items: &[String]) {
+    if items.is_empty() {
+        return;
+    }
+    let _ = write!(out, ",\"{key}\":");
+    strings_json(out, items);
+}
+
+fn opt_flag(out: &mut String, key: &str, value: bool) {
+    if value {
+        let _ = write!(out, ",\"{key}\":true");
+    }
+}
+
+fn entry_to_json(out: &mut String, rel: &str, entry: &CacheEntry) {
+    let _ = write!(
+        out,
+        "{{\"rel\":{},\"hash\":\"{}\"",
+        json_string(rel),
+        hex(entry.hash)
+    );
+    if !entry.scan.raw.is_empty() {
+        out.push_str(",\"raw\":[");
+        for (i, f) in entry.scan.raw.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"severity\":{},\"rule_version\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"fix_hint\":{}}}",
+                json_string(&f.rule),
+                json_string(f.severity.as_str()),
+                f.rule_version,
+                json_string(&f.file),
+                f.line,
+                f.col,
+                json_string(&f.message),
+                json_string(&f.fix_hint),
+            );
+        }
+        out.push(']');
+    }
+    if !entry.scan.pragmas.is_empty() {
+        out.push_str(",\"pragmas\":[");
+        for (i, p) in entry.scan.pragmas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"line\":{},\"col\":{},\"rules\":", p.line, p.col);
+            strings_json(out, &p.rules);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    if !entry.scan.summary.fns.is_empty() {
+        out.push_str(",\"fns\":[");
+        for (i, f) in entry.scan.summary.fns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            fn_to_json(out, f);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+fn fn_to_json(out: &mut String, f: &callgraph::FnSummary) {
+    let _ = write!(
+        out,
+        "{{\"name\":{},\"line\":{},\"col\":{}",
+        json_string(&f.name),
+        f.line,
+        f.col
+    );
+    opt_flag(out, "pub", f.is_pub);
+    if let Some(p) = &f.deadline_param {
+        out.push_str(",\"deadline\":");
+        json::write_escaped(out, p);
+    }
+    if !f.calls.is_empty() {
+        out.push_str(",\"calls\":[");
+        for (i, c) in f.calls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"path\":");
+            strings_json(out, &c.path);
+            let _ = write!(out, ",\"line\":{},\"col\":{}", c.line, c.col);
+            opt_flag(out, "method", c.method);
+            opt_strings(out, "args", &c.args);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    if !f.panics.is_empty() {
+        out.push_str(",\"panics\":[");
+        for (i, p) in f.panics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"what\":{},\"line\":{},\"col\":{}",
+                json_string(&p.what),
+                p.line,
+                p.col,
+            );
+            opt_flag(out, "allowed", p.allowed);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    if !f.locks.is_empty() {
+        out.push_str(",\"locks\":[");
+        for (i, l) in f.locks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"resource\":{},\"method\":{},\"line\":{},\"col\":{}}}",
+                json_string(&l.resource),
+                json_string(&l.method),
+                l.line,
+                l.col
+            );
+        }
+        out.push(']');
+    }
+    if !f.stmts.is_empty() {
+        out.push_str(",\"stmts\":[");
+        for (i, s) in f.stmts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"line\":{}", s.line);
+            opt_strings(out, "targets", &s.targets);
+            opt_strings(out, "idents", &s.idents);
+            opt_strings(out, "iterated", &s.iterated);
+            opt_strings(out, "calls", &s.calls);
+            opt_flag(out, "cleansed", s.cleansed);
+            opt_flag(out, "coll", s.has_collection);
+            opt_flag(out, "for", s.is_for);
+            opt_flag(out, "ret", s.is_return);
+            if let Some(name) = &s.sink {
+                out.push_str(",\"sink\":");
+                json::write_escaped(out, name);
+                let _ = write!(
+                    out,
+                    ",\"sink_line\":{},\"sink_col\":{}",
+                    s.sink_line, s.sink_col
+                );
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+fn entry_from_json(item: &Json) -> Option<(CacheEntry, String)> {
+    let rel = item.get("rel")?.as_str()?.to_owned();
+    let hash = u64::from_str_radix(item.get("hash")?.as_str()?, 16).ok()?;
+    let raw = list_from_json(item.get("raw"), output::finding_from_json)?;
+    let pragmas = list_from_json(item.get("pragmas"), |p| {
+        Some(Pragma {
+            line: p.get("line")?.as_u32()?,
+            col: p.get("col")?.as_u32()?,
+            rules: strings_from_json(p.get("rules"))?,
+        })
+    })?;
+    let fns = list_from_json(item.get("fns"), fn_from_json)?;
+    Some((
+        CacheEntry {
+            hash,
+            scan: FileScan {
+                rel: rel.clone(),
+                raw,
+                pragmas,
+                summary: callgraph::FileSummary { fns },
+            },
+        },
+        rel,
+    ))
+}
+
+fn fn_from_json(item: &Json) -> Option<callgraph::FnSummary> {
+    let deadline_param = match item.get("deadline") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_str()?.to_owned()),
+    };
+    Some(callgraph::FnSummary {
+        name: item.get("name")?.as_str()?.to_owned(),
+        is_pub: flag_from_json(item.get("pub"))?,
+        line: item.get("line")?.as_u32()?,
+        col: item.get("col")?.as_u32()?,
+        deadline_param,
+        calls: list_from_json(item.get("calls"), |c| {
+            Some(callgraph::CallSite {
+                path: strings_from_json(c.get("path"))?,
+                method: flag_from_json(c.get("method"))?,
+                line: c.get("line")?.as_u32()?,
+                col: c.get("col")?.as_u32()?,
+                args: strings_from_json(c.get("args"))?,
+            })
+        })?,
+        panics: list_from_json(item.get("panics"), |p| {
+            Some(callgraph::PanicSite {
+                what: p.get("what")?.as_str()?.to_owned(),
+                line: p.get("line")?.as_u32()?,
+                col: p.get("col")?.as_u32()?,
+                allowed: flag_from_json(p.get("allowed"))?,
+            })
+        })?,
+        locks: list_from_json(item.get("locks"), |l| {
+            Some(callgraph::LockSite {
+                resource: l.get("resource")?.as_str()?.to_owned(),
+                method: l.get("method")?.as_str()?.to_owned(),
+                line: l.get("line")?.as_u32()?,
+                col: l.get("col")?.as_u32()?,
+            })
+        })?,
+        stmts: list_from_json(item.get("stmts"), |s| {
+            let sink = match s.get("sink") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_str()?.to_owned()),
+            };
+            let has_sink = sink.is_some();
+            Some(callgraph::Stmt {
+                targets: strings_from_json(s.get("targets"))?,
+                idents: strings_from_json(s.get("idents"))?,
+                iterated: strings_from_json(s.get("iterated"))?,
+                calls: strings_from_json(s.get("calls"))?,
+                cleansed: flag_from_json(s.get("cleansed"))?,
+                has_collection: flag_from_json(s.get("coll"))?,
+                sink,
+                sink_line: if has_sink {
+                    s.get("sink_line")?.as_u32()?
+                } else {
+                    0
+                },
+                sink_col: if has_sink {
+                    s.get("sink_col")?.as_u32()?
+                } else {
+                    0
+                },
+                is_for: flag_from_json(s.get("for"))?,
+                is_return: flag_from_json(s.get("ret"))?,
+                line: s.get("line")?.as_u32()?,
+            })
+        })?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::rules;
+
+    fn sample_scan() -> FileScan {
+        rules::analyze_file(
+            "crates/x/src/lib.rs",
+            br#"
+pub fn handle(q: u32, deadline: Deadline) -> String {
+    let m: HashMap<u32, u32> = build(q);
+    let mut out = String::new();
+    for k in m.keys() { out.push_str(&render(k)); } // lint:allow(no-panic-in-lib): demo
+    step(q);
+    out
+}
+fn step(q: u32) { let g = shards.write(); let p = props.lock(); v.unwrap(); }
+"#,
+            false,
+            &LintConfig::default(),
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("surveyor-lint-cache-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_a_full_scan() {
+        let scan = sample_scan();
+        let path = tmp("roundtrip");
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            scan.rel.clone(),
+            CacheEntry {
+                hash: fnv1a(b"content"),
+                scan: scan.clone(),
+            },
+        );
+        store(&path, 7, &entries).expect("cache writes");
+        let loaded = load(&path, 7);
+        assert_eq!(loaded.entries.len(), 1);
+        let entry = loaded.entries.get(&scan.rel).expect("entry present");
+        assert_eq!(entry.hash, fnv1a(b"content"));
+        assert_eq!(entry.scan, scan);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn key_mismatches_discard_the_cache() {
+        let path = tmp("keys");
+        let entries = BTreeMap::new();
+        store(&path, 7, &entries).expect("cache writes");
+        assert!(load(&path, 7).entries.is_empty());
+        // Wrong config hash: discarded (empty either way here, but the
+        // parse path differs — exercise it with a real entry).
+        let scan = sample_scan();
+        let mut entries = BTreeMap::new();
+        entries.insert(scan.rel.clone(), CacheEntry { hash: 1, scan });
+        store(&path, 7, &entries).expect("cache writes");
+        assert_eq!(load(&path, 7).entries.len(), 1);
+        assert!(
+            load(&path, 8).entries.is_empty(),
+            "config hash mismatch kept"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_caches_load_as_empty() {
+        let path = tmp("corrupt");
+        for bad in [
+            "",
+            "not json",
+            "{\"version\":1}",
+            "{\"version\":1,\"ruleset_version\":999,\"config_hash\":\"0000000000000007\",\"files\":[]}",
+            "{\"version\":1,\"ruleset_version\":2,\"config_hash\":\"0000000000000007\",\"files\":[{\"rel\":\"x\"}]}",
+        ] {
+            std::fs::write(&path, bad).expect("test write");
+            assert!(load(&path, 7).entries.is_empty(), "accepted {bad:?}");
+        }
+        let _ = std::fs::remove_file(&path);
+        // Missing file: empty, no error.
+        assert!(load(&path, 7).entries.is_empty());
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

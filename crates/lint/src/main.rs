@@ -2,17 +2,22 @@
 //!
 //! ```text
 //! surveyor-lint [--root DIR] [--config FILE] [--format human|json]
-//!               [--json-out FILE] [--list-rules]
+//!               [--json-out FILE] [--workers N] [--max-severity LEVEL]
+//!               [--cache FILE | --no-cache] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings reported, 2 usage/config/IO error.
-//! This file is the only place in the crate allowed to print.
+//! `--max-severity` filters what counts: with `--max-severity error`
+//! only error-severity findings are printed and only they drive the
+//! exit code (`error` > `warning` > `info`; the default `info` reports
+//! everything). This file is the only place in the crate allowed to
+//! print.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use surveyor_lint::{lint_workspace, load_config, output, rules};
+use surveyor_lint::{lint_workspace_with, load_config, output, rules, LintOptions};
 
 const USAGE: &str = "\
 surveyor-lint: enforce Surveyor's determinism and panic-freedom invariants
@@ -21,40 +26,62 @@ USAGE:
     surveyor-lint [OPTIONS]
 
 OPTIONS:
-    --root DIR         Workspace root to scan (default: current directory)
-    --config FILE      Config path (default: <root>/lint.toml)
-    --format FMT       Output format: human (default) or json
-    --json-out FILE    Additionally write the JSON report to FILE
-    --list-rules       Print the rule table and exit
-    -h, --help         Show this help
+    --root DIR           Workspace root to scan (default: current directory)
+    --config FILE        Config path (default: <root>/lint.toml)
+    --format FMT         Output format: human (default) or json
+    --json-out FILE      Additionally write the JSON report to FILE
+    --workers N          Scan-phase worker threads (default 0 = auto);
+                         any value produces byte-identical output
+    --max-severity LVL   Only report findings at LVL or more severe:
+                         error, warning, or info (default: info = all)
+    --cache FILE         Incremental-cache path
+                         (default: <root>/artifacts/lint_cache.json)
+    --no-cache           Disable the incremental cache for this run
+    --list-rules         Print the rule table (severity, layer) and exit
+    -h, --help           Show this help
 
 EXIT CODES:
-    0  no findings
+    0  no findings at or above --max-severity
     1  findings reported
     2  usage, config, or IO error";
 
+#[derive(Debug, PartialEq)]
 struct Options {
     root: PathBuf,
     config: Option<PathBuf>,
     format: Format,
     json_out: Option<PathBuf>,
+    workers: usize,
+    max_severity: rules::Severity,
+    cache: Option<PathBuf>,
+    no_cache: bool,
     list_rules: bool,
 }
 
-#[derive(PartialEq)]
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            root: PathBuf::from("."),
+            config: None,
+            format: Format::Human,
+            json_out: None,
+            workers: 0,
+            max_severity: rules::Severity::Info,
+            cache: None,
+            no_cache: false,
+            list_rules: false,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
 enum Format {
     Human,
     Json,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        root: PathBuf::from("."),
-        config: None,
-        format: Format::Human,
-        json_out: None,
-        list_rules: false,
-    };
+    let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -85,11 +112,54 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| "--json-out needs a value".to_owned())?,
                 ));
             }
+            "--workers" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a value".to_owned())?;
+                opts.workers = value
+                    .parse()
+                    .map_err(|_| format!("--workers needs a number, got `{value}`"))?;
+            }
+            "--max-severity" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--max-severity needs a value".to_owned())?;
+                opts.max_severity = rules::Severity::parse(value).ok_or_else(|| {
+                    format!("unknown severity `{value}` (error, warning, or info)")
+                })?;
+            }
+            "--cache" => {
+                opts.cache = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--cache needs a value".to_owned())?,
+                ));
+            }
+            "--no-cache" => opts.no_cache = true,
             "--list-rules" => opts.list_rules = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.no_cache && opts.cache.is_some() {
+        return Err("--cache and --no-cache are mutually exclusive".to_owned());
+    }
     Ok(opts)
+}
+
+fn list_rules() {
+    println!(
+        "{:28} {:8} {:6} {:3}  SUMMARY",
+        "RULE", "SEVERITY", "LAYER", "VER"
+    );
+    for rule in rules::RULES.iter().chain([&rules::UNUSED_ALLOW_DEF]) {
+        println!(
+            "{:28} {:8} {:6} {:3}  {}",
+            rule.name,
+            rule.severity.as_str(),
+            rule.layer.as_str(),
+            rule.version,
+            rule.summary
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -106,11 +176,7 @@ fn main() -> ExitCode {
         }
     };
     if opts.list_rules {
-        for rule in rules::RULES {
-            println!("{:24} {}", rule.name, rule.summary);
-        }
-        let meta_summary = "meta-rule: a lint:allow pragma that suppresses nothing";
-        println!("{:24} {meta_summary}", rules::UNUSED_ALLOW);
+        list_rules();
         return ExitCode::SUCCESS;
     }
 
@@ -125,13 +191,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let run = match lint_workspace(&opts.root, &config) {
+    let cache_path = if opts.no_cache {
+        None
+    } else {
+        Some(
+            opts.cache
+                .clone()
+                .unwrap_or_else(|| opts.root.join("artifacts").join("lint_cache.json")),
+        )
+    };
+    let lint_opts = LintOptions {
+        workers: opts.workers,
+        cache_path,
+    };
+    let mut run = match lint_workspace_with(&opts.root, &config, &lint_opts) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("surveyor-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    run.findings.retain(|f| f.severity <= opts.max_severity);
 
     if let Some(path) = &opts.json_out {
         let json = output::render_json(&run.findings, run.files_scanned);
@@ -148,5 +228,89 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse(&[]).expect("empty args parse");
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let opts = parse(&[
+            "--root",
+            "ws",
+            "--config",
+            "custom.toml",
+            "--format",
+            "json",
+            "--json-out",
+            "report.json",
+            "--workers",
+            "4",
+            "--max-severity",
+            "warning",
+            "--cache",
+            "c.json",
+        ])
+        .expect("flags parse");
+        assert_eq!(opts.root, PathBuf::from("ws"));
+        assert_eq!(
+            opts.config.as_deref(),
+            Some(std::path::Path::new("custom.toml"))
+        );
+        assert_eq!(opts.format, Format::Json);
+        assert_eq!(
+            opts.json_out.as_deref(),
+            Some(std::path::Path::new("report.json"))
+        );
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.max_severity, rules::Severity::Warning);
+        assert_eq!(opts.cache.as_deref(), Some(std::path::Path::new("c.json")));
+        assert!(!opts.no_cache);
+    }
+
+    #[test]
+    fn severity_values() {
+        for (flag, want) in [
+            ("error", rules::Severity::Error),
+            ("warning", rules::Severity::Warning),
+            ("info", rules::Severity::Info),
+        ] {
+            let opts = parse(&["--max-severity", flag]).expect("severity parses");
+            assert_eq!(opts.max_severity, want);
+        }
+        assert!(parse(&["--max-severity", "loud"]).is_err());
+        assert!(parse(&["--max-severity"]).is_err());
+    }
+
+    #[test]
+    fn workers_must_be_numeric() {
+        assert_eq!(parse(&["--workers", "8"]).expect("parses").workers, 8);
+        assert!(parse(&["--workers", "many"]).is_err());
+        assert!(parse(&["--workers"]).is_err());
+    }
+
+    #[test]
+    fn cache_flags_conflict() {
+        assert!(parse(&["--no-cache"]).expect("parses").no_cache);
+        assert!(parse(&["--cache", "c.json", "--no-cache"]).is_err());
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        assert!(parse(&["--fast"]).is_err());
+        assert!(parse(&["extra"]).is_err());
     }
 }

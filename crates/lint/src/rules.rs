@@ -1,30 +1,101 @@
-//! The rule table and the per-file scan engine.
+//! The rule table, the token-level scan engine, and the global
+//! pragma-application phase.
 //!
 //! Every rule here encodes an invariant an earlier PR promised and the
 //! compiler cannot check:
 //!
-//! | rule | guards |
-//! |---|---|
-//! | `no-panic-in-lib` | PR 3's `catch_unwind` shard isolation: a panic in library code becomes a quarantined shard instead of a typed `ShardError` |
-//! | `no-wall-clock` | bit-identical reruns: decisions must not read `Instant`/`SystemTime` |
-//! | `no-unseeded-rng` | reproducible EM evaluation: all randomness flows from explicit seeds |
-//! | `no-print-in-lib` | PR 2's report discipline: output goes through obs/`RunReport`, not stdout |
-//! | `no-unordered-iter` | `RunReport::diff` stability: no `std::collections::HashMap` in paths that feed serialized output |
-//! | `forbid-unsafe-missing` | every crate root opts the whole crate out of `unsafe` |
+//! | rule | layer | guards |
+//! |---|---|---|
+//! | `no-panic-in-lib` | token | PR 3's `catch_unwind` shard isolation: a panic in library code becomes a quarantined shard instead of a typed `ShardError` |
+//! | `no-wall-clock` | token | bit-identical reruns: decisions must not read `Instant`/`SystemTime` |
+//! | `no-unseeded-rng` | token | reproducible EM evaluation: all randomness flows from explicit seeds |
+//! | `no-print-in-lib` | token | PR 2's report discipline: output goes through obs/`RunReport`, not stdout |
+//! | `no-unordered-iter` | token | `RunReport::diff` stability: no `std::collections::HashMap` in paths that feed serialized output |
+//! | `forbid-unsafe-missing` | token | every crate root opts the whole crate out of `unsafe` |
+//! | `no-shared-lock-in-worker-loop` | token | PR 5's worker-local accumulation: no shared-lock traffic on the hot path |
+//! | `panic-reachability` | flow | no panic site is reachable from a public API through the call graph |
+//! | `lock-order` | flow | nested lock acquisitions follow one canonical order crate-wide |
+//! | `unordered-iter-flow` | flow | unordered iteration does not flow through lets/returns into a serialization sink |
+//! | `deadline-propagation` | flow | server handlers thread the request `Deadline` into every blocking call |
 //!
-//! Rules operate on the token stream from [`crate::lexer`], so text in
-//! comments and string literals never matches. Code under
-//! `#[cfg(test)]` (and items under `#[test]`) is exempt from the
-//! lib-code rules; see `test_regions`. A finding on a line carrying
-//! a `// lint:allow(<rule>)` pragma is suppressed, and a pragma that
+//! Token rules operate on the stream from [`crate::lexer`], so text in
+//! comments and string literals never matches; flow rules run after
+//! every file is scanned, over the call graph [`crate::callgraph`]
+//! builds from the [`crate::syntax`] trees. Code under `#[cfg(test)]`
+//! (and items under `#[test]`) is exempt from the lib-code rules; see
+//! `test_regions`. A finding on a line carrying a
+//! `// lint:allow(<rule>)` pragma is suppressed, and a pragma that
 //! suppresses nothing is itself reported under the `unused-allow`
-//! meta-rule.
+//! meta-rule. Because flow findings only exist after the graph phase,
+//! pragma application is a global pass ([`finalize`]), not a per-file
+//! one.
 
+use crate::callgraph::{self, FileSummary};
 use crate::config::LintConfig;
 use crate::lexer::{lex, LineIndex, Token, TokenKind};
+use crate::syntax;
+use std::collections::BTreeSet;
 
 /// The meta-rule name for pragmas that suppress nothing.
 pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// Version of the rule set as a whole. Bumped whenever a rule is
+/// added, removed, or changes its matching semantics; part of the
+/// incremental-cache key so stale caches self-invalidate.
+pub const RULESET_VERSION: u32 = 2;
+
+/// How severe a finding is. Orders from most to least severe, so the
+/// derived `Ord` makes `--max-severity` a simple `<=` filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Breaks a correctness invariant (determinism, panic isolation).
+    Error,
+    /// Degrades quality or performance; advisory but gate-failing by
+    /// default.
+    Warning,
+    /// Informational.
+    Info,
+}
+
+impl Severity {
+    /// The lowercase name used in JSON reports and `--max-severity`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warning => "warning",
+            Self::Info => "info",
+        }
+    }
+
+    /// Parses a severity name (as accepted by `--max-severity`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "error" => Some(Self::Error),
+            "warning" => Some(Self::Warning),
+            "info" => Some(Self::Info),
+            _ => None,
+        }
+    }
+}
+
+/// Which analysis layer produces a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Per-file token-pattern matching.
+    Token,
+    /// Whole-workspace call-graph / taint analysis.
+    Flow,
+}
+
+impl Layer {
+    /// The lowercase name used by `--list-rules` and the docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Token => "token",
+            Self::Flow => "flow",
+        }
+    }
+}
 
 /// One rule's identity and documentation.
 #[derive(Debug, Clone, Copy)]
@@ -35,54 +106,158 @@ pub struct RuleDef {
     pub summary: &'static str,
     /// Whether `#[cfg(test)]` / `#[test]` regions are exempt.
     pub exempt_test_code: bool,
+    /// Default severity of the rule's findings.
+    pub severity: Severity,
+    /// Version of this rule's matching semantics.
+    pub version: u32,
+    /// Which layer produces the findings.
+    pub layer: Layer,
+    /// Machine-readable default fix hint.
+    pub fix_hint: &'static str,
 }
 
-/// The rule set, in documentation order.
+/// The rule set, in documentation order: the token layer first, then
+/// the flow layer.
 pub const RULES: &[RuleDef] = &[
     RuleDef {
         name: "no-panic-in-lib",
         summary: "unwrap/expect/panic!/todo!/unimplemented! in library code defeats \
                   catch_unwind shard isolation",
         exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "return a typed error (`?`/`Result`) or document the invariant with \
+                   `// lint:allow(no-panic-in-lib): <why>`",
     },
     RuleDef {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime in decision paths breaks bit-identical reruns",
         exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "measure in crates/obs or inject the reading; pragma only when it \
+                   cannot influence mined output",
     },
     RuleDef {
         name: "no-unseeded-rng",
         summary: "thread_rng/from_entropy bypasses explicit seeding; randomness must flow \
                   from seeds",
         exempt_test_code: false,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "derive the RNG from an explicit seed, e.g. `StdRng::seed_from_u64`",
     },
     RuleDef {
         name: "no-print-in-lib",
         summary: "println!/eprintln! in library code bypasses obs/RunReport",
         exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "route output through obs::RunReport or return data to the CLI layer",
     },
     RuleDef {
         name: "no-unordered-iter",
         summary: "std::collections::HashMap in report/decide/serialization paths makes \
                   emission order nondeterministic",
         exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "use BTreeMap, or collect and sort before emission",
     },
     RuleDef {
         name: "forbid-unsafe-missing",
         summary: "crate roots must carry #![forbid(unsafe_code)]",
         exempt_test_code: false,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "add `#![forbid(unsafe_code)]` as the first line of the crate root",
     },
     RuleDef {
         name: "no-shared-lock-in-worker-loop",
         summary: "Mutex/RwLock acquisition in extract/core worker code serializes the \
                   hot path; accumulate worker-locally and merge after the join",
         exempt_test_code: true,
+        severity: Severity::Warning,
+        version: 1,
+        layer: Layer::Token,
+        fix_hint: "accumulate worker-locally and merge by shard order after the join",
+    },
+    RuleDef {
+        name: "panic-reachability",
+        summary: "a panic site reachable from a public fn through the call graph \
+                  defeats shard isolation transitively",
+        exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Flow,
+        fix_hint: "return a typed error along the call path, or gate the panic site \
+                   with `// lint:allow(panic-reachability): <invariant>`",
+    },
+    RuleDef {
+        name: "lock-order",
+        summary: "nested lock acquisitions must follow one canonical order (kb \
+                  interner: shard write, then properties write) in every function",
+        exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Flow,
+        fix_hint: "reorder the acquisitions to match the established order",
+    },
+    RuleDef {
+        name: "unordered-iter-flow",
+        summary: "a HashMap/HashSet iteration flowing through lets/returns into a \
+                  serialization sink makes emission order nondeterministic",
+        exempt_test_code: true,
+        severity: Severity::Warning,
+        version: 1,
+        layer: Layer::Flow,
+        fix_hint: "sort the iteration (collect to a Vec and sort, or use \
+                   BTreeMap/BTreeSet) before the sink",
+    },
+    RuleDef {
+        name: "deadline-propagation",
+        summary: "a handler holding a request Deadline must pass it to every callee \
+                  that accepts one; dropping it unbounds blocking work",
+        exempt_test_code: true,
+        severity: Severity::Error,
+        version: 1,
+        layer: Layer::Flow,
+        fix_hint: "pass the deadline parameter through to the blocking callee",
     },
 ];
+
+/// The `unused-allow` meta-rule's definition (not part of [`RULES`]
+/// because it cannot be scoped or suppressed — it reports on the
+/// pragma machinery itself).
+pub const UNUSED_ALLOW_DEF: RuleDef = RuleDef {
+    name: UNUSED_ALLOW,
+    summary: "meta-rule: a lint:allow pragma that suppresses nothing",
+    exempt_test_code: false,
+    severity: Severity::Warning,
+    version: 1,
+    layer: Layer::Token,
+    fix_hint: "delete the pragma",
+};
 
 /// Looks up a rule definition by name.
 pub fn rule_by_name(name: &str) -> Option<&'static RuleDef> {
     RULES.iter().find(|r| r.name == name)
+}
+
+/// Like [`rule_by_name`] but also resolves the `unused-allow`
+/// meta-rule (for severity lookups when re-hydrating v1 reports).
+pub fn rule_or_meta(name: &str) -> Option<&'static RuleDef> {
+    if name == UNUSED_ALLOW {
+        Some(&UNUSED_ALLOW_DEF)
+    } else {
+        rule_by_name(name)
+    }
 }
 
 /// One reported violation.
@@ -90,6 +265,10 @@ pub fn rule_by_name(name: &str) -> Option<&'static RuleDef> {
 pub struct Finding {
     /// Rule name (a rule from [`RULES`] or [`UNUSED_ALLOW`]).
     pub rule: String,
+    /// Severity, copied from the rule definition.
+    pub severity: Severity,
+    /// Version of the rule that produced this finding.
+    pub rule_version: u32,
     /// Workspace-relative path, `/`-separated.
     pub file: String,
     /// 1-based line.
@@ -98,12 +277,35 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Machine-readable fix hint.
+    pub fix_hint: String,
 }
 
 impl Finding {
-    /// The deterministic ordering key: file, then position, then rule.
-    pub fn sort_key(&self) -> (&str, u32, u32, &str) {
-        (&self.file, self.line, self.col, &self.rule)
+    /// Builds a finding for `def` with the rule's default fix hint.
+    pub fn of(def: &RuleDef, file: &str, line: u32, col: u32, message: String) -> Self {
+        Self {
+            rule: def.name.to_owned(),
+            severity: def.severity,
+            rule_version: def.version,
+            file: file.to_owned(),
+            line,
+            col,
+            message,
+            fix_hint: def.fix_hint.to_owned(),
+        }
+    }
+
+    /// Replaces the default fix hint with a finding-specific one.
+    pub fn with_hint(mut self, hint: String) -> Self {
+        self.fix_hint = hint;
+        self
+    }
+
+    /// The deterministic ordering key: file, then position, then rule,
+    /// then message (flow rules can report two findings at one site).
+    pub fn sort_key(&self) -> (&str, u32, u32, &str, &str) {
+        (&self.file, self.line, self.col, &self.rule, &self.message)
     }
 }
 
@@ -118,22 +320,71 @@ impl std::fmt::Display for Finding {
 }
 
 /// A `// lint:allow(rule, ...)` pragma found on a line.
-#[derive(Debug, Clone)]
-struct Pragma {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
     /// 1-based line the pragma's comment starts on.
-    line: u32,
+    pub line: u32,
     /// 1-based column of the comment.
-    col: u32,
+    pub col: u32,
     /// Rule names listed inside the parentheses.
-    rules: Vec<String>,
+    pub rules: Vec<String>,
+}
+
+/// Everything one file contributes to the lint run: its raw (pre-
+/// pragma) token-level findings, its pragmas, and the function
+/// summaries the flow rules consume. This is also the unit the
+/// incremental cache stores, keyed on the file's content hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileScan {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Token-level findings, pre-pragma, unsorted.
+    pub raw: Vec<Finding>,
+    /// The file's `lint:allow` pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Function summaries for the call-graph phase.
+    pub summary: FileSummary,
+}
+
+/// Scans one file completely: lexes once, parses the token trees once,
+/// and produces the raw findings, pragmas, and flow summaries.
+pub fn analyze_file(
+    rel_path: &str,
+    src: &[u8],
+    is_crate_root: bool,
+    config: &LintConfig,
+) -> FileScan {
+    let tokens = lex(src);
+    let index = LineIndex::new(src);
+    let sig = syntax::significant(&tokens);
+    let trees = syntax::parse(&sig, src);
+    let test_spans = test_regions(&sig, src);
+    let pragmas = collect_pragmas(&tokens, src, &index);
+    let raw = scan_tokens(
+        rel_path,
+        src,
+        &sig,
+        &index,
+        &test_spans,
+        is_crate_root,
+        config,
+    );
+    let summary = callgraph::summarize(src, &trees, &index, &test_spans, &pragmas);
+    FileScan {
+        rel: rel_path.to_owned(),
+        raw,
+        pragmas,
+        summary,
+    }
 }
 
 /// Scans one file's bytes and appends its findings (already
 /// pragma-filtered, unsorted) to `out`.
 ///
-/// `rel_path` is the workspace-relative path used both for reporting
-/// and for rule scoping; `is_crate_root` enables the
-/// `forbid-unsafe-missing` check.
+/// This is the token-layer convenience API (used by doctests and unit
+/// tests): it applies the file's pragmas locally and reports unused
+/// ones, but runs no flow rules — those need the whole workspace; see
+/// [`crate::lint_workspace`].
 pub fn scan_file(
     rel_path: &str,
     src: &[u8],
@@ -141,21 +392,112 @@ pub fn scan_file(
     config: &LintConfig,
     out: &mut Vec<Finding>,
 ) {
-    let tokens = lex(src);
-    let index = LineIndex::new(src);
-    // Significant tokens: everything the grammar sees (no whitespace
-    // or comments). Spans still point into `src`.
-    let sig: Vec<Token> = tokens
-        .iter()
-        .copied()
-        .filter(|t| {
-            !matches!(
-                t.kind,
-                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
-            )
-        })
-        .collect();
-    let test_spans = test_regions(&sig, src);
+    let scan = analyze_file(rel_path, src, is_crate_root, config);
+    let empty = BTreeSet::new();
+    out.extend(apply_file_pragmas(&scan, Vec::new(), &empty));
+}
+
+/// The global post-graph phase: merges each file's raw findings with
+/// the flow findings that landed on it, applies pragmas, reports
+/// unused pragmas, and returns the fully sorted finding list.
+///
+/// `gated` holds `(file, line, rule)` triples for pragma-gated flow
+/// events that *would* have fired (e.g. a reachable panic site carrying
+/// a `lint:allow(panic-reachability)`), so those pragmas count as used
+/// even though no finding was ever materialized at their line.
+pub fn finalize(
+    scans: &[FileScan],
+    flow: Vec<Finding>,
+    gated: &BTreeSet<(String, u32, String)>,
+) -> Vec<Finding> {
+    let mut flow_by_file: std::collections::BTreeMap<String, Vec<Finding>> =
+        std::collections::BTreeMap::new();
+    for finding in flow {
+        flow_by_file
+            .entry(finding.file.clone())
+            .or_default()
+            .push(finding);
+    }
+    let mut out = Vec::new();
+    for scan in scans {
+        let flow_here = flow_by_file.remove(&scan.rel).unwrap_or_default();
+        out.extend(apply_file_pragmas(scan, flow_here, gated));
+    }
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out
+}
+
+/// Applies one file's pragmas to its raw + flow findings; appends
+/// `unused-allow` findings for pragmas that suppressed nothing and were
+/// not gating a flow event recorded in `gated`.
+fn apply_file_pragmas(
+    scan: &FileScan,
+    flow: Vec<Finding>,
+    gated: &BTreeSet<(String, u32, String)>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut used = vec![false; scan.pragmas.len()];
+    for finding in scan.raw.iter().cloned().chain(flow) {
+        let mut suppressed = false;
+        for (pi, p) in scan.pragmas.iter().enumerate() {
+            if p.line == finding.line && p.rules.contains(&finding.rule) {
+                used[pi] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    for (pi, pragma) in scan.pragmas.iter().enumerate() {
+        if pragma
+            .rules
+            .iter()
+            .any(|r| gated.contains(&(scan.rel.clone(), pragma.line, r.clone())))
+        {
+            used[pi] = true;
+        }
+    }
+    for (pragma, was_used) in scan.pragmas.iter().zip(&used) {
+        let unknown: Vec<&String> = pragma
+            .rules
+            .iter()
+            .filter(|r| rule_by_name(r).is_none())
+            .collect();
+        if let Some(bad) = unknown.first() {
+            out.push(Finding::of(
+                &UNUSED_ALLOW_DEF,
+                &scan.rel,
+                pragma.line,
+                pragma.col,
+                format!("pragma names unknown rule `{bad}`"),
+            ));
+        } else if !was_used {
+            out.push(Finding::of(
+                &UNUSED_ALLOW_DEF,
+                &scan.rel,
+                pragma.line,
+                pragma.col,
+                format!(
+                    "`lint:allow({})` suppresses nothing on this line; remove it",
+                    pragma.rules.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The token-layer scan: raw findings, pre-pragma, unsorted.
+fn scan_tokens(
+    rel_path: &str,
+    src: &[u8],
+    sig: &[Token],
+    index: &LineIndex,
+    test_spans: &[(usize, usize)],
+    is_crate_root: bool,
+    config: &LintConfig,
+) -> Vec<Finding> {
     // Which rules run on this file at all, resolved once.
     let on = |name: &str| config.scope(name).applies_to(rel_path);
     let active: Vec<(&'static RuleDef, bool)> = RULES.iter().map(|r| (r, on(r.name))).collect();
@@ -163,151 +505,142 @@ pub fn scan_file(
     let in_test = |offset: usize| test_spans.iter().any(|&(s, e)| offset >= s && offset < e);
 
     let mut raw: Vec<Finding> = Vec::new();
-    {
-        let mut push = |name: &'static str, offset: usize, message: String| {
-            let Some(rule) = rule_by_name(name) else {
-                return;
-            };
-            if rule.exempt_test_code && in_test(offset) {
-                return;
-            }
-            let (line, col) = index.line_col(offset);
-            raw.push(Finding {
-                rule: name.to_owned(),
-                file: rel_path.to_owned(),
-                line,
-                col,
-                message,
-            });
+    let mut push = |name: &'static str, offset: usize, message: String| {
+        let Some(rule) = rule_by_name(name) else {
+            return;
         };
-
-        for (i, tok) in sig.iter().enumerate() {
-            if tok.kind != TokenKind::Ident {
-                continue;
-            }
-            match tok.text(src) {
-                b"unwrap" | b"expect"
-                    if rule_on("no-panic-in-lib")
-                        && prev_text_is(&sig, i, src, b".")
-                        && next_text_is(&sig, i, src, b"(") =>
-                {
-                    push(
-                        "no-panic-in-lib",
-                        tok.start,
-                        format!(
-                            "`.{}()` can panic in library code; return a typed error or \
-                                 document the invariant with a pragma",
-                            string_of(tok.text(src))
-                        ),
-                    );
-                }
-                b"lock" | b"read" | b"write"
-                    if rule_on("no-shared-lock-in-worker-loop")
-                        && prev_text_is(&sig, i, src, b".")
-                        && next_text_is(&sig, i, src, b"(") =>
-                {
-                    push(
-                        "no-shared-lock-in-worker-loop",
-                        tok.start,
-                        format!(
-                            "`.{}()` acquires a shared lock on the worker hot path; \
-                                 hand results back by value over the join and merge in \
-                                 shard order",
-                            string_of(tok.text(src))
-                        ),
-                    );
-                }
-                b"panic" | b"todo" | b"unimplemented"
-                    if rule_on("no-panic-in-lib") && next_text_is(&sig, i, src, b"!") =>
-                {
-                    push(
-                        "no-panic-in-lib",
-                        tok.start,
-                        format!(
-                            "`{}!` in library code defeats shard panic isolation",
-                            string_of(tok.text(src))
-                        ),
-                    );
-                }
-                b"Instant"
-                    if rule_on("no-wall-clock")
-                        && double_colon_at(&sig, i + 1, src)
-                        && ident_text(&sig, i + 3, src) == Some(b"now") =>
-                {
-                    push(
-                        "no-wall-clock",
-                        tok.start,
-                        "`Instant::now()` reads the wall clock; timing belongs in \
-                             crates/obs"
-                            .to_owned(),
-                    );
-                }
-                b"SystemTime" if rule_on("no-wall-clock") => {
-                    push(
-                        "no-wall-clock",
-                        tok.start,
-                        "`SystemTime` reads the wall clock; timing belongs in crates/obs"
-                            .to_owned(),
-                    );
-                }
-                b"thread_rng" | b"from_entropy" if rule_on("no-unseeded-rng") => {
-                    push(
-                        "no-unseeded-rng",
-                        tok.start,
-                        format!(
-                            "`{}` draws OS entropy; all randomness must flow from \
-                                 explicit seeds",
-                            string_of(tok.text(src))
-                        ),
-                    );
-                }
-                b"println" | b"eprintln"
-                    if rule_on("no-print-in-lib") && next_text_is(&sig, i, src, b"!") =>
-                {
-                    push(
-                        "no-print-in-lib",
-                        tok.start,
-                        format!(
-                            "`{}!` in library code; route output through obs/RunReport \
-                                 or the CLI layer",
-                            string_of(tok.text(src))
-                        ),
-                    );
-                }
-                // `std :: collections :: HashMap` or
-                // `std :: collections :: { ..., HashMap, ... }` —
-                // flag each named `HashMap`.
-                b"std"
-                    if rule_on("no-unordered-iter")
-                        && double_colon_at(&sig, i + 1, src)
-                        && ident_text(&sig, i + 3, src) == Some(b"collections")
-                        && double_colon_at(&sig, i + 4, src) =>
-                {
-                    for hashmap_tok in imported_hashmaps(&sig, i + 6, src) {
-                        push(
-                            "no-unordered-iter",
-                            hashmap_tok.start,
-                            "`std::collections::HashMap` iteration order is \
-                             nondeterministic; use BTreeMap or sort before emission"
-                                .to_owned(),
-                        );
-                    }
-                }
-                _ => {}
-            }
+        if rule.exempt_test_code && in_test(offset) {
+            return;
         }
+        let (line, col) = index.line_col(offset);
+        raw.push(Finding::of(rule, rel_path, line, col, message));
+    };
 
-        if is_crate_root && rule_on("forbid-unsafe-missing") && !has_forbid_unsafe(&sig, src) {
-            // Report at 1:1 — the attribute belongs at the top.
-            push(
-                "forbid-unsafe-missing",
-                0,
-                "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
-            );
+    for (i, tok) in sig.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text(src) {
+            b"unwrap" | b"expect"
+                if rule_on("no-panic-in-lib")
+                    && prev_text_is(sig, i, src, b".")
+                    && next_text_is(sig, i, src, b"(") =>
+            {
+                push(
+                    "no-panic-in-lib",
+                    tok.start,
+                    format!(
+                        "`.{}()` can panic in library code; return a typed error or \
+                             document the invariant with a pragma",
+                        string_of(tok.text(src))
+                    ),
+                );
+            }
+            b"lock" | b"read" | b"write"
+                if rule_on("no-shared-lock-in-worker-loop")
+                    && prev_text_is(sig, i, src, b".")
+                    && next_text_is(sig, i, src, b"(") =>
+            {
+                push(
+                    "no-shared-lock-in-worker-loop",
+                    tok.start,
+                    format!(
+                        "`.{}()` acquires a shared lock on the worker hot path; \
+                             hand results back by value over the join and merge in \
+                             shard order",
+                        string_of(tok.text(src))
+                    ),
+                );
+            }
+            b"panic" | b"todo" | b"unimplemented"
+                if rule_on("no-panic-in-lib") && next_text_is(sig, i, src, b"!") =>
+            {
+                push(
+                    "no-panic-in-lib",
+                    tok.start,
+                    format!(
+                        "`{}!` in library code defeats shard panic isolation",
+                        string_of(tok.text(src))
+                    ),
+                );
+            }
+            b"Instant"
+                if rule_on("no-wall-clock")
+                    && double_colon_at(sig, i + 1, src)
+                    && ident_text(sig, i + 3, src) == Some(b"now") =>
+            {
+                push(
+                    "no-wall-clock",
+                    tok.start,
+                    "`Instant::now()` reads the wall clock; timing belongs in \
+                         crates/obs"
+                        .to_owned(),
+                );
+            }
+            b"SystemTime" if rule_on("no-wall-clock") => {
+                push(
+                    "no-wall-clock",
+                    tok.start,
+                    "`SystemTime` reads the wall clock; timing belongs in crates/obs".to_owned(),
+                );
+            }
+            b"thread_rng" | b"from_entropy" if rule_on("no-unseeded-rng") => {
+                push(
+                    "no-unseeded-rng",
+                    tok.start,
+                    format!(
+                        "`{}` draws OS entropy; all randomness must flow from \
+                             explicit seeds",
+                        string_of(tok.text(src))
+                    ),
+                );
+            }
+            b"println" | b"eprintln"
+                if rule_on("no-print-in-lib") && next_text_is(sig, i, src, b"!") =>
+            {
+                push(
+                    "no-print-in-lib",
+                    tok.start,
+                    format!(
+                        "`{}!` in library code; route output through obs/RunReport \
+                             or the CLI layer",
+                        string_of(tok.text(src))
+                    ),
+                );
+            }
+            // `std :: collections :: HashMap` or
+            // `std :: collections :: { ..., HashMap, ... }` —
+            // flag each named `HashMap`.
+            b"std"
+                if rule_on("no-unordered-iter")
+                    && double_colon_at(sig, i + 1, src)
+                    && ident_text(sig, i + 3, src) == Some(b"collections")
+                    && double_colon_at(sig, i + 4, src) =>
+            {
+                for hashmap_tok in imported_hashmaps(sig, i + 6, src) {
+                    push(
+                        "no-unordered-iter",
+                        hashmap_tok.start,
+                        "`std::collections::HashMap` iteration order is \
+                         nondeterministic; use BTreeMap or sort before emission"
+                            .to_owned(),
+                    );
+                }
+            }
+            _ => {}
         }
     }
 
-    apply_pragmas(rel_path, &tokens, src, &index, raw, out);
+    if is_crate_root && rule_on("forbid-unsafe-missing") && !has_forbid_unsafe(sig, src) {
+        // Report at 1:1 — the attribute belongs at the top.
+        push(
+            "forbid-unsafe-missing",
+            0,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        );
+    }
+
+    raw
 }
 
 fn string_of(bytes: &[u8]) -> String {
@@ -385,7 +718,7 @@ fn has_forbid_unsafe(sig: &[Token], src: &[u8]) -> bool {
 /// by `#[cfg(test)]` (or any `cfg` attribute whose argument list
 /// mentions `test`) or `#[test]`, through the end of its `{...}` body
 /// or terminating `;`.
-fn test_regions(sig: &[Token], src: &[u8]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(sig: &[Token], src: &[u8]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < sig.len() {
@@ -464,16 +797,8 @@ fn classify_attribute(sig: &[Token], open: usize, src: &[u8]) -> (usize, bool) {
     (sig.len().saturating_sub(1), is_test)
 }
 
-/// Filters `raw` findings through the file's `lint:allow` pragmas and
-/// appends the survivors plus any `unused-allow` findings to `out`.
-fn apply_pragmas(
-    rel_path: &str,
-    tokens: &[Token],
-    src: &[u8],
-    index: &LineIndex,
-    raw: Vec<Finding>,
-    out: &mut Vec<Finding>,
-) {
+/// Collects the file's `// lint:allow(rule, ...)` pragmas.
+pub(crate) fn collect_pragmas(tokens: &[Token], src: &[u8], index: &LineIndex) -> Vec<Pragma> {
     let mut pragmas: Vec<Pragma> = Vec::new();
     for tok in tokens {
         if tok.kind != TokenKind::LineComment {
@@ -500,47 +825,7 @@ fn apply_pragmas(
         };
         pragmas.push(Pragma { line, col, rules });
     }
-
-    let mut used = vec![false; pragmas.len()];
-    for finding in raw {
-        let mut suppressed = false;
-        for (pi, p) in pragmas.iter().enumerate() {
-            if p.line == finding.line && p.rules.contains(&finding.rule) {
-                used[pi] = true;
-                suppressed = true;
-            }
-        }
-        if !suppressed {
-            out.push(finding);
-        }
-    }
-    for (pragma, was_used) in pragmas.iter().zip(&used) {
-        let unknown: Vec<&String> = pragma
-            .rules
-            .iter()
-            .filter(|r| rule_by_name(r).is_none())
-            .collect();
-        if let Some(bad) = unknown.first() {
-            out.push(Finding {
-                rule: UNUSED_ALLOW.to_owned(),
-                file: rel_path.to_owned(),
-                line: pragma.line,
-                col: pragma.col,
-                message: format!("pragma names unknown rule `{bad}`"),
-            });
-        } else if !was_used {
-            out.push(Finding {
-                rule: UNUSED_ALLOW.to_owned(),
-                file: rel_path.to_owned(),
-                line: pragma.line,
-                col: pragma.col,
-                message: format!(
-                    "`lint:allow({})` suppresses nothing on this line; remove it",
-                    pragma.rules.join(", ")
-                ),
-            });
-        }
-    }
+    pragmas
 }
 
 #[cfg(test)]
@@ -565,6 +850,9 @@ mod tests {
         let found = scan("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); todo!(); }");
         let rules: Vec<&str> = found.iter().map(|f| f.rule.as_str()).collect();
         assert_eq!(rules, vec!["no-panic-in-lib"; 4], "got: {found:?}");
+        assert!(found.iter().all(|f| f.severity == Severity::Error));
+        assert!(found.iter().all(|f| f.rule_version == 1));
+        assert!(found.iter().all(|f| !f.fix_hint.is_empty()));
     }
 
     #[test]
@@ -694,6 +982,7 @@ mod tests {
         let found = scan(src);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, UNUSED_ALLOW);
+        assert_eq!(found[0].severity, Severity::Warning);
 
         let src = "fn f() { x.unwrap(); } // lint:allow(no-such-rule)\n";
         let found = scan(src);
@@ -758,5 +1047,45 @@ mod tests {
             &mut out,
         );
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn severity_ordering_supports_max_severity_filter() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("loud"), None);
+    }
+
+    #[test]
+    fn rule_table_has_ten_rules_across_two_layers() {
+        assert_eq!(RULES.len(), 11);
+        assert_eq!(RULES.iter().filter(|r| r.layer == Layer::Flow).count(), 4);
+        assert!(rule_or_meta(UNUSED_ALLOW).is_some());
+        assert!(rule_by_name(UNUSED_ALLOW).is_none());
+    }
+
+    #[test]
+    fn finalize_gates_flow_pragmas_via_the_gated_set() {
+        // A pragma that materialized no finding but gated a flow event
+        // must not be reported unused.
+        let scan = analyze_file(
+            "crates/x/src/a.rs",
+            b"fn f() { g(); } // lint:allow(panic-reachability): checked\n",
+            false,
+            &LintConfig::default(),
+        );
+        let mut gated = BTreeSet::new();
+        gated.insert((
+            "crates/x/src/a.rs".to_owned(),
+            1,
+            "panic-reachability".to_owned(),
+        ));
+        let out = finalize(std::slice::from_ref(&scan), Vec::new(), &gated);
+        assert!(out.is_empty(), "{out:?}");
+        // Without the gate entry it IS unused.
+        let out = finalize(&[scan], Vec::new(), &BTreeSet::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, UNUSED_ALLOW);
     }
 }

@@ -1,0 +1,758 @@
+//! Layer two of the analyzer: brace-matched token trees and item
+//! extraction over the flat [`crate::lexer`] stream.
+//!
+//! The token-level rules of PR 4 can see one line at a time; the
+//! flow-aware rules (panic reachability, lock ordering, taint flow,
+//! deadline threading) need to know where a function *starts and ends*
+//! and what its body contains. This module supplies exactly that much
+//! structure and no more: it groups significant tokens into
+//! delimiter-matched trees (`()`, `[]`, `{}`) and extracts item
+//! signatures (`fn`/`impl`/`mod`/`use` with spans and visibility). It
+//! does not build expressions, types, or patterns — the rules that sit
+//! on top pattern-match token sequences inside a known function body.
+//!
+//! Guarantees (property-tested in `tests/syntax_props.rs`):
+//!
+//! - parsing never panics, on any byte string;
+//! - flattening the tree reproduces the significant token stream
+//!   exactly (trees tile the input);
+//! - unbalanced delimiters degrade, never error: an unclosed group runs
+//!   to the end of its parent and records `close: None`; an orphan
+//!   closer becomes a flat [`Tree::Recovered`] leaf.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A delimiter pair kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+    /// `{ ... }`
+    Brace,
+}
+
+impl Delim {
+    fn open(byte: u8) -> Option<Self> {
+        match byte {
+            b'(' => Some(Self::Paren),
+            b'[' => Some(Self::Bracket),
+            b'{' => Some(Self::Brace),
+            _ => None,
+        }
+    }
+
+    fn close(byte: u8) -> Option<Self> {
+        match byte {
+            b')' => Some(Self::Paren),
+            b']' => Some(Self::Bracket),
+            b'}' => Some(Self::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// A significant non-delimiter token.
+    Leaf(Token),
+    /// A delimiter-matched group.
+    Group(Group),
+    /// A closing delimiter with no matching opener: kept as a flat
+    /// recovery node so the tree still tiles the input.
+    Recovered(Token),
+}
+
+/// A delimiter-matched group: `open`, `children`, and (when the source
+/// actually closed it) `close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Which delimiter pair this group uses.
+    pub delim: Delim,
+    /// The opening delimiter token.
+    pub open: Token,
+    /// The closing delimiter token; `None` when the group ran
+    /// unterminated to the end of its parent.
+    pub close: Option<Token>,
+    /// The trees between the delimiters.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// The byte offset the tree starts at.
+    pub fn start(&self) -> usize {
+        match self {
+            Tree::Leaf(t) | Tree::Recovered(t) => t.start,
+            Tree::Group(g) => g.open.start,
+        }
+    }
+
+    /// The byte offset one past the tree's end.
+    pub fn end(&self) -> usize {
+        match self {
+            Tree::Leaf(t) | Tree::Recovered(t) => t.end,
+            Tree::Group(g) => g
+                .close
+                .map(|c| c.end)
+                .or_else(|| g.children.last().map(Tree::end))
+                .unwrap_or(g.open.end),
+        }
+    }
+}
+
+/// Parses a significant-token slice (no whitespace or comments; see
+/// [`significant`]) into a forest of delimiter-matched trees.
+pub fn parse(sig: &[Token], src: &[u8]) -> Vec<Tree> {
+    let mut pos = 0usize;
+    let trees = parse_children(sig, src, &mut pos, None);
+    debug_assert_eq!(pos, sig.len());
+    trees
+}
+
+/// Filters a full lexer stream down to the tokens the grammar sees.
+pub fn significant(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .copied()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect()
+}
+
+/// Parses children until `until` closes (or input ends). A closer that
+/// does not match `until` is handled by recovery: when it matches an
+/// *enclosing* open delimiter the current group ends unterminated (the
+/// closer is left for the parent); when it matches nothing open it
+/// becomes a flat [`Tree::Recovered`] node.
+fn parse_children(sig: &[Token], src: &[u8], pos: &mut usize, until: Option<Delim>) -> Vec<Tree> {
+    let mut children = Vec::new();
+    while *pos < sig.len() {
+        let tok = sig[*pos];
+        let byte = tok.text(src).first().copied().unwrap_or(0);
+        if tok.kind == TokenKind::Punct {
+            if let Some(delim) = Delim::close(byte) {
+                if Some(delim) == until {
+                    // Our closer: the caller consumes it.
+                    return children;
+                }
+                // A closer for someone else. Leave it for an enclosing
+                // group that opened it; otherwise swallow it flat.
+                if until.is_some() {
+                    return children;
+                }
+                *pos += 1;
+                children.push(Tree::Recovered(tok));
+                continue;
+            }
+            if let Some(delim) = Delim::open(byte) {
+                *pos += 1;
+                let inner = parse_children(sig, src, pos, Some(delim));
+                let close = match sig.get(*pos) {
+                    Some(&c)
+                        if c.kind == TokenKind::Punct
+                            && Delim::close(c.text(src).first().copied().unwrap_or(0))
+                                == Some(delim) =>
+                    {
+                        *pos += 1;
+                        Some(c)
+                    }
+                    _ => None,
+                };
+                children.push(Tree::Group(Group {
+                    delim,
+                    open: tok,
+                    close,
+                    children: inner,
+                }));
+                continue;
+            }
+        }
+        *pos += 1;
+        children.push(Tree::Leaf(tok));
+    }
+    children
+}
+
+/// Flattens a forest back to its significant tokens, in source order.
+pub fn flatten(trees: &[Tree]) -> Vec<Token> {
+    let mut out = Vec::new();
+    flatten_into(trees, &mut out);
+    out
+}
+
+fn flatten_into(trees: &[Tree], out: &mut Vec<Token>) {
+    for tree in trees {
+        match tree {
+            Tree::Leaf(t) | Tree::Recovered(t) => out.push(*t),
+            Tree::Group(g) => {
+                out.push(g.open);
+                flatten_into(&g.children, out);
+                if let Some(close) = g.close {
+                    out.push(close);
+                }
+            }
+        }
+    }
+}
+
+/// What an extracted [`Item`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free function, method, or nested fn).
+    Fn,
+    /// An `impl` block (`name` is the implemented type).
+    Impl,
+    /// A `mod` with or without an inline body.
+    Mod,
+    /// A `use` declaration (`name` is the imported path text).
+    Use,
+}
+
+/// An item's visibility, as far as the linter distinguishes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Plain `pub`.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    Restricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One extracted item: kind, name, scope, visibility, byte span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// The item's own name (`fn` name, `impl` type, `mod` name, `use`
+    /// path text).
+    pub name: String,
+    /// Enclosing scope segments (module names, impl type names, outer
+    /// fn names), outermost first.
+    pub scope: Vec<String>,
+    /// Visibility qualifier.
+    pub vis: Visibility,
+    /// Byte offset where the item's keyword starts.
+    pub start: usize,
+    /// Byte offset one past the item's end (`;` or closing brace).
+    pub end: usize,
+    /// Byte offset of the item's name token (for line/col reporting).
+    pub name_offset: usize,
+}
+
+impl Item {
+    /// `scope::name`, the crate-relative qualified name.
+    pub fn qualified(&self) -> String {
+        if self.scope.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}::{}", self.scope.join("::"), self.name)
+        }
+    }
+}
+
+/// Extracts `fn`/`impl`/`mod`/`use` items from a parsed forest, with
+/// scope-qualified names. Traversal enters every brace group (mod and
+/// impl bodies contribute scope segments; struct/enum/trait bodies and
+/// fn bodies are walked too so nested items are found).
+pub fn items(trees: &[Tree], src: &[u8]) -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut scope = Vec::new();
+    walk_items(trees, src, &mut scope, &mut out, &mut |_, _, _| {});
+    out
+}
+
+/// Like [`items`], but also hands each `fn` item's signature trees
+/// (everything between the name and the body) and its body group (when
+/// it has one) to `on_fn` — the hook the call-graph layer builds on.
+pub fn visit_fns<F>(trees: &[Tree], src: &[u8], mut on_fn: F) -> Vec<Item>
+where
+    F: FnMut(&Item, &[Tree], Option<&Group>),
+{
+    let mut out = Vec::new();
+    let mut scope = Vec::new();
+    walk_items(trees, src, &mut scope, &mut out, &mut on_fn);
+    out
+}
+
+fn ident_of<'a>(tree: &Tree, src: &'a [u8]) -> Option<&'a [u8]> {
+    match tree {
+        Tree::Leaf(t) if t.kind == TokenKind::Ident => Some(t.text(src)),
+        _ => None,
+    }
+}
+
+fn punct_of(tree: &Tree, src: &[u8]) -> Option<u8> {
+    match tree {
+        Tree::Leaf(t) if t.kind == TokenKind::Punct => t.text(src).first().copied(),
+        _ => None,
+    }
+}
+
+/// The `fn`-item callback threaded through the item walk: the extracted
+/// item, its signature trees (between name and body), and its body
+/// group (`None` for bodyless declarations).
+type FnVisitor<'a> = dyn FnMut(&Item, &[Tree], Option<&Group>) + 'a;
+
+fn walk_items(
+    trees: &[Tree],
+    src: &[u8],
+    scope: &mut Vec<String>,
+    out: &mut Vec<Item>,
+    on_fn: &mut FnVisitor<'_>,
+) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        let Some(word) = ident_of(&trees[i], src) else {
+            // Descend into stray groups (match arms, blocks) so nested
+            // items are still discovered.
+            if let Tree::Group(g) = &trees[i] {
+                walk_items(&g.children, src, scope, out, on_fn);
+            }
+            i += 1;
+            continue;
+        };
+        match word {
+            b"fn" => i = item_fn(trees, src, i, scope, out, on_fn),
+            b"mod" => i = item_mod(trees, src, i, scope, out, on_fn),
+            b"impl" => i = item_impl(trees, src, i, scope, out, on_fn),
+            b"trait" => i = item_scope_block(trees, src, i, scope, out, on_fn),
+            b"use" => i = item_use(trees, src, i, scope, out),
+            _ => i += 1,
+        }
+    }
+}
+
+/// The visibility governing the item whose keyword sits at `kw`:
+/// looks back for a `pub` leaf (optionally followed by a paren group)
+/// immediately preceding, skipping `unsafe`/`const`/`async`/`extern`
+/// qualifiers and an `extern "abi"` string.
+fn visibility_before(trees: &[Tree], src: &[u8], kw: usize) -> (Visibility, usize) {
+    let mut j = kw;
+    while j > 0 {
+        let prev = &trees[j - 1];
+        match prev {
+            Tree::Leaf(t)
+                if t.kind == TokenKind::Ident
+                    && matches!(
+                        t.text(src),
+                        b"unsafe" | b"const" | b"async" | b"extern" | b"default"
+                    ) =>
+            {
+                j -= 1;
+            }
+            Tree::Leaf(t) if t.kind == TokenKind::Str => j -= 1, // extern "C"
+            _ => break,
+        }
+    }
+    if j > 0 {
+        if let Some(b"pub") = ident_of(&trees[j - 1], src) {
+            return (Visibility::Pub, j - 1);
+        }
+    }
+    if j > 1 {
+        if let (Some(b"pub"), Tree::Group(g)) = (ident_of(&trees[j - 2], src), &trees[j - 1]) {
+            if g.delim == Delim::Paren {
+                return (Visibility::Restricted, j - 2);
+            }
+        }
+    }
+    (Visibility::Private, j)
+}
+
+/// Scans forward from `from` for the item's body brace group or a
+/// terminating `;`, returning `(index past the item, body group)`.
+fn body_or_semi<'a>(trees: &'a [Tree], src: &[u8], from: usize) -> (usize, Option<&'a Group>) {
+    let mut j = from;
+    while j < trees.len() {
+        match &trees[j] {
+            Tree::Group(g) if g.delim == Delim::Brace => return (j + 1, Some(g)),
+            Tree::Leaf(t) if t.kind == TokenKind::Punct && t.text(src) == b";" => {
+                return (j + 1, None)
+            }
+            _ => j += 1,
+        }
+    }
+    (j, None)
+}
+
+fn item_fn(
+    trees: &[Tree],
+    src: &[u8],
+    kw: usize,
+    scope: &mut Vec<String>,
+    out: &mut Vec<Item>,
+    on_fn: &mut FnVisitor<'_>,
+) -> usize {
+    let Some(name_tok) = trees.get(kw + 1).and_then(|t| match t {
+        Tree::Leaf(t) if t.kind == TokenKind::Ident => Some(*t),
+        _ => None,
+    }) else {
+        return kw + 1;
+    };
+    let (vis, vis_at) = visibility_before(trees, src, kw);
+    let (next, body) = body_or_semi(trees, src, kw + 2);
+    // The signature trees: everything between the fn name and the body
+    // group (or terminating `;`) — generics, params, return type.
+    let ends_with_semi = body.is_none()
+        && trees
+            .get(next.wrapping_sub(1))
+            .is_some_and(|t| matches!(t, Tree::Leaf(t) if t.text(src) == b";"));
+    let header_end = if body.is_some() || ends_with_semi {
+        next.saturating_sub(1)
+    } else {
+        next
+    };
+    let header = trees.get(kw + 2..header_end).unwrap_or(&[]);
+    let item = Item {
+        kind: ItemKind::Fn,
+        name: String::from_utf8_lossy(name_tok.text(src)).into_owned(),
+        scope: scope.clone(),
+        vis,
+        start: trees[vis_at].start(),
+        end: trees
+            .get(next.saturating_sub(1))
+            .map_or(name_tok.end, Tree::end),
+        name_offset: name_tok.start,
+    };
+    on_fn(&item, header, body);
+    // Nested fns inside this body are qualified under the fn's name.
+    if let Some(body) = body {
+        scope.push(item.name.clone());
+        walk_items(&body.children, src, scope, out, on_fn);
+        scope.pop();
+    }
+    out.push(item);
+    next
+}
+
+fn item_mod(
+    trees: &[Tree],
+    src: &[u8],
+    kw: usize,
+    scope: &mut Vec<String>,
+    out: &mut Vec<Item>,
+    on_fn: &mut FnVisitor<'_>,
+) -> usize {
+    let Some(name_tok) = trees.get(kw + 1).and_then(|t| match t {
+        Tree::Leaf(t) if t.kind == TokenKind::Ident => Some(*t),
+        _ => None,
+    }) else {
+        return kw + 1;
+    };
+    let (vis, vis_at) = visibility_before(trees, src, kw);
+    let (next, body) = body_or_semi(trees, src, kw + 2);
+    let name = String::from_utf8_lossy(name_tok.text(src)).into_owned();
+    if let Some(body) = body {
+        scope.push(name.clone());
+        walk_items(&body.children, src, scope, out, on_fn);
+        scope.pop();
+    }
+    out.push(Item {
+        kind: ItemKind::Mod,
+        name,
+        scope: scope.clone(),
+        vis,
+        start: trees[vis_at].start(),
+        end: trees
+            .get(next.saturating_sub(1))
+            .map_or(name_tok.end, Tree::end),
+        name_offset: name_tok.start,
+    });
+    next
+}
+
+/// `impl<T> Type { ... }` / `impl Trait for Type { ... }`: the scope
+/// segment is the *implemented type* — the first ident after `for` when
+/// present, else the first ident after the (possibly generic-bracketed)
+/// `impl`.
+fn item_impl(
+    trees: &[Tree],
+    src: &[u8],
+    kw: usize,
+    scope: &mut Vec<String>,
+    out: &mut Vec<Item>,
+    on_fn: &mut FnVisitor<'_>,
+) -> usize {
+    let (next, body) = body_or_semi(trees, src, kw + 1);
+    // Tokens of the impl header: kw+1 .. body index.
+    let header_end = next.saturating_sub(1);
+    let mut type_name: Option<(String, usize)> = None;
+    let mut after_for: Option<(String, usize)> = None;
+    let mut saw_for = false;
+    let mut angle_depth = 0i32;
+    for tree in trees.iter().take(header_end).skip(kw + 1) {
+        match punct_of(tree, src) {
+            Some(b'<') => angle_depth += 1,
+            Some(b'>') => angle_depth = (angle_depth - 1).max(0),
+            _ => {}
+        }
+        if let Some(word) = ident_of(tree, src) {
+            if word == b"for" {
+                saw_for = true;
+                continue;
+            }
+            if angle_depth > 0 || matches!(word, b"dyn" | b"where" | b"unsafe" | b"const") {
+                continue;
+            }
+            let name = String::from_utf8_lossy(word).into_owned();
+            if saw_for {
+                if after_for.is_none() {
+                    after_for = Some((name, tree.start()));
+                }
+            } else if type_name.is_none() {
+                type_name = Some((name, tree.start()));
+            } else {
+                // Later segments of a path type (`wire::Snapshot`):
+                // keep the last segment before the body.
+                type_name = Some((name, tree.start()));
+            }
+        }
+    }
+    let (name, name_offset) = after_for
+        .or(type_name)
+        .unwrap_or_else(|| (String::from("impl"), trees[kw].start()));
+    if let Some(body) = body {
+        scope.push(name.clone());
+        walk_items(&body.children, src, scope, out, on_fn);
+        scope.pop();
+    }
+    out.push(Item {
+        kind: ItemKind::Impl,
+        name,
+        scope: scope.clone(),
+        vis: Visibility::Private,
+        start: trees[kw].start(),
+        end: trees.get(header_end).map_or(trees[kw].end(), Tree::end),
+        name_offset,
+    });
+    next
+}
+
+/// `trait Name { ... }`: not itself an extracted item kind, but default
+/// methods inside get the trait name as a scope segment.
+fn item_scope_block(
+    trees: &[Tree],
+    src: &[u8],
+    kw: usize,
+    scope: &mut Vec<String>,
+    out: &mut Vec<Item>,
+    on_fn: &mut FnVisitor<'_>,
+) -> usize {
+    let name = trees
+        .get(kw + 1)
+        .and_then(|t| ident_of(t, src))
+        .map(|w| String::from_utf8_lossy(w).into_owned());
+    let (next, body) = body_or_semi(trees, src, kw + 2);
+    if let Some(body) = body {
+        let pushed = name.is_some();
+        if let Some(name) = name {
+            scope.push(name);
+        }
+        walk_items(&body.children, src, scope, out, on_fn);
+        if pushed {
+            scope.pop();
+        }
+    }
+    next
+}
+
+fn item_use(trees: &[Tree], src: &[u8], kw: usize, scope: &[String], out: &mut Vec<Item>) -> usize {
+    let (vis, vis_at) = visibility_before(trees, src, kw);
+    let mut j = kw + 1;
+    let mut path = String::new();
+    while j < trees.len() {
+        match &trees[j] {
+            Tree::Leaf(t) if t.kind == TokenKind::Punct && t.text(src) == b";" => {
+                j += 1;
+                break;
+            }
+            Tree::Leaf(t) => {
+                path.push_str(&String::from_utf8_lossy(t.text(src)));
+                j += 1;
+            }
+            Tree::Group(g) => {
+                // `use a::{b, c};` — keep the brace text verbatim.
+                path.push('{');
+                for t in flatten(&g.children) {
+                    path.push_str(&String::from_utf8_lossy(t.text(src)));
+                }
+                path.push('}');
+                j += 1;
+            }
+            Tree::Recovered(_) => {
+                j += 1;
+                break;
+            }
+        }
+    }
+    out.push(Item {
+        kind: ItemKind::Use,
+        name: path,
+        scope: scope.to_owned(),
+        vis,
+        start: trees[vis_at].start(),
+        end: trees.get(j - 1).map_or(trees[kw].end(), Tree::end),
+        name_offset: trees[kw].start(),
+    });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn forest(src: &str) -> (Vec<Tree>, Vec<Token>) {
+        let tokens = lex(src.as_bytes());
+        let sig = significant(&tokens);
+        (parse(&sig, src.as_bytes()), sig)
+    }
+
+    #[test]
+    fn groups_match_and_tile() {
+        let src = "fn f(a: u8) -> Vec<u8> { g(a); [1, 2] }";
+        let (trees, sig) = forest(src);
+        assert_eq!(flatten(&trees), sig);
+        // Top level: fn, f, (..), -, >, Vec, <, u8, >, {..}
+        let braces = trees
+            .iter()
+            .filter(|t| matches!(t, Tree::Group(g) if g.delim == Delim::Brace))
+            .count();
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn unclosed_group_recovers() {
+        let src = "fn f() { g(";
+        let (trees, sig) = forest(src);
+        assert_eq!(flatten(&trees), sig);
+        let Some(Tree::Group(body)) = trees
+            .iter()
+            .find(|t| matches!(t, Tree::Group(g) if g.delim == Delim::Brace))
+        else {
+            panic!("no body group");
+        };
+        assert!(body.close.is_none());
+    }
+
+    #[test]
+    fn orphan_closer_is_flat() {
+        let src = ") fn f() {}";
+        let (trees, sig) = forest(src);
+        assert_eq!(flatten(&trees), sig);
+        assert!(matches!(trees[0], Tree::Recovered(_)));
+    }
+
+    #[test]
+    fn mismatched_closer_ends_inner_group() {
+        // `( ]` — the `]` closes nothing; `(` runs unterminated.
+        let src = "a ( b ] c";
+        let (trees, sig) = forest(src);
+        assert_eq!(flatten(&trees), sig);
+    }
+
+    fn named(items: &[Item], kind: ItemKind) -> Vec<String> {
+        items
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(Item::qualified)
+            .collect()
+    }
+
+    #[test]
+    fn extracts_fns_with_scope_and_visibility() {
+        let src = r#"
+mod inner {
+    pub fn api() { helper(); }
+    fn helper() {}
+}
+pub struct S;
+impl S {
+    pub fn method(&self) {}
+    fn private(&self) {}
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+pub(crate) fn crate_fn() {}
+use std::collections::BTreeMap;
+"#;
+        let (trees, _) = forest(src);
+        let all = items(&trees, src.as_bytes());
+        let fns = named(&all, ItemKind::Fn);
+        assert!(fns.contains(&"inner::api".to_owned()), "{fns:?}");
+        assert!(fns.contains(&"inner::helper".to_owned()));
+        assert!(fns.contains(&"S::method".to_owned()));
+        assert!(fns.contains(&"S::private".to_owned()));
+        assert!(fns.contains(&"S::fmt".to_owned()), "{fns:?}");
+        assert!(fns.contains(&"crate_fn".to_owned()));
+        let api = all.iter().find(|i| i.name == "api").unwrap();
+        assert_eq!(api.vis, Visibility::Pub);
+        let helper = all.iter().find(|i| i.name == "helper").unwrap();
+        assert_eq!(helper.vis, Visibility::Private);
+        let crate_fn = all.iter().find(|i| i.name == "crate_fn").unwrap();
+        assert_eq!(crate_fn.vis, Visibility::Restricted);
+        let uses = named(&all, ItemKind::Use);
+        assert_eq!(uses, vec!["std::collections::BTreeMap"]);
+        let mods = named(&all, ItemKind::Mod);
+        assert_eq!(mods, vec!["inner"]);
+    }
+
+    #[test]
+    fn impl_with_generics_names_the_type() {
+        let src = "impl<T: Clone> Holder<T> { fn get(&self) {} }";
+        let (trees, _) = forest(src);
+        let all = items(&trees, src.as_bytes());
+        let fns = named(&all, ItemKind::Fn);
+        assert_eq!(fns, vec!["Holder::get"]);
+    }
+
+    #[test]
+    fn nested_fn_is_scoped_under_outer() {
+        let src = "fn outer() { fn inner() {} }";
+        let (trees, _) = forest(src);
+        let all = items(&trees, src.as_bytes());
+        let fns = named(&all, ItemKind::Fn);
+        assert!(fns.contains(&"outer".to_owned()));
+        assert!(fns.contains(&"outer::inner".to_owned()));
+    }
+
+    #[test]
+    fn trait_default_methods_are_scoped() {
+        let src = "pub trait Source { fn shard(&self) -> u32 { fallback() } }";
+        let (trees, _) = forest(src);
+        let all = items(&trees, src.as_bytes());
+        assert_eq!(named(&all, ItemKind::Fn), vec!["Source::shard"]);
+    }
+
+    #[test]
+    fn visit_fns_hands_over_bodies() {
+        let src = "fn a(x: u8) -> u8 { x } fn b();";
+        let (trees, _) = forest(src);
+        let mut seen = Vec::new();
+        visit_fns(&trees, src.as_bytes(), |item, header, body| {
+            seen.push((item.name.clone(), header.len(), body.is_some()));
+        });
+        // a's header: the param group plus `-`, `>`, `u8`.
+        assert_eq!(
+            seen,
+            vec![("a".to_owned(), 4, true), ("b".to_owned(), 1, false)]
+        );
+    }
+
+    #[test]
+    fn arbitrary_garbage_does_not_panic() {
+        for src in ["", "}}}", "((((", "fn", "impl", "use ;", "mod {", "pub"] {
+            let (trees, sig) = forest(src);
+            assert_eq!(flatten(&trees), sig);
+            let _ = items(&trees, src.as_bytes());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! deadline-propagation fixtures: `handle` invents a fresh budget
+//! instead of threading the request deadline (reported), `handle_probe`
+//! does the same with a pragma (silent, pragma used), and
+//! `handle_scored` threads it correctly (silent).
+
+pub struct Deadline {
+    pub remaining_ms: u64,
+}
+
+pub fn handle(query: &str, deadline: &Deadline) -> u64 {
+    let fresh = Deadline { remaining_ms: 50 };
+    score(query, &fresh)
+}
+
+pub fn handle_probe(query: &str, deadline: &Deadline) -> u64 {
+    let unbounded = Deadline {
+        remaining_ms: u64::MAX,
+    };
+    score(query, &unbounded) // lint:allow(deadline-propagation): health probe runs unbounded by design
+}
+
+pub fn handle_scored(query: &str, deadline: &Deadline) -> u64 {
+    score(query, deadline)
+}
+
+fn score(query: &str, deadline: &Deadline) -> u64 {
+    query.len() as u64 + deadline.remaining_ms
+}

@@ -1,0 +1,28 @@
+//! lock-order fixtures: `grow` establishes the canonical
+//! `index` -> `props` nesting; `shrink` contradicts it and must be
+//! reported; `rebalance` contradicts it too but carries a pragma.
+
+use std::sync::RwLock;
+
+pub struct Shards {
+    pub index: RwLock<Vec<u32>>,
+    pub props: RwLock<Vec<u32>>,
+}
+
+pub fn grow(s: &Shards) {
+    let index = s.index.write();
+    let props = s.props.write();
+    drop((index, props));
+}
+
+pub fn shrink(s: &Shards) {
+    let props = s.props.write();
+    let index = s.index.write();
+    drop((index, props));
+}
+
+pub fn rebalance(s: &Shards) {
+    let props = s.props.write();
+    let index = s.index.write(); // lint:allow(lock-order): single-threaded maintenance path, no concurrent grow
+    drop((index, props));
+}

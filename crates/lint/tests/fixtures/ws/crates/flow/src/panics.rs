@@ -1,0 +1,25 @@
+//! panic-reachability fixtures: a panic site buried one call deep
+//! behind a public fn, plus a pragma-gated invariant that must stay
+//! silent (and mark its pragma used).
+
+pub fn entry(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    match v.first() {
+        Some(first) => *first,
+        None => unreachable!("fixture: reachable from entry"),
+    }
+}
+
+pub fn entry_checked(v: &[u32]) -> u32 {
+    checked_helper(v)
+}
+
+fn checked_helper(v: &[u32]) -> u32 {
+    match v.first() {
+        Some(first) => *first,
+        None => unreachable!("callers check emptiness"), // lint:allow(panic-reachability): every caller guards with is_empty
+    }
+}

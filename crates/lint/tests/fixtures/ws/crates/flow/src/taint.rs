@@ -1,0 +1,31 @@
+//! unordered-iter-flow fixtures: HashMap iteration reaching a
+//! serialization sink (reported), the same flow with a pragma on the
+//! sink line (silent, pragma used), and a sort-cleansed copy (silent).
+
+use std::collections::HashMap;
+
+pub fn render(m: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for key in m.keys() {
+        out.push_str(key);
+    }
+    out
+}
+
+pub fn render_debug(m: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for key in m.keys() {
+        out.push_str(key); // lint:allow(unordered-iter-flow): debug dump, never diffed or snapshotted
+    }
+    out
+}
+
+pub fn render_sorted(m: &HashMap<String, u32>) -> String {
+    let mut keys: Vec<&String> = m.keys().collect();
+    keys.sort();
+    let mut out = String::new();
+    for key in keys {
+        out.push_str(key);
+    }
+    out
+}

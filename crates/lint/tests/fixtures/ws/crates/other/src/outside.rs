@@ -1,0 +1,55 @@
+//! Out-of-scope mirrors of the flow-rule fixtures: every pattern below
+//! fires inside `crates/flow/src/`, but this crate sits outside the
+//! flow rules' `only` paths, so the goldens must stay silent here.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+pub fn entry(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    match v.first() {
+        Some(first) => *first,
+        None => unreachable!("mirrors the flow fixture"),
+    }
+}
+
+pub struct Pair {
+    pub left: RwLock<Vec<u32>>,
+    pub right: RwLock<Vec<u32>>,
+}
+
+pub fn forward(p: &Pair) {
+    let left = p.left.write();
+    let right = p.right.write();
+    drop((left, right));
+}
+
+pub fn backward(p: &Pair) {
+    let right = p.right.write();
+    let left = p.left.write();
+    drop((left, right));
+}
+
+pub fn render(m: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for key in m.keys() {
+        out.push_str(key);
+    }
+    out
+}
+
+pub struct Deadline {
+    pub remaining_ms: u64,
+}
+
+pub fn handle(query: &str, deadline: &Deadline) -> u64 {
+    let fresh = Deadline { remaining_ms: 50 };
+    score(query, &fresh)
+}
+
+fn score(query: &str, deadline: &Deadline) -> u64 {
+    query.len() as u64 + deadline.remaining_ms
+}

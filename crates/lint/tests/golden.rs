@@ -15,7 +15,7 @@
 use std::path::{Path, PathBuf};
 use surveyor_lint::output::{render_human, render_json};
 use surveyor_lint::rules::{RULES, UNUSED_ALLOW};
-use surveyor_lint::{lint_workspace, load_config};
+use surveyor_lint::{lint_workspace, lint_workspace_with, load_config, LintOptions};
 
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
@@ -121,6 +121,125 @@ fn lock_rule_is_silent_outside_its_scope() {
     // unscoped.rs locks a mutex but sits outside the rule's `only` paths.
     let run = run_fixture();
     assert!(!run.findings.iter().any(|f| f.file.ends_with("unscoped.rs")));
+}
+
+#[test]
+fn panic_reachability_reports_the_chain_and_honors_site_pragmas() {
+    // panics.rs: `entry -> helper` reaches an `unreachable!`; the
+    // pragma-gated twin (`entry_checked -> checked_helper`) stays silent
+    // and its pragma counts as used (no unused-allow for panics.rs).
+    let run = run_fixture();
+    let hits: Vec<_> = run
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("panics.rs"))
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "panic-reachability");
+    assert!(
+        hits[0].message.contains("`entry -> helper`"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn lock_order_reports_the_contradicting_acquisition_only() {
+    // ordering.rs: `grow` establishes index -> props; `shrink`
+    // contradicts it (reported at the inner acquisition); `rebalance`
+    // contradicts it under a pragma (silent).
+    let run = run_fixture();
+    let hits: Vec<_> = run
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("ordering.rs"))
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "lock-order");
+    assert!(
+        hits[0].message.contains("`index` -> `props`"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn unordered_iter_flow_fires_on_the_sink_and_sorting_cleanses() {
+    // taint.rs: `render` pushes HashMap keys into a String (reported at
+    // the sink); `render_debug` carries a pragma on the sink line;
+    // `render_sorted` sorts first — both silent.
+    let run = run_fixture();
+    let hits: Vec<_> = run
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("taint.rs"))
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "unordered-iter-flow");
+    assert!(hits[0].message.contains("push_str"), "{}", hits[0].message);
+}
+
+#[test]
+fn deadline_propagation_fires_on_the_dropped_budget_only() {
+    // deadline.rs: `handle` invents a fresh Deadline (reported at the
+    // call); `handle_probe` does so under a pragma and `handle_scored`
+    // threads the parameter — both silent.
+    let run = run_fixture();
+    let hits: Vec<_> = run
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("deadline.rs"))
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "deadline-propagation");
+    assert_eq!(hits[0].fix_hint, "pass `deadline` through to `score`");
+}
+
+#[test]
+fn flow_rules_are_silent_outside_their_scope() {
+    // outside.rs mirrors all four flow violations but sits outside the
+    // flow rules' `only` paths.
+    let run = run_fixture();
+    assert!(!run.findings.iter().any(|f| f.file.ends_with("outside.rs")));
+}
+
+#[test]
+fn worker_counts_do_not_change_the_output() {
+    let root = fixture_root();
+    let config = load_config(&root.join("lint.toml")).expect("fixture lint.toml parses");
+    let baseline = run_fixture();
+    for workers in [1, 2, 4, 8] {
+        let opts = LintOptions {
+            workers,
+            cache_path: None,
+        };
+        let run = lint_workspace_with(&root, &config, &opts).expect("fixture workspace lints");
+        assert_eq!(
+            render_json(&run.findings, run.files_scanned),
+            render_json(&baseline.findings, baseline.files_scanned),
+            "output differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_reuses_every_file_and_matches_the_cold_run() {
+    let root = fixture_root();
+    let config = load_config(&root.join("lint.toml")).expect("fixture lint.toml parses");
+    let dir = std::env::temp_dir().join(format!("surveyor-lint-golden-{}", std::process::id()));
+    let cache = dir.join("cache.json");
+    let _ = std::fs::remove_file(&cache);
+    let opts = LintOptions {
+        workers: 2,
+        cache_path: Some(cache.clone()),
+    };
+    let cold = lint_workspace_with(&root, &config, &opts).expect("cold run lints");
+    assert_eq!(cold.files_reused, 0);
+    let warm = lint_workspace_with(&root, &config, &opts).expect("warm run lints");
+    assert_eq!(warm.files_reused, warm.files_scanned);
+    assert_eq!(cold.findings, warm.findings);
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_dir(&dir);
 }
 
 #[test]

@@ -1,0 +1,150 @@
+//! Property tests: the token-tree parser is total and lossless.
+//!
+//! `syntax::parse` consumes the significant token stream of any byte
+//! string — balanced or not — and must (a) never panic, (b) preserve
+//! every token: flattening the trees back out reproduces the
+//! significant stream exactly, byte-span for byte-span, and (c) degrade
+//! on unbalanced input by recording unclosed groups (`close: None`) and
+//! orphan closers (`Tree::Recovered`) instead of dropping tokens.
+
+use proptest::prelude::*;
+use surveyor_lint::lexer::lex;
+use surveyor_lint::syntax::{flatten, parse, significant, Tree};
+
+/// Parses one input and asserts the round-trip invariant: the flattened
+/// trees are exactly the significant tokens, in order.
+fn assert_roundtrip(src: &[u8]) {
+    let tokens = lex(src);
+    let sig = significant(&tokens);
+    let trees = parse(&sig, src);
+    let flat = flatten(&trees);
+    assert_eq!(
+        flat.len(),
+        sig.len(),
+        "flatten must preserve the token count"
+    );
+    for (a, b) in flat.iter().zip(&sig) {
+        assert_eq!((a.start, a.end), (b.start, b.end), "span drift");
+        assert_eq!(a.kind, b.kind, "kind drift at byte {}", a.start);
+    }
+}
+
+/// Counts delimiter health over a tree forest: open groups missing
+/// their closer and orphan closers recovered as leaves.
+fn health(trees: &[Tree]) -> (usize, usize) {
+    let mut unclosed = 0;
+    let mut orphans = 0;
+    for tree in trees {
+        match tree {
+            Tree::Leaf(_) => {}
+            Tree::Recovered(_) => orphans += 1,
+            Tree::Group(g) => {
+                if g.close.is_none() {
+                    unclosed += 1;
+                }
+                let (u, o) = health(&g.children);
+                unclosed += u;
+                orphans += o;
+            }
+        }
+    }
+    (unclosed, orphans)
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_parse_without_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..400)
+    ) {
+        assert_roundtrip(&bytes);
+    }
+
+    #[test]
+    fn rust_flavoured_fragments_parse_without_panic(
+        pieces in prop::collection::vec(prop_oneof![
+            Just("fn f"), Just("{"), Just("}"), Just("("), Just(")"),
+            Just("["), Just("]"), Just("\""), Just("\"lit\""), Just("'"),
+            Just("//"), Just("/*"), Just("*/"), Just("\n"), Just("impl X"),
+            Just("pub fn "), Just("mod m"), Just("match x"), Just(";"),
+            Just(".unwrap()"), Just("r#\""), Just("=> {"), Just("#[cfg(test)]")
+        ], 0..60)
+    ) {
+        // Adversarial concatenations: unbalanced braces, delimiters
+        // swallowed by unterminated strings and comments, item keywords
+        // with no bodies.
+        let src: String = pieces.concat();
+        assert_roundtrip(src.as_bytes());
+    }
+
+    #[test]
+    fn balanced_inputs_recover_nothing(
+        depth in 0usize..8,
+        stuffing in prop_oneof![Just("x"), Just("a.b()"), Just("1 + 2;"), Just("")]
+    ) {
+        // Well-nested delimiters parse with zero unclosed groups and
+        // zero orphan closers at any nesting depth.
+        let mut src = String::new();
+        for _ in 0..depth { src.push_str("{ ("); }
+        src.push_str(stuffing);
+        for _ in 0..depth { src.push_str(") }"); }
+        let tokens = lex(src.as_bytes());
+        let sig = significant(&tokens);
+        let trees = parse(&sig, src.as_bytes());
+        prop_assert_eq!(health(&trees), (0, 0));
+    }
+
+    #[test]
+    fn every_open_without_close_is_flagged(
+        opens in 0usize..6
+    ) {
+        // N unmatched `{` produce exactly N unclosed groups, no orphans.
+        let src = "{".repeat(opens);
+        let tokens = lex(src.as_bytes());
+        let sig = significant(&tokens);
+        let trees = parse(&sig, src.as_bytes());
+        prop_assert_eq!(health(&trees), (opens, 0));
+    }
+
+    #[test]
+    fn every_close_without_open_is_recovered(
+        closes in 0usize..6
+    ) {
+        // N unmatched `}` surface as N `Tree::Recovered` leaves.
+        let src = "}".repeat(closes);
+        let tokens = lex(src.as_bytes());
+        let sig = significant(&tokens);
+        let trees = parse(&sig, src.as_bytes());
+        prop_assert_eq!(health(&trees), (0, closes));
+    }
+}
+
+#[test]
+fn fixed_edge_cases_roundtrip() {
+    let cases: &[&[u8]] = &[
+        b"",
+        b"fn f() {",
+        b"}}}{{{",
+        b"fn f(a: u32 -> bool { [ ( } ] )",
+        b"impl T { fn g(&self) }",
+        b"\"{ not a brace }\"",
+        b"// { comment brace\nfn h() {}",
+        b"r#\"{ raw\"# }",
+        b"\xff{\xfe}\x00",
+        b"([{}])",
+        b"(]",
+    ];
+    for case in cases {
+        assert_roundtrip(case);
+    }
+}
+
+#[test]
+fn mismatched_delimiters_do_not_cross_pair() {
+    // `(]` opens a paren group that never closes; the `]` is recovered
+    // rather than closing the paren.
+    let src = b"(]";
+    let tokens = lex(src);
+    let sig = significant(&tokens);
+    let trees = parse(&sig, src);
+    assert_eq!(health(&trees), (1, 1));
+}

@@ -513,7 +513,7 @@ fn assemble(
     match items[pi] {
         Item::Cop(cop) => assemble_copular(tokens, items, pi, cop, subj, b, is_matrix),
         Item::Verb(v) => assemble_verbal(tokens, items, pi, v, subj, b, is_matrix),
-        _ => unreachable!("pred_pos points at a copula or verb"),
+        _ => unreachable!("pred_pos points at a copula or verb"), // lint:allow(panic-reachability): find_predicate only returns Cop/Verb positions
     }
 }
 
@@ -566,7 +566,7 @@ fn assemble_copular(
                 // shape as "I find X dangerous", so only the extended verb
                 // class extracts it.
                 let Some(Item::AdjP(adj)) = items.get(j + 1).copied() else {
-                    unreachable!("guarded by matches!");
+                    unreachable!("guarded by matches!"); // lint:allow(panic-reachability): match guard checked AdjP at j+1
                 };
                 b.mark_root(v);
                 b.attach(cop, v, DepRel::Aux);
