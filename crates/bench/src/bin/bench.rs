@@ -47,6 +47,16 @@
 //! outran the cold run, and every configuration produced the same
 //! report.
 //!
+//! `incremental` measures delta ingestion against from-scratch mining:
+//! a delta-size sweep on a fixed corpus (update time must track the
+//! delta, every update byte-identical to the from-scratch mine), a
+//! corpus-size sweep at fixed delta, 1/2/4/8-thread byte-identity, a
+//! seeded chaos quarantine-then-replay convergence check, and the
+//! opt-in seeded warm-start mode, written to `BENCH_incremental.json`
+//! (schema-validated before writing). `--quick` shrinks the corpus.
+//! `--assert-delta-scaling` exits nonzero unless every ≤10% delta ran
+//! at least 5x faster than from-scratch and every byte-identity held.
+//!
 //! `diff` compares two such run reports phase by phase.
 
 #![forbid(unsafe_code)]
@@ -66,6 +76,8 @@ const USAGE: &str = "usage: bench pipeline [--seed N] [--threads N] \
                      [--assert-chaos]\n\
                      \u{20}      bench lint [--root PATH] [--out PATH] [--quick] \
                      [--assert-cache]\n\
+                     \u{20}      bench incremental [--seed N] [--out PATH] [--quick] \
+                     [--assert-delta-scaling]\n\
                      \u{20}      bench diff <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
@@ -80,6 +92,7 @@ fn main() -> ExitCode {
         "snapshot" => snapshot(rest),
         "serve" => serve(rest),
         "lint" => lint(rest),
+        "incremental" => incremental(rest),
         "diff" => diff(rest),
         _ => {
             eprintln!("{USAGE}");
@@ -522,6 +535,184 @@ fn lint(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `bench incremental`: delta ingestion vs from-scratch mining behind
+/// `BENCH_incremental.json`.
+fn incremental(rest: &[String]) -> ExitCode {
+    let mut config = ReproConfig::default();
+    let mut out = "BENCH_incremental.json".to_owned();
+    let mut quick = false;
+    let mut assert_delta_scaling = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--assert-delta-scaling" => assert_delta_scaling = true,
+            "--seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(v) = value.parse::<u64>() else {
+                    eprintln!("invalid numeric value for {arg}: {value}");
+                    return ExitCode::FAILURE;
+                };
+                config.seed = v;
+            }
+            "--out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {arg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out = value.clone();
+            }
+            _ => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (text, value) = experiments::incremental_bench(&config, quick);
+    println!("{text}");
+
+    if let Err(e) = validate_incremental_schema(&value) {
+        eprintln!("internal error: incremental artifact failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    match std::fs::File::create(&out).and_then(|mut f| {
+        f.write_all(
+            serde_json::to_string_pretty(&value)
+                .expect("serializable artifact")
+                .as_bytes(),
+        )
+    }) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            if assert_delta_scaling {
+                let rows = value["delta_sweep"].as_array().cloned().unwrap_or_default();
+                let all_identical = rows
+                    .iter()
+                    .all(|r| r["byte_identical"].as_bool() == Some(true));
+                let small_fast = rows
+                    .iter()
+                    .filter(|r| r["delta_fraction"].as_f64().unwrap_or(1.0) <= 0.101)
+                    .all(|r| r["speedup_vs_scratch"].as_f64().unwrap_or(0.0) >= 5.0);
+                let threads_ok =
+                    value["determinism"]["byte_identical_all_threads"].as_bool() == Some(true);
+                let chaos_ok = value["determinism"]["chaos"]["byte_identical_after_replay"]
+                    .as_bool()
+                    == Some(true);
+                if !(all_identical && small_fast && threads_ok && chaos_ok) {
+                    eprintln!(
+                        "assert-delta-scaling: failed (byte identical: {all_identical}, \
+                         <=10% deltas >=5x: {small_fast}, identical across threads: \
+                         {threads_ok}, chaos replay converged: {chaos_ok})"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Checks the `BENCH_incremental.json` shape before anything is written
+/// (verify.sh greps these same keys as a second line of defense).
+fn validate_incremental_schema(value: &serde_json::Value) -> Result<(), String> {
+    for key in [
+        "schema_version",
+        "preset",
+        "seed",
+        "shards",
+        "rho",
+        "timing",
+    ] {
+        if value.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    if value["schema_version"].as_u64() != Some(1) {
+        return Err("schema_version is not 1".to_owned());
+    }
+    if value["from_scratch_seconds"].as_f64().is_none() {
+        return Err("from_scratch_seconds is not a number".to_owned());
+    }
+    let deltas = value["delta_sweep"]
+        .as_array()
+        .ok_or_else(|| "delta_sweep is not an array".to_owned())?;
+    if deltas.is_empty() {
+        return Err("delta_sweep is empty".to_owned());
+    }
+    for row in deltas {
+        for key in [
+            "delta_shards",
+            "delta_fraction",
+            "update_seconds",
+            "speedup_vs_scratch",
+            "groups_total",
+            "groups_dirty",
+            "groups_carried",
+            "groups_refit",
+            "delta_pairs",
+            "delta_statements",
+        ] {
+            if row[key].as_f64().is_none() {
+                return Err(format!("delta_sweep row missing numeric {key:?}"));
+            }
+        }
+        if row["byte_identical"].as_bool().is_none() {
+            return Err("delta_sweep row missing boolean byte_identical".to_owned());
+        }
+    }
+    let corpora = value["corpus_sweep"]
+        .as_array()
+        .ok_or_else(|| "corpus_sweep is not an array".to_owned())?;
+    if corpora.is_empty() {
+        return Err("corpus_sweep is empty".to_owned());
+    }
+    for row in corpora {
+        for key in [
+            "shards",
+            "delta_shards",
+            "scratch_seconds",
+            "update_seconds",
+            "update_fraction_of_scratch",
+        ] {
+            if row[key].as_f64().is_none() {
+                return Err(format!("corpus_sweep row missing numeric {key:?}"));
+            }
+        }
+    }
+    let determinism = &value["determinism"];
+    if determinism["byte_identical_all_threads"]
+        .as_bool()
+        .is_none()
+    {
+        return Err("determinism.byte_identical_all_threads is not a boolean".to_owned());
+    }
+    let chaos = &determinism["chaos"];
+    if chaos["seed"].as_u64().is_none() {
+        return Err("determinism.chaos.seed is not a number".to_owned());
+    }
+    if chaos["byte_identical_after_replay"].as_bool().is_none() {
+        return Err("determinism.chaos.byte_identical_after_replay is not a boolean".to_owned());
+    }
+    let warm = &value["warm_seeded"];
+    for key in ["update_seconds", "exact_update_seconds"] {
+        if warm[key].as_f64().is_none() {
+            return Err(format!("warm_seeded.{key} is not a number"));
+        }
+    }
+    if warm["decisions_identical"].as_bool().is_none() {
+        return Err("warm_seeded.decisions_identical is not a boolean".to_owned());
+    }
+    Ok(())
 }
 
 /// Checks the `BENCH_lint.json` shape before anything is written

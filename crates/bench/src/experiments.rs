@@ -1921,6 +1921,359 @@ pub fn serve_bench(cfg: &ReproConfig, quick: bool) -> (String, Value) {
     (text, value)
 }
 
+/// `bench incremental`: delta-ingestion cost vs from-scratch mining,
+/// behind `BENCH_incremental.json`.
+///
+/// Four measurements over the long-tail preset (many (type, property)
+/// groups, so a small delta leaves most groups untouched):
+///
+/// 1. **Delta sweep** — fixed corpus, growing delta: update wall time
+///    must track the delta size, not the corpus size, and every updated
+///    output must re-encode byte-identical to the from-scratch mine of
+///    the whole corpus.
+/// 2. **Corpus sweep** — fixed absolute delta, growing corpus: the
+///    from-scratch time grows with the corpus while the update time
+///    stays roughly flat.
+/// 3. **Thread determinism** — the byte-identity of (1) holds at 1, 2,
+///    4, and 8 worker threads.
+/// 4. **Chaos replay** — a base mined under seeded fault injection
+///    quarantines shards into the replay queue; updating it (delta plus
+///    replay) converges bit-for-bit to the clean from-scratch bytes.
+///
+/// A fifth block times the opt-in `WarmStart::Seeded` mode, which trades
+/// byte-identity for a single warm-started EM run per dirty group, and
+/// records whether its *decisions* still match.
+pub fn incremental_bench(cfg: &ReproConfig, quick: bool) -> (String, Value) {
+    use surveyor::WarmStart;
+
+    let num_shards: usize = if quick { 20 } else { 40 };
+    let timed_runs = if quick { 3 } else { TIMED_RUNS };
+    // 5%, 10%, 20%, and 50% of the corpus.
+    let delta_sizes: Vec<usize> = [20, 10, 5, 2].iter().map(|d| num_shards / d).collect();
+    let fixed_delta = num_shards / 10;
+    // The long-tail preset's per-domain rates are deliberately low; the
+    // default ρ = 100 would leave every group below threshold and the EM
+    // phase idle. ρ = 25 keeps a healthy population of modeled groups so
+    // updates exercise dirty-group refits and carried groups alike.
+    let rho = cfg.rho.min(25);
+    // A leaner EM search than the default (half the pA grid, one restart
+    // instead of three). Applied identically to the from-scratch and
+    // incremental sides, so speedups stay apples-to-apples; it keeps the
+    // constant per-group refit cost from drowning the delta-proportional
+    // extraction cost at bench scale.
+    let em = EmConfig {
+        pa_grid: (50..100).step_by(4).map(|p| p as f64 / 100.0).collect(),
+        restart_shares: vec![0.5],
+        ..EmConfig::default()
+    };
+
+    let world = presets::long_tail_world(40, 120, 8, cfg.seed);
+    let kb = world.kb().clone();
+    let make_generator = |shards: usize| {
+        CorpusGenerator::new(
+            world.clone(),
+            CorpusConfig {
+                num_shards: shards,
+                ..CorpusConfig::default()
+            },
+        )
+    };
+    let surveyor = Surveyor::new(
+        kb.clone(),
+        SurveyorConfig {
+            rho,
+            em: em.clone(),
+            threads: cfg.threads,
+            ..SurveyorConfig::default()
+        },
+    );
+    let retry = RetryPolicy::default();
+    let policy = FailurePolicy::FailFast;
+
+    let generator = make_generator(num_shards);
+    let source = CorpusSource::new(&generator);
+
+    // Mines shards `[0, upto)` of a generator — the base snapshot an
+    // update later extends.
+    let mine_base = |surv: &Surveyor, gen: &CorpusGenerator, upto: usize| {
+        let subset = ShardSubset::range(CorpusSource::new(gen), 0, upto);
+        surv.try_run(&subset, &retry, &policy)
+            .expect("clean base mine")
+            .output
+    };
+
+    // From-scratch reference: the full corpus, mined cold.
+    let mut scratch = surveyor.run(&source);
+    let mut scratch_samples = Vec::with_capacity(timed_runs);
+    for run in 0..=timed_runs {
+        let start = Instant::now();
+        scratch = surveyor.run(&source);
+        if run > 0 {
+            scratch_samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+    let scratch_seconds = median(&mut scratch_samples);
+    let scratch_bytes = surveyor::save_snapshot(&scratch);
+
+    // (1) Delta sweep: base = all but the last `d` shards, delta = the
+    // rest. Updates are timed on a pre-mined base clone, mirroring the
+    // real flow where the base comes off disk.
+    let mut delta_rows = Vec::new();
+    let mut sweep_table = Vec::new();
+    for &d in &delta_sizes {
+        let base_shards = num_shards - d;
+        let base = mine_base(&surveyor, &generator, base_shards);
+        let mut outcome = None;
+        let mut samples = Vec::with_capacity(timed_runs);
+        for run in 0..=timed_runs {
+            let input = base.clone();
+            let delta = ShardSubset::range(CorpusSource::new(&generator), base_shards, num_shards);
+            let start = Instant::now();
+            let out = surveyor
+                .try_update(input, &delta, &retry, &policy, WarmStart::Exact)
+                .expect("clean update");
+            if run > 0 {
+                samples.push(start.elapsed().as_secs_f64());
+            }
+            outcome = Some(out);
+        }
+        let update_seconds = median(&mut samples);
+        let outcome = outcome.expect("at least one update ran");
+        let byte_identical = surveyor::save_snapshot(&outcome.output) == scratch_bytes;
+        let speedup = scratch_seconds / update_seconds.max(f64::EPSILON);
+        let stats = outcome.stats;
+        sweep_table.push(vec![
+            format!("{d}/{num_shards}"),
+            format!("{:.0}%", d as f64 / num_shards as f64 * 100.0),
+            format!("{update_seconds:.3}s"),
+            format!("{speedup:.1}x"),
+            format!(
+                "{}/{} refit, {} carried",
+                stats.groups_refit, stats.groups_total, stats.groups_carried
+            ),
+            byte_identical.to_string(),
+        ]);
+        delta_rows.push(json!({
+            "delta_shards": d,
+            "delta_fraction": d as f64 / num_shards as f64,
+            "update_seconds": update_seconds,
+            "speedup_vs_scratch": speedup,
+            "byte_identical": byte_identical,
+            "groups_total": stats.groups_total,
+            "groups_dirty": stats.groups_dirty,
+            "groups_carried": stats.groups_carried,
+            "groups_refit": stats.groups_refit,
+            "delta_pairs": stats.delta_pairs,
+            "delta_statements": stats.delta_statements,
+        }));
+    }
+
+    // (2) Corpus sweep: the same absolute delta against growing corpora.
+    // Each corpus size is its own world realization (shard contents
+    // depend on the shard count), so times are comparable only within a
+    // row — which is the point: scratch grows, update does not.
+    let mut corpus_rows = Vec::new();
+    let mut corpus_table = Vec::new();
+    for n in [num_shards / 4, num_shards / 2, num_shards] {
+        let generator_n = make_generator(n);
+        let source_n = CorpusSource::new(&generator_n);
+        let mut scratch_n_samples = Vec::with_capacity(timed_runs);
+        for run in 0..=timed_runs {
+            let start = Instant::now();
+            let _ = surveyor.run(&source_n);
+            if run > 0 {
+                scratch_n_samples.push(start.elapsed().as_secs_f64());
+            }
+        }
+        let scratch_n = median(&mut scratch_n_samples);
+        let base = mine_base(&surveyor, &generator_n, n - fixed_delta);
+        let mut update_n_samples = Vec::with_capacity(timed_runs);
+        for run in 0..=timed_runs {
+            let input = base.clone();
+            let delta = ShardSubset::range(CorpusSource::new(&generator_n), n - fixed_delta, n);
+            let start = Instant::now();
+            let _ = surveyor
+                .try_update(input, &delta, &retry, &policy, WarmStart::Exact)
+                .expect("clean update");
+            if run > 0 {
+                update_n_samples.push(start.elapsed().as_secs_f64());
+            }
+        }
+        let update_n = median(&mut update_n_samples);
+        corpus_table.push(vec![
+            format!("{n}"),
+            format!("{fixed_delta}"),
+            format!("{scratch_n:.3}s"),
+            format!("{update_n:.3}s"),
+            format!("{:.2}", update_n / scratch_n.max(f64::EPSILON)),
+        ]);
+        corpus_rows.push(json!({
+            "shards": n,
+            "delta_shards": fixed_delta,
+            "scratch_seconds": scratch_n,
+            "update_seconds": update_n,
+            "update_fraction_of_scratch": update_n / scratch_n.max(f64::EPSILON),
+        }));
+    }
+
+    // (3) Thread determinism: scratch and update must hit the reference
+    // bytes at every worker count.
+    let base_shards = num_shards - fixed_delta;
+    let threads = [1usize, 2, 4, 8];
+    let mut byte_identical_all_threads = true;
+    for &t in &threads {
+        let surveyor_t = Surveyor::new(
+            kb.clone(),
+            SurveyorConfig {
+                rho,
+                em: em.clone(),
+                threads: t,
+                ..SurveyorConfig::default()
+            },
+        );
+        let scratch_t = surveyor_t.run(&source);
+        let base_t = mine_base(&surveyor_t, &generator, base_shards);
+        let delta = ShardSubset::range(CorpusSource::new(&generator), base_shards, num_shards);
+        let updated_t = surveyor_t
+            .try_update(base_t, &delta, &retry, &policy, WarmStart::Exact)
+            .expect("clean update");
+        byte_identical_all_threads &= surveyor::save_snapshot(&scratch_t) == scratch_bytes
+            && surveyor::save_snapshot(&updated_t.output) == scratch_bytes;
+    }
+
+    // (4) Chaos replay: mine the base under a fault plan that
+    // permanently kills at least one base shard, then update (delta +
+    // replay queue) without faults and demand the clean bytes.
+    let max_attempts = retry.max_attempts;
+    let chaos_seed = (0..1000)
+        .find(|&s| {
+            FaultPlan::from_seed(s, num_shards)
+                .expected_quarantine(max_attempts)
+                .iter()
+                .any(|&shard| shard < base_shards)
+        })
+        .expect("some seed quarantines a base shard");
+    let injector = FaultInjector::new(
+        CorpusSource::new(&generator),
+        FaultPlan::from_seed(chaos_seed, num_shards),
+    );
+    let chaotic_base = ShardSubset::range(injector, 0, base_shards);
+    let degraded = surveyor
+        .try_run(
+            &chaotic_base,
+            &retry,
+            &FailurePolicy::Degrade {
+                min_shard_coverage: 0.0,
+            },
+        )
+        .expect("degraded run survives");
+    let quarantined: Vec<usize> = degraded.coverage.quarantined_shards();
+    // Replay queue ∪ delta range, in shard order — exactly what the CLI
+    // `update` command requests.
+    let mut replay: Vec<usize> = quarantined.clone();
+    replay.extend(base_shards..num_shards);
+    replay.sort_unstable();
+    let replay_delta = ShardSubset::new(CorpusSource::new(&generator), replay);
+    let replayed = surveyor
+        .try_update(
+            degraded.output,
+            &replay_delta,
+            &retry,
+            &policy,
+            WarmStart::Exact,
+        )
+        .expect("replay update");
+    let byte_identical_after_replay = surveyor::save_snapshot(&replayed.output) == scratch_bytes;
+
+    // (5) Opt-in seeded warm start: time it and note whether decisions
+    // (not bytes — traces differ by construction) still match.
+    let base = mine_base(&surveyor, &generator, base_shards);
+    let mut seeded_outcome = None;
+    let mut seeded_samples = Vec::with_capacity(timed_runs);
+    for run in 0..=timed_runs {
+        let input = base.clone();
+        let delta = ShardSubset::range(CorpusSource::new(&generator), base_shards, num_shards);
+        let start = Instant::now();
+        let out = surveyor
+            .try_update(input, &delta, &retry, &policy, WarmStart::Seeded)
+            .expect("seeded update");
+        if run > 0 {
+            seeded_samples.push(start.elapsed().as_secs_f64());
+        }
+        seeded_outcome = Some(out);
+    }
+    let seeded_seconds = median(&mut seeded_samples);
+    let seeded = seeded_outcome.expect("at least one seeded update ran");
+    let triples = |output: &SurveyorOutput| {
+        let mut t: Vec<String> = output
+            .triples()
+            .into_iter()
+            .map(|tr| format!("{}\u{1}{}\u{1}{}", tr.entity, tr.property, tr.polarity))
+            .collect();
+        t.sort_unstable();
+        t
+    };
+    let seeded_decisions_identical = triples(&seeded.output) == triples(&scratch);
+    let exact_10pct_seconds = delta_rows
+        .iter()
+        .find(|r| r["delta_shards"].as_u64() == Some(fixed_delta as u64))
+        .and_then(|r| r["update_seconds"].as_f64())
+        .unwrap_or(f64::NAN);
+
+    let text = format!(
+        "Incremental mining — update vs from-scratch (long_tail_world, {num_shards} shards, \
+         from-scratch {scratch_seconds:.3}s)\n{}\n\
+         Fixed {fixed_delta}-shard delta against growing corpora\n{}\n\
+         byte-identical at 1/2/4/8 threads: {byte_identical_all_threads}\n\
+         chaos replay (seed {chaos_seed}, quarantined {quarantined:?}) -> clean bytes: \
+         {byte_identical_after_replay}\n\
+         seeded warm start: {seeded_seconds:.3}s (exact: {exact_10pct_seconds:.3}s), \
+         decisions identical: {seeded_decisions_identical}",
+        render::table(
+            &[
+                "Delta",
+                "Fraction",
+                "Update",
+                "Speedup",
+                "Groups",
+                "Identical"
+            ],
+            &sweep_table
+        ),
+        render::table(
+            &["Shards", "Delta", "Scratch", "Update", "Update/scratch"],
+            &corpus_table
+        ),
+    );
+    let value = json!({
+        "schema_version": 1,
+        "preset": "long_tail_world",
+        "seed": cfg.seed,
+        "shards": num_shards,
+        "rho": rho,
+        "quick": quick,
+        "timing": timing_block(timed_runs),
+        "from_scratch_seconds": scratch_seconds,
+        "delta_sweep": delta_rows,
+        "corpus_sweep": corpus_rows,
+        "determinism": json!({
+            "threads": threads.to_vec(),
+            "byte_identical_all_threads": byte_identical_all_threads,
+            "chaos": json!({
+                "seed": chaos_seed,
+                "quarantined_shards": quarantined,
+                "byte_identical_after_replay": byte_identical_after_replay,
+            }),
+        }),
+        "warm_seeded": json!({
+            "update_seconds": seeded_seconds,
+            "exact_update_seconds": exact_10pct_seconds,
+            "decisions_identical": seeded_decisions_identical,
+        }),
+    });
+    (text, value)
+}
+
 /// An observed end-to-end run on the `bench pipeline` preset: attaches a
 /// metrics registry to the generator and pipeline and returns the
 /// versioned run report, so two bench invocations can be compared phase

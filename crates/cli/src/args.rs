@@ -58,6 +58,10 @@ pub struct MineArgs {
     /// Seed for the fault-injection harness (`--chaos-seed`, or the
     /// `SURVEYOR_CHAOS_SEED` environment variable as a fallback).
     pub chaos_seed: Option<u64>,
+    /// Mine only shards `[0, N)` of the `--shards`-shard world and record
+    /// incremental state (ingested ranges, replay queue) so the snapshot
+    /// can later be extended with `surveyor update`.
+    pub ingest_shards: Option<usize>,
 }
 
 impl MineArgs {
@@ -74,8 +78,55 @@ impl MineArgs {
             failure_policy: FailurePolicyArg::default(),
             min_shard_coverage: 0.9,
             chaos_seed: None,
+            ingest_shards: None,
         }
     }
+}
+
+/// Which EM start `surveyor update` uses for dirtied groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmModeArg {
+    /// Cold multi-restart EM — byte-identical to a from-scratch mine.
+    #[default]
+    Exact,
+    /// Single EM run seeded from the previous fit (faster, approximate).
+    Seeded,
+}
+
+impl std::str::FromStr for WarmModeArg {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Self::Exact),
+            "seeded" => Ok(Self::Seeded),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Everything `surveyor update` takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateArgs {
+    /// Base snapshot path (must carry incremental state).
+    pub snapshot: String,
+    /// Delta preset name (see `surveyor-corpus` `DELTA_PRESETS`).
+    pub delta_preset: String,
+    /// Updated snapshot output path.
+    pub out: String,
+    /// Master seed — must match the base snapshot's corpus.
+    pub seed: u64,
+    /// Restrict the delta to one author region (must match the base).
+    pub region: Option<String>,
+    /// EM start mode for dirtied groups.
+    pub warm: WarmModeArg,
+    /// What to do when a delta shard exhausts its attempt budget.
+    pub failure_policy: FailurePolicyArg,
+    /// Minimum fraction of requested shards that must survive under
+    /// `degrade`.
+    pub min_shard_coverage: f64,
+    /// Seed for the fault-injection harness.
+    pub chaos_seed: Option<u64>,
 }
 
 /// Subcommands.
@@ -135,6 +186,9 @@ pub enum Command {
         /// Also write the store JSON here (optional).
         store: Option<String>,
     },
+    /// Ingest a delta corpus into an existing snapshot: re-extract only
+    /// the new shards, merge evidence, re-decide only dirtied groups.
+    Update(UpdateArgs),
     /// Load a binary snapshot and emit the store JSON without re-mining.
     Load {
         /// Snapshot input path.
@@ -228,12 +282,15 @@ pub const USAGE: &str = "\
 usage:
   surveyor mine     --preset <table2|cities|longtail> [--out FILE] [--seed N] [--rho N] [--shards N] [--report FILE|-]
                     [--region NAME] [--failure-policy failfast|degrade] [--min-shard-coverage F] [--chaos-seed N]
+                    [--ingest-shards N]
   surveyor run      [--preset NAME] [mine flags...]
   surveyor query    --store FILE --type NAME --property ADJ [--negative] [--limit N]
   surveyor combos   --store FILE
   surveyor corpus   --preset NAME [--seed N] [--shard N] [--limit N]
   surveyor link     --preset cities --attribute KEY [--seed N] [--rho N]
   surveyor snapshot --preset NAME --out FILE.swire [--store FILE] [mine flags...]
+  surveyor update   --snapshot IN.swire --delta-preset NAME --out OUT.swire [--seed N] [--region NAME]
+                    [--warm exact|seeded] [--failure-policy failfast|degrade] [--min-shard-coverage F] [--chaos-seed N]
   surveyor load     --snapshot FILE.swire [--out FILE]
   surveyor serve    --snapshot FILE.swire [--addr HOST:PORT] [--workers N] [--queue N] [--budget-ms N] [--debug-routes]
   surveyor diff     --old FILE.swire --new FILE.swire [--format human|json]
@@ -314,11 +371,12 @@ const MINE_FLAGS: &[&str] = &[
     "--failure-policy",
     "--min-shard-coverage",
     "--chaos-seed",
+    "--ingest-shards",
 ];
 
-/// Builds [`MineArgs`] from already-validated flags. `preset` is resolved
-/// by the caller (required for `mine`/`snapshot`, defaulted for `run`).
-fn mine_args_from(flags: &Flags, preset: String) -> Result<MineArgs, ParseError> {
+/// Parses the fault-tolerance trio shared by `mine` and `update`:
+/// `(--failure-policy, --min-shard-coverage, --chaos-seed)`.
+fn fault_flags_from(flags: &Flags) -> Result<(FailurePolicyArg, f64, Option<u64>), ParseError> {
     let failure_policy = match flags.take("--failure-policy") {
         None => FailurePolicyArg::default(),
         Some(v) => v
@@ -339,17 +397,44 @@ fn mine_args_from(flags: &Flags, preset: String) -> Result<MineArgs, ParseError>
                 .map_err(|_| ParseError::BadValue("--chaos-seed".to_owned(), v.to_owned()))?,
         ),
     };
+    Ok((failure_policy, min_shard_coverage, chaos_seed))
+}
+
+/// Builds [`MineArgs`] from already-validated flags. `preset` is resolved
+/// by the caller (required for `mine`/`snapshot`, defaulted for `run`).
+fn mine_args_from(flags: &Flags, preset: String) -> Result<MineArgs, ParseError> {
+    let (failure_policy, min_shard_coverage, chaos_seed) = fault_flags_from(flags)?;
+    let shards = flags.numeric("--shards", 8)?;
+    let ingest_shards = match flags.take("--ingest-shards") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| ParseError::BadValue("--ingest-shards".to_owned(), v.to_owned()))?;
+            // The base must be a non-empty strict prefix of the world:
+            // ingesting 0 shards mines nothing, and ingesting all of them
+            // leaves no delta for `update` to add.
+            if n == 0 || n > shards {
+                return Err(ParseError::BadValue(
+                    "--ingest-shards".to_owned(),
+                    v.to_owned(),
+                ));
+            }
+            Some(n)
+        }
+    };
     Ok(MineArgs {
         preset,
         out: flags.take("--out").map(str::to_owned),
         seed: flags.numeric("--seed", 2015)?,
         rho: flags.numeric("--rho", 100)?,
-        shards: flags.numeric("--shards", 8)?,
+        shards,
         report: flags.take("--report").map(str::to_owned),
         region: flags.take("--region").map(str::to_owned),
         failure_policy,
         min_shard_coverage,
         chaos_seed,
+        ingest_shards,
     })
 }
 
@@ -382,6 +467,38 @@ impl Cli {
                 // `--out` names the snapshot, not a store JSON.
                 args.out = None;
                 Command::Snapshot { args, out, store }
+            }
+            "update" => {
+                let flags = Flags::parse(rest, &[])?;
+                flags.validate_known(&[
+                    "--snapshot",
+                    "--delta-preset",
+                    "--out",
+                    "--seed",
+                    "--region",
+                    "--warm",
+                    "--failure-policy",
+                    "--min-shard-coverage",
+                    "--chaos-seed",
+                ])?;
+                let warm = match flags.take("--warm") {
+                    None => WarmModeArg::default(),
+                    Some(v) => v
+                        .parse()
+                        .map_err(|()| ParseError::BadValue("--warm".to_owned(), v.to_owned()))?,
+                };
+                let (failure_policy, min_shard_coverage, chaos_seed) = fault_flags_from(&flags)?;
+                Command::Update(UpdateArgs {
+                    snapshot: flags.required("--snapshot")?,
+                    delta_preset: flags.required("--delta-preset")?,
+                    out: flags.required("--out")?,
+                    seed: flags.numeric("--seed", 2015)?,
+                    region: flags.take("--region").map(str::to_owned),
+                    warm,
+                    failure_policy,
+                    min_shard_coverage,
+                    chaos_seed,
+                })
             }
             "load" => {
                 let flags = Flags::parse(rest, &[])?;
@@ -653,6 +770,144 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn mine_ingest_shards_must_be_a_nonempty_prefix() {
+        let cli = parse(&[
+            "mine",
+            "--preset",
+            "table2",
+            "--shards",
+            "8",
+            "--ingest-shards",
+            "6",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Mine(args) => {
+                assert_eq!(args.shards, 8);
+                assert_eq!(args.ingest_shards, Some(6));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Zero shards and more-than-the-world are both rejected up front.
+        for bad in ["0", "9"] {
+            assert_eq!(
+                parse(&["mine", "--preset", "table2", "--ingest-shards", bad]),
+                Err(ParseError::BadValue("--ingest-shards".into(), bad.into())),
+                "--ingest-shards {bad}"
+            );
+        }
+        // Ingesting every shard is allowed for `mine` (a full run that
+        // still records state), just not zero.
+        let cli = parse(&["mine", "--preset", "table2", "--ingest-shards", "8"]).unwrap();
+        match cli.command {
+            Command::Mine(args) => assert_eq!(args.ingest_shards, Some(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_requires_snapshot_delta_preset_and_out() {
+        assert_eq!(
+            parse(&["update", "--delta-preset", "table2-tail", "--out", "b"]),
+            Err(ParseError::MissingFlag("--snapshot"))
+        );
+        assert_eq!(
+            parse(&["update", "--snapshot", "a.swire", "--out", "b.swire"]),
+            Err(ParseError::MissingFlag("--delta-preset"))
+        );
+        assert_eq!(
+            parse(&["update", "--snapshot", "a.swire", "--delta-preset", "x"]),
+            Err(ParseError::MissingFlag("--out"))
+        );
+        let cli = parse(&[
+            "update",
+            "--snapshot",
+            "a.swire",
+            "--delta-preset",
+            "table2-tail",
+            "--out",
+            "b.swire",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Update(UpdateArgs {
+                snapshot: "a.swire".to_owned(),
+                delta_preset: "table2-tail".to_owned(),
+                out: "b.swire".to_owned(),
+                seed: 2015,
+                region: None,
+                warm: WarmModeArg::Exact,
+                failure_policy: FailurePolicyArg::FailFast,
+                min_shard_coverage: 0.9,
+                chaos_seed: None,
+            })
+        );
+    }
+
+    #[test]
+    fn update_overrides_and_warm_mode() {
+        let cli = parse(&[
+            "update",
+            "--snapshot",
+            "a.swire",
+            "--delta-preset",
+            "cities-tail",
+            "--out",
+            "b.swire",
+            "--seed",
+            "7",
+            "--warm",
+            "seeded",
+            "--failure-policy",
+            "degrade",
+            "--min-shard-coverage",
+            "0.5",
+            "--chaos-seed",
+            "99",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Update(args) => {
+                assert_eq!(args.seed, 7);
+                assert_eq!(args.warm, WarmModeArg::Seeded);
+                assert_eq!(args.failure_policy, FailurePolicyArg::Degrade);
+                assert_eq!(args.min_shard_coverage, 0.5);
+                assert_eq!(args.chaos_seed, Some(99));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&[
+                "update",
+                "--snapshot",
+                "a",
+                "--delta-preset",
+                "x",
+                "--out",
+                "b",
+                "--warm",
+                "lukewarm",
+            ]),
+            Err(ParseError::BadValue("--warm".into(), "lukewarm".into()))
+        );
+        assert_eq!(
+            parse(&[
+                "update",
+                "--snapshot",
+                "a",
+                "--delta-preset",
+                "x",
+                "--out",
+                "b",
+                "--rho",
+                "5",
+            ]),
+            Err(ParseError::UnknownFlag("--rho".into()))
+        );
     }
 
     #[test]

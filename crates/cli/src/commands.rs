@@ -1,11 +1,12 @@
 //! Command implementations.
 
-use crate::args::{DiffFormat, FailurePolicyArg, MineArgs};
+use crate::args::{DiffFormat, FailurePolicyArg, MineArgs, UpdateArgs, WarmModeArg};
 use crate::error::CliError;
 use std::sync::Arc;
 use surveyor::obs::MetricsRegistry;
 use surveyor::prelude::*;
-use surveyor::{link_objective, LinkDirection, SubjectiveKb};
+use surveyor::wire::{Fnv64, IncrementalState};
+use surveyor::{link_objective, LinkDirection, SubjectiveKb, WarmStart};
 use surveyor_corpus::{presets, World};
 
 /// Builds a preset world by name.
@@ -24,12 +25,29 @@ fn preset_world(preset: &str, seed: u64) -> Result<World, CliError> {
 /// `SURVEYOR_CHAOS_SEED` environment variable as a fallback (how the
 /// verify script's chaos gate switches injection on without touching
 /// every invocation).
-fn chaos_seed(args: &MineArgs) -> Option<u64> {
-    args.chaos_seed.or_else(|| {
+fn chaos_seed_or_env(flag: Option<u64>) -> Option<u64> {
+    flag.or_else(|| {
         std::env::var("SURVEYOR_CHAOS_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
     })
+}
+
+fn chaos_seed(args: &MineArgs) -> Option<u64> {
+    chaos_seed_or_env(args.chaos_seed)
+}
+
+/// Digest identifying the corpus a snapshot was mined from: the preset
+/// world, master seed, total shard count (shard contents depend on it),
+/// and the region restriction. `surveyor update` refuses a delta whose
+/// digest disagrees with the base snapshot's.
+fn corpus_digest(preset: &str, seed: u64, shards: usize, region: Option<&str>) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(preset.as_bytes());
+    h.write_u64(seed);
+    h.write_u64(shards as u64);
+    h.write(region.unwrap_or("").as_bytes());
+    h.finish()
 }
 
 fn mine_store(
@@ -68,11 +86,27 @@ fn mine_store(
             min_shard_coverage: args.min_shard_coverage,
         },
     };
+    // With `--ingest-shards M` only the prefix `[0, M)` of the world is
+    // mined; the chaos plan is still seeded over the FULL shard count so
+    // the same world shard sees the same faults in a base mine, a delta
+    // update, and a from-scratch run.
+    let base_shards = args
+        .ingest_shards
+        .unwrap_or_else(|| generator.shard_count());
     let run = match chaos_seed(args) {
         Some(seed) => {
             let injector =
                 FaultInjector::new(source, FaultPlan::from_seed(seed, generator.shard_count()));
-            surveyor.try_run(&injector, &retry, &policy)?
+            if args.ingest_shards.is_some() {
+                let subset = ShardSubset::range(injector, 0, base_shards);
+                surveyor.try_run(&subset, &retry, &policy)?
+            } else {
+                surveyor.try_run(&injector, &retry, &policy)?
+            }
+        }
+        None if args.ingest_shards.is_some() => {
+            let subset = ShardSubset::range(source, 0, base_shards);
+            surveyor.try_run(&subset, &retry, &policy)?
         }
         None => surveyor.try_run(&source, &retry, &policy)?,
     };
@@ -130,7 +164,38 @@ pub fn mine(args: &MineArgs) -> Result<String, CliError> {
 /// as a binary `surveyor-wire` snapshot (see FORMAT.md).
 pub fn snapshot(args: &MineArgs, out: &str, store: Option<&str>) -> Result<String, CliError> {
     let (store_kb, run, _, _) = mine_store(args, None)?;
-    let bytes = surveyor::save_snapshot(&run.output);
+    let bytes = match args.ingest_shards {
+        Some(m) => {
+            // Record incremental state so `surveyor update` can extend
+            // this snapshot: which shards made it in, and which were
+            // quarantined and await replay.
+            let quarantined = run.coverage.quarantined_shards();
+            let mut state = IncrementalState {
+                rho: args.rho,
+                config_digest: SurveyorConfig {
+                    rho: args.rho,
+                    ..SurveyorConfig::default()
+                }
+                .digest(),
+                corpus_digest: corpus_digest(
+                    &args.preset,
+                    args.seed,
+                    args.shards.max(1),
+                    args.region.as_deref(),
+                ),
+                ingested: Vec::new(),
+                pending: quarantined.iter().map(|&s| s as u64).collect(),
+            };
+            state.pending.sort_unstable();
+            for shard in 0..m {
+                if !quarantined.contains(&shard) {
+                    state.ingest_range(shard as u64, shard as u64 + 1);
+                }
+            }
+            surveyor::save_snapshot_with_state(&run.output, &state)
+        }
+        None => surveyor::save_snapshot(&run.output),
+    };
     std::fs::write(out, &bytes).map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
     let mut summary = format!(
         "snapshotted {} statements over {} combinations into {} bytes at {out}",
@@ -138,10 +203,204 @@ pub fn snapshot(args: &MineArgs, out: &str, store: Option<&str>) -> Result<Strin
         run.output.results.len(),
         bytes.len(),
     );
+    if let Some(m) = args.ingest_shards {
+        summary.push_str(&format!(
+            "\nincremental state: ingested shards [0, {m}) of {}, {} pending replay",
+            args.shards.max(1),
+            run.coverage.quarantined_shards().len(),
+        ));
+    }
     if let Some(path) = store {
         std::fs::write(path, store_kb.to_json())
             .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
         summary.push_str(&format!("\nwrote store JSON to {path}"));
+    }
+    Ok(summary)
+}
+
+/// `surveyor update` — ingest a delta corpus into an existing snapshot:
+/// extract only the requested shards (the delta range plus any shards
+/// quarantined by earlier runs), merge the evidence, and re-decide only
+/// the groups the delta touched. With the default `--warm exact` mode
+/// the written snapshot is byte-identical to mining the concatenated
+/// corpus from scratch.
+pub fn update(args: &UpdateArgs) -> Result<String, CliError> {
+    let bytes = std::fs::read(&args.snapshot)
+        .map_err(|e| CliError::Io(format!("cannot read {}: {e}", args.snapshot)))?;
+    let (base, state) = surveyor::load_snapshot_with_state(&bytes)
+        .map_err(|e| CliError::InvalidInput(format!("invalid snapshot {}: {e}", args.snapshot)))?;
+    let mut state = state.ok_or_else(|| {
+        CliError::InvalidInput(format!(
+            "snapshot {} carries no incremental state; re-mine it with `surveyor snapshot \
+             --ingest-shards` to make it updatable",
+            args.snapshot
+        ))
+    })?;
+
+    let preset = presets::delta_preset(&args.delta_preset).ok_or_else(|| {
+        let known: Vec<&str> = presets::DELTA_PRESETS.iter().map(|p| p.name).collect();
+        CliError::Usage(format!(
+            "unknown delta preset: {} (expected one of: {})",
+            args.delta_preset,
+            known.join(", ")
+        ))
+    })?;
+
+    // The update must run under the same mining configuration and over
+    // the same corpus the base snapshot came from, or carried-forward
+    // groups would be silently wrong.
+    let config = SurveyorConfig {
+        rho: state.rho,
+        ..SurveyorConfig::default()
+    };
+    if config.digest() != state.config_digest {
+        return Err(CliError::InvalidInput(format!(
+            "snapshot {} was mined under a different configuration (digest {:#018x}, \
+             this binary computes {:#018x})",
+            args.snapshot,
+            state.config_digest,
+            config.digest(),
+        )));
+    }
+    let digest = corpus_digest(
+        preset.world,
+        args.seed,
+        preset.num_shards,
+        args.region.as_deref(),
+    );
+    if state.corpus_digest != 0 && state.corpus_digest != digest {
+        return Err(CliError::InvalidInput(format!(
+            "delta preset {} (world {}, seed {}, {} shards{}) is not the corpus snapshot {} \
+             was mined from",
+            preset.name,
+            preset.world,
+            args.seed,
+            preset.num_shards,
+            args.region
+                .as_deref()
+                .map(|r| format!(", region {r}"))
+                .unwrap_or_default(),
+            args.snapshot,
+        )));
+    }
+
+    // Requested shards: the delta range plus the replay queue, minus
+    // anything already ingested.
+    let mut requested: Vec<u64> = state.pending.clone();
+    for shard in preset.delta_range() {
+        let shard = shard as u64;
+        if !state.contains(shard) && !requested.contains(&shard) {
+            requested.push(shard);
+        }
+    }
+    requested.sort_unstable();
+    if let Some(&out_of_range) = requested.iter().find(|&&s| s >= preset.num_shards as u64) {
+        return Err(CliError::InvalidInput(format!(
+            "snapshot {} queues shard {out_of_range} for replay, but delta preset {} only \
+             has {} shards",
+            args.snapshot, preset.name, preset.num_shards,
+        )));
+    }
+    if requested.is_empty() {
+        // Nothing new and nothing pending: re-save unchanged (the write
+        // is byte-identical to the input, so `update` is idempotent).
+        let bytes = surveyor::save_snapshot_with_state(&base, &state);
+        std::fs::write(&args.out, &bytes)
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", args.out)))?;
+        return Ok(format!(
+            "nothing to ingest: delta preset {} is fully covered by {} (wrote {} unchanged)",
+            preset.name, args.snapshot, args.out,
+        ));
+    }
+
+    let world = preset_world(preset.world, args.seed)?;
+    let kb = world.kb().clone();
+    let generator = CorpusGenerator::new(
+        world,
+        CorpusConfig {
+            num_shards: preset.num_shards,
+            ..CorpusConfig::default()
+        },
+    );
+    let surveyor = Surveyor::new(kb, config);
+    let source = match &args.region {
+        Some(region) => CorpusSource::try_for_region(&generator, region)
+            .map_err(|e| CliError::Usage(e.to_string()))?,
+        None => CorpusSource::new(&generator),
+    };
+    let retry = RetryPolicy::default();
+    let policy = match args.failure_policy {
+        FailurePolicyArg::FailFast => FailurePolicy::FailFast,
+        FailurePolicyArg::Degrade => FailurePolicy::Degrade {
+            min_shard_coverage: args.min_shard_coverage,
+        },
+    };
+    let warm = match args.warm {
+        WarmModeArg::Exact => WarmStart::Exact,
+        WarmModeArg::Seeded => WarmStart::Seeded,
+    };
+    let shard_list: Vec<usize> = requested.iter().map(|&s| s as usize).collect();
+    let outcome = match chaos_seed_or_env(args.chaos_seed) {
+        Some(seed) => {
+            // Same plan shape as `mine`: seeded over the FULL shard
+            // count, so world shard `s` fails identically whether it is
+            // reached by a base mine, a delta, or a replay.
+            let injector =
+                FaultInjector::new(source, FaultPlan::from_seed(seed, generator.shard_count()));
+            let subset = ShardSubset::new(injector, shard_list.clone());
+            surveyor.try_update(base, &subset, &retry, &policy, warm)?
+        }
+        None => {
+            let subset = ShardSubset::new(source, shard_list.clone());
+            surveyor.try_update(base, &subset, &retry, &policy, warm)?
+        }
+    };
+
+    // Fold the run back into the state: quarantined shards (reported in
+    // subset-local indexes) stay pending; everything else is ingested.
+    let quarantined_world: Vec<u64> = outcome
+        .coverage
+        .quarantined_shards()
+        .iter()
+        .map(|&i| shard_list[i] as u64)
+        .collect();
+    for &shard in &requested {
+        if !quarantined_world.contains(&shard) {
+            state.ingest_range(shard, shard + 1);
+        }
+    }
+    state.pending = quarantined_world;
+    state.pending.sort_unstable();
+
+    let bytes = surveyor::save_snapshot_with_state(&outcome.output, &state);
+    std::fs::write(&args.out, &bytes)
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", args.out)))?;
+
+    let stats = outcome.stats;
+    let mut summary = format!(
+        "updated {} -> {}: ingested {} of {} requested shards \
+         ({} new statements over {} pairs)\n\
+         groups: {} total, {} dirtied, {} carried forward, {} refit",
+        args.snapshot,
+        args.out,
+        outcome.coverage.succeeded,
+        requested.len(),
+        stats.delta_statements,
+        stats.delta_pairs,
+        stats.groups_total,
+        stats.groups_dirty,
+        stats.groups_carried,
+        stats.groups_refit,
+    );
+    if !state.pending.is_empty() || outcome.coverage.retries > 0 {
+        summary.push_str(&format!(
+            "\nshard coverage {:.3} ({}/{}); retries {}; pending replay {:?}",
+            outcome.coverage.fraction(),
+            outcome.coverage.succeeded,
+            outcome.coverage.shard_count,
+            outcome.coverage.retries,
+            state.pending,
+        ));
     }
     Ok(summary)
 }
@@ -724,7 +983,9 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(value["identical"], serde_json::Value::Bool(false));
         assert!(value["differences"].as_u64().unwrap() > 0);
-        assert_eq!(value["sections"].as_array().unwrap().len(), 7);
+        // Seven required sections plus the optional incremental and
+        // fingerprint sections (reported even when absent on both sides).
+        assert_eq!(value["sections"].as_array().unwrap().len(), 9);
 
         // A corrupt operand is InvalidInput (exit 3), not a diff result.
         let bad = dir.join("bad.swire");
@@ -809,6 +1070,247 @@ mod tests {
 
         handle.shutdown();
         std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn update_matches_from_scratch_byte_identically() {
+        let dir = std::env::temp_dir().join("surveyor-cli-update-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.swire");
+        let updated = dir.join("updated.swire");
+        let scratch = dir.join("scratch.swire");
+
+        // The `cities-tail` delta preset: a 4-shard cities world whose
+        // base is shards [0, 3) and whose delta is shard 3.
+        let preset = presets::delta_preset("cities-tail").unwrap();
+        let mine = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: preset.num_shards,
+            ingest_shards: Some(preset.base_shards),
+            ..MineArgs::new(preset.world)
+        };
+        let summary = snapshot(&mine, base.to_str().unwrap(), None).unwrap();
+        assert!(summary.contains("incremental state"), "{summary}");
+
+        let summary = update(&UpdateArgs {
+            snapshot: base.to_str().unwrap().to_owned(),
+            delta_preset: "cities-tail".to_owned(),
+            out: updated.to_str().unwrap().to_owned(),
+            seed: 5,
+            region: None,
+            warm: WarmModeArg::Exact,
+            failure_policy: FailurePolicyArg::FailFast,
+            min_shard_coverage: 0.9,
+            chaos_seed: None,
+        })
+        .unwrap();
+        assert!(summary.contains("carried forward"), "{summary}");
+
+        // A from-scratch mine of ALL shards (with state recorded so the
+        // optional sections match) must be byte-identical to the update.
+        let full = MineArgs {
+            ingest_shards: Some(preset.num_shards),
+            ..mine.clone()
+        };
+        snapshot(&full, scratch.to_str().unwrap(), None).unwrap();
+        let updated_bytes = std::fs::read(&updated).unwrap();
+        let scratch_bytes = std::fs::read(&scratch).unwrap();
+        assert_eq!(updated_bytes, scratch_bytes, "update != from-scratch");
+
+        // Running the same update again ingests nothing and rewrites the
+        // snapshot unchanged.
+        let again = update(&UpdateArgs {
+            snapshot: updated.to_str().unwrap().to_owned(),
+            delta_preset: "cities-tail".to_owned(),
+            out: updated.to_str().unwrap().to_owned(),
+            seed: 5,
+            region: None,
+            warm: WarmModeArg::Exact,
+            failure_policy: FailurePolicyArg::FailFast,
+            min_shard_coverage: 0.9,
+            chaos_seed: None,
+        })
+        .unwrap();
+        assert!(again.contains("nothing to ingest"), "{again}");
+        assert_eq!(std::fs::read(&updated).unwrap(), scratch_bytes);
+
+        for path in [base, updated, scratch] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn update_rejects_missing_state_bad_preset_and_wrong_corpus() {
+        let dir = std::env::temp_dir().join("surveyor-cli-update-reject-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.swire");
+        let out = dir.join("out.swire");
+
+        let mine = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: 4,
+            ..MineArgs::new("cities")
+        };
+        snapshot(&mine, plain.to_str().unwrap(), None).unwrap();
+
+        let args = UpdateArgs {
+            snapshot: plain.to_str().unwrap().to_owned(),
+            delta_preset: "cities-tail".to_owned(),
+            out: out.to_str().unwrap().to_owned(),
+            seed: 5,
+            region: None,
+            warm: WarmModeArg::Exact,
+            failure_policy: FailurePolicyArg::FailFast,
+            min_shard_coverage: 0.9,
+            chaos_seed: None,
+        };
+        // A snapshot without incremental state is updatable data that
+        // simply isn't there: invalid input, exit 3.
+        match update(&args) {
+            Err(e @ CliError::InvalidInput(_)) => {
+                assert_eq!(e.exit_code(), 3);
+                assert!(e.to_string().contains("no incremental state"), "{e}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Re-snapshot with state, then feed mismatching deltas.
+        let preset = presets::delta_preset("cities-tail").unwrap();
+        let with_state = MineArgs {
+            shards: preset.num_shards,
+            ingest_shards: Some(preset.base_shards),
+            ..mine
+        };
+        snapshot(&with_state, plain.to_str().unwrap(), None).unwrap();
+
+        // Unknown preset name: usage error, exit 2, listing valid names.
+        match update(&UpdateArgs {
+            delta_preset: "atlantis-tail".to_owned(),
+            ..args.clone()
+        }) {
+            Err(e @ CliError::Usage(_)) => {
+                assert_eq!(e.exit_code(), 2);
+                assert!(e.to_string().contains("cities-tail"), "{e}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A delta from a different corpus (wrong world or wrong seed) is
+        // refused before any mining happens.
+        match update(&UpdateArgs {
+            delta_preset: "table2-tail".to_owned(),
+            ..args.clone()
+        }) {
+            Err(e @ CliError::InvalidInput(_)) => {
+                assert_eq!(e.exit_code(), 3);
+                assert!(e.to_string().contains("not the corpus"), "{e}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match update(&UpdateArgs {
+            seed: 6,
+            ..args.clone()
+        }) {
+            Err(e @ CliError::InvalidInput(_)) => assert_eq!(e.exit_code(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Missing file is I/O (exit 1); corrupt file is invalid (exit 3).
+        match update(&UpdateArgs {
+            snapshot: "/nonexistent.swire".to_owned(),
+            ..args.clone()
+        }) {
+            Err(e @ CliError::Io(_)) => assert_eq!(e.exit_code(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let bad = dir.join("bad.swire");
+        std::fs::write(&bad, b"junk").unwrap();
+        match update(&UpdateArgs {
+            snapshot: bad.to_str().unwrap().to_owned(),
+            ..args
+        }) {
+            Err(e @ CliError::InvalidInput(_)) => assert_eq!(e.exit_code(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        for path in [plain, out, bad] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn chaos_quarantine_replays_to_the_clean_run_bytes() {
+        let dir = std::env::temp_dir().join("surveyor-cli-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.swire");
+        let updated = dir.join("updated.swire");
+        let clean = dir.join("clean.swire");
+
+        let preset = presets::delta_preset("cities-tail").unwrap();
+        let max_attempts = RetryPolicy::default().max_attempts;
+        // Find a chaos seed whose plan permanently kills at least one
+        // BASE shard, so the base mine actually quarantines something.
+        let chaos = (0..500)
+            .find(|&s| {
+                FaultPlan::from_seed(s, preset.num_shards)
+                    .expected_quarantine(max_attempts)
+                    .iter()
+                    .any(|&shard| shard < preset.base_shards)
+            })
+            .expect("no chaos seed quarantines a base shard");
+
+        let mine = MineArgs {
+            seed: 5,
+            rho: 40,
+            shards: preset.num_shards,
+            ingest_shards: Some(preset.base_shards),
+            chaos_seed: Some(chaos),
+            failure_policy: FailurePolicyArg::Degrade,
+            min_shard_coverage: 0.0,
+            ..MineArgs::new(preset.world)
+        };
+        let summary = snapshot(&mine, base.to_str().unwrap(), None).unwrap();
+        assert!(summary.contains("pending replay"), "{summary}");
+        let (_, state) = surveyor::load_snapshot_with_state(&std::fs::read(&base).unwrap())
+            .map(|(o, s)| (o, s.unwrap()))
+            .unwrap();
+        assert!(!state.pending.is_empty(), "base quarantined nothing");
+
+        // Update WITHOUT chaos: the delta shard comes in and the
+        // quarantined base shards replay.
+        let summary = update(&UpdateArgs {
+            snapshot: base.to_str().unwrap().to_owned(),
+            delta_preset: "cities-tail".to_owned(),
+            out: updated.to_str().unwrap().to_owned(),
+            seed: 5,
+            region: None,
+            warm: WarmModeArg::Exact,
+            failure_policy: FailurePolicyArg::FailFast,
+            min_shard_coverage: 0.9,
+            chaos_seed: None,
+        })
+        .unwrap();
+        assert!(summary.contains("updated"), "{summary}");
+
+        // The replayed result is bit-for-bit the clean full run.
+        let clean_args = MineArgs {
+            chaos_seed: None,
+            failure_policy: FailurePolicyArg::FailFast,
+            ingest_shards: Some(preset.num_shards),
+            ..mine
+        };
+        snapshot(&clean_args, clean.to_str().unwrap(), None).unwrap();
+        assert_eq!(
+            std::fs::read(&updated).unwrap(),
+            std::fs::read(&clean).unwrap(),
+            "replayed update != clean run"
+        );
+
+        for path in [base, updated, clean] {
+            std::fs::remove_file(path).ok();
+        }
     }
 
     #[test]

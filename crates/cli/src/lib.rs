@@ -9,6 +9,9 @@
 //! surveyor corpus --preset table2 [--seed N] [--shard N] [--limit N]
 //! surveyor link   --preset cities --attribute population [--seed N] [--rho N]
 //! surveyor snapshot --preset table2 --out world.swire [--store store.json] [mine flags...]
+//! surveyor update --snapshot base.swire --delta-preset table2-tail --out updated.swire [--seed N]
+//!                 [--region NAME] [--warm exact|seeded] [--failure-policy failfast|degrade]
+//!                 [--min-shard-coverage F] [--chaos-seed N]
 //! surveyor load   --snapshot world.swire [--out store.json]
 //! surveyor serve  --snapshot world.swire [--addr HOST:PORT] [--workers N] [--queue N] [--budget-ms N] [--debug-routes]
 //! surveyor diff   --old a.swire --new b.swire [--format human|json]
@@ -29,7 +32,9 @@ pub mod args;
 pub mod commands;
 pub mod error;
 
-pub use args::{Cli, Command, DiffFormat, FailurePolicyArg, MineArgs, ParseError};
+pub use args::{
+    Cli, Command, DiffFormat, FailurePolicyArg, MineArgs, ParseError, UpdateArgs, WarmModeArg,
+};
 pub use error::CliError;
 
 /// The result of a successful command: the text to print plus the
@@ -83,6 +88,7 @@ pub fn run(cli: &Cli) -> Result<Outcome, CliError> {
         Command::Snapshot { args, out, store } => {
             commands::snapshot(args, out, store.as_deref()).map(Outcome::ok)
         }
+        Command::Update(args) => commands::update(args).map(Outcome::ok),
         Command::Load { snapshot, out } => {
             commands::load(snapshot, out.as_deref()).map(Outcome::ok)
         }

@@ -1,0 +1,541 @@
+//! Incremental mining: delta ingestion with dirty-group re-decide
+//! (ROADMAP item 3).
+//!
+//! A mined [`SurveyorOutput`] plus a delta corpus — newly crawled shards,
+//! or a replayed quarantine queue — updates in time proportional to the
+//! *delta*, not the corpus:
+//!
+//! 1. Extraction runs only over the delta shards, through the existing
+//!    parallel fault-tolerant runner.
+//! 2. Evidence, provenance, and grouped tables merge by sorted
+//!    `(entity, property)` / `(type, property)` key. Every merge is
+//!    commutative, so the merged state equals a from-scratch mine of the
+//!    concatenated corpus.
+//! 3. Only combinations the delta touched ("dirty" groups) are re-fitted
+//!    and re-decided. An untouched group's counts did not change, and EM
+//!    is a pure function of the counts — so its previous [`DomainResult`]
+//!    carries forward *byte-identically*, without re-running EM at all.
+//!
+//! Step 3 is where the asymptotics change: a from-scratch interpretation
+//! phase is `O(groups)`, an update is `O(dirty groups)`. The guarantee the
+//! bench (`bench incremental`) and `scripts/verify.sh` pin is that the
+//! final snapshot is byte-identical to mining the concatenated corpus from
+//! scratch, at every worker count, clean and under injected chaos.
+//!
+//! [`WarmStart::Seeded`] additionally seeds EM on dirty groups from the
+//! previous fit instead of the multi-restart cold grid. That converges in
+//! fewer iterations on small deltas but records different telemetry
+//! (iteration counts, traces), so it is opt-in and never used by the
+//! byte-identity gates.
+
+use crate::pipeline::{DomainResult, Surveyor, SurveyorConfig, SurveyorOutput};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use surveyor_extract::evidence::Group;
+use surveyor_extract::{
+    run_sharded_fault_tolerant, ExtractionOutput, FailurePolicy, FallibleShardSource, GroupKey,
+    GroupedEvidence, RetryPolicy, RunError, ShardCoverage,
+};
+use surveyor_kb::EntityId;
+use surveyor_model::{
+    decide, posterior_positive, ModelDecision, ModelParams, ObservedCounts, SurveyorModel,
+};
+use surveyor_obs::FaultSummary;
+use surveyor_wire::Fnv64;
+
+/// How dirty groups are re-fitted during an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStart {
+    /// Re-fit with the standard cold multi-restart EM — exactly what a
+    /// from-scratch run would do, so the updated output is byte-identical
+    /// to re-mining the concatenated corpus. The default, and the only
+    /// mode the identity gates use.
+    #[default]
+    Exact,
+    /// Seed a single EM run from the group's previous parameters; cold
+    /// multi-restart only for groups with no previous fit. Fewer
+    /// iterations on small deltas, but different telemetry — decisions
+    /// may differ near the EM grid's tie boundaries.
+    Seeded,
+}
+
+/// What an update did, beyond the output itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Modeled combinations after the update.
+    pub groups_total: usize,
+    /// Combinations the delta added evidence to (whether or not they
+    /// cleared the threshold ρ).
+    pub groups_dirty: usize,
+    /// Modeled combinations carried forward without re-fitting.
+    pub groups_carried: usize,
+    /// Modeled combinations re-fitted and re-decided.
+    pub groups_refit: usize,
+    /// Entity-property pairs in the delta's evidence table.
+    pub delta_pairs: usize,
+    /// Statements the delta contributed.
+    pub delta_statements: u64,
+}
+
+/// An incremental update's result: the merged output, the delta
+/// extraction's shard accounting, and the dirty-group accounting.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The updated pipeline output over base ∪ delta.
+    pub output: SurveyorOutput,
+    /// What the delta extraction attempted, retried, and lost.
+    pub coverage: ShardCoverage,
+    /// Group-level accounting of the update.
+    pub stats: UpdateStats,
+}
+
+impl SurveyorConfig {
+    /// A digest of everything about this configuration that determines
+    /// the mined output: ρ, the EM configuration, and the extraction
+    /// configuration. Thread count is deliberately excluded — the
+    /// pipeline is byte-identical across worker counts. Stored in a
+    /// snapshot's `INCR` section so an updater can refuse a delta mined
+    /// under different settings.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(&(self.rho, self.em.clone(), self.extraction))
+            .expect("pipeline configuration serializes"); // lint:allow(no-panic-in-lib): plain structs of numbers and strings cannot fail to serialize
+        let mut digest = Fnv64::new();
+        digest.write(json.as_bytes()); // lint:allow(no-shared-lock-in-worker-loop): Fnv64 hashing, not a lock; once per config
+        digest.finish()
+    }
+}
+
+/// One dirty combination queued for re-fitting.
+struct RefitTask<'a> {
+    rank: usize,
+    key: GroupKey,
+    group: &'a Group,
+    /// The previous fit's parameters, for [`WarmStart::Seeded`].
+    seed: Option<ModelParams>,
+}
+
+impl Surveyor {
+    /// Incrementally updates a previously mined output with a delta
+    /// corpus, under the same fault-tolerance contract as
+    /// [`try_run`](Self::try_run): delta shards are retried per `retry`
+    /// and quarantined or aborted per `policy`.
+    ///
+    /// `base` must have been mined by this pipeline's configuration (same
+    /// ρ, EM grid, and extraction patterns — see
+    /// [`SurveyorConfig::digest`]); the caller is responsible for that
+    /// check, which the CLI performs against the snapshot's `INCR`
+    /// section.
+    ///
+    /// With [`WarmStart::Exact`], the returned output is byte-identical
+    /// to running the pipeline from scratch over the concatenation of the
+    /// base corpus and the delta's surviving shards.
+    pub fn try_update<F: FallibleShardSource>(
+        &self,
+        base: SurveyorOutput,
+        source: &F,
+        retry: &RetryPolicy,
+        policy: &FailurePolicy,
+        warm: WarmStart,
+    ) -> Result<UpdateOutcome, RunError> {
+        let outcome = match self.observer() {
+            Some(obs) => {
+                let docs_before = obs.counter_value("extract.documents");
+                let mut span = obs.span("extract");
+                let outcome = run_sharded_fault_tolerant(
+                    source,
+                    self.kb(),
+                    &self.config().extraction,
+                    self.config().threads,
+                    retry,
+                    policy,
+                    Some(obs),
+                )?;
+                span.set_items(obs.counter_value("extract.documents") - docs_before);
+                obs.record_fault_summary(FaultSummary {
+                    coverage: outcome.coverage.fraction(),
+                    retries: outcome.coverage.retries,
+                    quarantined_shards: outcome.coverage.quarantined_shards(),
+                });
+                outcome
+            }
+            None => run_sharded_fault_tolerant(
+                source,
+                self.kb(),
+                &self.config().extraction,
+                self.config().threads,
+                retry,
+                policy,
+                None,
+            )?,
+        };
+        let (output, stats) = self.apply_delta(base, outcome.output, warm);
+        Ok(UpdateOutcome {
+            output,
+            coverage: outcome.coverage,
+            stats,
+        })
+    }
+
+    /// The merge-and-re-decide half of an update: folds already-extracted
+    /// delta evidence into `base` and re-fits only the dirtied groups.
+    /// [`try_update`](Self::try_update) calls this after delta
+    /// extraction; tests use it directly to exercise the dirty-group
+    /// logic without a corpus.
+    pub fn apply_delta(
+        &self,
+        base: SurveyorOutput,
+        delta: ExtractionOutput,
+        warm: WarmStart,
+    ) -> (SurveyorOutput, UpdateStats) {
+        let config = self.config();
+        let obs = self.observer().map(std::sync::Arc::as_ref);
+        let delta_pairs = delta.evidence.pair_count();
+        let delta_statements = delta.evidence.total_statements();
+
+        // Group the delta alone first: its keys are exactly the dirty set.
+        let delta_grouped = {
+            let mut span = obs.map(|o| o.span("group"));
+            let grouped =
+                GroupedEvidence::from_table_parallel(&delta.evidence, self.kb(), config.threads);
+            if let Some(span) = span.as_mut() {
+                span.set_items(delta_statements);
+            }
+            grouped
+        };
+        let dirty: FxHashSet<GroupKey> = delta_grouped.iter().map(|(key, _)| *key).collect();
+
+        // Merge the three tables; every merge is commutative, so the
+        // result equals from-scratch extraction over base ∪ delta.
+        let SurveyorOutput {
+            mut evidence,
+            mut provenance,
+            mut grouped,
+            results,
+            ..
+        } = base;
+        evidence.merge(delta.evidence);
+        provenance.merge(delta.provenance);
+        grouped.merge(delta_grouped);
+
+        let mut previous: FxHashMap<GroupKey, DomainResult> =
+            results.into_iter().map(|r| (r.key, r)).collect();
+
+        let (ranked, stats) = {
+            let combinations: Vec<(&GroupKey, &Group)> =
+                grouped.above_threshold(config.rho).collect();
+            let groups_total = combinations.len();
+
+            // Partition: clean groups with a previous result carry it
+            // forward untouched (their counts did not change, and a clean
+            // group cannot newly cross ρ); everything else is re-fitted.
+            let mut carried: Vec<(usize, DomainResult)> = Vec::new();
+            let mut refits: Vec<RefitTask<'_>> = Vec::new();
+            for (rank, &(key, group)) in combinations.iter().enumerate() {
+                let is_dirty = dirty.contains(key);
+                match previous.remove(key) {
+                    Some(result) if !is_dirty => carried.push((rank, result)),
+                    prior => refits.push(RefitTask {
+                        rank,
+                        key: *key,
+                        group,
+                        seed: prior.map(|r| r.fit.params),
+                    }),
+                }
+            }
+            let stats = UpdateStats {
+                groups_total,
+                groups_dirty: dirty.len(),
+                groups_carried: carried.len(),
+                groups_refit: refits.len(),
+                delta_pairs,
+                delta_statements,
+            };
+
+            let mut ranked = self.refit_groups(&refits, warm);
+            if let Some(obs) = obs {
+                obs.add("update.groups_carried", stats.groups_carried as u64);
+                obs.add("update.groups_refit", stats.groups_refit as u64);
+                for (_, result) in &ranked {
+                    self.record_em_telemetry(obs, &result.key, result.decisions.len(), &result.fit);
+                }
+            }
+            ranked.extend(carried);
+            ranked.sort_by_key(|&(rank, _)| rank);
+            debug_assert_eq!(ranked.len(), groups_total);
+            (ranked, stats)
+        };
+        let results: Vec<DomainResult> = ranked.into_iter().map(|(_, result)| result).collect();
+
+        let output =
+            SurveyorOutput::from_parts(evidence, provenance, grouped, results, self.kb().clone());
+        (output, stats)
+    }
+
+    /// Re-fits the dirty combinations over the claim-cursor worker pool —
+    /// the same shared-nothing pattern as
+    /// [`run_on_evidence`](Self::run_on_evidence): results come back
+    /// rank-tagged by value, so output order is worker-count independent.
+    fn refit_groups(
+        &self,
+        refits: &[RefitTask<'_>],
+        warm: WarmStart,
+    ) -> Vec<(usize, DomainResult)> {
+        if refits.is_empty() {
+            return Vec::new();
+        }
+        let config = self.config();
+        let obs = self.observer().map(std::sync::Arc::as_ref);
+        let model = SurveyorModel::with_config(config.em.clone());
+        let cursor = AtomicUsize::new(0);
+        let workers = config.threads.max(1).min(refits.len());
+        let timed = obs.is_some();
+
+        let outcomes = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut counts: Vec<ObservedCounts> = Vec::new();
+                        let mut results: Vec<(usize, DomainResult)> = Vec::new();
+                        let mut em_time = Duration::ZERO;
+                        let mut fitted = 0u64;
+                        loop {
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = refits.get(slot) else {
+                                break;
+                            };
+                            let entities = self.kb().entities_of_type(task.key.type_id);
+                            counts.clear();
+                            counts.extend(entities.iter().map(|&e| {
+                                let c = task.group.counts(e);
+                                ObservedCounts::new(c.positive, c.negative)
+                            }));
+                            let fit_start = timed.then(Instant::now); // lint:allow(no-wall-clock): feeds the obs phase report only, never the output
+                            let fit = match (warm, task.seed) {
+                                (WarmStart::Seeded, Some(seed)) => {
+                                    model.fit_group_warm(&counts, &seed)
+                                }
+                                _ => model.fit_group(&counts),
+                            };
+                            if let Some(start) = fit_start {
+                                em_time += start.elapsed();
+                                fitted += 1;
+                            }
+                            let decisions: Vec<(EntityId, ModelDecision)> = entities
+                                .iter()
+                                .zip(&counts)
+                                .map(|(&e, &c)| (e, decide(posterior_positive(c, &fit.params))))
+                                .collect();
+                            results.push((
+                                task.rank,
+                                DomainResult {
+                                    key: task.key,
+                                    fit,
+                                    decisions,
+                                },
+                            ));
+                        }
+                        (results, em_time, fitted)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("update worker panicked")) // lint:allow(no-panic-in-lib): a worker panic is a pipeline bug; the infallible API propagates it
+                .collect::<Vec<_>>()
+        })
+        .expect("update worker panicked"); // lint:allow(no-panic-in-lib): a worker panic is a pipeline bug; the infallible API propagates it
+
+        let mut ranked = Vec::with_capacity(refits.len());
+        for (results, em_time, fitted) in outcomes {
+            if let Some(obs) = obs {
+                obs.record_phase("model", em_time, fitted);
+            }
+            ranked.extend(results);
+        }
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use surveyor_extract::{EvidenceTable, Polarity, ProvenanceTable, Statement};
+    use surveyor_kb::{KnowledgeBase, KnowledgeBaseBuilder, Property};
+
+    fn kb() -> Arc<KnowledgeBase> {
+        let mut b = KnowledgeBaseBuilder::new();
+        let animal = b.add_type("animal", &["animal"], &[]);
+        for name in ["Kitten", "Tiger", "Spider", "Puppy", "Rock"] {
+            b.add_entity(name, animal).finish();
+        }
+        Arc::new(b.build())
+    }
+
+    fn add(
+        table: &mut EvidenceTable,
+        kb: &KnowledgeBase,
+        name: &str,
+        property: &Property,
+        pos: u64,
+        neg: u64,
+    ) {
+        let e = kb.entity_by_name(name).unwrap();
+        for _ in 0..pos {
+            table.add(&Statement::new(e, property, Polarity::Positive));
+        }
+        for _ in 0..neg {
+            table.add(&Statement::new(e, property, Polarity::Negative));
+        }
+    }
+
+    fn surveyor(kb: &Arc<KnowledgeBase>) -> Surveyor {
+        Surveyor::new(
+            kb.clone(),
+            SurveyorConfig {
+                rho: 30,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn base_evidence(kb: &KnowledgeBase) -> EvidenceTable {
+        let cute = Property::adjective("cute");
+        let tiny = Property::adjective("tiny");
+        let mut table = EvidenceTable::new();
+        add(&mut table, kb, "Kitten", &cute, 50, 2);
+        add(&mut table, kb, "Puppy", &cute, 40, 1);
+        add(&mut table, kb, "Tiger", &cute, 4, 8);
+        add(&mut table, kb, "Spider", &tiny, 30, 3);
+        add(&mut table, kb, "Kitten", &tiny, 20, 6);
+        table
+    }
+
+    /// Delta touching only the "tiny" group, plus a brand-new "fierce"
+    /// group that clears the threshold on its own.
+    fn delta_evidence(kb: &KnowledgeBase) -> EvidenceTable {
+        let tiny = Property::adjective("tiny");
+        let fierce = Property::adjective("fierce");
+        let mut table = EvidenceTable::new();
+        add(&mut table, kb, "Spider", &tiny, 10, 1);
+        add(&mut table, kb, "Tiger", &fierce, 35, 2);
+        add(&mut table, kb, "Kitten", &fierce, 2, 10);
+        table
+    }
+
+    fn delta_output(kb: &KnowledgeBase) -> ExtractionOutput {
+        ExtractionOutput {
+            evidence: delta_evidence(kb),
+            provenance: ProvenanceTable::default(),
+        }
+    }
+
+    fn combined(kb: &KnowledgeBase) -> EvidenceTable {
+        let mut table = base_evidence(kb);
+        table.merge(delta_evidence(kb));
+        table
+    }
+
+    #[test]
+    fn exact_update_matches_from_scratch_byte_identically() {
+        let kb = kb();
+        let surveyor = surveyor(&kb);
+        let base = surveyor.run_on_evidence(base_evidence(&kb));
+        let (updated, stats) = surveyor.apply_delta(base, delta_output(&kb), WarmStart::Exact);
+        let scratch = surveyor.run_on_evidence(combined(&kb));
+        assert_eq!(
+            crate::snapshot::save_snapshot(&updated),
+            crate::snapshot::save_snapshot(&scratch)
+        );
+        // "cute" untouched and carried; "tiny" dirtied; "fierce" new.
+        assert_eq!(stats.groups_carried, 1);
+        assert_eq!(stats.groups_refit, 2);
+        assert_eq!(stats.groups_dirty, 2);
+        assert_eq!(stats.groups_total, 3);
+        assert!(stats.delta_statements > 0);
+    }
+
+    #[test]
+    fn untouched_groups_skip_em_entirely() {
+        let kb = kb();
+        let surveyor = surveyor(&kb);
+        let base = surveyor.run_on_evidence(base_evidence(&kb));
+        let cute_fit = base
+            .results
+            .iter()
+            .find(|r| r.key.property.resolve().to_string() == "cute")
+            .unwrap()
+            .fit
+            .clone();
+        let (updated, _) = surveyor.apply_delta(base, delta_output(&kb), WarmStart::Exact);
+        let carried = updated
+            .results
+            .iter()
+            .find(|r| r.key.property.resolve().to_string() == "cute")
+            .unwrap();
+        // Bit-identical carry-forward, traces included.
+        assert_eq!(carried.fit.q_trace, cute_fit.q_trace);
+        assert_eq!(
+            carried.fit.log_likelihood.to_bits(),
+            cute_fit.log_likelihood.to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let kb = kb();
+        let surveyor = surveyor(&kb);
+        let base = surveyor.run_on_evidence(base_evidence(&kb));
+        let bytes = crate::snapshot::save_snapshot(&base);
+        let (updated, stats) = surveyor.apply_delta(
+            base,
+            ExtractionOutput {
+                evidence: EvidenceTable::new(),
+                provenance: ProvenanceTable::default(),
+            },
+            WarmStart::Exact,
+        );
+        assert_eq!(crate::snapshot::save_snapshot(&updated), bytes);
+        assert_eq!(stats.groups_refit, 0);
+        assert_eq!(stats.groups_dirty, 0);
+        assert_eq!(stats.groups_carried, stats.groups_total);
+    }
+
+    #[test]
+    fn seeded_update_decides_the_same_world() {
+        let kb = kb();
+        let surveyor = surveyor(&kb);
+        let base = surveyor.run_on_evidence(base_evidence(&kb));
+        let (updated, _) = surveyor.apply_delta(base, delta_output(&kb), WarmStart::Seeded);
+        let scratch = surveyor.run_on_evidence(combined(&kb));
+        // Telemetry differs (single warm run vs multi-restart), but on
+        // this well-separated evidence the decisions agree.
+        let triples = |o: &SurveyorOutput| {
+            let mut t = o.triples();
+            t.sort_by(|a, b| (&a.entity, &a.property).cmp(&(&b.entity, &b.property)));
+            t.into_iter()
+                .map(|t| (t.entity, t.property, t.polarity))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(triples(&updated), triples(&scratch));
+    }
+
+    #[test]
+    fn config_digest_ignores_threads_but_not_rho() {
+        let a = SurveyorConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let b = SurveyorConfig {
+            threads: 8,
+            ..Default::default()
+        };
+        assert_eq!(a.digest(), b.digest());
+        let c = SurveyorConfig {
+            rho: 40,
+            ..Default::default()
+        };
+        assert_ne!(a.digest(), c.digest());
+    }
+}

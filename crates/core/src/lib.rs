@@ -76,24 +76,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod objective;
 pub mod pipeline;
 pub mod snapshot;
 pub mod source;
 pub mod store;
 
+pub use incremental::{UpdateOutcome, UpdateStats, WarmStart};
 pub use objective::{adjudicate_with_link, link_objective, LinkDirection, ObjectiveLink};
 pub use pipeline::{
     DomainResult, OpinionTriple, Surveyor, SurveyorConfig, SurveyorOutput, SurveyorRun,
 };
 pub use snapshot::{
-    load_snapshot, output_from_snapshot, save_snapshot, snapshot_output, SnapshotError,
+    load_snapshot, load_snapshot_with_state, output_from_snapshot, save_snapshot,
+    save_snapshot_with_state, snapshot_output, snapshot_output_with_state, SnapshotError,
 };
 pub use source::{CorpusSource, UnknownRegion};
 pub use store::{CombinationBlock, StoredOpinion, SubjectiveKb};
 pub use surveyor_extract::{
     FailurePolicy, FallibleShardSource, Fault, FaultInjector, FaultPlan, QuarantinedShard,
-    RetryPolicy, RunError, ShardCoverage, ShardError,
+    RetryPolicy, RunError, ShardCoverage, ShardError, ShardSubset,
 };
 
 /// One-stop imports for typical use.
@@ -106,7 +109,7 @@ pub mod prelude {
     };
     pub use surveyor_extract::{ExtractionConfig, PatternVersion};
     pub use surveyor_extract::{
-        FailurePolicy, FaultInjector, FaultPlan, RetryPolicy, RunError, ShardCoverage,
+        FailurePolicy, FaultInjector, FaultPlan, RetryPolicy, RunError, ShardCoverage, ShardSubset,
     };
     pub use surveyor_kb::{EntityId, KnowledgeBase, KnowledgeBaseBuilder, Property, TypeId};
     pub use surveyor_model::{Decision, EmConfig, ModelParams, OpinionModel, SurveyorModel};

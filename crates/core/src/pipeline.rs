@@ -489,7 +489,7 @@ impl Surveyor {
     /// Feeds one combination's EM fit into the registry: the iteration
     /// histogram, a convergence-reason counter, and the full per-group
     /// report row (traces included).
-    fn record_em_telemetry(
+    pub(crate) fn record_em_telemetry(
         &self,
         obs: &MetricsRegistry,
         key: &GroupKey,

@@ -22,8 +22,8 @@ use surveyor_extract::{
 use surveyor_kb::{EntityId, KnowledgeBaseBuilder, Property, PropertyId, TypeId};
 use surveyor_model::{ConvergenceReason, Decision, EmFit, ModelDecision, ModelParams};
 use surveyor_wire::{
-    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow, ProvenanceRow, Snapshot,
-    SnapshotEntity, SnapshotProperty, SnapshotType, WireError,
+    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, IncrementalState, ModelRow,
+    ProvenanceRow, Snapshot, SnapshotEntity, SnapshotProperty, SnapshotType, WireError,
 };
 
 /// Why snapshot bytes could not be turned back into a pipeline output.
@@ -171,12 +171,33 @@ pub fn snapshot_output(output: &SurveyorOutput) -> Snapshot {
         provenance,
         models,
         decisions,
+        incremental: None,
+        fingerprints: Vec::new(),
     }
+}
+
+/// Like [`snapshot_output`], but carrying the incremental mining state:
+/// the `INCR` section records what was ingested (and what is still
+/// pending replay), and the `GRPF` section fingerprints every
+/// (type, property) group so a later `diff` can name the groups a delta
+/// dirtied. Snapshots without these sections stay byte-identical to
+/// pre-incremental producers.
+pub fn snapshot_output_with_state(output: &SurveyorOutput, state: &IncrementalState) -> Snapshot {
+    let mut snapshot = snapshot_output(output);
+    snapshot.fingerprints = surveyor_wire::group_fingerprints(&snapshot);
+    snapshot.incremental = Some(state.clone());
+    snapshot
 }
 
 /// Encodes a pipeline output as snapshot bytes.
 pub fn save_snapshot(output: &SurveyorOutput) -> Vec<u8> {
     surveyor_wire::encode(&snapshot_output(output))
+}
+
+/// Encodes a pipeline output plus its incremental state as snapshot
+/// bytes (see [`snapshot_output_with_state`]).
+pub fn save_snapshot_with_state(output: &SurveyorOutput, state: &IncrementalState) -> Vec<u8> {
+    surveyor_wire::encode(&snapshot_output_with_state(output, state))
 }
 
 /// Rebuilds a pipeline output from the portable snapshot model,
@@ -337,6 +358,28 @@ pub fn output_from_snapshot(snapshot: &Snapshot) -> Result<SurveyorOutput, Snaps
 /// Decodes snapshot bytes back into a fully functional pipeline output.
 pub fn load_snapshot(bytes: &[u8]) -> Result<SurveyorOutput, SnapshotError> {
     output_from_snapshot(&surveyor_wire::decode(bytes)?)
+}
+
+/// Decodes snapshot bytes into a pipeline output plus its incremental
+/// mining state, if the producer recorded one.
+///
+/// When the snapshot carries group fingerprints they are re-derived from
+/// the evidence section and compared — a snapshot whose fingerprints no
+/// longer match its evidence was assembled inconsistently and is rejected
+/// rather than silently carried into an update.
+pub fn load_snapshot_with_state(
+    bytes: &[u8],
+) -> Result<(SurveyorOutput, Option<IncrementalState>), SnapshotError> {
+    let snapshot = surveyor_wire::decode(bytes)?;
+    if !snapshot.fingerprints.is_empty()
+        && snapshot.fingerprints != surveyor_wire::group_fingerprints(&snapshot)
+    {
+        return Err(SnapshotError::Corrupt(
+            "group fingerprints do not match evidence",
+        ));
+    }
+    let output = output_from_snapshot(&snapshot)?;
+    Ok((output, snapshot.incremental))
 }
 
 #[cfg(test)]

@@ -346,6 +346,77 @@ pub fn regional_generator(seed: u64) -> CorpusGenerator {
     CorpusGenerator::new(world, config)
 }
 
+/// A named delta-ingestion recipe for incremental mining.
+///
+/// The generator's shard contents are fixed by `(world seed, num_shards)`:
+/// shard `i` of an `n`-shard world is the same documents no matter how many
+/// shards are actually realized. A delta preset therefore describes one
+/// world split into a *base* prefix and a *delta* suffix — a base snapshot
+/// mined from shards `[0, base_shards)` can later ingest shards
+/// `[base_shards, num_shards)` and must land byte-identical to mining all
+/// `num_shards` from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaPreset {
+    /// The name `surveyor update --delta-preset` looks up.
+    pub name: &'static str,
+    /// The world preset the base snapshot was mined from (`cities`,
+    /// `table2`, or `longtail` — the CLI's `--preset` vocabulary).
+    pub world: &'static str,
+    /// Total shard count of the world. The base snapshot must have been
+    /// mined with `--shards` equal to this.
+    pub num_shards: usize,
+    /// Shards `[0, base_shards)` belong to the base snapshot; the delta is
+    /// `[base_shards, num_shards)`.
+    pub base_shards: usize,
+}
+
+impl DeltaPreset {
+    /// Shard indexes the delta ingests, as a half-open range.
+    pub fn delta_range(&self) -> std::ops::Range<usize> {
+        self.base_shards..self.num_shards
+    }
+
+    /// Number of shards in the delta.
+    pub fn delta_len(&self) -> usize {
+        self.num_shards - self.base_shards
+    }
+}
+
+/// Every delta preset the CLI and bench harness know about. Sorted by
+/// name; each entry keeps `0 < base_shards < num_shards` so both the base
+/// and the delta are non-empty.
+pub const DELTA_PRESETS: &[DeltaPreset] = &[
+    DeltaPreset {
+        name: "cities-tail",
+        world: "cities",
+        num_shards: 4,
+        base_shards: 3,
+    },
+    DeltaPreset {
+        name: "longtail-tail",
+        world: "longtail",
+        num_shards: 8,
+        base_shards: 7,
+    },
+    DeltaPreset {
+        name: "table2-half",
+        world: "table2",
+        num_shards: 8,
+        base_shards: 4,
+    },
+    DeltaPreset {
+        name: "table2-tail",
+        world: "table2",
+        num_shards: 8,
+        base_shards: 6,
+    },
+];
+
+/// Look up a delta preset by name.
+pub fn delta_preset(name: &str) -> Option<&'static DeltaPreset> {
+    DELTA_PRESETS.iter().find(|p| p.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +477,25 @@ mod tests {
         assert_eq!(w.kb().len(), 200);
         // Rates are genuinely low.
         assert!(w.domains().iter().all(|d| d.params.rate_pos < 1.5));
+    }
+
+    #[test]
+    fn delta_presets_are_well_formed() {
+        assert!(!DELTA_PRESETS.is_empty());
+        for p in DELTA_PRESETS {
+            assert!(p.base_shards > 0, "{}: empty base", p.name);
+            assert!(p.base_shards < p.num_shards, "{}: empty delta", p.name);
+            assert_eq!(p.delta_len(), p.delta_range().len());
+            assert_eq!(delta_preset(p.name), Some(p));
+        }
+        // Sorted and unique by name, so the CLI's error message can list
+        // them in a stable order.
+        let names: Vec<&str> = DELTA_PRESETS.iter().map(|p| p.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+        assert_eq!(delta_preset("no-such-delta"), None);
     }
 
     #[test]

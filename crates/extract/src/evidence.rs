@@ -409,6 +409,74 @@ impl GroupedEvidence {
     pub fn above_threshold(&self, rho: u64) -> impl Iterator<Item = (&GroupKey, &Group)> {
         self.iter().filter(move |(_, g)| g.total >= rho)
     }
+
+    /// Merges a delta's groups into this table — the grouped-table half of
+    /// incremental ingestion.
+    ///
+    /// Both sides hold their groups sorted by `(type_id, resolved
+    /// property)` (the internal `finish` invariant), so this is a
+    /// linear two-pointer merge: each side's sort key is resolved once per
+    /// group, groups present on both sides merge their per-entity
+    /// counters, and the result needs no re-sort. Equivalent to grouping
+    /// the concatenated evidence from scratch:
+    /// `a.merge(b) == from_table(a_table ∪ b_table)` (the vendored
+    /// proptest suite pins exactly that).
+    pub fn merge(&mut self, delta: GroupedEvidence) {
+        if delta.groups.is_empty() {
+            return;
+        }
+        if self.groups.is_empty() {
+            *self = delta;
+            return;
+        }
+        // Resolve each key once; ids are process-local, the resolved
+        // property is the deterministic sort key both sides share.
+        let resolve = |groups: Vec<(GroupKey, Group)>| {
+            groups
+                .into_iter()
+                .map(|(key, group)| ((key.type_id, key.property.resolve()), key, group))
+                .collect::<Vec<_>>()
+        };
+        let left = resolve(std::mem::take(&mut self.groups));
+        let right = resolve(delta.groups);
+        let mut merged: Vec<(GroupKey, Group)> = Vec::with_capacity(left.len() + right.len());
+        let mut left = left.into_iter().peekable();
+        let mut right = right.into_iter().peekable();
+        loop {
+            let take_left = match (left.peek(), right.peek()) {
+                (Some((a, ..)), Some((b, ..))) => {
+                    if a == b {
+                        // Same combination on both sides: fold the delta's
+                        // per-entity counters into the base group.
+                        let (_, key, mut group) = left.next().expect("peeked"); // lint:allow(no-panic-in-lib): peek returned Some
+                        let (_, _, addition) = right.next().expect("peeked"); // lint:allow(no-panic-in-lib): peek returned Some
+                        for (entity, counts) in addition.counts {
+                            group.counts.entry(entity).or_default().merge(counts);
+                        }
+                        group.total += addition.total;
+                        merged.push((key, group));
+                        continue;
+                    }
+                    a < b
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (_, key, group) = if take_left {
+                left.next().expect("peeked") // lint:allow(no-panic-in-lib): peek returned Some
+            } else {
+                right.next().expect("peeked") // lint:allow(no-panic-in-lib): peek returned Some
+            };
+            merged.push((key, group));
+        }
+        self.index = merged
+            .iter()
+            .enumerate()
+            .map(|(i, (key, _))| (*key, i))
+            .collect();
+        self.groups = merged;
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +584,49 @@ mod tests {
                 "{workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn grouped_merge_matches_from_scratch_grouping() {
+        let kb = kb();
+        let mut base_table = EvidenceTable::new();
+        base_table.add(&stmt(0, "cute", Polarity::Positive));
+        base_table.add(&stmt(1, "cute", Polarity::Negative));
+        base_table.add(&stmt(2, "big", Polarity::Positive));
+        let mut delta_table = EvidenceTable::new();
+        delta_table.add(&stmt(0, "cute", Polarity::Positive)); // dirties animal × cute
+        delta_table.add(&stmt(1, "fierce", Polarity::Positive)); // new group
+        delta_table.add(&stmt(2, "big", Polarity::Negative)); // dirties city × big
+
+        let mut merged = GroupedEvidence::from_table(&base_table, &kb);
+        merged.merge(GroupedEvidence::from_table(&delta_table, &kb));
+
+        let mut combined = base_table.clone();
+        combined.merge(delta_table);
+        assert_eq!(merged, GroupedEvidence::from_table(&combined, &kb));
+        // The lookup index is rebuilt consistently.
+        let animal = kb.type_by_name("animal").unwrap();
+        let key = GroupKey {
+            type_id: animal,
+            property: surveyor_kb::PropertyId::intern(&Property::adjective("fierce")),
+        };
+        assert_eq!(merged.group(&key).unwrap().total_statements(), 1);
+    }
+
+    #[test]
+    fn grouped_merge_with_empty_sides_is_identity() {
+        let kb = kb();
+        let mut t = EvidenceTable::new();
+        t.add(&stmt(0, "cute", Polarity::Positive));
+        let grouped = GroupedEvidence::from_table(&t, &kb);
+
+        let mut left = grouped.clone();
+        left.merge(GroupedEvidence::default());
+        assert_eq!(left, grouped);
+
+        let mut empty = GroupedEvidence::default();
+        empty.merge(grouped.clone());
+        assert_eq!(empty, grouped);
     }
 
     #[test]

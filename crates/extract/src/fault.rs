@@ -110,6 +110,64 @@ impl<S: ShardSource> FallibleShardSource for S {
     }
 }
 
+/// A view of selected shards of a wrapped source, renumbered `0..len`.
+///
+/// This is how incremental mining addresses a corpus: the base mine reads
+/// the prefix `[0, k)` of a world's shards, a delta update reads a later
+/// range, and quarantine replay reads exactly the previously-lost shard
+/// ids — all against the *same* deterministic generator, so shard `i` of
+/// the world produces identical documents no matter which subset view it
+/// is materialized through.
+#[derive(Debug)]
+pub struct ShardSubset<S> {
+    inner: S,
+    shards: Vec<usize>,
+}
+
+impl<S: FallibleShardSource> ShardSubset<S> {
+    /// A view of `inner` restricted to the given world-shard indexes
+    /// (in the given order). Indexes must be in range for `inner`.
+    pub fn new(inner: S, shards: Vec<usize>) -> Self {
+        for &shard in &shards {
+            assert!(
+                shard < inner.shard_count(),
+                "subset shard {shard} out of range for source with {} shards",
+                inner.shard_count()
+            );
+        }
+        Self { inner, shards }
+    }
+
+    /// A view of the contiguous world-shard range `start..end`.
+    pub fn range(inner: S, start: usize, end: usize) -> Self {
+        Self::new(inner, (start..end).collect())
+    }
+
+    /// The world-shard indexes this view exposes, in view order.
+    pub fn shards(&self) -> &[usize] {
+        &self.shards
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: FallibleShardSource> FallibleShardSource for ShardSubset<S> {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn try_shard(
+        &self,
+        index: usize,
+        attempt: u32,
+    ) -> Result<Cow<'_, [AnnotatedDocument]>, ShardError> {
+        self.inner.try_shard(self.shards[index], attempt)
+    }
+}
+
 /// One injected fault, assigned to a single shard of a [`FaultPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -545,6 +603,53 @@ mod tests {
             .with(1, Fault::Transient { failures: 1 });
         assert_eq!(plan.fault(1), Some(Fault::Transient { failures: 1 }));
         assert_eq!(plan.assignments().len(), 1);
+    }
+
+    #[test]
+    fn shard_subset_remaps_indexes() {
+        // A source whose shards are identifiable by their error message.
+        struct Tagged;
+        impl FallibleShardSource for Tagged {
+            fn shard_count(&self) -> usize {
+                8
+            }
+            fn try_shard(
+                &self,
+                index: usize,
+                _attempt: u32,
+            ) -> Result<Cow<'_, [AnnotatedDocument]>, ShardError> {
+                Err(ShardError::Permanent(format!("world shard {index}")))
+            }
+        }
+        let subset = ShardSubset::new(Tagged, vec![5, 2, 7]);
+        assert_eq!(FallibleShardSource::shard_count(&subset), 3);
+        assert_eq!(subset.shards(), &[5, 2, 7]);
+        for (view, world) in [(0, 5), (1, 2), (2, 7)] {
+            let err = subset.try_shard(view, 0).unwrap_err();
+            assert_eq!(err.message(), format!("world shard {world}"));
+        }
+        let range = ShardSubset::range(Tagged, 3, 6);
+        assert_eq!(range.shards(), &[3, 4, 5]);
+        assert_eq!(range.inner().shard_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_subset_rejects_out_of_range_indexes() {
+        struct Empty;
+        impl FallibleShardSource for Empty {
+            fn shard_count(&self) -> usize {
+                2
+            }
+            fn try_shard(
+                &self,
+                _index: usize,
+                _attempt: u32,
+            ) -> Result<Cow<'_, [AnnotatedDocument]>, ShardError> {
+                Ok(Cow::Owned(Vec::new()))
+            }
+        }
+        let _ = ShardSubset::new(Empty, vec![0, 2]);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use evidence::{
 };
 pub use fault::{
     FailurePolicy, FallibleShardSource, Fault, FaultInjector, FaultPlan, QuarantinedShard,
-    RetryPolicy, RunError, RunOutcome, ShardCoverage, ShardError,
+    RetryPolicy, RunError, RunOutcome, ShardCoverage, ShardError, ShardSubset,
 };
 pub use patterns::{
     extract_sentence, extract_sentence_counted, extract_sentence_into, ExtractContext,

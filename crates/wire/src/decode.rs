@@ -12,16 +12,18 @@ use crate::crc32::crc32;
 use crate::cursor::Cursor;
 use crate::error::WireError;
 use crate::section::{
-    SectionTag, CANONICAL_ORDER, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_MODELS,
-    TAG_PROPERTIES, TAG_PROVENANCE, TAG_TYPES,
+    SectionTag, CANONICAL_ORDER, KNOWN_ORDER, REQUIRED_SECTIONS, TAG_DECISIONS, TAG_ENTITIES,
+    TAG_EVIDENCE, TAG_FINGERPRINTS, TAG_INCREMENTAL, TAG_MODELS, TAG_PROPERTIES, TAG_PROVENANCE,
+    TAG_TYPES,
 };
 use crate::snapshot::{
-    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow, ProvenanceRow, Snapshot,
-    SnapshotEntity, SnapshotProperty, SnapshotType,
+    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, GroupFingerprintRow,
+    IncrementalState, ModelRow, ProvenanceRow, Snapshot, SnapshotEntity, SnapshotProperty,
+    SnapshotType,
 };
 use crate::{FORMAT_VERSION, MAGIC};
 
-/// Positions of the required sections inside [`CANONICAL_ORDER`].
+/// Positions of the known sections inside [`KNOWN_ORDER`].
 const SEC_PROPERTIES: usize = 0;
 const SEC_TYPES: usize = 1;
 const SEC_ENTITIES: usize = 2;
@@ -29,6 +31,8 @@ const SEC_EVIDENCE: usize = 3;
 const SEC_PROVENANCE: usize = 4;
 const SEC_MODELS: usize = 5;
 const SEC_DECISIONS: usize = 6;
+const SEC_INCREMENTAL: usize = 7;
+const SEC_FINGERPRINTS: usize = 8;
 
 /// Decodes a snapshot buffer into its owned form in one call.
 ///
@@ -46,11 +50,16 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, WireError> {
 #[derive(Debug, Clone, Copy)]
 pub struct SnapshotReader<'a> {
     version: u16,
-    /// Per-section record bytes (payload minus its leading counts).
-    bodies: [&'a [u8]; 7],
+    /// Per-section record bytes (payload minus its leading counts),
+    /// indexed like [`KNOWN_ORDER`]. The `INCR` slot is unused (its
+    /// payload is not count-prefixed; see `incr_body`).
+    bodies: [&'a [u8]; 9],
     /// Per-section record counts, already bounded by the payload size.
-    counts: [usize; 7],
+    counts: [usize; 9],
     provenance_sample_size: u64,
+    /// Raw payload of the optional `INCR` section, parsed on demand by
+    /// [`SnapshotReader::incremental`].
+    incr_body: Option<&'a [u8]>,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -72,9 +81,11 @@ impl<'a> SnapshotReader<'a> {
         cursor.u16("header reserved")?; // writers write 0; readers ignore
         let section_count = cursor.u32("header section count")?;
 
-        let mut bodies: [&'a [u8]; 7] = [&[]; 7];
-        let mut counts = [0usize; 7];
+        let mut bodies: [&'a [u8]; 9] = [&[]; 9];
+        let mut counts = [0usize; 9];
         let mut provenance_sample_size = 0u64;
+        let mut incr_body: Option<&'a [u8]> = None;
+        let mut seen = [false; 9];
         let mut next_expected = 0usize;
         for _ in 0..section_count {
             let tag_bytes = cursor.take(4, "section tag")?;
@@ -101,22 +112,33 @@ impl<'a> SnapshotReader<'a> {
                     computed,
                 });
             }
-            let Some(position) = CANONICAL_ORDER.iter().position(|t| *t == tag) else {
+            let Some(position) = KNOWN_ORDER.iter().position(|t| *t == tag) else {
                 continue; // unknown section: skip (forward compatibility)
             };
-            if position < next_expected {
+            if seen[position] {
                 return Err(WireError::DuplicateSection { tag });
             }
-            if position > next_expected {
+            if position < next_expected {
                 return Err(WireError::OutOfOrderSection { tag });
             }
-            let mut payload_cursor = Cursor::new(payload);
-            if position == SEC_PROVENANCE {
-                provenance_sample_size = payload_cursor.varint("provenance sample size")?;
+            // Jumping past a *required* section is an order violation;
+            // skipped optional sections are simply absent.
+            if position > next_expected && next_expected < REQUIRED_SECTIONS {
+                return Err(WireError::OutOfOrderSection { tag });
             }
-            counts[position] = payload_cursor.count(COUNT_CONTEXTS[position])?;
-            bodies[position] = payload_cursor.take(payload_cursor.remaining(), "section body")?;
-            next_expected += 1;
+            if position == SEC_INCREMENTAL {
+                incr_body = Some(payload);
+            } else {
+                let mut payload_cursor = Cursor::new(payload);
+                if position == SEC_PROVENANCE {
+                    provenance_sample_size = payload_cursor.varint("provenance sample size")?;
+                }
+                counts[position] = payload_cursor.count(COUNT_CONTEXTS[position])?;
+                bodies[position] =
+                    payload_cursor.take(payload_cursor.remaining(), "section body")?;
+            }
+            seen[position] = true;
+            next_expected = position + 1;
         }
         if next_expected < CANONICAL_ORDER.len() {
             return Err(WireError::MissingSection {
@@ -133,6 +155,7 @@ impl<'a> SnapshotReader<'a> {
             bodies,
             counts,
             provenance_sample_size,
+            incr_body,
         })
     }
 
@@ -206,6 +229,81 @@ impl<'a> SnapshotReader<'a> {
             cursor: Cursor::new(self.bodies[SEC_DECISIONS]),
             remaining: self.counts[SEC_DECISIONS],
             finished: false,
+        }
+    }
+
+    /// Whether the snapshot carries the optional `INCR` section.
+    pub fn has_incremental(&self) -> bool {
+        self.incr_body.is_some()
+    }
+
+    /// Parses and validates the optional incremental-state section
+    /// (`INCR`). `Ok(None)` when the snapshot does not carry one.
+    pub fn incremental(&self) -> Result<Option<IncrementalState>, WireError> {
+        let Some(body) = self.incr_body else {
+            return Ok(None);
+        };
+        let mut cursor = Cursor::new(body);
+        let rho = cursor.varint("incremental rho")?;
+        let config_digest = cursor.u64("config digest")?;
+        let corpus_digest = cursor.u64("corpus digest")?;
+        let range_count = cursor.count("ingested range count")?;
+        let mut ingested = Vec::with_capacity(range_count);
+        for _ in 0..range_count {
+            let start = cursor.varint("ingested range start")?;
+            let end = cursor.varint("ingested range end")?;
+            if start >= end {
+                return Err(WireError::BadRecord {
+                    section: TAG_INCREMENTAL,
+                    detail: "empty ingested range",
+                });
+            }
+            if ingested
+                .last()
+                .is_some_and(|&(_, prev_end)| start <= prev_end)
+            {
+                return Err(WireError::BadRecord {
+                    section: TAG_INCREMENTAL,
+                    detail: "ingested ranges not sorted, disjoint, and merged",
+                });
+            }
+            ingested.push((start, end));
+        }
+        let pending_count = cursor.count("pending shard count")?;
+        let mut pending = Vec::with_capacity(pending_count);
+        for _ in 0..pending_count {
+            let shard = cursor.varint("pending shard")?;
+            if pending.last().is_some_and(|&prev| shard <= prev) {
+                return Err(WireError::BadRecord {
+                    section: TAG_INCREMENTAL,
+                    detail: "pending shards not strictly increasing",
+                });
+            }
+            pending.push(shard);
+        }
+        if !cursor.is_empty() {
+            return Err(WireError::BadRecord {
+                section: TAG_INCREMENTAL,
+                detail: "trailing bytes in section",
+            });
+        }
+        Ok(Some(IncrementalState {
+            rho,
+            config_digest,
+            corpus_digest,
+            ingested,
+            pending,
+        }))
+    }
+
+    /// Iterates the group fingerprints (optional section `GRPF`); empty
+    /// when the snapshot does not carry one.
+    pub fn fingerprints(&self) -> FingerprintIter<'a> {
+        FingerprintIter {
+            cursor: Cursor::new(self.bodies[SEC_FINGERPRINTS]),
+            remaining: self.counts[SEC_FINGERPRINTS],
+            finished: false,
+            last_key: None,
         }
     }
 
@@ -309,6 +407,13 @@ impl<'a> SnapshotReader<'a> {
             });
         }
 
+        let incremental = self.incremental()?;
+
+        let mut fingerprints = Vec::with_capacity(self.counts[SEC_FINGERPRINTS]);
+        for row in self.fingerprints() {
+            fingerprints.push(row?);
+        }
+
         Ok(Snapshot {
             properties,
             types,
@@ -318,12 +423,15 @@ impl<'a> SnapshotReader<'a> {
             provenance,
             models,
             decisions,
+            incremental,
+            fingerprints,
         })
     }
 }
 
-/// Count-field contexts, indexed like [`CANONICAL_ORDER`].
-const COUNT_CONTEXTS: [&str; 7] = [
+/// Count-field contexts, indexed like [`KNOWN_ORDER`]. The `INCR` slot
+/// is a placeholder — that payload is not count-prefixed.
+const COUNT_CONTEXTS: [&str; 9] = [
     "property count",
     "type count",
     "entity count",
@@ -331,6 +439,8 @@ const COUNT_CONTEXTS: [&str; 7] = [
     "provenance row count",
     "model row count",
     "decision group count",
+    "incremental state",
+    "fingerprint row count",
 ];
 
 /// A lazy list of length-prefixed strings borrowed from the snapshot.
@@ -909,6 +1019,50 @@ impl<'a> Iterator for DecisionGroupIter<'a> {
     }
 }
 
+/// Iterator over the optional section `GRPF`. Rows are plain `Copy`
+/// values; the iterator additionally enforces the sort invariant
+/// (ascending `(type_index, property)`, no duplicates).
+#[derive(Debug, Clone)]
+pub struct FingerprintIter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+    finished: bool,
+    last_key: Option<(u32, u32)>,
+}
+
+impl<'a> Iterator for FingerprintIter<'a> {
+    type Item = Result<GroupFingerprintRow, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let last_key = &mut self.last_key;
+        next_record(
+            &mut self.cursor,
+            &mut self.remaining,
+            &mut self.finished,
+            TAG_FINGERPRINTS,
+            |cursor| {
+                let type_index = cursor.u32("fingerprint type index")?;
+                let property = cursor.u32("fingerprint property")?;
+                let key = (type_index, property);
+                if last_key.is_some_and(|prev| key <= prev) {
+                    return Err(WireError::BadRecord {
+                        section: TAG_FINGERPRINTS,
+                        detail: "fingerprint rows out of order",
+                    });
+                }
+                *last_key = Some(key);
+                Ok(GroupFingerprintRow {
+                    type_index,
+                    property,
+                    entities: cursor.varint("fingerprint entity count")?,
+                    total: cursor.varint("fingerprint statement total")?,
+                    fingerprint: cursor.u64("fingerprint digest")?,
+                })
+            },
+        )
+    }
+}
+
 /// Shared record-iterator step: yields the next record, a trailing-bytes
 /// error once the declared count is exhausted but bytes remain, or `None`.
 /// Any parse error poisons the iterator so it cannot yield further items.
@@ -1068,7 +1222,23 @@ mod tests {
                     },
                 ],
             }],
+            incremental: None,
+            fingerprints: vec![],
         }
+    }
+
+    /// The sample world with incremental state and fingerprints attached.
+    fn incremental_sample() -> Snapshot {
+        let mut snapshot = sample();
+        snapshot.incremental = Some(IncrementalState {
+            rho: 40,
+            config_digest: 0xdead_beef_cafe_f00d,
+            corpus_digest: 0x1234_5678_9abc_def0,
+            ingested: vec![(0, 3), (5, 8)],
+            pending: vec![3, 4],
+        });
+        snapshot.fingerprints = crate::snapshot::group_fingerprints(&snapshot);
+        snapshot
     }
 
     #[test]
@@ -1327,5 +1497,180 @@ mod tests {
         assert_eq!(rows[0].decision, DecisionCode::Positive);
         assert_eq!(rows[0].probability, Some(0.97));
         assert_eq!(rows[1].probability, None);
+    }
+
+    #[test]
+    fn incremental_snapshot_round_trips() {
+        let snapshot = incremental_sample();
+        let bytes = encode(&snapshot);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, snapshot);
+        assert_eq!(encode(&decoded), bytes);
+
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert!(reader.has_incremental());
+        let state = reader.incremental().unwrap().unwrap();
+        assert_eq!(state, snapshot.incremental.clone().unwrap());
+        let rows: Vec<_> = reader
+            .fingerprints()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(rows, snapshot.fingerprints);
+    }
+
+    #[test]
+    fn plain_snapshot_still_encodes_seven_sections() {
+        // Without incremental state the byte stream is the original
+        // seven-section container — older readers stay compatible.
+        let bytes = encode(&sample());
+        assert_eq!(&bytes[12..16], &7u32.to_le_bytes());
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert!(!reader.has_incremental());
+        assert_eq!(reader.incremental().unwrap(), None);
+        assert_eq!(reader.fingerprints().count(), 0);
+    }
+
+    #[test]
+    fn optional_sections_may_appear_independently() {
+        // INCR without GRPF.
+        let mut snapshot = incremental_sample();
+        snapshot.fingerprints.clear();
+        assert_eq!(decode(&encode(&snapshot)).unwrap(), snapshot);
+        // GRPF without INCR.
+        let mut snapshot = incremental_sample();
+        snapshot.incremental = None;
+        assert_eq!(decode(&encode(&snapshot)).unwrap(), snapshot);
+    }
+
+    #[test]
+    fn duplicate_and_misordered_optional_sections_are_rejected() {
+        let bytes = encode(&incremental_sample());
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(reader.version(), FORMAT_VERSION);
+
+        // Rebuild the raw frames so they can be rearranged: required
+        // seven from the empty world plus handcrafted INCR/GRPF.
+        let incr_payload = || {
+            let mut p = vec![0]; // rho = 0
+            put_u64(&mut p, 0); // config digest
+            put_u64(&mut p, 0); // corpus digest
+            p.push(0); // no ingested ranges
+            p.push(0); // no pending shards
+            p
+        };
+        let grpf_payload = || vec![0]; // zero rows
+
+        let mut sections = empty_sections();
+        sections.push((*b"INCR", incr_payload()));
+        sections.push((*b"INCR", incr_payload()));
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::DuplicateSection {
+                tag: TAG_INCREMENTAL
+            })
+        );
+
+        // GRPF before INCR violates the canonical order.
+        let mut sections = empty_sections();
+        sections.push((*b"GRPF", grpf_payload()));
+        sections.push((*b"INCR", incr_payload()));
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::OutOfOrderSection {
+                tag: TAG_INCREMENTAL
+            })
+        );
+
+        // An optional section before the required seven is out of order
+        // (it would skip every required section).
+        let mut sections = empty_sections();
+        sections.insert(0, (*b"INCR", incr_payload()));
+        assert_eq!(
+            SnapshotReader::new(&container(&sections)).map(|_| ()),
+            Err(WireError::OutOfOrderSection {
+                tag: TAG_INCREMENTAL
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_incremental_state_is_a_bad_record() {
+        let build = |ranges: &[(u64, u64)], pending: &[u64], trailing: bool| {
+            let mut p = vec![40]; // rho
+            put_u64(&mut p, 1);
+            put_u64(&mut p, 2);
+            put_varint(&mut p, ranges.len() as u64);
+            for &(s, e) in ranges {
+                put_varint(&mut p, s);
+                put_varint(&mut p, e);
+            }
+            put_varint(&mut p, pending.len() as u64);
+            for &shard in pending {
+                put_varint(&mut p, shard);
+            }
+            if trailing {
+                p.push(0xaa);
+            }
+            let mut sections = empty_sections();
+            sections.push((*b"INCR", p));
+            container(&sections)
+        };
+        let detail_of = |bytes: &[u8]| {
+            let reader = SnapshotReader::new(bytes).unwrap();
+            match reader.incremental().expect_err("parsed") {
+                WireError::BadRecord { section, detail } => {
+                    assert_eq!(section, TAG_INCREMENTAL);
+                    detail
+                }
+                other => panic!("expected BadRecord, got {other:?}"),
+            }
+        };
+        assert_eq!(
+            detail_of(&build(&[(3, 3)], &[], false)),
+            "empty ingested range"
+        );
+        assert_eq!(
+            detail_of(&build(&[(0, 2), (2, 4)], &[], false)),
+            "ingested ranges not sorted, disjoint, and merged"
+        );
+        assert_eq!(
+            detail_of(&build(&[(0, 2)], &[5, 5], false)),
+            "pending shards not strictly increasing"
+        );
+        assert_eq!(
+            detail_of(&build(&[(0, 2)], &[5], true)),
+            "trailing bytes in section"
+        );
+        // Valid state parses.
+        let reader_bytes = build(&[(0, 2), (4, 6)], &[2, 3], false);
+        let reader = SnapshotReader::new(&reader_bytes).unwrap();
+        let state = reader.incremental().unwrap().unwrap();
+        assert_eq!(state.ingested, vec![(0, 2), (4, 6)]);
+        assert_eq!(state.pending, vec![2, 3]);
+        assert_eq!(state.ingested_count(), 4);
+    }
+
+    #[test]
+    fn misordered_fingerprint_rows_are_a_bad_record() {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 2);
+        for _ in 0..2 {
+            put_u32(&mut payload, 0); // type index
+            put_u32(&mut payload, 7); // property (repeated key)
+            put_varint(&mut payload, 1);
+            put_varint(&mut payload, 1);
+            put_u64(&mut payload, 99);
+        }
+        let mut sections = empty_sections();
+        sections.push((*b"GRPF", payload));
+        let bytes = container(&sections);
+        let reader = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(
+            reader.to_snapshot().expect_err("decoded"),
+            WireError::BadRecord {
+                section: TAG_FINGERPRINTS,
+                detail: "fingerprint rows out of order",
+            }
+        );
     }
 }

@@ -17,7 +17,8 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SectionDelta {
     /// Section name (`properties`, `types`, `entities`, `evidence`,
-    /// `provenance`, `models`, `decisions`).
+    /// `provenance`, `models`, `decisions`, `incremental`,
+    /// `fingerprints`).
     pub section: &'static str,
     /// Row count in the first snapshot.
     pub count_a: usize,
@@ -365,12 +366,82 @@ pub fn diff_with_versions(
             .collect(),
     );
 
+    // The optional incremental state compares field by field, so the
+    // report names what moved (e.g. newly ingested ranges, a drained
+    // replay queue) instead of a single opaque "changed".
+    let incremental_value = |snapshot: &Snapshot| -> BTreeMap<String, String> {
+        let Some(state) = &snapshot.incremental else {
+            return BTreeMap::new();
+        };
+        BTreeMap::from([
+            ("rho".to_string(), state.rho.to_string()),
+            (
+                "config digest".to_string(),
+                format!("{:016x}", state.config_digest),
+            ),
+            (
+                "corpus digest".to_string(),
+                format!("{:016x}", state.corpus_digest),
+            ),
+            (
+                "ingested shards".to_string(),
+                state
+                    .ingested
+                    .iter()
+                    .map(|(s, e)| format!("[{s}, {e})"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ),
+            ("pending shards".to_string(), format!("{:?}", state.pending)),
+        ])
+    };
+    let incremental = section_delta("incremental", incremental_value(a), incremental_value(b));
+    // Group fingerprints make "which groups did the delta dirty?" a
+    // first-class diff answer: a changed key here is a dirtied group.
+    let fingerprints = section_delta(
+        "fingerprints",
+        a.fingerprints
+            .iter()
+            .map(|row| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_a.type_name(row.type_index),
+                        names_a.property(row.property)
+                    ),
+                    (row.entities, row.total, row.fingerprint),
+                )
+            })
+            .collect(),
+        b.fingerprints
+            .iter()
+            .map(|row| {
+                (
+                    format!(
+                        "{} × {}",
+                        names_b.type_name(row.type_index),
+                        names_b.property(row.property)
+                    ),
+                    (row.entities, row.total, row.fingerprint),
+                )
+            })
+            .collect(),
+    );
+
     SnapshotDiff {
         version_a,
         version_b,
         sample_size_changed: a.provenance_sample_size != b.provenance_sample_size,
         sections: vec![
-            properties, types, entities, evidence, provenance, models, decisions,
+            properties,
+            types,
+            entities,
+            evidence,
+            provenance,
+            models,
+            decisions,
+            incremental,
+            fingerprints,
         ],
     }
 }
@@ -443,6 +514,8 @@ mod tests {
                     probability: Some(0.97),
                 }],
             }],
+            incremental: None,
+            fingerprints: vec![],
         }
     }
 
@@ -452,7 +525,35 @@ mod tests {
         let diff = diff_snapshots(&a, &a.clone());
         assert!(diff.is_identical());
         assert_eq!(diff.difference_count(), 0);
-        assert_eq!(diff.sections.len(), 7);
+        assert_eq!(diff.sections.len(), 9);
+    }
+
+    #[test]
+    fn dirtied_group_reports_in_fingerprints_section() {
+        let mut a = world();
+        a.fingerprints = crate::snapshot::group_fingerprints(&a);
+        a.incremental = Some(crate::IncrementalState {
+            rho: 40,
+            config_digest: 1,
+            corpus_digest: 2,
+            ingested: vec![(0, 3)],
+            pending: vec![],
+        });
+        // The updated snapshot ingested one more shard and grew the
+        // evidence of the only group.
+        let mut b = a.clone();
+        b.evidence[0].positive += 5;
+        b.fingerprints = crate::snapshot::group_fingerprints(&b);
+        b.incremental.as_mut().unwrap().ingest_range(3, 4);
+
+        let diff = diff_snapshots(&a, &b);
+        assert!(!diff.is_identical());
+        let fingerprints = &diff.sections[8];
+        assert_eq!(fingerprints.section, "fingerprints");
+        assert_eq!(fingerprints.changed, vec!["city × big"]);
+        let incremental = &diff.sections[7];
+        assert_eq!(incremental.section, "incremental");
+        assert_eq!(incremental.changed, vec!["ingested shards"]);
     }
 
     #[test]

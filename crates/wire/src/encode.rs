@@ -7,15 +7,20 @@
 use crate::crc32::crc32;
 use crate::cursor::{put_f64, put_str, put_u16, put_u32, put_u64, put_varint};
 use crate::section::{
-    SectionTag, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_MODELS, TAG_PROPERTIES,
-    TAG_PROVENANCE, TAG_TYPES,
+    SectionTag, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_FINGERPRINTS, TAG_INCREMENTAL,
+    TAG_MODELS, TAG_PROPERTIES, TAG_PROVENANCE, TAG_TYPES,
 };
 use crate::snapshot::Snapshot;
 use crate::{FORMAT_VERSION, MAGIC};
 
 /// Encodes a snapshot into the version-1 wire format.
+///
+/// The seven required sections are always emitted; the optional `INCR`
+/// and `GRPF` sections follow only when [`Snapshot::incremental`] is set
+/// or [`Snapshot::fingerprints`] is non-empty, so a snapshot without
+/// incremental state encodes to the exact original seven-section stream.
 pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
-    let sections: [(SectionTag, Vec<u8>); 7] = [
+    let mut sections: Vec<(SectionTag, Vec<u8>)> = vec![
         (TAG_PROPERTIES, encode_properties(snapshot)),
         (TAG_TYPES, encode_types(snapshot)),
         (TAG_ENTITIES, encode_entities(snapshot)),
@@ -24,6 +29,12 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
         (TAG_MODELS, encode_models(snapshot)),
         (TAG_DECISIONS, encode_decisions(snapshot)),
     ];
+    if snapshot.incremental.is_some() {
+        sections.push((TAG_INCREMENTAL, encode_incremental(snapshot)));
+    }
+    if !snapshot.fingerprints.is_empty() {
+        sections.push((TAG_FINGERPRINTS, encode_fingerprints(snapshot)));
+    }
     let payload_total: usize = sections.iter().map(|(_, p)| p.len()).sum();
     // Header (16) + one 16-byte frame per section + payloads.
     let mut out = Vec::with_capacity(16 + sections.len() * 16 + payload_total);
@@ -136,6 +147,40 @@ fn encode_models(snapshot: &Snapshot) -> Vec<u8> {
         for &d in &row.delta_trace {
             put_f64(&mut buf, d);
         }
+    }
+    buf
+}
+
+fn encode_incremental(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let Some(state) = &snapshot.incremental else {
+        // Unreachable in practice: the caller gates on `is_some`.
+        return buf;
+    };
+    put_varint(&mut buf, state.rho);
+    put_u64(&mut buf, state.config_digest);
+    put_u64(&mut buf, state.corpus_digest);
+    put_varint(&mut buf, state.ingested.len() as u64);
+    for &(start, end) in &state.ingested {
+        put_varint(&mut buf, start);
+        put_varint(&mut buf, end);
+    }
+    put_varint(&mut buf, state.pending.len() as u64);
+    for &shard in &state.pending {
+        put_varint(&mut buf, shard);
+    }
+    buf
+}
+
+fn encode_fingerprints(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint(&mut buf, snapshot.fingerprints.len() as u64);
+    for row in &snapshot.fingerprints {
+        put_u32(&mut buf, row.type_index);
+        put_u32(&mut buf, row.property);
+        put_varint(&mut buf, row.entities);
+        put_varint(&mut buf, row.total);
+        put_u64(&mut buf, row.fingerprint);
     }
     buf
 }

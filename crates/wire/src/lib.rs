@@ -16,8 +16,9 @@
 //! count) followed by framed sections. Each frame carries a four-byte
 //! tag, a payload length, and a CRC-32 of the payload, so damage is
 //! detected before any record is parsed. Version-1 writers emit seven
-//! sections in [`CANONICAL_ORDER`]; readers skip unknown tags, which is
-//! the forward-compatibility hook for additive revisions.
+//! required sections in [`CANONICAL_ORDER`], optionally followed by the
+//! incremental-mining sections `INCR` and `GRPF`; readers skip unknown
+//! tags, which is the forward-compatibility hook for additive revisions.
 //!
 //! Inside a payload, integers are little-endian, open-ended counts are
 //! LEB128 varints, floats are IEEE 754 bit patterns (bit-exact round
@@ -78,19 +79,22 @@ mod snapshot;
 
 pub use decode::{
     decode, AttrList, DecisionGroupIter, DecisionGroupRecord, DecisionList, EntityIter,
-    EntityRecord, EvidenceIter, F64List, ModelIter, ModelRecord, PropertyIter, PropertyRecord,
-    ProvenanceIter, ProvenanceRecord, SnapshotReader, StrList, TypeIter, TypeRecord, U64List,
+    EntityRecord, EvidenceIter, F64List, FingerprintIter, ModelIter, ModelRecord, PropertyIter,
+    PropertyRecord, ProvenanceIter, ProvenanceRecord, SnapshotReader, StrList, TypeIter,
+    TypeRecord, U64List,
 };
 pub use diff::{diff_snapshots, diff_with_versions, SectionDelta, SnapshotDiff};
 pub use encode::encode;
 pub use error::WireError;
 pub use section::{
-    SectionTag, CANONICAL_ORDER, TAG_DECISIONS, TAG_ENTITIES, TAG_EVIDENCE, TAG_MODELS,
-    TAG_PROPERTIES, TAG_PROVENANCE, TAG_TYPES,
+    SectionTag, CANONICAL_ORDER, KNOWN_ORDER, REQUIRED_SECTIONS, TAG_DECISIONS, TAG_ENTITIES,
+    TAG_EVIDENCE, TAG_FINGERPRINTS, TAG_INCREMENTAL, TAG_MODELS, TAG_PROPERTIES, TAG_PROVENANCE,
+    TAG_TYPES,
 };
 pub use snapshot::{
-    DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow, ProvenanceRow, Snapshot,
-    SnapshotEntity, SnapshotProperty, SnapshotType,
+    group_fingerprints, DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, Fnv64,
+    GroupFingerprintRow, IncrementalState, ModelRow, ProvenanceRow, Snapshot, SnapshotEntity,
+    SnapshotProperty, SnapshotType,
 };
 
 /// The eight magic bytes every snapshot starts with.

@@ -33,6 +33,12 @@ pub const TAG_PROVENANCE: SectionTag = SectionTag(*b"PROV");
 pub const TAG_MODELS: SectionTag = SectionTag(*b"MODL");
 /// Entity decisions per (type, property) combination.
 pub const TAG_DECISIONS: SectionTag = SectionTag(*b"DECN");
+/// Optional: incremental-mining state (ingested shard ranges, replay
+/// queue, configuration digests).
+pub const TAG_INCREMENTAL: SectionTag = SectionTag(*b"INCR");
+/// Optional: per-(type, property) group fingerprints for dirty-group
+/// detection between snapshots.
+pub const TAG_FINGERPRINTS: SectionTag = SectionTag(*b"GRPF");
 
 /// Every required section, in the canonical on-disk order. A version-1
 /// writer emits exactly these; a version-1 reader requires all of them,
@@ -47,6 +53,27 @@ pub const CANONICAL_ORDER: [SectionTag; 7] = [
     TAG_MODELS,
     TAG_DECISIONS,
 ];
+
+/// Every section this reader understands, required and optional, in the
+/// canonical on-disk order. Optional sections follow the required seven;
+/// a reader accepts any subset of the optional tail as long as relative
+/// order is preserved.
+pub const KNOWN_ORDER: [SectionTag; 9] = [
+    TAG_PROPERTIES,
+    TAG_TYPES,
+    TAG_ENTITIES,
+    TAG_EVIDENCE,
+    TAG_PROVENANCE,
+    TAG_MODELS,
+    TAG_DECISIONS,
+    TAG_INCREMENTAL,
+    TAG_FINGERPRINTS,
+];
+
+/// How many leading entries of [`KNOWN_ORDER`] are required. Positions at
+/// or past this index are optional: a decoder skips them without error
+/// when absent.
+pub const REQUIRED_SECTIONS: usize = 7;
 
 #[cfg(test)]
 mod tests {
@@ -69,5 +96,17 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn known_order_extends_canonical_order() {
+        assert_eq!(&KNOWN_ORDER[..REQUIRED_SECTIONS], &CANONICAL_ORDER[..]);
+        for (i, a) in KNOWN_ORDER.iter().enumerate() {
+            for b in &KNOWN_ORDER[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(KNOWN_ORDER[REQUIRED_SECTIONS], TAG_INCREMENTAL);
+        assert_eq!(KNOWN_ORDER[REQUIRED_SECTIONS + 1], TAG_FINGERPRINTS);
     }
 }

@@ -148,6 +148,81 @@ pub struct DecisionGroupRow {
     pub decisions: Vec<DecisionRow>,
 }
 
+/// Incremental-mining state carried by the optional `INCR` section: which
+/// shards of the source corpus a snapshot has ingested, which quarantined
+/// shards still await replay, and the digests an updater checks before
+/// merging a delta.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IncrementalState {
+    /// The evidence threshold `rho` the snapshot was mined with. An
+    /// update must run at the same threshold or the carried-forward
+    /// groups would be wrong.
+    pub rho: u64,
+    /// Digest of the mining configuration (EM grid, extraction window,
+    /// threshold — everything except thread count). An updater refuses a
+    /// delta mined under a different configuration.
+    pub config_digest: u64,
+    /// Digest of the corpus identity (preset, seed, region filter) as
+    /// supplied by the producer; `0` means unknown (no check possible).
+    pub corpus_digest: u64,
+    /// Half-open shard ranges `[start, end)` already ingested, sorted,
+    /// strictly increasing, and disjoint (adjacent ranges are merged).
+    pub ingested: Vec<(u64, u64)>,
+    /// Shard ids that were attempted but quarantined — the replay queue.
+    /// Sorted, strictly increasing, disjoint from `ingested`.
+    pub pending: Vec<u64>,
+}
+
+impl IncrementalState {
+    /// Inserts a half-open shard range into `ingested`, merging with
+    /// overlapping or adjacent ranges so the invariant (sorted, disjoint,
+    /// maximally coalesced) holds afterwards. Empty ranges are ignored.
+    pub fn ingest_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        self.ingested.push((start, end));
+        self.ingested.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ingested.len());
+        for &(s, e) in &self.ingested {
+            match merged.last_mut() {
+                // `s <= last end` merges overlapping AND adjacent ranges
+                // (half-open, so end == next start means contiguous).
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ingested = merged;
+    }
+
+    /// Whether shard `shard` lies inside an ingested range.
+    pub fn contains(&self, shard: u64) -> bool {
+        self.ingested.iter().any(|&(s, e)| s <= shard && shard < e)
+    }
+
+    /// Total number of ingested shards.
+    pub fn ingested_count(&self) -> u64 {
+        self.ingested.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+/// One group fingerprint row of the optional `GRPF` section: a digest of
+/// one (type, property) group's evidence, used to report which groups a
+/// delta dirtied without replaying the evidence itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupFingerprintRow {
+    /// Index into the type table.
+    pub type_index: u32,
+    /// Index into the property table.
+    pub property: u32,
+    /// Entities of the type with at least one statement on the property.
+    pub entities: u64,
+    /// Total statements (positive + negative) in the group.
+    pub total: u64,
+    /// FNV-1a digest over the group's entity-sorted evidence rows.
+    pub fingerprint: u64,
+}
+
 /// A complete owned snapshot: the encoder's input and the materialized
 /// form of a decode.
 ///
@@ -159,7 +234,12 @@ pub struct DecisionGroupRow {
 /// - `evidence` and `provenance` rows are sorted by
 ///   `(entity, property)`;
 /// - `models` and `decisions` are parallel: same length, same
-///   `(type_index, property)` per rank, sorted by that key.
+///   `(type_index, property)` per rank, sorted by that key;
+/// - `fingerprints` is sorted by `(type_index, property)`.
+///
+/// The `incremental` and `fingerprints` fields are optional: `None`/empty
+/// values encode to the exact version-1 seven-section byte stream, so
+/// snapshots that never touch the incremental pipeline are unchanged.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
     /// The property table.
@@ -178,6 +258,97 @@ pub struct Snapshot {
     pub models: Vec<ModelRow>,
     /// Decisions per combination.
     pub decisions: Vec<DecisionGroupRow>,
+    /// Incremental-mining state (optional section `INCR`).
+    pub incremental: Option<IncrementalState>,
+    /// Group fingerprints (optional section `GRPF`); empty = absent.
+    pub fingerprints: Vec<GroupFingerprintRow>,
+}
+
+/// 64-bit FNV-1a over a byte stream, the digest behind group
+/// fingerprints and configuration digests. Stable by definition — the
+/// constants are part of the on-disk format.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a little-endian `u64` into the digest.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Computes the group fingerprint table of a snapshot: one row per
+/// (type, property) combination with evidence, sorted by
+/// `(type_index, property)`, digesting the entity-sorted evidence rows
+/// `(entity, positive, negative)` with [`Fnv64`].
+///
+/// A pure function of the evidence and entity sections — two snapshots
+/// with the same evidence always fingerprint identically, regardless of
+/// how they were produced (from scratch or by incremental update).
+/// Evidence rows naming an out-of-range entity are skipped (snapshot
+/// validation elsewhere rejects such rows).
+pub fn group_fingerprints(snapshot: &Snapshot) -> Vec<GroupFingerprintRow> {
+    use std::collections::BTreeMap;
+    struct Acc {
+        hash: Fnv64,
+        entities: u64,
+        total: u64,
+    }
+    let mut groups: BTreeMap<(u32, u32), Acc> = BTreeMap::new();
+    // Evidence is sorted by (entity, property), so within any
+    // (type, property) group this pass visits entities in ascending
+    // order — exactly the digest order the format specifies.
+    for row in &snapshot.evidence {
+        let Some(entity) = snapshot.entities.get(row.entity as usize) else {
+            continue;
+        };
+        let acc = groups
+            .entry((entity.type_index, row.property))
+            .or_insert_with(|| Acc {
+                hash: Fnv64::new(),
+                entities: 0,
+                total: 0,
+            });
+        acc.hash.write(&row.entity.to_le_bytes());
+        acc.hash.write_u64(row.positive);
+        acc.hash.write_u64(row.negative);
+        acc.entities += 1;
+        acc.total += row.positive + row.negative;
+    }
+    groups
+        .into_iter()
+        .map(|((type_index, property), acc)| GroupFingerprintRow {
+            type_index,
+            property,
+            entities: acc.entities,
+            total: acc.total,
+            fingerprint: acc.hash.finish(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -195,6 +366,69 @@ mod tests {
         }
         assert_eq!(DecisionCode::from_code(3), None);
         assert_eq!(DecisionCode::from_code(255), None);
+    }
+
+    #[test]
+    fn ingest_range_merges_overlaps_and_adjacency() {
+        let mut state = IncrementalState::default();
+        state.ingest_range(4, 6);
+        state.ingest_range(0, 2);
+        assert_eq!(state.ingested, vec![(0, 2), (4, 6)]);
+        state.ingest_range(2, 4); // adjacent on both sides: coalesce all
+        assert_eq!(state.ingested, vec![(0, 6)]);
+        state.ingest_range(5, 9); // overlap
+        assert_eq!(state.ingested, vec![(0, 9)]);
+        state.ingest_range(20, 20); // empty: ignored
+        assert_eq!(state.ingested, vec![(0, 9)]);
+        assert_eq!(state.ingested_count(), 9);
+        assert!(state.contains(0) && state.contains(8));
+        assert!(!state.contains(9));
+    }
+
+    #[test]
+    fn group_fingerprints_digest_evidence_per_type_property_group() {
+        let mut snapshot = Snapshot {
+            types: vec![SnapshotType::default(), SnapshotType::default()],
+            entities: vec![
+                SnapshotEntity {
+                    type_index: 0,
+                    ..Default::default()
+                },
+                SnapshotEntity {
+                    type_index: 1,
+                    ..Default::default()
+                },
+            ],
+            evidence: vec![
+                EvidenceRow {
+                    entity: 0,
+                    property: 0,
+                    positive: 3,
+                    negative: 1,
+                },
+                EvidenceRow {
+                    entity: 1,
+                    property: 0,
+                    positive: 2,
+                    negative: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let rows = group_fingerprints(&snapshot);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].type_index, rows[0].property), (0, 0));
+        assert_eq!((rows[1].type_index, rows[1].property), (1, 0));
+        assert_eq!(rows[0].entities, 1);
+        assert_eq!(rows[0].total, 4);
+        assert_ne!(rows[0].fingerprint, rows[1].fingerprint);
+
+        // The digest is sensitive to the counts: bump one statement and
+        // only that group's fingerprint moves.
+        snapshot.evidence[1].positive += 1;
+        let changed = group_fingerprints(&snapshot);
+        assert_eq!(changed[0].fingerprint, rows[0].fingerprint);
+        assert_ne!(changed[1].fingerprint, rows[1].fingerprint);
     }
 
     #[test]

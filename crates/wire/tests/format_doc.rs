@@ -76,6 +76,8 @@ fn worked_example() -> Snapshot {
                 },
             ],
         }],
+        incremental: None,
+        fingerprints: vec![],
     }
 }
 

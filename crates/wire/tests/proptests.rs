@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use surveyor_wire::{
-    decode, encode, DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, ModelRow,
-    ProvenanceRow, Snapshot, SnapshotEntity, SnapshotProperty, SnapshotType, MAGIC,
+    decode, encode, DecisionCode, DecisionGroupRow, DecisionRow, EvidenceRow, GroupFingerprintRow,
+    IncrementalState, ModelRow, ProvenanceRow, Snapshot, SnapshotEntity, SnapshotProperty,
+    SnapshotType, MAGIC,
 };
 
 fn word() -> impl Strategy<Value = String> {
@@ -135,6 +136,65 @@ fn group_s() -> impl Strategy<Value = DecisionGroupRow> {
     )
 }
 
+/// Canonical ingested ranges: strictly increasing, disjoint, and
+/// non-adjacent, built from (gap, length) pairs so the invariant holds
+/// by construction.
+fn incremental_s() -> impl Strategy<Value = Option<IncrementalState>> {
+    let state = (
+        0u64..1000,
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        prop::collection::vec((1u64..5, 1u64..5), 0..4),
+        prop::collection::vec(0u64..64, 0..4),
+    )
+        .prop_map(|(rho, config_digest, corpus_digest, pieces, mut pending)| {
+            let mut ingested = Vec::with_capacity(pieces.len());
+            let mut cursor = 0u64;
+            for (gap, len) in pieces {
+                let start = cursor + gap;
+                ingested.push((start, start + len));
+                cursor = start + len;
+            }
+            pending.sort_unstable();
+            pending.dedup();
+            IncrementalState {
+                rho,
+                config_digest,
+                corpus_digest,
+                ingested,
+                pending,
+            }
+        });
+    (prop::bool::ANY, state).prop_map(|(present, state)| present.then_some(state))
+}
+
+/// Fingerprint rows sorted by `(type_index, property)` by construction.
+fn fingerprints_s() -> impl Strategy<Value = Vec<GroupFingerprintRow>> {
+    prop::collection::vec(
+        (
+            (0u32..8, 0u32..16),
+            (0u64..64, 0u64..10_000, 0u64..u64::MAX),
+        ),
+        0..4,
+    )
+    .prop_map(|rows| {
+        let sorted: std::collections::BTreeMap<(u32, u32), (u64, u64, u64)> =
+            rows.into_iter().collect();
+        sorted
+            .into_iter()
+            .map(
+                |((type_index, property), (entities, total, fingerprint))| GroupFingerprintRow {
+                    type_index,
+                    property,
+                    entities,
+                    total,
+                    fingerprint,
+                },
+            )
+            .collect()
+    })
+}
+
 fn snapshot_s() -> impl Strategy<Value = Snapshot> {
     (
         (
@@ -151,12 +211,14 @@ fn snapshot_s() -> impl Strategy<Value = Snapshot> {
             prop::collection::vec(model_s(), 0..3),
             prop::collection::vec(group_s(), 0..3),
         ),
+        (incremental_s(), fingerprints_s()),
     )
         .prop_map(
             |(
                 (properties, types, entities),
                 (evidence, provenance_sample_size, provenance),
                 (models, decisions),
+                (incremental, fingerprints),
             )| Snapshot {
                 properties,
                 types,
@@ -166,6 +228,8 @@ fn snapshot_s() -> impl Strategy<Value = Snapshot> {
                 provenance,
                 models,
                 decisions,
+                incremental,
+                fingerprints,
             },
         )
 }

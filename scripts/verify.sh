@@ -162,3 +162,45 @@ for key in '"schema_version"' '"ruleset_version"' '"files_scanned"' \
     grep -q "$key" artifacts/lint_smoke.json \
         || { echo "lint_smoke.json missing $key" >&2; exit 1; }
 done
+
+# Incremental gate: delta ingestion must land exactly where from-scratch
+# mining lands. Mine a 3-of-4-shard base with incremental state recorded,
+# ingest the remaining shard with `update`, and demand the result is
+# byte-identical (`cmp`) to mining all 4 shards from scratch with the
+# same state bookkeeping. A second `update` must find nothing to ingest
+# and leave the snapshot untouched.
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    snapshot --preset cities --seed 5 --rho 40 --shards 4 --ingest-shards 3 \
+    --out artifacts/incr_base.swire > /dev/null
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    update --snapshot artifacts/incr_base.swire --delta-preset cities-tail \
+    --seed 5 --out artifacts/incr_updated.swire > /dev/null
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    snapshot --preset cities --seed 5 --rho 40 --shards 4 --ingest-shards 4 \
+    --out artifacts/incr_scratch.swire > /dev/null
+cmp artifacts/incr_updated.swire artifacts/incr_scratch.swire \
+    || { echo "incremental update is not byte-identical to from-scratch" >&2; exit 1; }
+cargo run --release -q -p surveyor-cli --bin surveyor -- \
+    update --snapshot artifacts/incr_updated.swire --delta-preset cities-tail \
+    --seed 5 --out artifacts/incr_idempotent.swire > /dev/null
+cmp artifacts/incr_updated.swire artifacts/incr_idempotent.swire \
+    || { echo "empty-delta update is not idempotent" >&2; exit 1; }
+rm -f artifacts/incr_base.swire artifacts/incr_updated.swire \
+    artifacts/incr_scratch.swire artifacts/incr_idempotent.swire
+
+# Incremental bench smoke: the delta-scaling harness on its quick preset
+# with the scaling assertions armed — <=10% deltas at least 5x faster
+# than from-scratch, every update byte-identical at every thread count,
+# and the chaos replay queue converging to the clean bytes. The greps
+# pin the keys EXPERIMENTS.md documents.
+cargo run --release -q -p surveyor-bench --bin bench -- \
+    incremental --quick --assert-delta-scaling \
+    --out artifacts/incremental_smoke.json > /dev/null
+for key in '"schema_version"' '"from_scratch_seconds"' '"delta_sweep"' \
+           '"speedup_vs_scratch"' '"byte_identical"' '"corpus_sweep"' \
+           '"update_fraction_of_scratch"' '"determinism"' \
+           '"byte_identical_all_threads"' '"byte_identical_after_replay"' \
+           '"warm_seeded"' '"decisions_identical"'; do
+    grep -q "$key" artifacts/incremental_smoke.json \
+        || { echo "incremental_smoke.json missing $key" >&2; exit 1; }
+done
